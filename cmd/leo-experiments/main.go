@@ -1,0 +1,84 @@
+// Command leo-experiments regenerates the paper's tables and figures on the
+// simulated platform.
+//
+// Usage:
+//
+//	leo-experiments [-experiment all|fig1,fig5,...] [-size small|full]
+//	                [-seed N] [-trials N] [-samples N] [-list]
+//
+// Each experiment prints a text table mirroring the corresponding figure or
+// table of the paper; see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Note on -size full: the 1024-configuration space reproduces the paper's
+// platform exactly, but one LEO fit then costs tens of seconds of
+// single-core CPU (the authors' Matlab/BLAS took 0.8 s), so the sweep
+// experiments (fig5, fig6, fig11, fig12) take hours at full size. The small
+// size exercises identical code on a 128-configuration space.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"leo/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("experiment", "all", "comma-separated experiment ids, or 'all'")
+		size    = flag.String("size", "small", "configuration-space size: small (128) or full (1024)")
+		seed    = flag.Int64("seed", 42, "random seed (experiments are deterministic per seed)")
+		trials  = flag.Int("trials", 0, "random-mask trials per estimate (default: the paper's 10)")
+		samples = flag.Int("samples", 0, "online samples per estimator (default: the paper's 20)")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	sz, err := experiments.ParseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+	env, err := experiments.NewEnv(sz, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *trials > 0 {
+		env.Trials = *trials
+	}
+	if *samples > 0 {
+		env.Samples = *samples
+	}
+
+	names := experiments.Names()
+	if *expFlag != "all" {
+		names = strings.Split(*expFlag, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		rep, err := experiments.Run(name, env)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[%s completed in %v on the %s space]\n\n", name, time.Since(start).Round(time.Millisecond), sz)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leo-experiments:", err)
+	os.Exit(1)
+}

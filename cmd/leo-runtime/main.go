@@ -1,0 +1,134 @@
+// Command leo-runtime simulates the full energy-aware runtime on one
+// benchmark: calibrate, estimate, plan on the Pareto hull, and execute a job
+// under heartbeat feedback, reporting energy against the optimal and
+// race-to-idle references.
+//
+// Usage:
+//
+//	leo-runtime [-app kmeans] [-utilization 0.5] [-deadline 10]
+//	            [-size small|full] [-seed 1] [-phased]
+//
+// With -phased it runs the application's phase schedule (the §6.6
+// experiment) instead of a single job.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"leo"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "kmeans", "target benchmark")
+		util     = flag.Float64("utilization", 0.5, "fraction of peak performance demanded (0,1]")
+		deadline = flag.Float64("deadline", 10, "job deadline, seconds")
+		size     = flag.String("size", "small", "small (128 configs) or full (1024 configs)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		noise    = flag.Float64("noise", 0.01, "relative measurement noise")
+		phased   = flag.Bool("phased", false, "run the application's phase schedule (§6.6)")
+	)
+	flag.Parse()
+
+	if *util <= 0 || *util > 1 {
+		fatal(fmt.Errorf("utilization %g outside (0,1]", *util))
+	}
+	space := leo.SmallSpace()
+	if *size == "full" {
+		space = leo.PaperSpace()
+	} else if *size != "small" {
+		fatal(fmt.Errorf("unknown size %q", *size))
+	}
+	app, err := leo.Benchmark(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := leo.CollectProfiles(space, leo.Benchmarks(), 0, nil)
+	if err != nil {
+		fatal(err)
+	}
+	target, err := db.AppIndex(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	rest, truePerf, _, err := db.LeaveOneOut(target)
+	if err != nil {
+		fatal(err)
+	}
+	maxRate := 0.0
+	for _, v := range truePerf {
+		if v > maxRate {
+			maxRate = v
+		}
+	}
+
+	run := func(name string, estPerf, estPower leo.Estimator, stream int64) {
+		mach, err := leo.NewMachine(space, app, *noise, rand.New(rand.NewSource(*seed+stream)))
+		if err != nil {
+			fatal(err)
+		}
+		ctrl, err := leo.NewController(name, mach, estPerf, estPower, 0, rand.New(rand.NewSource(*seed+stream+100)))
+		if err != nil {
+			fatal(err)
+		}
+		if *phased {
+			res, err := ctrl.RunPhased(leo.PhasedSpec{
+				FrameWork: *util * maxRate * 2,
+				FrameTime: 2,
+			})
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			fmt.Printf("%-11s frames=%d replans=%d total=%.1f J phases=%v\n",
+				name, len(res.Frames), res.Replans, res.TotalEnergy, fmtJoules(res.PhaseEnergy))
+			return
+		}
+		job, err := ctrl.ExecuteJob(*util*maxRate**deadline, *deadline)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("%-11s energy=%8.1f J  avg power=%6.1f W  work=%8.1f beats  deadline met=%v\n",
+			name, job.Energy, job.AvgPower, job.Work, job.MetDeadline)
+	}
+
+	fmt.Printf("app=%s space=%d configs demand=%.0f%% of peak (%.1f beats/s) deadline=%.0fs\n\n",
+		*appName, space.N(), *util*100, maxRate, *deadline)
+
+	run("Optimal", leo.NewOracleEstimator(func() []float64 {
+		// The oracle follows the current phase; for single-phase apps this
+		// is simply the truth.
+		return app.PhasePerfVector(space, 0)
+	}), leo.NewOracleEstimator(func() []float64 {
+		return app.PowerVector(space)
+	}), 1)
+	run("LEO",
+		leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{}),
+		leo.NewLEOEstimator(rest.Power, leo.ModelOptions{}), 2)
+	run("Online", leo.NewOnlineEstimator(space), leo.NewOnlineEstimator(space), 3)
+	offPerf, err := leo.NewOfflineEstimator(rest.Perf)
+	if err != nil {
+		fatal(err)
+	}
+	offPower, err := leo.NewOfflineEstimator(rest.Power)
+	if err != nil {
+		fatal(err)
+	}
+	run("Offline", offPerf, offPower, 4)
+	run("RaceToIdle", nil, nil, 5)
+}
+
+func fmtJoules(e []float64) []string {
+	out := make([]string, len(e))
+	for i, v := range e {
+		out[i] = fmt.Sprintf("%.1fJ", v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leo-runtime:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+package leo_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leo"
+)
+
+// ExampleAccuracy shows the paper's Eq. (5) accuracy metric.
+func ExampleAccuracy() {
+	truth := []float64{1, 2, 3, 4}
+	perfect := []float64{1, 2, 3, 4}
+	meanOnly := []float64{2.5, 2.5, 2.5, 2.5}
+	fmt.Printf("%.2f %.2f\n", leo.Accuracy(perfect, truth), leo.Accuracy(meanOnly, truth))
+	// Output: 1.00 0.00
+}
+
+// ExampleMinimizeEnergy plans Eq. (1) for a two-configuration system where
+// time-sharing beats running the fast configuration alone.
+func ExampleMinimizeEnergy() {
+	perf := []float64{1, 4}                               // beats/s
+	power := []float64{10, 100}                           // Watts
+	plan, err := leo.MinimizeEnergy(perf, power, 0, 2, 1) // 2 beats in 1 s
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("energy %.0f J across %d configurations\n", plan.Energy, len(plan.Allocations))
+	// Output: energy 40 J across 2 configurations
+}
+
+// ExampleUniformMask shows the §2 sampling pattern: 6 probes across 32
+// core-count configurations.
+func ExampleUniformMask() {
+	fmt.Println(leo.UniformMask(32, 6))
+	// Output: [4 9 13 18 22 27]
+}
+
+// ExampleNewLEOEstimator runs the full estimation workflow on the motivating
+// example: kmeans unseen, 6 uniform probes, cores-only platform.
+func ExampleNewLEOEstimator() {
+	space := leo.CoresOnlySpace()
+	db, err := leo.CollectProfiles(space, leo.Benchmarks(), 0, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	target, _ := db.AppIndex("kmeans")
+	rest, truth, _, _ := db.LeaveOneOut(target)
+
+	mask := leo.UniformMask(space.N(), 6)
+	obs := leo.Observe(truth, mask, 0, nil)
+	pred, err := leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{}).Estimate(obs.Indices, obs.Values)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("accuracy above 0.9: %v\n", leo.Accuracy(pred, truth) > 0.9)
+	// Output: accuracy above 0.9: true
+}
+
+// ExampleDiurnalTrace builds a demand curve and reports its shape.
+func ExampleDiurnalTrace() {
+	tr, err := leo.DiurnalTrace(24, 3600, 0.2, 0.8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.0f hours, mean utilization %.2f\n", tr.TotalDuration()/3600, tr.MeanUtilization())
+	// Output: 24 hours, mean utilization 0.50
+}
+
+// ExampleApp_WithInput perturbs kmeans toward a larger, more memory-bound
+// dataset.
+func ExampleApp_WithInput() {
+	base, _ := leo.Benchmark("kmeans")
+	variant, err := base.WithInput(leo.Input{SizeScale: 2, MemShift: 0.1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("rate halves: %v, more memory bound: %v\n",
+		variant.BaseRate == base.BaseRate/2, variant.MemIntensity > base.MemIntensity)
+	// Output: rate halves: true, more memory bound: true
+}
+
+// ExampleRandomSampling draws a reproducible probe set.
+func ExampleRandomSampling() {
+	p := &leo.RandomSampling{Rng: rand.New(rand.NewSource(1))}
+	obs, err := p.Collect(16, 4, func(config int) float64 { return float64(config) })
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(obs.Indices), len(obs.Values))
+	// Output: 4 4
+}

@@ -1,0 +1,86 @@
+// Colocation: two services share one server. The coordinator uses each
+// service's LEO-estimated profile to partition hardware threads and pick the
+// shared clock so both meet their demands at minimal combined power — the
+// multi-application direction the paper's related work points at (§7).
+//
+// Run with: go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"leo"
+)
+
+func main() {
+	space := leo.SmallSpace()
+	db, err := leo.CollectProfiles(space, leo.Benchmarks(), 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+
+	estimate := func(name string, demandFrac float64) (est, truth leo.Tenant) {
+		idx, err := db.AppIndex(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rest, truePerf, truePower, err := db.LeaveOneOut(idx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mask := leo.RandomMask(space.N(), 20, rng)
+		perfObs := leo.Observe(truePerf, mask, 0.01, rng)
+		powerObs := leo.Observe(truePower, mask, 0.01, rng)
+		perfEst, err := leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{}).Estimate(perfObs.Indices, perfObs.Values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		powerEst, err := leo.NewLEOEstimator(rest.Power, leo.ModelOptions{}).Estimate(powerObs.Indices, powerObs.Values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Demand a fraction of the best half-machine rate.
+		best := 0.0
+		for th := 1; th <= space.Threads/2; th++ {
+			for s := 0; s < space.Speeds; s++ {
+				i := space.Index(leo.Config{Threads: th, Speed: s, MemCtrls: 1})
+				if truePerf[i] > best {
+					best = truePerf[i]
+				}
+			}
+		}
+		rate := demandFrac * best
+		return leo.Tenant{Name: name, Perf: perfEst, Power: powerEst, Rate: rate},
+			leo.Tenant{Name: name, Perf: truePerf, Power: truePower, Rate: rate}
+	}
+
+	estA, truthA := estimate("swish", 0.6)  // latency-sensitive web search
+	estB, truthB := estimate("kmeans", 0.4) // analytics batch
+
+	const idle = 87.0
+	plan, err := leo.PlanColocation(space, []leo.Tenant{estA, estB}, idle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truePower, err := leo.ColocationPower(space, plan, []leo.Tenant{truthA, truthB}, idle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := leo.ColocationRates(space, plan, []leo.Tenant{truthA, truthB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimal, err := leo.PlanColocation(space, []leo.Tenant{truthA, truthB}, idle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("partition: %s gets %d threads, %s gets %d threads, shared speed %d\n",
+		estA.Name, plan.Threads[0], estB.Name, plan.Threads[1], plan.Speed)
+	fmt.Printf("demands:   %.1f and %.1f beats/s; delivered %.1f and %.1f\n",
+		truthA.Rate, truthB.Rate, rates[0], rates[1])
+	fmt.Printf("power:     %.1f W realized vs %.1f W true-optimal partition\n", truePower, optimal.Power)
+}

@@ -1,0 +1,101 @@
+// Datacenter: the under-utilization scenario that motivates the paper
+// (§1: systems "run at a wide range of utilizations"). A cluster of
+// long-running services each receives a different, fluctuating demand level;
+// the operator wants every job finished on time at minimal energy.
+//
+// The example runs a day of hourly demand levels (a diurnal curve) for three
+// services under three policies — LEO, race-to-idle, and the true optimum —
+// and reports the aggregate energy bill.
+//
+// Run with: go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"leo"
+)
+
+// diurnal returns a demand fraction for hour h: low overnight, peaking in
+// the afternoon — the utilization profile of interactive services.
+func diurnal(h int) float64 {
+	return 0.35 + 0.45*math.Sin(math.Pi*float64(h)/24)*math.Sin(math.Pi*float64(h)/24)
+}
+
+func main() {
+	space := leo.SmallSpace()
+	services := []string{"swish", "kmeans", "x264"} // web search, analytics, video
+
+	db, err := leo.CollectProfiles(space, leo.Benchmarks(), 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const hourSeconds = 60.0 // a scaled-down "hour" of simulated time
+	totals := map[string]float64{}
+	missed := map[string]int{}
+
+	for si, svc := range services {
+		app, err := leo.Benchmark(svc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		target, err := db.AppIndex(svc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rest, truePerf, _, err := db.LeaveOneOut(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxRate := 0.0
+		for _, v := range truePerf {
+			if v > maxRate {
+				maxRate = v
+			}
+		}
+
+		for _, policy := range []string{"LEO", "RaceToIdle", "Optimal"} {
+			rng := rand.New(rand.NewSource(int64(si*10) + int64(len(policy))))
+			mach, err := leo.NewMachine(space, app, 0.01, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var estPerf, estPower leo.Estimator
+			switch policy {
+			case "LEO":
+				estPerf = leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{})
+				estPower = leo.NewLEOEstimator(rest.Power, leo.ModelOptions{})
+			case "Optimal":
+				estPerf = leo.NewOracleEstimator(func() []float64 { return app.PhasePerfVector(space, 0) })
+				estPower = leo.NewOracleEstimator(func() []float64 { return app.PowerVector(space) })
+			}
+			ctrl, err := leo.NewController(policy, mach, estPerf, estPower, 0, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for h := 0; h < 24; h++ {
+				demand := diurnal(h)
+				job, err := ctrl.ExecuteJob(demand*maxRate*hourSeconds, hourSeconds)
+				if err != nil {
+					log.Fatal(err)
+				}
+				totals[policy] += job.Energy
+				if !job.MetDeadline {
+					missed[policy]++
+				}
+			}
+		}
+	}
+
+	fmt.Println("24-hour diurnal demand, 3 services:")
+	for _, policy := range []string{"Optimal", "LEO", "RaceToIdle"} {
+		fmt.Printf("  %-11s %10.1f J  (missed deadlines: %d)\n", policy, totals[policy], missed[policy])
+	}
+	saving := 1 - totals["LEO"]/totals["RaceToIdle"]
+	overhead := totals["LEO"]/totals["Optimal"] - 1
+	fmt.Printf("\nLEO saves %.1f%% vs race-to-idle and is %.1f%% above optimal.\n", saving*100, overhead*100)
+}

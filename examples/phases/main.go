@@ -1,0 +1,96 @@
+// Phases: the dynamic-adaptation experiment of §6.6. fluidanimate renders
+// 120 frames; after frame 60 the input becomes lighter (2/3 the work per
+// frame). Every frame must finish on time. The controller has to notice the
+// change from heartbeats alone, re-estimate, and move to a cheaper
+// configuration.
+//
+// Run with: go run ./examples/phases
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"leo"
+)
+
+func main() {
+	space := leo.SmallSpace()
+	app, err := leo.Benchmark("fluidanimate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := leo.CollectProfiles(space, leo.Benchmarks(), 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := db.AppIndex("fluidanimate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rest, truePerf, _, err := db.LeaveOneOut(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxRate := 0.0
+	for _, v := range truePerf {
+		if v > maxRate {
+			maxRate = v
+		}
+	}
+	spec := leo.PhasedSpec{FrameWork: 0.6 * maxRate * 2, FrameTime: 2}
+
+	runPolicy := func(policy string, stream int64) *leo.PhasedResult {
+		rng := rand.New(rand.NewSource(stream))
+		mach, err := leo.NewMachine(space, app, 0.01, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var estPerf, estPower leo.Estimator
+		if policy == "LEO" {
+			estPerf = leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{})
+			estPower = leo.NewLEOEstimator(rest.Power, leo.ModelOptions{})
+		} else { // phase-aware optimal
+			estPerf = leo.NewOracleEstimator(func() []float64 {
+				return app.PhasePerfVector(space, mach.Phase())
+			})
+			estPower = leo.NewOracleEstimator(func() []float64 { return app.PowerVector(space) })
+		}
+		ctrl, err := leo.NewController(policy, mach, estPerf, estPower, 0, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ctrl.RunPhased(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	leoRes := runPolicy("LEO", 1)
+	optRes := runPolicy("Optimal", 2)
+
+	fmt.Println("frame  phase  LEO W    optimal W  replanned")
+	for i, f := range leoRes.Frames {
+		if i%10 != 0 && !f.Replanned && i != 59 && i != 60 {
+			continue
+		}
+		mark := ""
+		if f.Replanned {
+			mark = "  <-- recalibrated"
+		}
+		fmt.Printf("%5d  %5d  %7.1f  %9.1f%s\n", f.Frame, f.Phase+1, f.Power, optRes.Frames[i].Power, mark)
+	}
+	fmt.Printf("\nphase energy (J): LEO %v vs optimal %v\n", round1(leoRes.PhaseEnergy), round1(optRes.PhaseEnergy))
+	fmt.Printf("overall: LEO %.1f J = %.3f × optimal (%d recalibrations)\n",
+		leoRes.TotalEnergy, leoRes.TotalEnergy/optRes.TotalEnergy, leoRes.Replans)
+}
+
+func round1(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(int(v*10)) / 10
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Powercap: the dual problem — maximize performance under a power budget
+// (the Flicker-style objective discussed in the paper's related work, §7).
+// The same LEO estimates that minimize energy under a performance constraint
+// also maximize performance under a power constraint: both optima live on
+// the Pareto hull.
+//
+// The example sweeps a rack-level power budget and reports the heartbeat
+// rate each policy extracts from streamcluster, whose memory-bound profile
+// makes the second memory controller the key lever.
+//
+// Run with: go run ./examples/powercap
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"leo"
+)
+
+func main() {
+	space := leo.SmallSpace()
+	app, err := leo.Benchmark("streamcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := leo.CollectProfiles(space, leo.Benchmarks(), 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := db.AppIndex("streamcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rest, truePerf, truePower, err := db.LeaveOneOut(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	newCtrl := func(name string, seed int64) *leo.Controller {
+		rng := rand.New(rand.NewSource(seed))
+		mach, err := leo.NewMachine(space, app, 0.01, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var estPerf, estPower leo.Estimator
+		if name == "LEO" {
+			estPerf = leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{})
+			estPower = leo.NewLEOEstimator(rest.Power, leo.ModelOptions{})
+		} else {
+			estPerf = leo.NewExhaustiveEstimator(truePerf)
+			estPower = leo.NewExhaustiveEstimator(truePower)
+		}
+		ctrl, err := leo.NewController(name, mach, estPerf, estPower, 0, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ctrl
+	}
+
+	fmt.Println("cap (W)   LEO beats/s  LEO avg W   optimal beats/s")
+	const window = 30.0
+	for _, cap := range []float64{110, 130, 150, 180, 220} {
+		leoJob, err := newCtrl("LEO", int64(cap)).ExecuteCapped(cap, window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optJob, err := newCtrl("Optimal", int64(cap)+1).ExecuteCapped(cap, window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7.0f   %11.2f  %9.1f   %15.2f\n",
+			cap, leoJob.Work/window, leoJob.AvgPower, optJob.Work/window)
+	}
+}

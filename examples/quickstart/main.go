@@ -1,0 +1,88 @@
+// Quickstart: the minimal end-to-end LEO workflow.
+//
+//  1. Profile a population of applications offline (exhaustive search on the
+//     simulator — the step that took the paper's authors days per app).
+//  2. Treat one application as new: sample a few configurations online.
+//  3. Estimate its full power/performance surfaces with the hierarchical
+//     Bayesian model.
+//  4. Plan a minimal-energy schedule for a performance target and compare it
+//     with the true optimum.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"leo"
+)
+
+func main() {
+	space := leo.SmallSpace()
+	rng := rand.New(rand.NewSource(7))
+
+	// 1. Offline profiling of every benchmark.
+	db, err := leo.CollectProfiles(space, leo.Benchmarks(), 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. kmeans shows up as a never-before-seen application; probe 20 of
+	// its 128 configurations.
+	target, err := db.AppIndex("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rest, truePerf, truePower, err := db.LeaveOneOut(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mask := leo.RandomMask(space.N(), 20, rng)
+	perfObs := leo.Observe(truePerf, mask, 0.01, rng)
+	powerObs := leo.Observe(truePower, mask, 0.01, rng)
+
+	// 3. Estimate both metrics everywhere.
+	perfEst, err := leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{}).Estimate(perfObs.Indices, perfObs.Values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	powerEst, err := leo.NewLEOEstimator(rest.Power, leo.ModelOptions{}).Estimate(powerObs.Indices, powerObs.Values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimation accuracy: performance %.3f, power %.3f\n",
+		leo.Accuracy(perfEst, truePerf), leo.Accuracy(powerEst, truePower))
+
+	// 4. Minimize energy for a 50%-of-peak performance demand over 10 s.
+	app, err := leo.Benchmark("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxRate := 0.0
+	for _, v := range truePerf {
+		if v > maxRate {
+			maxRate = v
+		}
+	}
+	work, deadline := 0.5*maxRate*10, 10.0
+
+	plan, err := leo.MinimizeEnergy(perfEst, powerEst, app.IdlePower, work, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimal, err := leo.MinimizeEnergy(truePerf, truePower, app.IdlePower, work, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LEO plan:    %.1f J predicted, %.1f J under true power (optimal %.1f J)\n",
+		plan.Energy, plan.TrueEnergy(truePower, app.IdlePower), optimal.Energy)
+	for _, a := range plan.Allocations {
+		c := space.ConfigAt(a.Index)
+		fmt.Printf("  run %v for %.2f s\n", c, a.Time)
+	}
+	if plan.IdleTime > 0 {
+		fmt.Printf("  idle for %.2f s\n", plan.IdleTime)
+	}
+}

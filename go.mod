@@ -1,0 +1,3 @@
+module leo
+
+go 1.22

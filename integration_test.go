@@ -1,0 +1,274 @@
+package leo_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"leo"
+)
+
+// traceRig bundles a leave-one-out setup for trace-driven integration tests.
+type traceRig struct {
+	space     leo.Space
+	app       *leo.App
+	rest      *leo.Database
+	truePerf  []float64
+	truePower []float64
+	maxRate   float64
+}
+
+func newTraceRig(t *testing.T, appName string) *traceRig {
+	t.Helper()
+	space := leo.SmallSpace()
+	app, err := leo.Benchmark(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := leo.CollectProfiles(space, leo.Benchmarks(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := db.AppIndex(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, truePerf, truePower, err := db.LeaveOneOut(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRate := 0.0
+	for _, v := range truePerf {
+		if v > maxRate {
+			maxRate = v
+		}
+	}
+	return &traceRig{space: space, app: app, rest: rest, truePerf: truePerf, truePower: truePower, maxRate: maxRate}
+}
+
+func (r *traceRig) controller(t *testing.T, policy string, seed int64) *leo.Controller {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mach, err := leo.NewMachine(r.space, r.app, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var estPerf, estPower leo.Estimator
+	switch policy {
+	case "LEO":
+		estPerf = leo.NewLEOEstimator(r.rest.Perf, leo.ModelOptions{})
+		estPower = leo.NewLEOEstimator(r.rest.Power, leo.ModelOptions{})
+	case "Optimal":
+		estPerf = leo.NewExhaustiveEstimator(r.truePerf)
+		estPower = leo.NewExhaustiveEstimator(r.truePower)
+	case "RaceToIdle":
+		c, err := leo.NewController(policy, mach, nil, nil, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c, err := leo.NewController(policy, mach, estPerf, estPower, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runTrace executes every interval of a utilization trace as a job and
+// returns total energy and missed intervals.
+func runTrace(t *testing.T, ctrl *leo.Controller, tr leo.Trace, maxRate float64) (energy float64, missed int) {
+	t.Helper()
+	for _, p := range tr {
+		job, err := ctrl.ExecuteJob(p.Utilization*maxRate*p.Duration, p.Duration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		energy += job.Energy
+		if !job.MetDeadline {
+			missed++
+		}
+	}
+	return energy, missed
+}
+
+// TestIntegrationDiurnalTrace drives the full stack through a diurnal day:
+// LEO must meet every interval and land near the optimal energy bill.
+func TestIntegrationDiurnalTrace(t *testing.T) {
+	tr, err := leo.DiurnalTrace(24, 10, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newTraceRig(t, "swish")
+
+	leoE, leoMissed := runTrace(t, rig.controller(t, "LEO", 1), tr, rig.maxRate)
+	optE, optMissed := runTrace(t, rig.controller(t, "Optimal", 2), tr, rig.maxRate)
+	raceE, _ := runTrace(t, rig.controller(t, "RaceToIdle", 3), tr, rig.maxRate)
+
+	if leoMissed > 0 || optMissed > 0 {
+		t.Fatalf("missed intervals: LEO %d, optimal %d", leoMissed, optMissed)
+	}
+	if leoE > 1.1*optE {
+		t.Fatalf("LEO energy %g vs optimal %g", leoE, optE)
+	}
+	if raceE < leoE {
+		t.Fatalf("race-to-idle (%g) should cost more than LEO (%g)", raceE, leoE)
+	}
+}
+
+// TestIntegrationPoissonTrace checks the stack under stochastic arrivals.
+func TestIntegrationPoissonTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr, err := leo.PoissonTrace(30, 5, 1.5, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newTraceRig(t, "bodytrack")
+	leoE, leoMissed := runTrace(t, rig.controller(t, "LEO", 4), tr, rig.maxRate)
+	optE, _ := runTrace(t, rig.controller(t, "Optimal", 5), tr, rig.maxRate)
+	if leoMissed > 2 {
+		t.Fatalf("LEO missed %d of %d intervals", leoMissed, len(tr))
+	}
+	if leoE > 1.15*optE {
+		t.Fatalf("LEO energy %g vs optimal %g on poisson trace", leoE, optE)
+	}
+}
+
+// TestIntegrationSaveLoadEstimate: estimates computed from a database that
+// round-tripped through JSON are identical to the originals.
+func TestIntegrationSaveLoadEstimate(t *testing.T) {
+	rig := newTraceRig(t, "kmeans")
+	var buf bytes.Buffer
+	if err := rig.rest.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := leo.LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	mask := leo.RandomMask(rig.space.N(), 20, rng)
+	obs := leo.Observe(rig.truePerf, mask, 0, nil)
+
+	a, err := leo.NewLEOEstimator(rig.rest.Perf, leo.ModelOptions{}).Estimate(obs.Indices, obs.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := leo.NewLEOEstimator(loaded.Perf, leo.ModelOptions{}).Estimate(obs.Indices, obs.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("estimates differ after database round trip")
+		}
+	}
+}
+
+// TestIntegrationActiveSampling drives active sampling through the public
+// API and feeds the probes into an estimate.
+func TestIntegrationActiveSampling(t *testing.T) {
+	rig := newTraceRig(t, "x264")
+	policy := &leo.ActiveSampling{Known: rig.rest.Perf}
+	obs, err := policy.Collect(rig.space.N(), 12, leo.TruthMeasure(rig.truePerf, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := leo.NewLEOEstimator(rig.rest.Perf, leo.ModelOptions{}).Estimate(obs.Indices, obs.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := leo.Accuracy(pred, rig.truePerf); acc < 0.9 {
+		t.Fatalf("active-sampling accuracy %g", acc)
+	}
+}
+
+// TestIntegrationPowerCapThenDeadline: the same controller can serve a
+// power-capped batch window and then a deadline job.
+func TestIntegrationPowerCapThenDeadline(t *testing.T) {
+	rig := newTraceRig(t, "streamcluster")
+	ctrl := rig.controller(t, "LEO", 7)
+
+	capped, err := ctrl.ExecuteCapped(150, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.AvgPower > 150*1.01 {
+		t.Fatalf("cap violated: %g", capped.AvgPower)
+	}
+	job, err := ctrl.ExecuteJob(0.4*rig.maxRate*10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.MetDeadline {
+		t.Fatal("deadline job after capped window missed")
+	}
+}
+
+// TestIntegrationTraceHelpers exercises the remaining trace constructors
+// through the facade.
+func TestIntegrationTraceHelpers(t *testing.T) {
+	ct, err := leo.ConstantTrace(5, 2, 0.5)
+	if err != nil || ct.MeanUtilization() != 0.5 {
+		t.Fatalf("ConstantTrace: %v %g", err, ct.MeanUtilization())
+	}
+	rng := rand.New(rand.NewSource(12))
+	bt, err := leo.BurstyTrace(50, 1, 0.2, 0.9, 0.2, rng)
+	if err != nil || bt.Validate() != nil {
+		t.Fatalf("BurstyTrace: %v", err)
+	}
+}
+
+// TestIntegrationColocationVerified drives the verified coordinator through
+// the facade.
+func TestIntegrationColocationVerified(t *testing.T) {
+	rigA := newTraceRig(t, "swish")
+	rigB := newTraceRig(t, "kmeans")
+	space := rigA.space
+	mk := func(r *traceRig, frac float64) leo.Tenant {
+		best := 0.0
+		for i, v := range r.truePerf {
+			if space.ConfigAt(i).Threads <= space.Threads/2 && space.ConfigAt(i).MemCtrls == 1 && v > best {
+				best = v
+			}
+		}
+		return leo.Tenant{Name: r.app.Name, Perf: r.truePerf, Power: r.truePower, Rate: frac * best}
+	}
+	tenants := []leo.Tenant{mk(rigA, 0.5), mk(rigB, 0.5)}
+	verify := func(tenant, configIdx int) float64 {
+		return tenants[tenant].Perf[configIdx]
+	}
+	a, err := leo.PlanColocationVerified(space, tenants, verify, 87, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := leo.ColocationRates(space, a, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rates {
+		if r < tenants[i].Rate {
+			t.Fatalf("tenant %d under-served: %g < %g", i, r, tenants[i].Rate)
+		}
+	}
+	if _, err := leo.ColocationPower(space, a, tenants, 87); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegrationMarkovTraceAllPolicies: no policy crashes or degenerates
+// across a phase-switching demand trace.
+func TestIntegrationMarkovTraceAllPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr, err := leo.MarkovTrace(20, 5, []float64{0.2, 0.5, 0.8}, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := newTraceRig(t, "backprop")
+	for _, policy := range []string{"LEO", "Optimal", "RaceToIdle"} {
+		e, _ := runTrace(t, rig.controller(t, policy, 10), tr, rig.maxRate)
+		if e <= 0 {
+			t.Fatalf("%s consumed no energy", policy)
+		}
+	}
+}

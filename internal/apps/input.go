@@ -1,0 +1,60 @@
+package apps
+
+import "fmt"
+
+// Input describes a workload input's deviation from an application's
+// reference input. The paper stresses that power/performance tradeoffs "are
+// often application – or even input – dependent" (§1); an Input perturbs
+// the response surface the way a different dataset would.
+type Input struct {
+	// SizeScale scales the work per heartbeat: 2 means each heartbeat
+	// processes twice the data (halving rates). Must be positive.
+	SizeScale float64
+	// MemShift adds to MemIntensity (clamped to [0, 0.95]): larger inputs
+	// typically fall out of cache and become more memory bound.
+	MemShift float64
+	// PeakShift adds to PeakThreads (clamped to >= 1): some inputs expose
+	// more or less parallelism.
+	PeakShift float64
+}
+
+// ReferenceInput is the input the suite's parameters describe.
+var ReferenceInput = Input{SizeScale: 1}
+
+// Validate checks the perturbation is usable.
+func (in Input) Validate() error {
+	if in.SizeScale <= 0 {
+		return fmt.Errorf("apps: input SizeScale %g must be positive", in.SizeScale)
+	}
+	return nil
+}
+
+// WithInput returns a copy of the application running the given input. The
+// copy is independent of the receiver; phases are preserved.
+func (a *App) WithInput(in Input) (*App, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	v := *a // copy
+	v.Phases = append([]Phase(nil), a.Phases...)
+	v.BaseRate = a.BaseRate / in.SizeScale
+	v.MemIntensity = clamp(a.MemIntensity+in.MemShift, 0, 0.95)
+	v.PeakThreads = a.PeakThreads + in.PeakShift
+	if v.PeakThreads < 1 {
+		v.PeakThreads = 1
+	}
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("apps: input produces invalid application: %w", err)
+	}
+	return &v, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,114 @@
+package apps
+
+import (
+	"testing"
+
+	"leo/internal/platform"
+)
+
+func TestWithInputScalesRates(t *testing.T) {
+	base := MustByName("kmeans")
+	bigger, err := base.WithInput(Input{SizeScale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := platform.CoresOnly()
+	c := platform.Config{Threads: 8, Speed: 0, MemCtrls: 1}
+	if got, want := bigger.Performance(s, c), base.Performance(s, c)/2; got != want {
+		t.Fatalf("2× input rate = %g, want %g", got, want)
+	}
+	// Power is unchanged by input size alone.
+	if bigger.Power(s, c) != base.Power(s, c) {
+		t.Fatal("input size must not change power")
+	}
+	// The original is untouched.
+	if base.BaseRate != MustByName("kmeans").BaseRate {
+		t.Fatal("WithInput mutated the receiver")
+	}
+}
+
+func TestWithInputMemShift(t *testing.T) {
+	base := MustByName("swaptions") // compute bound: MemIntensity 0.05
+	memHeavy, err := base.WithInput(Input{SizeScale: 1, MemShift: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memHeavy.MemIntensity != 0.55 {
+		t.Fatalf("MemIntensity = %g", memHeavy.MemIntensity)
+	}
+	// A memory-heavier input gains more from the second memory controller.
+	s := platform.Paper()
+	gain := func(a *App) float64 {
+		one := a.Performance(s, platform.Config{Threads: 8, Speed: 8, MemCtrls: 1})
+		two := a.Performance(s, platform.Config{Threads: 8, Speed: 8, MemCtrls: 2})
+		return two / one
+	}
+	if gain(memHeavy) <= gain(base) {
+		t.Fatal("memory-heavier input should gain more from the second controller")
+	}
+	// Clamping.
+	maxed, err := base.WithInput(Input{SizeScale: 1, MemShift: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxed.MemIntensity != 0.95 {
+		t.Fatalf("MemShift must clamp at 0.95, got %g", maxed.MemIntensity)
+	}
+}
+
+func TestWithInputPeakShift(t *testing.T) {
+	base := MustByName("kmeans") // peak 8
+	wide, err := base.WithInput(Input{SizeScale: 1, PeakShift: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := platform.CoresOnly()
+	bestAt := func(a *App) int {
+		best, at := 0.0, 0
+		for th := 1; th <= 32; th++ {
+			if p := perfAtThreads(a, s, th); p > best {
+				best, at = p, th
+			}
+		}
+		return at
+	}
+	if bestAt(wide) <= bestAt(base) {
+		t.Fatalf("peak shift had no effect: %d vs %d", bestAt(wide), bestAt(base))
+	}
+	// Negative shift clamps at 1.
+	narrow, err := base.WithInput(Input{SizeScale: 1, PeakShift: -100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.PeakThreads != 1 {
+		t.Fatalf("PeakThreads = %g, want clamp at 1", narrow.PeakThreads)
+	}
+}
+
+func TestWithInputValidation(t *testing.T) {
+	base := MustByName("kmeans")
+	if _, err := base.WithInput(Input{SizeScale: 0}); err == nil {
+		t.Fatal("zero SizeScale must error")
+	}
+	if _, err := base.WithInput(Input{SizeScale: -1}); err == nil {
+		t.Fatal("negative SizeScale must error")
+	}
+	if err := ReferenceInput.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithInputPreservesPhases(t *testing.T) {
+	base := MustByName("fluidanimate")
+	v, err := base.WithInput(Input{SizeScale: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumPhases() != base.NumPhases() {
+		t.Fatal("phases lost")
+	}
+	v.Phases[0].WorkScale = 99
+	if base.Phases[0].WorkScale == 99 {
+		t.Fatal("phases alias the original")
+	}
+}

@@ -1,0 +1,213 @@
+package apps
+
+import "fmt"
+
+// Suite returns the 25 synthetic applications standing in for the paper's
+// benchmark set (§6.1): five PARSEC apps, eight Minebench apps, nine Rodinia
+// apps, plus jacobi, filebound and the swish++ web server. Parameters are
+// chosen to reproduce the qualitative behaviours the paper calls out:
+// Kmeans peaks at 8 threads and degrades sharply, Swish peaks at 16, x264 is
+// essentially flat past 16, streamcluster is memory-bandwidth bound and
+// sensitive to the second memory controller, filebound is I/O-bound and
+// nearly configuration-insensitive, and swaptions scales almost linearly.
+//
+// Each call returns a fresh slice of fresh App values; callers may mutate
+// them freely.
+func Suite() []*App {
+	suite := []*App{
+		// --- PARSEC ---
+		{
+			Name: "blackscholes", Suite: "parsec",
+			BaseRate: 12, SerialFrac: 0.02, PeakThreads: 30, Contention: 0.02,
+			HTBenefit: 0.50, MemIntensity: 0.10, MemCtrlBoost: 0.10, IOFrac: 0,
+			IdlePower: 86, UncorePower: 10, CorePower: 6.4, HTPower: 2.0, MemPower: 3.0, FreqExp: 2.7,
+		},
+		{
+			Name: "bodytrack", Suite: "parsec",
+			BaseRate: 8, SerialFrac: 0.08, PeakThreads: 20, Contention: 0.10,
+			HTBenefit: 0.40, MemIntensity: 0.25, MemCtrlBoost: 0.20, IOFrac: 0.02,
+			IdlePower: 85, UncorePower: 10, CorePower: 6.0, HTPower: 1.8, MemPower: 4.0, FreqExp: 2.5,
+		},
+		{
+			Name: "fluidanimate", Suite: "parsec",
+			BaseRate: 6, SerialFrac: 0.04, PeakThreads: 16, Contention: 0.25,
+			HTBenefit: 0.20, MemIntensity: 0.35, MemCtrlBoost: 0.30, IOFrac: 0,
+			IdlePower: 87, UncorePower: 11, CorePower: 6.2, HTPower: 1.7, MemPower: 4.5, FreqExp: 2.5,
+			Phases: []Phase{
+				{Name: "dense", Frames: 60, WorkScale: 1.0},
+				{Name: "sparse", Frames: 60, WorkScale: 2.0 / 3.0},
+			},
+		},
+		{
+			Name: "swaptions", Suite: "parsec",
+			BaseRate: 10, SerialFrac: 0.01, PeakThreads: 32, Contention: 0,
+			HTBenefit: 0.60, MemIntensity: 0.05, MemCtrlBoost: 0.05, IOFrac: 0,
+			IdlePower: 86, UncorePower: 10, CorePower: 6.8, HTPower: 2.2, MemPower: 2.5, FreqExp: 2.8,
+		},
+		{
+			Name: "x264", Suite: "parsec",
+			BaseRate: 9, SerialFrac: 0.06, PeakThreads: 16, Contention: 0.02,
+			HTBenefit: 0.10, MemIntensity: 0.30, MemCtrlBoost: 0.25, IOFrac: 0.03,
+			IdlePower: 85, UncorePower: 10, CorePower: 5.8, HTPower: 1.5, MemPower: 4.0, FreqExp: 2.4,
+		},
+
+		// --- Minebench ---
+		{
+			Name: "ScalParC", Suite: "minebench",
+			BaseRate: 5, SerialFrac: 0.05, PeakThreads: 14, Contention: 0.15,
+			HTBenefit: 0.15, MemIntensity: 0.60, MemCtrlBoost: 0.50, IOFrac: 0.02,
+			IdlePower: 88, UncorePower: 11, CorePower: 5.4, HTPower: 1.4, MemPower: 6.0, FreqExp: 2.3,
+		},
+		{
+			Name: "apr", Suite: "minebench",
+			BaseRate: 7, SerialFrac: 0.12, PeakThreads: 12, Contention: 0.08,
+			HTBenefit: 0.30, MemIntensity: 0.40, MemCtrlBoost: 0.30, IOFrac: 0.04,
+			IdlePower: 86, UncorePower: 10, CorePower: 5.6, HTPower: 1.6, MemPower: 5.0, FreqExp: 2.4,
+		},
+		{
+			Name: "semphy", Suite: "minebench",
+			BaseRate: 2, SerialFrac: 0.03, PeakThreads: 24, Contention: 0.05,
+			HTBenefit: 0.45, MemIntensity: 0.20, MemCtrlBoost: 0.15, IOFrac: 0.01,
+			IdlePower: 85, UncorePower: 10, CorePower: 6.2, HTPower: 1.9, MemPower: 3.5, FreqExp: 2.6,
+		},
+		{
+			Name: "svmrfe", Suite: "minebench",
+			BaseRate: 4, SerialFrac: 0.07, PeakThreads: 10, Contention: 0.20,
+			HTBenefit: 0.10, MemIntensity: 0.70, MemCtrlBoost: 0.55, IOFrac: 0.02,
+			IdlePower: 88, UncorePower: 11, CorePower: 5.2, HTPower: 1.3, MemPower: 7.0, FreqExp: 2.2,
+		},
+		{
+			Name: "kmeans", Suite: "minebench",
+			BaseRate: 6, SerialFrac: 0.02, PeakThreads: 8, Contention: 0.50,
+			HTBenefit: 0.05, MemIntensity: 0.45, MemCtrlBoost: 0.35, IOFrac: 0.01,
+			IdlePower: 87, UncorePower: 10, CorePower: 5.6, HTPower: 1.4, MemPower: 5.5, FreqExp: 2.4,
+		},
+		{
+			Name: "HOP", Suite: "minebench",
+			BaseRate: 15, SerialFrac: 0.10, PeakThreads: 14, Contention: 0.12,
+			HTBenefit: 0.25, MemIntensity: 0.35, MemCtrlBoost: 0.25, IOFrac: 0.03,
+			IdlePower: 85, UncorePower: 10, CorePower: 5.8, HTPower: 1.6, MemPower: 4.5, FreqExp: 2.5,
+		},
+		{
+			Name: "PLSA", Suite: "minebench",
+			BaseRate: 3, SerialFrac: 0.09, PeakThreads: 18, Contention: 0.04,
+			HTBenefit: 0.20, MemIntensity: 0.30, MemCtrlBoost: 0.20, IOFrac: 0.02,
+			IdlePower: 86, UncorePower: 10, CorePower: 6.0, HTPower: 1.7, MemPower: 4.0, FreqExp: 2.5,
+		},
+		{
+			Name: "kmeansnf", Suite: "minebench",
+			BaseRate: 6.5, SerialFrac: 0.03, PeakThreads: 10, Contention: 0.40,
+			HTBenefit: 0.05, MemIntensity: 0.40, MemCtrlBoost: 0.30, IOFrac: 0.01,
+			IdlePower: 87, UncorePower: 10, CorePower: 5.7, HTPower: 1.4, MemPower: 5.0, FreqExp: 2.4,
+		},
+
+		// --- Rodinia ---
+		{
+			Name: "cfd", Suite: "rodinia",
+			BaseRate: 4, SerialFrac: 0.04, PeakThreads: 12, Contention: 0.18,
+			HTBenefit: 0.10, MemIntensity: 0.65, MemCtrlBoost: 0.60, IOFrac: 0.01,
+			IdlePower: 88, UncorePower: 11, CorePower: 5.3, HTPower: 1.3, MemPower: 6.5, FreqExp: 2.3,
+		},
+		{
+			Name: "nn", Suite: "rodinia",
+			BaseRate: 18, SerialFrac: 0.15, PeakThreads: 8, Contention: 0.25,
+			HTBenefit: 0.10, MemIntensity: 0.50, MemCtrlBoost: 0.30, IOFrac: 0.15,
+			IdlePower: 85, UncorePower: 10, CorePower: 5.0, HTPower: 1.2, MemPower: 5.0, FreqExp: 2.3,
+		},
+		{
+			Name: "lud", Suite: "rodinia",
+			BaseRate: 8, SerialFrac: 0.03, PeakThreads: 26, Contention: 0.03,
+			HTBenefit: 0.50, MemIntensity: 0.15, MemCtrlBoost: 0.10, IOFrac: 0,
+			IdlePower: 86, UncorePower: 10, CorePower: 6.5, HTPower: 2.1, MemPower: 3.0, FreqExp: 2.7,
+		},
+		{
+			Name: "particlefilter", Suite: "rodinia",
+			BaseRate: 7, SerialFrac: 0.06, PeakThreads: 18, Contention: 0.10,
+			HTBenefit: 0.35, MemIntensity: 0.25, MemCtrlBoost: 0.20, IOFrac: 0.02,
+			IdlePower: 85, UncorePower: 10, CorePower: 6.0, HTPower: 1.8, MemPower: 4.0, FreqExp: 2.5,
+		},
+		{
+			Name: "vips", Suite: "rodinia",
+			BaseRate: 9, SerialFrac: 0.02, PeakThreads: 28, Contention: 0.02,
+			HTBenefit: 0.55, MemIntensity: 0.20, MemCtrlBoost: 0.15, IOFrac: 0.04,
+			IdlePower: 86, UncorePower: 10, CorePower: 6.3, HTPower: 2.0, MemPower: 3.5, FreqExp: 2.6,
+		},
+		{
+			Name: "btree", Suite: "rodinia",
+			BaseRate: 11, SerialFrac: 0.08, PeakThreads: 12, Contention: 0.22,
+			HTBenefit: 0.15, MemIntensity: 0.60, MemCtrlBoost: 0.45, IOFrac: 0.05,
+			IdlePower: 87, UncorePower: 11, CorePower: 5.4, HTPower: 1.4, MemPower: 6.0, FreqExp: 2.3,
+		},
+		{
+			Name: "streamcluster", Suite: "rodinia",
+			BaseRate: 5, SerialFrac: 0.03, PeakThreads: 14, Contention: 0.15,
+			HTBenefit: 0.10, MemIntensity: 0.75, MemCtrlBoost: 0.70, IOFrac: 0,
+			IdlePower: 88, UncorePower: 11, CorePower: 5.1, HTPower: 1.2, MemPower: 7.5, FreqExp: 2.2,
+		},
+		{
+			Name: "backprop", Suite: "rodinia",
+			BaseRate: 10, SerialFrac: 0.05, PeakThreads: 16, Contention: 0.12,
+			HTBenefit: 0.30, MemIntensity: 0.45, MemCtrlBoost: 0.35, IOFrac: 0.01,
+			IdlePower: 86, UncorePower: 10, CorePower: 5.7, HTPower: 1.6, MemPower: 5.0, FreqExp: 2.4,
+		},
+		{
+			Name: "bfs", Suite: "rodinia",
+			BaseRate: 13, SerialFrac: 0.05, PeakThreads: 11, Contention: 0.35,
+			HTBenefit: 0.08, MemIntensity: 0.55, MemCtrlBoost: 0.40, IOFrac: 0.02,
+			IdlePower: 87, UncorePower: 11, CorePower: 5.3, HTPower: 1.3, MemPower: 5.5, FreqExp: 2.3,
+		},
+
+		// --- other workloads from §6.1 ---
+		{
+			Name: "jacobi", Suite: "other",
+			BaseRate: 6, SerialFrac: 0.02, PeakThreads: 16, Contention: 0.10,
+			HTBenefit: 0.10, MemIntensity: 0.70, MemCtrlBoost: 0.65, IOFrac: 0,
+			IdlePower: 88, UncorePower: 11, CorePower: 5.2, HTPower: 1.2, MemPower: 7.0, FreqExp: 2.2,
+		},
+		{
+			Name: "filebound", Suite: "other",
+			BaseRate: 14, SerialFrac: 0.20, PeakThreads: 6, Contention: 0.30,
+			HTBenefit: 0.05, MemIntensity: 0.30, MemCtrlBoost: 0.10, IOFrac: 0.55,
+			IdlePower: 85, UncorePower: 9, CorePower: 4.8, HTPower: 1.0, MemPower: 3.0, FreqExp: 2.2,
+		},
+		{
+			Name: "swish", Suite: "other",
+			BaseRate: 20, SerialFrac: 0.04, PeakThreads: 16, Contention: 1.0,
+			HTBenefit: 0.15, MemIntensity: 0.40, MemCtrlBoost: 0.30, IOFrac: 0.10,
+			IdlePower: 86, UncorePower: 10, CorePower: 5.5, HTPower: 1.5, MemPower: 4.5, FreqExp: 2.4,
+		},
+	}
+	return suite
+}
+
+// SuiteSize is the number of applications in the paper's benchmark set.
+const SuiteSize = 25
+
+// ByName returns the suite application with the given name.
+func ByName(name string) (*App, error) {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// MustByName is ByName for known-good names; it panics on failure.
+func MustByName(name string) *App {
+	a, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names returns the names of all suite applications in suite order.
+func Names() []string {
+	suite := Suite()
+	out := make([]string, len(suite))
+	for i, a := range suite {
+		out[i] = a.Name
+	}
+	return out
+}

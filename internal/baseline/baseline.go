@@ -1,0 +1,136 @@
+// Package baseline defines the common Estimator interface and the four
+// estimation approaches the paper evaluates (§6.2): Offline (mean over
+// previously profiled applications), Online (polynomial multivariate
+// regression on the observed configurations), Exhaustive (ground truth), and
+// LEO itself (an adapter over internal/core). Race-to-idle is not an
+// estimator — it is a resource-allocation heuristic and lives in
+// internal/control.
+package baseline
+
+import (
+	"fmt"
+
+	"leo/internal/core"
+	"leo/internal/matrix"
+	"leo/internal/platform"
+	"leo/internal/stats"
+)
+
+// Estimator predicts a target application's metric (power or performance)
+// for every configuration from a handful of online observations.
+// Implementations are bound to one metric of one platform space at
+// construction.
+type Estimator interface {
+	// Name identifies the approach ("LEO", "Online", "Offline",
+	// "Exhaustive") for reports.
+	Name() string
+	// Estimate returns a prediction for all n configurations given
+	// measurements obsVal taken at configuration indices obsIdx. Estimators
+	// that cannot produce a prediction (e.g. Online below its sample
+	// threshold) return an error.
+	Estimate(obsIdx []int, obsVal []float64) ([]float64, error)
+}
+
+// Offline predicts the column mean of the offline database, ignoring online
+// observations entirely (§6.2: "takes the mean over the rest of the
+// applications … does not update based on runtime observations").
+type Offline struct {
+	mean []float64
+}
+
+// NewOffline builds the offline estimator from the (M−1)×n matrix of
+// previously profiled applications.
+func NewOffline(known *matrix.Matrix) (*Offline, error) {
+	if known.Rows == 0 {
+		return nil, fmt.Errorf("baseline: offline estimator needs at least one profiled application")
+	}
+	return &Offline{mean: stats.ColumnMeans(known)}, nil
+}
+
+// Name implements Estimator.
+func (o *Offline) Name() string { return "Offline" }
+
+// Estimate implements Estimator. Observations are ignored by design.
+func (o *Offline) Estimate(_ []int, _ []float64) ([]float64, error) {
+	return matrix.CloneVec(o.mean), nil
+}
+
+// Exhaustive returns the ground truth measured by brute force over every
+// configuration (§6.2). It anchors accuracy and optimal-energy comparisons.
+type Exhaustive struct {
+	truth []float64
+}
+
+// NewExhaustive wraps a ground-truth vector.
+func NewExhaustive(truth []float64) *Exhaustive {
+	return &Exhaustive{truth: matrix.CloneVec(truth)}
+}
+
+// Name implements Estimator.
+func (e *Exhaustive) Name() string { return "Exhaustive" }
+
+// Estimate implements Estimator.
+func (e *Exhaustive) Estimate(_ []int, _ []float64) ([]float64, error) {
+	return matrix.CloneVec(e.truth), nil
+}
+
+// LEO adapts core.Estimate to the Estimator interface: the hierarchical
+// Bayesian model conditioned on both the offline database and the online
+// observations.
+type LEO struct {
+	known *matrix.Matrix
+	opts  core.Options
+}
+
+// NewLEO binds the offline database and EM options.
+func NewLEO(known *matrix.Matrix, opts core.Options) *LEO {
+	return &LEO{known: known, opts: opts}
+}
+
+// Name implements Estimator.
+func (l *LEO) Name() string { return "LEO" }
+
+// Estimate implements Estimator.
+func (l *LEO) Estimate(obsIdx []int, obsVal []float64) ([]float64, error) {
+	res, err := core.Estimate(l.known, obsIdx, obsVal, l.opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Estimate, nil
+}
+
+// Oracle is an Exhaustive-style estimator whose truth is recomputed on every
+// call — e.g. tracking the current phase of a phased application. It
+// represents the per-instant true optimum that Table 1 normalizes against.
+type Oracle struct {
+	fn func() []float64
+}
+
+// NewOracle wraps a ground-truth source.
+func NewOracle(fn func() []float64) *Oracle { return &Oracle{fn: fn} }
+
+// Name implements Estimator.
+func (o *Oracle) Name() string { return "Exhaustive" }
+
+// Estimate implements Estimator.
+func (o *Oracle) Estimate(_ []int, _ []float64) ([]float64, error) {
+	return matrix.CloneVec(o.fn()), nil
+}
+
+// ByName constructs the named estimator ("LEO", "Online", "Offline" or
+// "Exhaustive") for one metric: known is the offline data, truth the
+// ground-truth vector, space the platform.
+func ByName(name string, space platform.Space, known *matrix.Matrix, truth []float64) (Estimator, error) {
+	switch name {
+	case "LEO":
+		return NewLEO(known, core.Options{}), nil
+	case "Online":
+		return NewOnline(space), nil
+	case "Offline":
+		return NewOffline(known)
+	case "Exhaustive":
+		return NewExhaustive(truth), nil
+	default:
+		return nil, fmt.Errorf("baseline: unknown estimator %q", name)
+	}
+}

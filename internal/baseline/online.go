@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"leo/internal/matrix"
+	"leo/internal/platform"
+)
+
+// ErrTooFewSamples is returned when the Online estimator's design matrix is
+// rank deficient. With the full 15-term cubic basis this happens below 15
+// samples, reproducing the paper's observation that "online regression
+// cannot perform below 15 samples because the design matrix … would be rank
+// deficient" (Fig. 12).
+var ErrTooFewSamples = errors.New("baseline: too few samples for online regression")
+
+// Online is the paper's online baseline (§6.2): "polynomial multivariate
+// regression on the observed dataset using configuration values (the number
+// of cores, memory control and speed-settings) as predictors". It uses only
+// the online observations — no prior data.
+type Online struct {
+	space platform.Space
+	terms []term
+}
+
+// term is one monomial of the regression basis: threads^C · freq^S · mem^M.
+type term struct{ c, s, m int }
+
+// NewOnline builds the online estimator for a platform space. The basis is
+// the 15-term cubic polynomial in (threads, frequency, memory controllers),
+// restricted to the dimensions that actually vary in the space (a cores-only
+// space degenerates to the quartic {1, c, c², c³} family plus nothing else).
+func NewOnline(space platform.Space) *Online {
+	return &Online{space: space, terms: basisTerms(space)}
+}
+
+// basisTerms enumerates exponent triples with per-variable caps (threads and
+// frequency up to cubic, memory controllers linear — a binary variable's
+// higher powers are collinear), total degree at most 3, and the s²m term
+// dropped to land exactly on the paper's 15-feature basis for the full
+// platform. A variable taking only d distinct values in the space supports
+// exponents up to d−1: higher powers are exactly collinear with lower ones,
+// so they are excluded rather than left to poison the design matrix.
+func basisTerms(space platform.Space) []term {
+	capC := intMin(3, space.Threads-1)
+	capS := intMin(3, space.Speeds-1)
+	capM := intMin(1, space.MemCtrls-1)
+	var out []term
+	for c := 0; c <= capC; c++ {
+		for s := 0; s <= capS; s++ {
+			for m := 0; m <= capM; m++ {
+				if c+s+m > 3 {
+					continue
+				}
+				if c == 0 && s == 2 && m == 1 {
+					continue // dropped to make the full basis exactly 15 terms
+				}
+				out = append(out, term{c: c, s: s, m: m})
+			}
+		}
+	}
+	return out
+}
+
+func intMin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NumTerms returns the size of the regression basis.
+func (o *Online) NumTerms() int { return len(o.terms) }
+
+// Name implements Estimator.
+func (o *Online) Name() string { return "Online" }
+
+// features evaluates the basis at configuration index idx, with each raw
+// predictor normalized to ~[0,1] for conditioning.
+func (o *Online) features(idx int) []float64 {
+	c, f, m := o.space.Features(idx)
+	cn := c / float64(o.space.Threads)
+	fn := f / platform.TurboFreqGHz
+	mn := m / float64(o.space.MemCtrls)
+	row := make([]float64, len(o.terms))
+	for i, t := range o.terms {
+		v := 1.0
+		for k := 0; k < t.c; k++ {
+			v *= cn
+		}
+		for k := 0; k < t.s; k++ {
+			v *= fn
+		}
+		for k := 0; k < t.m; k++ {
+			v *= mn
+		}
+		row[i] = v
+	}
+	return row
+}
+
+// Estimate implements Estimator: least-squares fit of the basis to the
+// observations, then evaluation at every configuration.
+func (o *Online) Estimate(obsIdx []int, obsVal []float64) ([]float64, error) {
+	if len(obsIdx) != len(obsVal) {
+		return nil, fmt.Errorf("baseline: %d indices but %d values", len(obsIdx), len(obsVal))
+	}
+	if len(obsIdx) < len(o.terms) {
+		return nil, fmt.Errorf("%w: %d samples < %d basis terms", ErrTooFewSamples, len(obsIdx), len(o.terms))
+	}
+	design := matrix.New(len(obsIdx), len(o.terms))
+	for r, idx := range obsIdx {
+		if idx < 0 || idx >= o.space.N() {
+			return nil, fmt.Errorf("baseline: observation index %d out of range [0,%d)", idx, o.space.N())
+		}
+		design.SetRow(r, o.features(idx))
+	}
+	coef, err := matrix.LeastSquares(design, obsVal)
+	if errors.Is(err, matrix.ErrRankDeficient) {
+		// Enough samples, but an unlucky draw left the design collinear
+		// (e.g. a (speed, memory-controller) stratum sampled only once).
+		// A practitioner's regression shrugs this off with a whiff of
+		// ridge regularization; only genuinely insufficient sample counts
+		// fail hard above.
+		coef, err = ridgeSolve(design, obsVal)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, o.space.N())
+	for i := range out {
+		out[i] = matrix.Dot(o.features(i), coef)
+	}
+	return out, nil
+}
+
+// ridgeSolve solves the normal equations with a small ridge penalty:
+// (X'X + λI) β = X'y, with λ scaled to the design's magnitude.
+func ridgeSolve(design *matrix.Matrix, y []float64) ([]float64, error) {
+	xt := design.Transpose()
+	gram := xt.Mul(design)
+	lambda := 1e-8 * gram.Trace() / float64(gram.Rows)
+	if lambda <= 0 {
+		lambda = 1e-12
+	}
+	gram.AddDiagonal(lambda)
+	ch, _, err := matrix.NewCholeskyJitter(gram, lambda, 10)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: ridge fallback failed: %w", err)
+	}
+	return ch.SolveVec(xt.MulVec(y)), nil
+}

@@ -1,0 +1,7 @@
+package baseline
+
+import "leo/internal/core"
+
+// coreOptions returns the EM options used by tests; a helper so every test
+// uses the same defaults as production code.
+func coreOptions() core.Options { return core.Options{} }

@@ -1,0 +1,202 @@
+// Package colocate extends LEO to multi-tenant machines: several
+// applications share one server, the coordinator partitions hardware threads
+// among them and picks the shared chip-wide clock so that every tenant meets
+// its performance demand at minimal combined power. This is the
+// "coordinated management of multiple interacting resources" direction the
+// paper cites (Bitirgen et al., §7) built on LEO's per-application
+// estimates: each tenant's power/performance vectors come from its own
+// (estimated or exhaustive) solo profile.
+//
+// Model and its limits: a tenant allocated t threads at shared speed s with
+// one memory controller performs as its solo profile predicts for
+// (t, s, 1 controller); combined power is the sum of each tenant's
+// above-idle power plus the machine's idle power once. Shared-cache and
+// bandwidth interference beyond the memory-controller split is not modeled
+// (the solo profiles cannot see it), which is exactly why each tenant gets
+// its own memory controller when enough exist.
+package colocate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"leo/internal/platform"
+)
+
+// Tenant is one co-located application: its (estimated) solo profile over
+// the machine's configuration space and its performance demand.
+type Tenant struct {
+	Name  string
+	Perf  []float64 // heartbeats/s per solo configuration index
+	Power []float64 // Watts per solo configuration index
+	Rate  float64   // demanded heartbeats/s
+}
+
+// Assignment is a static partition decision.
+type Assignment struct {
+	Threads []int   // threads per tenant, same order as the input
+	Speed   int     // shared clock setting
+	Power   float64 // predicted combined power, Watts
+	// PerTenantRate is each tenant's predicted heartbeat rate under the
+	// assignment.
+	PerTenantRate []float64
+}
+
+// ErrInfeasible is returned when no partition satisfies all demands.
+var ErrInfeasible = errors.New("colocate: no feasible partition")
+
+// Plan enumerates thread partitions and shared clock settings, returning the
+// minimum-combined-power assignment meeting every tenant's rate. idlePower
+// is the machine's idle draw, counted once.
+func Plan(space platform.Space, tenants []Tenant, idlePower float64) (*Assignment, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(tenants)
+	if k == 0 {
+		return nil, fmt.Errorf("colocate: no tenants")
+	}
+	if k > space.Threads {
+		return nil, fmt.Errorf("colocate: %d tenants exceed %d threads", k, space.Threads)
+	}
+	if idlePower < 0 {
+		return nil, fmt.Errorf("colocate: negative idle power %g", idlePower)
+	}
+	n := space.N()
+	for i, t := range tenants {
+		if len(t.Perf) != n || len(t.Power) != n {
+			return nil, fmt.Errorf("colocate: tenant %d profile length mismatch (want %d)", i, n)
+		}
+		if t.Rate < 0 || math.IsNaN(t.Rate) || math.IsInf(t.Rate, 0) {
+			return nil, fmt.Errorf("colocate: tenant %d invalid rate %g", i, t.Rate)
+		}
+	}
+
+	// Each tenant owns one memory controller when enough exist; otherwise
+	// they share controller 1 (the conservative solo profile).
+	mc := 1
+
+	best := &Assignment{Power: math.Inf(1)}
+	for speed := 0; speed < space.Speeds; speed++ {
+		assign := make([]int, k)
+		rates := make([]float64, k)
+		var walk func(ti, remaining int, power float64) bool
+		walk = func(ti, remaining int, power float64) bool {
+			if power >= best.Power {
+				return false // prune: power only grows
+			}
+			if ti == k {
+				// Feasible full assignment with lower power than best.
+				best = &Assignment{
+					Threads:       append([]int(nil), assign...),
+					Speed:         speed,
+					Power:         power,
+					PerTenantRate: append([]float64(nil), rates...),
+				}
+				return true
+			}
+			// Leave at least one thread for each remaining tenant.
+			maxT := remaining - (k - ti - 1)
+			improved := false
+			for t := 1; t <= maxT; t++ {
+				idx := space.Index(platform.Config{Threads: t, Speed: speed, MemCtrls: mc})
+				if tenants[ti].Perf[idx] < tenants[ti].Rate {
+					continue // does not meet demand
+				}
+				above := tenants[ti].Power[idx] - idlePower
+				if above < 0 {
+					above = 0
+				}
+				assign[ti] = t
+				rates[ti] = tenants[ti].Perf[idx]
+				if walk(ti+1, remaining-t, power+above) {
+					improved = true
+				}
+			}
+			return improved
+		}
+		walk(0, space.Threads, idlePower)
+	}
+	if math.IsInf(best.Power, 1) {
+		return nil, fmt.Errorf("%w for %d tenants on %d threads", ErrInfeasible, k, space.Threads)
+	}
+	return best, nil
+}
+
+// Verifier measures tenant i's true heartbeat rate at a configuration index
+// (a short probe on the real machine).
+type Verifier func(tenant, configIdx int) float64
+
+// PlanVerified plans from estimated profiles, then probes each tenant's
+// assigned configuration and re-plans with the measured rates patched in,
+// repeating until every tenant's assignment truly meets its demand or the
+// round budget is spent (the co-location analogue of the runtime's
+// heartbeat feedback). The tenants' estimate vectors are not modified.
+func PlanVerified(space platform.Space, tenants []Tenant, verify Verifier, idlePower float64, rounds int) (*Assignment, error) {
+	if verify == nil {
+		return nil, fmt.Errorf("colocate: nil verifier")
+	}
+	if rounds < 1 {
+		rounds = 3
+	}
+	// Work on patched copies of the performance estimates.
+	work := make([]Tenant, len(tenants))
+	for i := range work {
+		work[i] = tenants[i]
+		work[i].Perf = append([]float64(nil), tenants[i].Perf...)
+	}
+	var a *Assignment
+	var err error
+	for round := 0; round < rounds; round++ {
+		a, err = Plan(space, work, idlePower)
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for i, th := range a.Threads {
+			idx := space.Index(platform.Config{Threads: th, Speed: a.Speed, MemCtrls: 1})
+			measured := verify(i, idx)
+			work[i].Perf[idx] = measured
+			if measured < work[i].Rate {
+				ok = false
+			}
+		}
+		if ok {
+			return a, nil
+		}
+	}
+	// Final plan with everything learned so far.
+	return Plan(space, work, idlePower)
+}
+
+// CombinedPower evaluates an assignment under true per-tenant power vectors
+// (for measuring what an estimated plan actually costs).
+func CombinedPower(space platform.Space, a *Assignment, tenants []Tenant, idlePower float64) (float64, error) {
+	if len(a.Threads) != len(tenants) {
+		return 0, fmt.Errorf("colocate: assignment covers %d tenants, want %d", len(a.Threads), len(tenants))
+	}
+	total := idlePower
+	for i, t := range a.Threads {
+		idx := space.Index(platform.Config{Threads: t, Speed: a.Speed, MemCtrls: 1})
+		above := tenants[i].Power[idx] - idlePower
+		if above < 0 {
+			above = 0
+		}
+		total += above
+	}
+	return total, nil
+}
+
+// Rates evaluates each tenant's true rate under an assignment.
+func Rates(space platform.Space, a *Assignment, tenants []Tenant) ([]float64, error) {
+	if len(a.Threads) != len(tenants) {
+		return nil, fmt.Errorf("colocate: assignment covers %d tenants, want %d", len(a.Threads), len(tenants))
+	}
+	out := make([]float64, len(tenants))
+	for i, t := range a.Threads {
+		idx := space.Index(platform.Config{Threads: t, Speed: a.Speed, MemCtrls: 1})
+		out[i] = tenants[i].Perf[idx]
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+package colocate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"leo/internal/apps"
+	"leo/internal/baseline"
+	"leo/internal/core"
+	"leo/internal/platform"
+	"leo/internal/profile"
+)
+
+// tenantFor builds a tenant from an app's ground truth.
+func tenantFor(t *testing.T, space platform.Space, name string, rateFrac float64) Tenant {
+	t.Helper()
+	app := apps.MustByName(name)
+	perf := app.PerfVector(space)
+	// Demand rateFrac of the app's best single-controller rate with at
+	// most half the machine, so two tenants are co-schedulable.
+	best := 0.0
+	for th := 1; th <= space.Threads/2; th++ {
+		for s := 0; s < space.Speeds; s++ {
+			idx := space.Index(platform.Config{Threads: th, Speed: s, MemCtrls: 1})
+			if perf[idx] > best {
+				best = perf[idx]
+			}
+		}
+	}
+	return Tenant{
+		Name:  name,
+		Perf:  perf,
+		Power: app.PowerVector(space),
+		Rate:  rateFrac * best,
+	}
+}
+
+func TestPlanTwoTenantsFeasible(t *testing.T) {
+	space := platform.Small()
+	tenants := []Tenant{
+		tenantFor(t, space, "kmeans", 0.5),
+		tenantFor(t, space, "swaptions", 0.5),
+	}
+	a, err := Plan(space, tenants, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Threads) != 2 || a.Threads[0] < 1 || a.Threads[1] < 1 {
+		t.Fatalf("assignment = %+v", a)
+	}
+	if a.Threads[0]+a.Threads[1] > space.Threads {
+		t.Fatalf("partition oversubscribes threads: %+v", a.Threads)
+	}
+	rates, err := Rates(space, a, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rates {
+		if r < tenants[i].Rate {
+			t.Fatalf("tenant %d rate %g below demand %g", i, r, tenants[i].Rate)
+		}
+	}
+	if a.PerTenantRate[0] != rates[0] {
+		t.Fatal("PerTenantRate mismatch with Rates evaluation")
+	}
+}
+
+// TestPlanMatchesBruteForce compares against an exhaustive search over all
+// partitions and speeds.
+func TestPlanMatchesBruteForce(t *testing.T) {
+	space := platform.Small()
+	tenants := []Tenant{
+		tenantFor(t, space, "x264", 0.6),
+		tenantFor(t, space, "streamcluster", 0.4),
+	}
+	idle := 87.0
+	a, err := Plan(space, tenants, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for s := 0; s < space.Speeds; s++ {
+		for t1 := 1; t1 < space.Threads; t1++ {
+			for t2 := 1; t1+t2 <= space.Threads; t2++ {
+				i1 := space.Index(platform.Config{Threads: t1, Speed: s, MemCtrls: 1})
+				i2 := space.Index(platform.Config{Threads: t2, Speed: s, MemCtrls: 1})
+				if tenants[0].Perf[i1] < tenants[0].Rate || tenants[1].Perf[i2] < tenants[1].Rate {
+					continue
+				}
+				p := idle + (tenants[0].Power[i1] - idle) + (tenants[1].Power[i2] - idle)
+				if p < best {
+					best = p
+				}
+			}
+		}
+	}
+	if math.Abs(a.Power-best) > 1e-9 {
+		t.Fatalf("Plan power %g, brute force %g", a.Power, best)
+	}
+}
+
+func TestPlanInfeasible(t *testing.T) {
+	space := platform.Small()
+	a := tenantFor(t, space, "kmeans", 0.9)
+	b := tenantFor(t, space, "kmeans", 0.9)
+	// Both demand near-max of half the machine; but force impossibility by
+	// inflating demands beyond any configuration.
+	a.Rate = 1e9
+	_, err := Plan(space, []Tenant{a, b}, 87)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestPlanSingleTenant(t *testing.T) {
+	space := platform.Small()
+	ten := tenantFor(t, space, "bodytrack", 0.5)
+	a, err := Plan(space, []Tenant{ten}, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Threads) != 1 || a.Threads[0] < 1 {
+		t.Fatalf("assignment = %+v", a)
+	}
+}
+
+func TestPlanThreeTenants(t *testing.T) {
+	space := platform.Small()
+	tenants := []Tenant{
+		tenantFor(t, space, "kmeans", 0.3),
+		tenantFor(t, space, "x264", 0.3),
+		tenantFor(t, space, "blackscholes", 0.3),
+	}
+	a, err := Plan(space, tenants, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, th := range a.Threads {
+		sum += th
+	}
+	if sum > space.Threads {
+		t.Fatalf("oversubscribed: %+v", a.Threads)
+	}
+	rates, err := Rates(space, a, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rates {
+		if r < tenants[i].Rate {
+			t.Fatalf("tenant %d underserved", i)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	space := platform.Small()
+	good := tenantFor(t, space, "kmeans", 0.2)
+	if _, err := Plan(space, nil, 87); err == nil {
+		t.Fatal("no tenants must error")
+	}
+	bad := good
+	bad.Perf = bad.Perf[:3]
+	if _, err := Plan(space, []Tenant{bad}, 87); err == nil {
+		t.Fatal("profile length mismatch must error")
+	}
+	nan := good
+	nan.Rate = math.NaN()
+	if _, err := Plan(space, []Tenant{nan}, 87); err == nil {
+		t.Fatal("NaN rate must error")
+	}
+	if _, err := Plan(space, []Tenant{good}, -1); err == nil {
+		t.Fatal("negative idle must error")
+	}
+	if _, err := Plan(platform.Space{}, []Tenant{good}, 87); err == nil {
+		t.Fatal("invalid space must error")
+	}
+	many := make([]Tenant, 33)
+	for i := range many {
+		many[i] = good
+	}
+	if _, err := Plan(space, many, 87); err == nil {
+		t.Fatal("more tenants than threads must error")
+	}
+}
+
+func TestCombinedPowerAndRatesValidate(t *testing.T) {
+	space := platform.Small()
+	ten := tenantFor(t, space, "kmeans", 0.2)
+	a := &Assignment{Threads: []int{4, 4}, Speed: 0}
+	if _, err := CombinedPower(space, a, []Tenant{ten}, 87); err == nil {
+		t.Fatal("tenant-count mismatch must error")
+	}
+	if _, err := Rates(space, a, []Tenant{ten}); err == nil {
+		t.Fatal("tenant-count mismatch must error")
+	}
+}
+
+// TestPlanWithLEOEstimates runs the full pipeline: two unseen tenants, LEO
+// estimates from 20 probes each, coordinated partition, evaluated against
+// truth. The realized rates must meet demand (within estimation slack) and
+// the realized power must be near the true-optimal partition's.
+func TestPlanWithLEOEstimates(t *testing.T) {
+	space := platform.Small()
+	db, err := profile.Collect(space, apps.Suite(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+
+	estimateTenant := func(name string, rateFrac float64) (est, truth Tenant) {
+		idx, err := db.AppIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest, truePerf, truePower, err := db.LeaveOneOut(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := profile.RandomMask(space.N(), 20, rng)
+		perfObs := profile.Observe(truePerf, mask, 0.01, rng)
+		powerObs := profile.Observe(truePower, mask, 0.01, rng)
+		perfEst, err := baseline.NewLEO(rest.Perf, core.Options{}).Estimate(perfObs.Indices, perfObs.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		powerEst, err := baseline.NewLEO(rest.Power, core.Options{}).Estimate(powerObs.Indices, powerObs.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truthTen := tenantFor(t, space, name, rateFrac)
+		estTen := Tenant{Name: name, Perf: perfEst, Power: powerEst, Rate: truthTen.Rate}
+		return estTen, truthTen
+	}
+
+	estA, truthA := estimateTenant("kmeans", 0.5)
+	estB, truthB := estimateTenant("x264", 0.5)
+
+	planned, err := Plan(space, []Tenant{estA, estB}, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := Rates(space, planned, []Tenant{truthA, truthB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rates {
+		demand := []float64{truthA.Rate, truthB.Rate}[i]
+		if r < 0.9*demand {
+			t.Fatalf("tenant %d true rate %g far below demand %g", i, r, demand)
+		}
+	}
+	power, err := CombinedPower(space, planned, []Tenant{truthA, truthB}, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := Plan(space, []Tenant{truthA, truthB}, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if power > 1.15*optimal.Power {
+		t.Fatalf("LEO-coordinated power %g vs optimal %g", power, optimal.Power)
+	}
+}

@@ -1,0 +1,86 @@
+package colocate
+
+import (
+	"testing"
+
+	"leo/internal/platform"
+)
+
+func TestPlanVerifiedCorrectsOptimism(t *testing.T) {
+	space := platform.Small()
+	truth := tenantFor(t, space, "kmeans", 0.5)
+	other := tenantFor(t, space, "x264", 0.5)
+
+	// An estimate that wildly over-promises kmeans at high thread counts.
+	optimistic := truth
+	optimistic.Perf = append([]float64(nil), truth.Perf...)
+	for i := range optimistic.Perf {
+		if space.ConfigAt(i).Threads > 12 {
+			optimistic.Perf[i] *= 5
+		}
+	}
+
+	verify := func(tenant, configIdx int) float64 {
+		if tenant == 0 {
+			return truth.Perf[configIdx]
+		}
+		return other.Perf[configIdx]
+	}
+	a, err := PlanVerified(space, []Tenant{optimistic, other}, verify, 87, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := Rates(space, a, []Tenant{truth, other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[0] < truth.Rate {
+		t.Fatalf("verified plan still under-delivers: %g < %g", rates[0], truth.Rate)
+	}
+	if rates[1] < other.Rate {
+		t.Fatalf("second tenant under-delivers: %g < %g", rates[1], other.Rate)
+	}
+}
+
+func TestPlanVerifiedDoesNotMutateInput(t *testing.T) {
+	space := platform.Small()
+	a := tenantFor(t, space, "kmeans", 0.3)
+	b := tenantFor(t, space, "x264", 0.3)
+	orig := append([]float64(nil), a.Perf...)
+	verify := func(tenant, configIdx int) float64 {
+		return []Tenant{a, b}[tenant].Perf[configIdx] * 0.8 // pessimistic probe
+	}
+	if _, err := PlanVerified(space, []Tenant{a, b}, verify, 87, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if a.Perf[i] != orig[i] {
+			t.Fatal("PlanVerified mutated the input estimates")
+		}
+	}
+}
+
+func TestPlanVerifiedExactEstimatesOneRound(t *testing.T) {
+	space := platform.Small()
+	a := tenantFor(t, space, "swish", 0.4)
+	b := tenantFor(t, space, "bodytrack", 0.4)
+	calls := 0
+	verify := func(tenant, configIdx int) float64 {
+		calls++
+		return []Tenant{a, b}[tenant].Perf[configIdx]
+	}
+	if _, err := PlanVerified(space, []Tenant{a, b}, verify, 87, 5); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("exact estimates should verify in one round (2 probes), got %d", calls)
+	}
+}
+
+func TestPlanVerifiedValidation(t *testing.T) {
+	space := platform.Small()
+	a := tenantFor(t, space, "swish", 0.4)
+	if _, err := PlanVerified(space, []Tenant{a}, nil, 87, 3); err == nil {
+		t.Fatal("nil verifier must error")
+	}
+}

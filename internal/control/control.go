@@ -1,0 +1,397 @@
+// Package control implements the runtime that integrates LEO (or a baseline
+// estimator) into an energy-aware execution loop: sample a few
+// configurations, estimate full power/performance tradeoffs, plan a
+// minimal-energy schedule on the Pareto hull, execute with heartbeat
+// feedback so performance goals are met despite estimation error, and react
+// to workload phase changes by re-estimating (§6.4, §6.6). It also provides
+// the race-to-idle heuristic the paper compares against (§6.2).
+package control
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"leo/internal/baseline"
+	"leo/internal/machine"
+	"leo/internal/pareto"
+	"leo/internal/profile"
+)
+
+// Controller drives one machine/application pair with one estimation
+// approach.
+type Controller struct {
+	name     string
+	mach     *machine.Machine
+	estPerf  baseline.Estimator // nil ⇒ race-to-idle heuristic
+	estPower baseline.Estimator
+	samples  int
+	rng      *rand.Rand
+
+	perfEst  []float64
+	powerEst []float64
+	obsIdx   []int
+	obsPerf  []float64
+	replans  int
+	// measuredRates remembers heartbeat-measured rates per configuration
+	// across jobs, so later jobs correct for estimation error immediately.
+	// Cleared on Calibrate (the estimates change, and so may the phase).
+	measuredRates map[int]float64
+}
+
+// DefaultSamples is the number of configurations probed per calibration,
+// matching §6.3 ("sample randomly select 20 configurations each").
+const DefaultSamples = 20
+
+// New builds a controller. estPerf and estPower must both be nil (the
+// race-to-idle heuristic) or both non-nil (an estimator-driven policy).
+// samples <= 0 selects DefaultSamples. rng is required unless both
+// estimators are nil.
+func New(name string, mach *machine.Machine, estPerf, estPower baseline.Estimator, samples int, rng *rand.Rand) (*Controller, error) {
+	if (estPerf == nil) != (estPower == nil) {
+		return nil, fmt.Errorf("control: estimators must be both nil or both set")
+	}
+	if estPerf != nil && rng == nil {
+		return nil, fmt.Errorf("control: estimator-driven controller needs a random source")
+	}
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	return &Controller{
+		name:     name,
+		mach:     mach,
+		estPerf:  estPerf,
+		estPower: estPower,
+		samples:  samples,
+		rng:      rng,
+	}, nil
+}
+
+// Name returns the controller's policy name.
+func (c *Controller) Name() string { return c.name }
+
+// RaceToIdle reports whether this controller uses the race-to-idle
+// heuristic.
+func (c *Controller) RaceToIdle() bool { return c.estPerf == nil }
+
+// Replans returns the number of calibrations performed so far.
+func (c *Controller) Replans() int { return c.replans }
+
+// Calibrate probes `samples` random configurations and refreshes the power
+// and performance estimates. Probes use the machine's measurement interface
+// without consuming job time; the paper charges this as LEO's (small)
+// one-time overhead separately (§6.7). It is a no-op for race-to-idle.
+func (c *Controller) Calibrate() error {
+	if c.RaceToIdle() {
+		return nil
+	}
+	space := c.mach.Space()
+	k := c.samples
+	if k > space.N() {
+		k = space.N()
+	}
+	mask := profile.RandomMask(space.N(), k, c.rng)
+	perfObs := make([]float64, len(mask))
+	powerObs := make([]float64, len(mask))
+	for i, idx := range mask {
+		cfg := space.ConfigAt(idx)
+		perfObs[i] = c.mach.MeasurePerf(cfg)
+		powerObs[i] = c.mach.MeasurePower(cfg)
+	}
+	perfEst, err := c.estPerf.Estimate(mask, perfObs)
+	if err != nil {
+		return fmt.Errorf("control: performance estimation: %w", err)
+	}
+	powerEst, err := c.estPower.Estimate(mask, powerObs)
+	if err != nil {
+		return fmt.Errorf("control: power estimation: %w", err)
+	}
+	c.perfEst, c.powerEst = perfEst, powerEst
+	c.obsIdx, c.obsPerf = mask, perfObs
+	c.measuredRates = nil
+	c.replans++
+	return nil
+}
+
+// Estimates returns the controller's current performance and power estimates
+// (nil before the first Calibrate).
+func (c *Controller) Estimates() (perf, power []float64) {
+	return c.perfEst, c.powerEst
+}
+
+// Plan computes the minimal-energy schedule for w heartbeats within t
+// seconds from the current estimates (or the race-to-idle schedule).
+func (c *Controller) Plan(w, t float64) (*pareto.Plan, error) {
+	idle := c.mach.App().IdlePower
+	if c.RaceToIdle() {
+		return c.raceToIdlePlan(w, t)
+	}
+	if c.perfEst == nil {
+		if err := c.Calibrate(); err != nil {
+			return nil, err
+		}
+	}
+	plan, err := pareto.MinimizeEnergy(c.perfEst, c.powerEst, idle, w, t)
+	if err == nil {
+		return plan, nil
+	}
+	// The estimates say the demand is infeasible (possibly wrongly).
+	// Fall back to running the believed-fastest configuration flat out.
+	best := c.believedFastest()
+	if best < 0 {
+		return nil, err
+	}
+	return &pareto.Plan{
+		Allocations: []pareto.Allocation{{Index: best, Time: t}},
+		Rate:        w / t,
+		Energy:      c.powerEst[best] * t,
+	}, nil
+}
+
+// raceToIdlePlan allocates the maximum configuration for however long its
+// measured rate needs, idling the remainder.
+func (c *Controller) raceToIdlePlan(w, t float64) (*pareto.Plan, error) {
+	space := c.mach.Space()
+	maxCfg := space.MaxConfig()
+	rate := c.mach.MeasurePerf(maxCfg)
+	if rate <= 0 {
+		return nil, fmt.Errorf("control: race-to-idle measured non-positive rate %g", rate)
+	}
+	run := w / rate
+	if run > t {
+		run = t
+	}
+	idle := c.mach.App().IdlePower
+	power := c.mach.MeasurePower(maxCfg)
+	return &pareto.Plan{
+		Allocations: []pareto.Allocation{{Index: space.Index(maxCfg), Time: run}},
+		IdleTime:    t - run,
+		Energy:      power*run + idle*(t-run),
+		Rate:        w / t,
+	}, nil
+}
+
+// believedFastest returns the configuration index with the highest estimated
+// performance, or -1 when no estimate is available.
+func (c *Controller) believedFastest() int {
+	best, bestIdx := 0.0, -1
+	for i, v := range c.perfEst {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return bestIdx
+}
+
+// JobResult summarizes one executed job.
+type JobResult struct {
+	Energy      float64 // Joules consumed over the whole deadline window
+	Work        float64 // heartbeats completed
+	Duration    float64 // seconds of the window actually simulated (== deadline)
+	MetDeadline bool
+	AvgPower    float64 // Energy / Duration
+}
+
+// feedbackStep is the granularity of the corrective execution loop; it
+// mirrors the 1 s feedback interval of the heartbeat runtime.
+const feedbackStep = 1.0
+
+// candidate is a configuration the execution loop may run, with its current
+// rate and power beliefs (initialized from the estimates, overwritten by
+// measurements as soon as the configuration runs).
+type candidate struct {
+	index    int
+	rate     float64
+	power    float64
+	measured bool
+}
+
+// ExecuteJob runs a job of w heartbeats with deadline t. The plan's
+// configurations are executed under heartbeat-feedback pacing: each step the
+// controller computes the rate still needed (remaining work over remaining
+// time) and runs the least-powerful planned configuration whose believed
+// rate meets it, falling back to the believed-fastest configuration when the
+// plan proves too slow — the "gradient ascent to increase performance until
+// the demand is met" of §6.6. Measured heartbeats continuously replace the
+// estimated rates, so feasible deadlines are met even under estimation
+// error; the machine idles once the work completes. Energy is accounted
+// over the full window [0, t].
+func (c *Controller) ExecuteJob(w, t float64) (JobResult, error) {
+	if w < 0 || t <= 0 {
+		return JobResult{}, fmt.Errorf("control: invalid job w=%g t=%g", w, t)
+	}
+	plan, err := c.Plan(w, t)
+	if err != nil {
+		return JobResult{}, err
+	}
+	startE, startT, startW := c.mach.Energy(), c.mach.Elapsed(), c.mach.Work()
+	remainT := t
+	remainW := w
+
+	cands := c.candidates(plan)
+	ranking := c.perfRanking()
+	escalated := 0
+	maxSteps := int(t/feedbackStep) + 4*(len(cands)+len(ranking)) + 64
+	for step := 0; remainW > 1e-9 && remainT > 1e-12 && step < maxSteps; step++ {
+		needed := remainW / remainT
+		// If every candidate has been measured and none can hold the pace,
+		// escalate: admit the next configuration from the descending
+		// estimated-performance ranking (the controller's best remaining
+		// guesses at speed) and let measurement sort it out.
+		for allMeasuredBelow(cands, needed) && escalated < len(ranking) {
+			idx := ranking[escalated]
+			escalated++
+			if hasCandidate(cands, idx) {
+				continue
+			}
+			cands = append(cands, c.newCandidate(idx))
+		}
+		pick := chooseCandidate(cands, needed)
+		if err := c.mach.ApplyIndex(pick.index); err != nil {
+			return JobResult{}, err
+		}
+		dt := feedbackStep
+		if dt > remainT {
+			dt = remainT
+		}
+		// Avoid overshooting the remaining work: bound the step by the
+		// believed rate (measured when available, estimated otherwise);
+		// errors are corrected by subsequent measured steps.
+		if pick.rate > 0 && remainW/pick.rate < dt {
+			dt = remainW / pick.rate
+			if dt < minStep {
+				dt = minStep
+			}
+			if dt > remainT {
+				dt = remainT
+			}
+		}
+		s := c.mach.Run(dt)
+		remainT -= dt
+		remainW -= s.Heartbeats
+		pick.rate = s.Heartbeats / dt // heartbeats are the ground-truth feedback
+		pick.power = s.Power
+		pick.measured = true
+		if c.measuredRates == nil {
+			c.measuredRates = make(map[int]float64)
+		}
+		c.measuredRates[pick.index] = pick.rate
+	}
+	if remainT > 1e-12 {
+		c.mach.Idle(remainT)
+	}
+
+	res := JobResult{
+		Energy:      c.mach.Energy() - startE,
+		Work:        c.mach.Work() - startW,
+		Duration:    c.mach.Elapsed() - startT,
+		MetDeadline: remainW <= 1e-6*(1+w),
+	}
+	if res.Duration > 0 {
+		res.AvgPower = res.Energy / res.Duration
+	}
+	return res, nil
+}
+
+// minStep bounds the smallest execution slice so the loop always terminates.
+const minStep = 1e-6
+
+// candidates assembles the execution loop's options: the plan's
+// configurations plus the believed-fastest configuration as a safety escape,
+// sorted by believed rate ascending.
+func (c *Controller) candidates(plan *pareto.Plan) []*candidate {
+	space := c.mach.Space()
+	seen := make(map[int]bool)
+	var out []*candidate
+	add := func(idx int) {
+		if idx < 0 || seen[idx] {
+			return
+		}
+		seen[idx] = true
+		out = append(out, c.newCandidate(idx))
+	}
+	for _, a := range plan.Allocations {
+		add(a.Index)
+	}
+	add(c.believedFastest())
+	// Race-to-idle (and the empty-plan corner): the maximum configuration.
+	add(space.Index(space.MaxConfig()))
+	sortCandidates(out)
+	return out
+}
+
+// newCandidate builds a candidate with the best current beliefs about its
+// rate and power: remembered measurements if they exist, else the estimates.
+func (c *Controller) newCandidate(idx int) *candidate {
+	cand := &candidate{index: idx}
+	if c.perfEst != nil && idx < len(c.perfEst) {
+		cand.rate = c.perfEst[idx]
+	}
+	if c.powerEst != nil && idx < len(c.powerEst) {
+		cand.power = c.powerEst[idx]
+	}
+	if rate, ok := c.measuredRates[idx]; ok {
+		cand.rate = rate
+		cand.measured = true
+	}
+	return cand
+}
+
+// perfRanking returns configuration indices in descending order of estimated
+// performance (empty for race-to-idle, which never escalates beyond max).
+func (c *Controller) perfRanking() []int {
+	if c.perfEst == nil {
+		return nil
+	}
+	idx := make([]int, len(c.perfEst))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return c.perfEst[idx[a]] > c.perfEst[idx[b]] })
+	return idx
+}
+
+// allMeasuredBelow reports whether every candidate has been measured and
+// none sustains the needed rate.
+func allMeasuredBelow(cands []*candidate, needed float64) bool {
+	for _, cand := range cands {
+		if !cand.measured || cand.rate >= needed*(1-1e-9) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasCandidate reports whether idx is already a candidate.
+func hasCandidate(cands []*candidate, idx int) bool {
+	for _, cand := range cands {
+		if cand.index == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func sortCandidates(cands []*candidate) {
+	sort.Slice(cands, func(a, b int) bool { return cands[a].rate < cands[b].rate })
+}
+
+// chooseCandidate picks the lowest-power candidate believed to meet the
+// needed rate (with a small safety margin), or the fastest one when none
+// suffices — power, not speed, is the objective once the pace is covered.
+func chooseCandidate(cands []*candidate, needed float64) *candidate {
+	var best *candidate
+	for _, cand := range cands {
+		if cand.rate < needed*(1-1e-9) {
+			continue
+		}
+		if best == nil || cand.power < best.power {
+			best = cand
+		}
+	}
+	if best != nil {
+		return best
+	}
+	sortCandidates(cands)
+	return cands[len(cands)-1]
+}

@@ -1,0 +1,139 @@
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// PhasedSpec describes a phased real-time workload in the style of §6.6:
+// every frame must complete FrameWork heartbeats (measured in phase-1 work
+// units) within FrameTime seconds; the application's phases change how much
+// machine capacity that requires.
+type PhasedSpec struct {
+	FrameWork float64 // heartbeats per frame that must complete
+	FrameTime float64 // seconds per frame (the real-time deadline)
+	// ReplanThreshold is the relative deviation between a frame's actual
+	// energy and the plan's predicted energy that triggers re-calibration
+	// (default 0.1).
+	ReplanThreshold float64
+	// ReplanAfter is how many consecutive deviating frames trigger a replan
+	// (default 2).
+	ReplanAfter int
+}
+
+func (s PhasedSpec) withDefaults() PhasedSpec {
+	if s.ReplanThreshold <= 0 {
+		s.ReplanThreshold = 0.1
+	}
+	if s.ReplanAfter <= 0 {
+		s.ReplanAfter = 2
+	}
+	return s
+}
+
+// FrameRecord captures one frame of a phased run (the data behind Fig. 13).
+type FrameRecord struct {
+	Frame          int
+	Phase          int
+	PerfNormalized float64 // work completed / work demanded (1.0 = on target)
+	Power          float64 // average power over the frame, Watts
+	Energy         float64 // Joules consumed during the frame
+	Replanned      bool    // whether calibration ran before this frame
+}
+
+// PhasedResult aggregates a phased run.
+type PhasedResult struct {
+	Frames      []FrameRecord
+	PhaseEnergy []float64 // Joules per phase
+	TotalEnergy float64
+	Replans     int
+}
+
+// RunPhased executes the machine's application through all of its phases
+// frame by frame. The application's phase schedule (apps.App.Phases) decides
+// when the workload changes; the controller only sees heartbeats and must
+// detect the change itself (except race-to-idle, which never replans).
+func (c *Controller) RunPhased(spec PhasedSpec) (*PhasedResult, error) {
+	spec = spec.withDefaults()
+	if spec.FrameWork <= 0 || spec.FrameTime <= 0 {
+		return nil, fmt.Errorf("control: invalid phased spec %+v", spec)
+	}
+	app := c.mach.App()
+	if app.NumPhases() < 1 {
+		return nil, fmt.Errorf("control: app %s has no phases", app.Name)
+	}
+
+	if err := c.Calibrate(); err != nil {
+		return nil, err
+	}
+	res := &PhasedResult{PhaseEnergy: make([]float64, app.NumPhases())}
+	deviations := 0
+	frame := 0
+	for ph := 0; ph < app.NumPhases(); ph++ {
+		c.mach.SetPhase(ph)
+		frames := 1
+		if len(app.Phases) > 0 {
+			frames = app.Phases[ph].Frames
+		}
+		for f := 0; f < frames; f++ {
+			replanned := false
+			if deviations >= spec.ReplanAfter && !c.RaceToIdle() {
+				if err := c.Calibrate(); err != nil {
+					return nil, err
+				}
+				deviations = 0
+				replanned = true
+			}
+			job, err := c.ExecuteJob(spec.FrameWork, spec.FrameTime)
+			if err != nil {
+				return nil, err
+			}
+			rec := FrameRecord{
+				Frame:          frame,
+				Phase:          ph,
+				PerfNormalized: job.Work / spec.FrameWork,
+				Power:          job.AvgPower,
+				Energy:         job.Energy,
+				Replanned:      replanned,
+			}
+			res.Frames = append(res.Frames, rec)
+			res.PhaseEnergy[ph] += job.Energy
+			res.TotalEnergy += job.Energy
+
+			// Detect drift: the job should complete its work with the
+			// planned energy; a persistent mismatch between achieved and
+			// demanded rate, or an unexpectedly easy finish, signals a
+			// phase change.
+			if c.deviated(job, spec) {
+				deviations++
+			} else {
+				deviations = 0
+			}
+			frame++
+		}
+	}
+	res.Replans = c.replans
+	return res, nil
+}
+
+// deviated reports whether the executed frame is inconsistent with the
+// controller's current model: either the deadline was missed, or the energy
+// differs from the plan's prediction by more than the threshold (an
+// over-provisioned frame finishes early and idles, spending less energy than
+// predicted — the signature of a phase that needs fewer resources).
+func (c *Controller) deviated(job JobResult, spec PhasedSpec) bool {
+	if c.RaceToIdle() {
+		return false
+	}
+	if !job.MetDeadline {
+		return true
+	}
+	plan, err := c.Plan(spec.FrameWork, spec.FrameTime)
+	if err != nil {
+		return true
+	}
+	if plan.Energy <= 0 {
+		return false
+	}
+	return math.Abs(job.Energy-plan.Energy)/plan.Energy > spec.ReplanThreshold
+}

@@ -1,0 +1,119 @@
+package control
+
+import (
+	"fmt"
+	"sort"
+
+	"leo/internal/pareto"
+)
+
+// ExecuteCapped runs the application for t seconds maximizing completed
+// work while keeping *average* power within powerCap — the dual of
+// ExecuteJob, for deployments governed by power budgets rather than
+// deadlines (the Flicker-style problem of §7). It plans on the estimated
+// tradeoff hull (pareto.MaximizePerformance) and then enforces the cap with
+// measured-power feedback: each step it spends no more than the remaining
+// power budget allows, downshifting (ultimately to idle) when measurements
+// come in above the estimates.
+func (c *Controller) ExecuteCapped(powerCap, t float64) (JobResult, error) {
+	if t <= 0 {
+		return JobResult{}, fmt.Errorf("control: invalid duration %g", t)
+	}
+	idle := c.mach.App().IdlePower
+	if powerCap < idle {
+		return JobResult{}, fmt.Errorf("control: power cap %g below idle power %g", powerCap, idle)
+	}
+	if c.RaceToIdle() {
+		return JobResult{}, fmt.Errorf("control: race-to-idle has no power-cap mode")
+	}
+	if c.perfEst == nil {
+		if err := c.Calibrate(); err != nil {
+			return JobResult{}, err
+		}
+	}
+	plan, err := pareto.MaximizePerformance(c.perfEst, c.powerEst, idle, powerCap, t)
+	if err != nil {
+		return JobResult{}, err
+	}
+
+	cands := c.cappedCandidates(plan)
+	startE, startT, startW := c.mach.Energy(), c.mach.Elapsed(), c.mach.Work()
+	remainT := t
+	budget := powerCap * t // Joules available over the window
+	maxSteps := int(t/feedbackStep) + 4*len(cands) + 64
+	for step := 0; remainT > 1e-12 && step < maxSteps; step++ {
+		dt := feedbackStep
+		if dt > remainT {
+			dt = remainT
+		}
+		// Power affordable for the remainder if we spend evenly.
+		allowed := budget / remainT
+		pick := chooseCapped(cands, allowed)
+		if pick == nil {
+			// Nothing (not even by belief) fits: idle this step.
+			budget -= c.mach.App().IdlePower * dt
+			c.mach.Idle(dt)
+			remainT -= dt
+			continue
+		}
+		if err := c.mach.ApplyIndex(pick.index); err != nil {
+			return JobResult{}, err
+		}
+		s := c.mach.Run(dt)
+		budget -= s.Energy
+		remainT -= dt
+		pick.rate = s.Heartbeats / dt
+		pick.power = s.Energy / dt // true average power over the step
+		pick.measured = true
+	}
+	if remainT > 1e-12 {
+		c.mach.Idle(remainT)
+	}
+
+	res := JobResult{
+		Energy:      c.mach.Energy() - startE,
+		Work:        c.mach.Work() - startW,
+		Duration:    c.mach.Elapsed() - startT,
+		MetDeadline: true, // no deadline in this mode
+	}
+	if res.Duration > 0 {
+		res.AvgPower = res.Energy / res.Duration
+	}
+	return res, nil
+}
+
+// cappedCandidates lists the plan's configurations (and the believed most
+// efficient alternatives) sorted by believed rate descending, so the chooser
+// scans fastest-first.
+func (c *Controller) cappedCandidates(plan *pareto.Plan) []*candidate {
+	seen := make(map[int]bool)
+	var out []*candidate
+	add := func(idx int) {
+		if idx < 0 || seen[idx] {
+			return
+		}
+		seen[idx] = true
+		out = append(out, c.newCandidate(idx))
+	}
+	for _, a := range plan.Allocations {
+		add(a.Index)
+	}
+	add(c.believedFastest())
+	sort.Slice(out, func(a, b int) bool { return out[a].rate > out[b].rate })
+	return out
+}
+
+// chooseCapped picks the fastest candidate whose believed power fits the
+// allowance, or nil when none does.
+func chooseCapped(cands []*candidate, allowedPower float64) *candidate {
+	var best *candidate
+	for _, cand := range cands {
+		if cand.power > allowedPower*(1+1e-9) {
+			continue
+		}
+		if best == nil || cand.rate > best.rate {
+			best = cand
+		}
+	}
+	return best
+}

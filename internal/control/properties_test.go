@@ -1,0 +1,75 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestExecuteJobEnergyBoundsProperty: for any demand, the energy of a job
+// window is bounded below by pure idling and above by running the
+// highest-power configuration flat out.
+func TestExecuteJobEnergyBoundsProperty(t *testing.T) {
+	appNames := []string{"kmeans", "swish", "x264", "jacobi", "swaptions"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		name := appNames[int(uint64(seed)%uint64(len(appNames)))]
+		r := newRig(t, name, 0)
+		c := r.controller(t, "LEO", seed)
+		u := 0.05 + 0.9*rng.Float64()
+		deadline := 4 + rng.Float64()*8
+		job, err := c.ExecuteJob(u*r.maxRate()*deadline, deadline)
+		if err != nil {
+			return false
+		}
+		idle := r.mach.App().IdlePower
+		maxPower := 0.0
+		for _, p := range r.truePower {
+			if p > maxPower {
+				maxPower = p
+			}
+		}
+		return job.Energy >= idle*deadline-1e-6 && job.Energy <= maxPower*deadline+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecuteJobMonotoneDemandProperty: with oracle estimates and no noise,
+// asking for more work never costs less energy.
+func TestExecuteJobMonotoneDemandProperty(t *testing.T) {
+	r := newRig(t, "bodytrack", 0)
+	c := r.controller(t, "Optimal", 33)
+	prev := 0.0
+	for u := 0.1; u <= 1.0; u += 0.1 {
+		job, err := c.ExecuteJob(u*r.maxRate()*8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Energy < prev-1e-6 {
+			t.Fatalf("energy fell from %g to %g at utilization %g", prev, job.Energy, u)
+		}
+		prev = job.Energy
+	}
+}
+
+// TestExecuteJobWorkConservation: completed work never exceeds the fastest
+// configuration's capacity for the window.
+func TestExecuteJobWorkConservation(t *testing.T) {
+	for _, approach := range []string{"LEO", "Online", "Offline", "RaceToIdle", "Optimal"} {
+		r := newRig(t, "streamcluster", 0)
+		c := r.controller(t, approach, 34)
+		job, err := c.ExecuteJob(0.7*r.maxRate()*10, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", approach, err)
+		}
+		// Allow one feedback step of overshoot.
+		if job.Work > r.maxRate()*(10+feedbackStep) {
+			t.Fatalf("%s: work %g exceeds machine capacity %g", approach, job.Work, r.maxRate()*10)
+		}
+		if job.Duration > 10+1e-9 {
+			t.Fatalf("%s: window overran: %g", approach, job.Duration)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"leo/internal/apps"
+	"leo/internal/platform"
+	"leo/internal/profile"
+)
+
+// benchFit prepares a leave-one-out fit at the given space and runs it b.N
+// times.
+func benchFit(b *testing.B, space platform.Space, samples int, opts Options) {
+	b.Helper()
+	db, err := profile.Collect(space, apps.Suite(), 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := db.AppIndex("kmeans")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rest, truth, _, err := db.LeaveOneOut(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	mask := profile.RandomMask(space.N(), samples, rng)
+	obs := profile.Observe(truth, mask, 0.01, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(rest.Perf, obs.Indices, obs.Values, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateCoresOnly(b *testing.B) {
+	benchFit(b, platform.CoresOnly(), 6, Options{})
+}
+
+func BenchmarkEstimateSmall(b *testing.B) {
+	benchFit(b, platform.Small(), 20, Options{})
+}
+
+func BenchmarkEstimateSmallFourIter(b *testing.B) {
+	benchFit(b, platform.Small(), 20, Options{MaxIter: 4})
+}
+
+func BenchmarkEstimateSmallStrictSigma(b *testing.B) {
+	benchFit(b, platform.Small(), 20, Options{StrictPaperSigma: true})
+}
+
+func BenchmarkEStepOnly(b *testing.B) {
+	space := platform.Small()
+	db, err := profile.Collect(space, apps.Suite(), 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, _ := db.AppIndex("kmeans")
+	rest, truth, _, err := db.LeaveOneOut(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	mask := profile.RandomMask(space.N(), 20, rng)
+	obs := profile.Observe(truth, mask, 0.01, rng)
+	em := newEMState(rest.Perf, obs.Indices, obs.Values, Options{}.withDefaults())
+	em.init()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.eStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

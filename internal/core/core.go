@@ -1,0 +1,151 @@
+// Package core implements LEO's hierarchical Bayesian model (paper §5):
+// a multi-task Gaussian model over per-configuration measurements, fit with
+// expectation–maximization.
+//
+// The generative model (Eq. 2) is
+//
+//	y_i | z_i   ~ N(z_i, σ²·I)          (measurement / filtration layer)
+//	z_i | μ, Σ  ~ N(μ, Σ)               (application layer)
+//	μ, Σ        ~ NIW(μ₀=0, π=1, Ψ=I, ν=1)
+//
+// where y_i is application i's vector of power (or performance) across all n
+// configurations. The first M−1 applications are fully observed offline; the
+// target application M is observed only at a small set Ω of configurations.
+// EM alternates the E-step (Eq. 3) — posterior mean ẑ_i and covariance Ĉ_i
+// of each application's latent vector — with the M-step (Eq. 4) updates of
+// μ, Σ and σ², then predicts the target's unobserved entries as ẑ_M.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"leo/internal/matrix"
+)
+
+// ErrNoData is returned when there is nothing to learn from: no offline
+// applications and no online observations.
+var ErrNoData = errors.New("core: no offline applications and no observations")
+
+// Options configures the EM fit. The zero value selects the defaults used
+// throughout the paper's evaluation.
+type Options struct {
+	// MaxIter bounds EM iterations. The paper reports convergence in 3–4
+	// iterations (§5.5); the default is 8.
+	MaxIter int
+	// Tol is the relative-change convergence threshold on the target
+	// prediction between iterations. Default 1e-3: on noise-free data σ²
+	// keeps creeping toward zero, dragging the prediction by ever-smaller
+	// amounts, so an exact fixed point is never reached — the estimate is
+	// already stable (and accurate, per §5.5's "3–4 iterations") well
+	// before that.
+	Tol float64
+	// Pi is the NIW prior strength π. Default 1 (the paper's setting).
+	Pi float64
+	// SigmaFloor is the minimum admissible measurement variance σ²,
+	// preventing collapse on noise-free data. Default 1e-9.
+	SigmaFloor float64
+	// InitMu optionally overrides the initial μ. By default μ starts at the
+	// column mean of the offline data — the Offline estimate — which §5.5
+	// reports improves accuracy over random initialization.
+	InitMu []float64
+	// ZeroInit starts μ at zero instead of the offline mean (ablation).
+	ZeroInit bool
+	// NaiveEStep computes each application's posterior covariance with an
+	// independent n×n factorization instead of sharing one factorization
+	// across all fully observed applications (ablation; same math, much
+	// slower).
+	NaiveEStep bool
+	// StrictPaperSigma applies the printed parenthesization of Eq. (4),
+	// adding the prior terms πμμ' + I outside the 1/(M+1) normalizer. The
+	// default places them inside, which matches the standard NIW MAP update
+	// the equation is derived from.
+	StrictPaperSigma bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 8
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-3
+	}
+	if o.Pi <= 0 {
+		o.Pi = 1
+	}
+	if o.SigmaFloor <= 0 {
+		o.SigmaFloor = 1e-9
+	}
+	return o
+}
+
+// Result is the output of an EM fit.
+type Result struct {
+	// Estimate is ẑ_M: the predicted value for every configuration of the
+	// target application. At observed indices it is the posterior (smoothed)
+	// value, not the raw observation.
+	Estimate []float64
+	// Variance is the posterior variance of each prediction (the diagonal
+	// of Ĉ_M). Observed configurations have small variance; configurations
+	// far from any observation in Σ's correlation structure have large
+	// variance. The paper's CALOREE follow-on uses exactly this signal to
+	// decide when estimates are trustworthy.
+	Variance []float64
+	// Mu and Sigma are the fitted population mean and covariance.
+	Mu    []float64
+	Sigma *matrix.Matrix
+	// Noise is the fitted measurement standard deviation σ.
+	Noise float64
+	// Iterations is the number of EM iterations executed; Converged reports
+	// whether the tolerance was reached before MaxIter.
+	Iterations int
+	Converged  bool
+}
+
+// Estimate fits the hierarchical model and predicts the target application's
+// value in every configuration.
+//
+// known holds one fully observed application per row ((M−1)×n); it may have
+// zero rows. obsIdx/obsVal are the target's online observations: values
+// measured at the given configuration indices (Ω in the paper). Duplicate
+// indices are rejected.
+func Estimate(known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := known.Cols
+	if n == 0 {
+		return nil, fmt.Errorf("core: zero-width data matrix")
+	}
+	if len(obsIdx) != len(obsVal) {
+		return nil, fmt.Errorf("core: %d observation indices but %d values", len(obsIdx), len(obsVal))
+	}
+	if known.Rows == 0 && len(obsIdx) == 0 {
+		return nil, ErrNoData
+	}
+	seen := make(map[int]bool, len(obsIdx))
+	for _, idx := range obsIdx {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("core: observation index %d out of range [0,%d)", idx, n)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("core: duplicate observation index %d", idx)
+		}
+		seen[idx] = true
+	}
+	if opts.InitMu != nil && len(opts.InitMu) != n {
+		return nil, fmt.Errorf("core: InitMu length %d != %d configurations", len(opts.InitMu), n)
+	}
+	for _, v := range obsVal {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: non-finite observation %g", v)
+		}
+	}
+	for _, v := range known.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: non-finite offline datum %g", v)
+		}
+	}
+
+	em := newEMState(known, obsIdx, obsVal, opts)
+	return em.run()
+}

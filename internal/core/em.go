@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"leo/internal/matrix"
+	"leo/internal/stats"
+)
+
+// emState carries the working set of one EM fit.
+type emState struct {
+	opts   Options
+	known  *matrix.Matrix // (M−1)×n fully observed applications
+	obsIdx []int
+	obsVal []float64
+	n      int // configurations
+	m      int // applications including the target
+
+	mu     []float64
+	sigma  *matrix.Matrix // Σ, n×n
+	sigma2 float64        // σ²
+}
+
+func newEMState(known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Options) *emState {
+	return &emState{
+		opts:   opts,
+		known:  known,
+		obsIdx: obsIdx,
+		obsVal: obsVal,
+		n:      known.Cols,
+		m:      known.Rows + 1,
+	}
+}
+
+// init chooses the starting parameters: μ from the offline mean (§5.5
+// reports this improves accuracy), Σ from the offline sample covariance plus
+// identity, and σ² at a small fraction of the data's variance.
+func (em *emState) init() {
+	switch {
+	case em.opts.InitMu != nil:
+		em.mu = matrix.CloneVec(em.opts.InitMu)
+	case em.opts.ZeroInit || em.known.Rows == 0:
+		em.mu = matrix.Zeros(em.n)
+	default:
+		em.mu = stats.ColumnMeans(em.known)
+	}
+
+	em.sigma = matrix.Identity(em.n)
+	if em.known.Rows > 0 {
+		colMean := stats.ColumnMeans(em.known)
+		scale := 1 / float64(em.known.Rows)
+		for i := 0; i < em.known.Rows; i++ {
+			d := matrix.SubVec(em.known.RowView(i), colMean)
+			em.sigma.AddScaledOuter(scale, d, d)
+		}
+		em.sigma.Symmetrize()
+	}
+
+	em.sigma2 = em.initialNoise()
+}
+
+// initialNoise picks a starting σ² proportional to the overall data scale.
+func (em *emState) initialNoise() float64 {
+	sum, count := 0.0, 0
+	for _, v := range em.known.Data {
+		sum += v * v
+		count++
+	}
+	for _, v := range em.obsVal {
+		sum += v * v
+		count++
+	}
+	meanSq := sum / float64(count)
+	// With one measurement per (app, configuration) cell, σ² moves slowly
+	// under EM (it is only weakly identified against Σ), so the starting
+	// point should already be a plausible measurement-noise level: 0.1% of
+	// the mean square, i.e. ~3% relative noise.
+	s2 := 0.001 * meanSq
+	if s2 < em.opts.SigmaFloor {
+		s2 = em.opts.SigmaFloor
+	}
+	return s2
+}
+
+// run executes EM to convergence and assembles the result.
+func (em *emState) run() (*Result, error) {
+	em.init()
+
+	var (
+		prevEstimate []float64
+		zM           []float64
+		converged    bool
+		iters        int
+	)
+	for iter := 0; iter < em.opts.MaxIter; iter++ {
+		iters = iter + 1
+		e, err := em.eStep()
+		if err != nil {
+			return nil, err
+		}
+		zM = e.zTarget
+		em.mStep(e)
+
+		if prevEstimate != nil && relChange(prevEstimate, zM) < em.opts.Tol {
+			converged = true
+			break
+		}
+		prevEstimate = matrix.CloneVec(zM)
+	}
+
+	// One final E-step so the returned prediction is conditioned on the
+	// final parameters.
+	e, err := em.eStep()
+	if err != nil {
+		return nil, err
+	}
+	variance := make([]float64, em.n)
+	for i := range variance {
+		variance[i] = e.cTarget.At(i, i)
+	}
+	return &Result{
+		Estimate:   e.zTarget,
+		Variance:   variance,
+		Mu:         matrix.CloneVec(em.mu),
+		Sigma:      em.sigma.Clone(),
+		Noise:      math.Sqrt(em.sigma2),
+		Iterations: iters,
+		Converged:  converged,
+	}, nil
+}
+
+// relChange returns max_i |a_i − b_i| / (1 + |b_i|).
+func relChange(a, b []float64) float64 {
+	max := 0.0
+	for i, v := range a {
+		d := math.Abs(v-b[i]) / (1 + math.Abs(b[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// eResult holds the E-step posteriors (Eq. 3).
+type eResult struct {
+	zFull     *matrix.Matrix // (M−1)×n posterior means of fully observed apps
+	cFull     *matrix.Matrix // shared posterior covariance of fully observed apps
+	zTarget   []float64      // posterior mean of the target app
+	cTarget   *matrix.Matrix // posterior covariance of the target app
+	sinvMu    []float64      // Σ^{-1} μ, reused by both branches
+	targetObs int
+}
+
+// eStep evaluates Eq. (3) for every application.
+//
+// For a fully observed application (L_i = 1 everywhere) the posterior
+// covariance is the same for all i:
+//
+//	Ĉ = (I/σ² + Σ^{-1})^{-1} = σ² · Σ (Σ + σ²I)^{-1},
+//
+// so it is computed once and shared — the key optimization ablated by
+// Options.NaiveEStep. The target application's posterior uses the Woodbury
+// identity on its |Ω| observed coordinates:
+//
+//	Ĉ_M = Σ − Σ_{:,Ω} (σ²I + Σ_{Ω,Ω})^{-1} Σ_{Ω,:}
+func (em *emState) eStep() (*eResult, error) {
+	if em.opts.NaiveEStep {
+		return em.eStepNaive()
+	}
+	n := em.n
+	out := &eResult{targetObs: len(em.obsIdx)}
+
+	chS, _, err := matrix.NewCholeskyJitter(em.sigma, 1e-10, 14)
+	if err != nil {
+		return nil, fmt.Errorf("core: Σ not factorable: %w", err)
+	}
+	out.sinvMu = chS.SolveVec(em.mu)
+
+	// Shared covariance for fully observed applications.
+	if em.known.Rows > 0 {
+		a := em.sigma.Clone().AddDiagonal(em.sigma2)
+		chA, err := matrix.NewCholesky(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: Σ+σ²I not factorable: %w", err)
+		}
+		out.cFull = chA.Solve(em.sigma).ScaleInPlace(em.sigma2).Symmetrize()
+
+		out.zFull = matrix.New(em.known.Rows, n)
+		inv := 1 / em.sigma2
+		for i := 0; i < em.known.Rows; i++ {
+			rhs := make([]float64, n)
+			row := em.known.RowView(i)
+			for j := range rhs {
+				rhs[j] = row[j]*inv + out.sinvMu[j]
+			}
+			out.zFull.SetRow(i, out.cFull.MulVec(rhs))
+		}
+	} else {
+		out.zFull = matrix.New(0, n)
+	}
+
+	// Target application via Woodbury on the observed coordinates.
+	k := len(em.obsIdx)
+	if k == 0 {
+		out.cTarget = em.sigma.Clone()
+		out.zTarget = matrix.CloneVec(em.mu)
+		return out, nil
+	}
+	// S = Σ[:, Ω] (n×k), K = σ²I_k + Σ[Ω, Ω].
+	s := matrix.New(n, k)
+	for col, idx := range em.obsIdx {
+		for r := 0; r < n; r++ {
+			s.Set(r, col, em.sigma.At(r, idx))
+		}
+	}
+	kmat := matrix.New(k, k)
+	for a, ia := range em.obsIdx {
+		for b, ib := range em.obsIdx {
+			kmat.Set(a, b, em.sigma.At(ia, ib))
+		}
+	}
+	kmat.AddDiagonal(em.sigma2)
+	chK, _, err := matrix.NewCholeskyJitter(kmat, 1e-10, 14)
+	if err != nil {
+		return nil, fmt.Errorf("core: observation kernel not factorable: %w", err)
+	}
+	w := chK.Solve(s.Transpose()) // k×n
+	out.cTarget = em.sigma.Sub(s.Mul(w)).Symmetrize()
+
+	rhs := matrix.CloneVec(out.sinvMu)
+	inv := 1 / em.sigma2
+	for i, idx := range em.obsIdx {
+		rhs[idx] += em.obsVal[i] * inv
+	}
+	out.zTarget = out.cTarget.MulVec(rhs)
+	return out, nil
+}
+
+// eStepNaive computes Eq. (3) literally: one n×n factorization per
+// application. It exists to quantify the value of the shared-covariance
+// fast path; results are identical up to round-off.
+func (em *emState) eStepNaive() (*eResult, error) {
+	n := em.n
+	out := &eResult{targetObs: len(em.obsIdx)}
+
+	chS, _, err := matrix.NewCholeskyJitter(em.sigma, 1e-10, 14)
+	if err != nil {
+		return nil, fmt.Errorf("core: Σ not factorable: %w", err)
+	}
+	sigmaInv := chS.Inverse()
+	out.sinvMu = sigmaInv.MulVec(em.mu)
+	inv := 1 / em.sigma2
+
+	posterior := func(mask []int, values []float64) (*matrix.Matrix, []float64, error) {
+		a := sigmaInv.Clone()
+		for _, idx := range mask {
+			a.Set(idx, idx, a.At(idx, idx)+inv)
+		}
+		chA, _, err := matrix.NewCholeskyJitter(a, 1e-10, 14)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: naive posterior not factorable: %w", err)
+		}
+		c := chA.Inverse()
+		rhs := matrix.CloneVec(out.sinvMu)
+		for i, idx := range mask {
+			rhs[idx] += values[i] * inv
+		}
+		return c, c.MulVec(rhs), nil
+	}
+
+	fullMask := make([]int, n)
+	for i := range fullMask {
+		fullMask[i] = i
+	}
+	out.zFull = matrix.New(em.known.Rows, n)
+	for i := 0; i < em.known.Rows; i++ {
+		c, z, err := posterior(fullMask, em.known.RowView(i))
+		if err != nil {
+			return nil, err
+		}
+		out.cFull = c // identical for every fully observed app
+		out.zFull.SetRow(i, z)
+	}
+	c, z, err := posterior(em.obsIdx, em.obsVal)
+	if err != nil {
+		return nil, err
+	}
+	out.cTarget, out.zTarget = c, z
+	return out, nil
+}
+
+// mStep applies Eq. (4): closed-form updates of μ, Σ and σ² given the
+// E-step posteriors.
+func (em *emState) mStep(e *eResult) {
+	n, mf := em.n, float64(em.m)
+
+	// μ = (Σ_i ẑ_i) / (M + π).
+	muNew := matrix.Zeros(n)
+	for i := 0; i < e.zFull.Rows; i++ {
+		matrix.AxpyInPlace(1, e.zFull.RowView(i), muNew)
+	}
+	matrix.AxpyInPlace(1, e.zTarget, muNew)
+	scale := 1 / (mf + em.opts.Pi)
+	for i := range muNew {
+		muNew[i] *= scale
+	}
+
+	// Σ update: sum of posterior covariances and centered outer products,
+	// plus the NIW prior terms πμμ' and Ψ = I.
+	sigmaNew := matrix.New(n, n)
+	if e.cFull != nil && e.zFull.Rows > 0 {
+		sigmaNew.AddInPlace(e.cFull.Scale(float64(e.zFull.Rows)))
+	}
+	sigmaNew.AddInPlace(e.cTarget)
+	for i := 0; i < e.zFull.Rows; i++ {
+		d := matrix.SubVec(e.zFull.RowView(i), muNew)
+		sigmaNew.AddScaledOuter(1, d, d)
+	}
+	dT := matrix.SubVec(e.zTarget, muNew)
+	sigmaNew.AddScaledOuter(1, dT, dT)
+
+	norm := 1 / (mf + 1)
+	if em.opts.StrictPaperSigma {
+		sigmaNew.ScaleInPlace(norm)
+		sigmaNew.AddScaledOuter(em.opts.Pi, muNew, muNew)
+		sigmaNew.AddDiagonal(1)
+	} else {
+		sigmaNew.AddScaledOuter(em.opts.Pi, muNew, muNew)
+		sigmaNew.AddDiagonal(1) // Ψ = I
+		sigmaNew.ScaleInPlace(norm)
+	}
+	sigmaNew.Symmetrize()
+
+	// σ² = Σ_i tr(diag(L_i)(Ĉ_i + (ẑ_i−y_i)(ẑ_i−y_i)')) / ‖L‖²_F.
+	num := 0.0
+	if e.zFull.Rows > 0 {
+		trFull := e.cFull.Trace()
+		for i := 0; i < e.zFull.Rows; i++ {
+			row := em.known.RowView(i)
+			z := e.zFull.RowView(i)
+			num += trFull
+			for j := 0; j < n; j++ {
+				d := z[j] - row[j]
+				num += d * d
+			}
+		}
+	}
+	for i, idx := range em.obsIdx {
+		d := e.zTarget[idx] - em.obsVal[i]
+		num += e.cTarget.At(idx, idx) + d*d
+	}
+	den := float64(e.zFull.Rows*n + len(em.obsIdx))
+	sigma2New := em.opts.SigmaFloor
+	if den > 0 {
+		if s := num / den; s > sigma2New {
+			sigma2New = s
+		}
+	}
+
+	em.mu = muNew
+	em.sigma = sigmaNew
+	em.sigma2 = sigma2New
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"leo/internal/matrix"
+	"leo/internal/profile"
+	"leo/internal/stats"
+)
+
+func TestVarianceShrinksAtObservedConfigs(t *testing.T) {
+	known, truth, _ := kmeansLOO(t)
+	mask := profile.UniformMask(32, 6)
+	obs := profile.Observe(truth, mask, 0, nil)
+	res, err := Estimate(known, obs.Indices, obs.Values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variance) != 32 {
+		t.Fatalf("variance length %d", len(res.Variance))
+	}
+	observed := make(map[int]bool)
+	for _, i := range obs.Indices {
+		observed[i] = true
+	}
+	var obsSum, unobsSum float64
+	var obsN, unobsN int
+	for i, v := range res.Variance {
+		if v < 0 {
+			t.Fatalf("negative posterior variance %g at %d", v, i)
+		}
+		if observed[i] {
+			obsSum += v
+			obsN++
+		} else {
+			unobsSum += v
+			unobsN++
+		}
+	}
+	if obsSum/float64(obsN) >= unobsSum/float64(unobsN) {
+		t.Fatalf("observed configs should have smaller variance: %g vs %g",
+			obsSum/float64(obsN), unobsSum/float64(unobsN))
+	}
+}
+
+func TestVarianceDropsWithMoreObservations(t *testing.T) {
+	known, truth, _ := kmeansLOO(t)
+	totalVar := func(k int) float64 {
+		mask := profile.UniformMask(32, k)
+		obs := profile.Observe(truth, mask, 0, nil)
+		res, err := Estimate(known, obs.Indices, obs.Values, Options{MaxIter: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, v := range res.Variance {
+			s += v
+		}
+		return s
+	}
+	few, many := totalVar(3), totalVar(24)
+	if many >= few {
+		t.Fatalf("total posterior variance should drop with observations: %g -> %g", few, many)
+	}
+}
+
+// TestEstimateScaleRobustAccuracy: the NIW prior has a fixed scale (Ψ = I),
+// so predictions are not exactly equivariant under data rescaling — but the
+// estimation *accuracy* must survive rescaling, or the model would be
+// usable only for one unit system.
+func TestEstimateScaleRobustAccuracy(t *testing.T) {
+	known, truth, _ := kmeansLOO(t)
+	mask := profile.UniformMask(32, 6)
+	obs := profile.Observe(truth, mask, 0, nil)
+	for _, c := range []float64{0.1, 1, 10, 1000} {
+		scaledKnown := known.Scale(c)
+		scaledVals := matrix.ScaleVec(c, obs.Values)
+		scaledTruth := matrix.ScaleVec(c, truth)
+		res, err := Estimate(scaledKnown, obs.Indices, scaledVals, Options{})
+		if err != nil {
+			t.Fatalf("scale %g: %v", c, err)
+		}
+		if acc := stats.Accuracy(res.Estimate, scaledTruth); acc < 0.8 {
+			t.Fatalf("scale %g: accuracy %g", c, acc)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtColocateShape(t *testing.T) {
+	env := testEnv(t)
+	rep, err := ExtColocate(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pairs) != 3 {
+		t.Fatalf("pairs = %v", rep.Pairs)
+	}
+	for i, pair := range rep.Pairs {
+		if !rep.Satisfied[i] {
+			t.Fatalf("%v: demands not met", pair)
+		}
+		// LEO coordination close to optimal; the 10% slack mirrors the
+		// estimation-error tolerance on demand satisfaction.
+		if rep.LEOPower[i] > 1.15*rep.OptPower[i] {
+			t.Fatalf("%v: LEO power %g vs optimal %g", pair, rep.LEOPower[i], rep.OptPower[i])
+		}
+		// Fair-share must be clearly wasteful for at least the
+		// heterogeneous pairs; assert it is never cheaper than optimal.
+		if rep.FairPower[i] < rep.OptPower[i]-1e-9 {
+			t.Fatalf("%v: fair-share %g below optimal %g", pair, rep.FairPower[i], rep.OptPower[i])
+		}
+	}
+	// At least one pair shows a big coordination win.
+	win := false
+	for i := range rep.Pairs {
+		if rep.FairPower[i] > 1.3*rep.OptPower[i] {
+			win = true
+		}
+	}
+	if !win {
+		t.Fatal("no pair shows a coordination win over fair-share")
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fair-share") {
+		t.Fatal("render missing columns")
+	}
+	if rep.Name() != "ext-colocate" {
+		t.Fatalf("Name = %q", rep.Name())
+	}
+}

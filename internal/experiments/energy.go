@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"leo/internal/apps"
+	"leo/internal/baseline"
+	"leo/internal/control"
+	"leo/internal/core"
+	"leo/internal/machine"
+	"leo/internal/stats"
+)
+
+// Approaches compared in the energy experiments, in presentation order.
+var energyApproaches = []string{"Optimal", "LEO", "Online", "Offline", "RaceToIdle"}
+
+// JobDeadline is the deadline of each synthetic job window (seconds); long
+// enough for the heartbeat feedback loop to settle, matching the paper's
+// "long running" target workloads.
+const JobDeadline = 10.0
+
+// energySweep executes appName under every approach across the utilization
+// sweep and returns Joules per (approach, utilization). Utilization u maps
+// to demanded work W = u · maxPerf · deadline, the paper's protocol of
+// sweeping W over [minPerformance, maxPerformance] (§6.4).
+func (e *Env) energySweep(appName string, utils []float64, stream int64) (map[string][]float64, error) {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	setup, err := e.leaveOneOut(appName)
+	if err != nil {
+		return nil, err
+	}
+	maxRate := 0.0
+	for _, v := range setup.truePerf {
+		if v > maxRate {
+			maxRate = v
+		}
+	}
+
+	out := make(map[string][]float64, len(energyApproaches))
+	for ai, approach := range energyApproaches {
+		rng := e.Rng(stream*64 + int64(ai))
+		mach, err := machine.New(e.Space, app, e.Noise, e.Rng(stream*64+int64(ai)+32))
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := e.newController(approach, mach, setup, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctrl.Calibrate(); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", appName, approach, err)
+		}
+		series := make([]float64, len(utils))
+		for ui, u := range utils {
+			job, err := ctrl.ExecuteJob(u*maxRate*JobDeadline, JobDeadline)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s at %.0f%%: %w", appName, approach, u*100, err)
+			}
+			series[ui] = job.Energy
+		}
+		out[approach] = series
+	}
+	return out, nil
+}
+
+// newController wires the estimators for one approach.
+func (e *Env) newController(approach string, mach *machine.Machine, setup *looSetup, rng *rand.Rand) (*control.Controller, error) {
+	var estPerf, estPower baseline.Estimator
+	switch approach {
+	case "RaceToIdle":
+		return control.New(approach, mach, nil, nil, 0, nil)
+	case "Optimal":
+		estPerf = baseline.NewOracle(func() []float64 {
+			return mach.App().PhasePerfVector(mach.Space(), mach.Phase())
+		})
+		estPower = baseline.NewOracle(func() []float64 {
+			return mach.App().PowerVector(mach.Space())
+		})
+	case "LEO":
+		estPerf = baseline.NewLEO(setup.restPerf, core.Options{})
+		estPower = baseline.NewLEO(setup.restPower, core.Options{})
+	case "Online":
+		estPerf = baseline.NewOnline(e.Space)
+		estPower = baseline.NewOnline(e.Space)
+	case "Offline":
+		var err error
+		estPerf, err = baseline.NewOffline(setup.restPerf)
+		if err != nil {
+			return nil, err
+		}
+		estPower, err = baseline.NewOffline(setup.restPower)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown approach %q", approach)
+	}
+	return control.New(approach, mach, estPerf, estPower, e.Samples, rng)
+}
+
+// utilizationPoints returns k utilization levels evenly covering (0, 1].
+func utilizationPoints(k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = float64(i+1) / float64(k)
+	}
+	return out
+}
+
+// EnergyCurvesReport reproduces Figure 10: energy vs utilization for the
+// three representative applications under all approaches.
+type EnergyCurvesReport struct {
+	Apps         []string
+	Utilizations []float64
+	// Energy[app][approach][i] is Joules at Utilizations[i].
+	Energy map[string]map[string][]float64
+}
+
+// Fig10 reproduces Figure 10. utilPoints <= 0 selects the paper's 100
+// utilization levels.
+func Fig10(env *Env, utilPoints int) (*EnergyCurvesReport, error) {
+	if utilPoints <= 0 {
+		utilPoints = 100
+	}
+	rep := &EnergyCurvesReport{
+		Apps:         append([]string(nil), representativeApps...),
+		Utilizations: utilizationPoints(utilPoints),
+		Energy:       make(map[string]map[string][]float64),
+	}
+	for i, app := range rep.Apps {
+		series, err := env.energySweep(app, rep.Utilizations, 100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		rep.Energy[app] = series
+	}
+	return rep, nil
+}
+
+// Name implements Report.
+func (r *EnergyCurvesReport) Name() string { return "fig10" }
+
+// Render implements Report.
+func (r *EnergyCurvesReport) Render(w io.Writer) error {
+	for _, app := range r.Apps {
+		t := newTable(fmt.Sprintf("fig10: energy (J) vs utilization — %s", app),
+			"util%", "Optimal", "LEO", "Online", "Offline", "RaceToIdle")
+		for i, u := range r.Utilizations {
+			// Render a readable subset when the sweep is dense.
+			if len(r.Utilizations) > 25 && i%(len(r.Utilizations)/20) != 0 && i != len(r.Utilizations)-1 {
+				continue
+			}
+			t.addRow(fmt.Sprintf("%.0f", u*100),
+				f1(r.Energy[app]["Optimal"][i]),
+				f1(r.Energy[app]["LEO"][i]),
+				f1(r.Energy[app]["Online"][i]),
+				f1(r.Energy[app]["Offline"][i]),
+				f1(r.Energy[app]["RaceToIdle"][i]))
+		}
+		if err := t.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnergySummaryReport reproduces Figure 11: per-benchmark average energy
+// normalized to optimal (paper means: LEO 1.06, Online 1.24, Offline 1.29,
+// race-to-idle 1.90).
+type EnergySummaryReport struct {
+	Apps []string
+	// Normalized[approach][i] is the mean over utilizations of
+	// energy/optimal-energy for Apps[i].
+	Normalized map[string][]float64
+}
+
+// Fig11 reproduces Figure 11. utilPoints <= 0 selects 100 levels.
+func Fig11(env *Env, utilPoints int) (*EnergySummaryReport, error) {
+	if utilPoints <= 0 {
+		utilPoints = 100
+	}
+	utils := utilizationPoints(utilPoints)
+	rep := &EnergySummaryReport{Normalized: make(map[string][]float64)}
+	for ai := 1; ai < len(energyApproaches); ai++ {
+		rep.Normalized[energyApproaches[ai]] = nil
+	}
+	for i, app := range env.DB.Apps {
+		series, err := env.energySweep(app, utils, 1100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		rep.Apps = append(rep.Apps, app)
+		opt := series["Optimal"]
+		for approach, energies := range series {
+			if approach == "Optimal" {
+				continue
+			}
+			ratios := make([]float64, len(utils))
+			for k := range energies {
+				ratios[k] = energies[k] / opt[k]
+			}
+			rep.Normalized[approach] = append(rep.Normalized[approach], stats.Mean(ratios))
+		}
+	}
+	return rep, nil
+}
+
+// Means returns the across-benchmark mean normalized energy per approach.
+func (r *EnergySummaryReport) Means() map[string]float64 {
+	out := make(map[string]float64, len(r.Normalized))
+	for approach, vals := range r.Normalized {
+		out[approach] = stats.Mean(vals)
+	}
+	return out
+}
+
+// Name implements Report.
+func (r *EnergySummaryReport) Name() string { return "fig11" }
+
+// Render implements Report.
+func (r *EnergySummaryReport) Render(w io.Writer) error {
+	t := newTable("fig11: average energy normalized to optimal (1.0 = optimal)",
+		"benchmark", "LEO", "Online", "Offline", "RaceToIdle")
+	for i, app := range r.Apps {
+		t.addRow(app,
+			f3(r.Normalized["LEO"][i]),
+			f3(r.Normalized["Online"][i]),
+			f3(r.Normalized["Offline"][i]),
+			f3(r.Normalized["RaceToIdle"][i]))
+	}
+	m := r.Means()
+	t.addRow("MEAN", f3(m["LEO"]), f3(m["Online"]), f3(m["Offline"]), f3(m["RaceToIdle"]))
+	t.addNote("(paper means: LEO 1.06, Online 1.24, Offline 1.29, race-to-idle 1.90)")
+	return t.render(w)
+}

@@ -1,0 +1,186 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6) on the simulated platform. Each driver returns a typed
+// report that renders as a text table; the cmd/leo-experiments binary and
+// the repository-root benchmarks invoke them.
+//
+// Experiments run at two sizes: Small (128 configurations — all three
+// platform dimensions active, fast enough for CI) and Full (the paper's
+// 1024 configurations). The code paths are identical; only n changes.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leo/internal/apps"
+	"leo/internal/baseline"
+	"leo/internal/core"
+	"leo/internal/matrix"
+	"leo/internal/platform"
+	"leo/internal/profile"
+)
+
+// Size selects the configuration-space scale of an experiment.
+type Size int
+
+const (
+	// SizeSmall runs on the 128-configuration space.
+	SizeSmall Size = iota
+	// SizeFull runs on the paper's 1024-configuration space.
+	SizeFull
+)
+
+// ParseSize converts "small" / "full".
+func ParseSize(s string) (Size, error) {
+	switch s {
+	case "small":
+		return SizeSmall, nil
+	case "full":
+		return SizeFull, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown size %q (want small or full)", s)
+	}
+}
+
+// Space returns the platform space for the size.
+func (s Size) Space() platform.Space {
+	if s == SizeFull {
+		return platform.Paper()
+	}
+	return platform.Small()
+}
+
+func (s Size) String() string {
+	if s == SizeFull {
+		return "full"
+	}
+	return "small"
+}
+
+// Env is the shared experimental setup: the platform, the offline profiling
+// database, and the evaluation protocol's knobs.
+type Env struct {
+	Size    Size
+	Space   platform.Space
+	DB      *profile.Database
+	Samples int     // online observations per estimator (§6.3: 20)
+	Trials  int     // repeated random masks averaged per result (§6.3: 10)
+	Noise   float64 // relative measurement noise for online observations
+	Seed    int64
+}
+
+// DefaultTrials matches §6.3 ("the average estimates produced over 10
+// separate trials").
+const DefaultTrials = 10
+
+// NewEnv builds the environment: it profiles all 25 benchmark applications
+// offline (the exhaustive data collection of §6.2) and fixes the protocol
+// parameters. The offline database is collected noise-free — the paper's
+// offline profiling averages long runs — while online observations carry
+// 1% relative measurement noise by default.
+func NewEnv(size Size, seed int64) (*Env, error) {
+	space := size.Space()
+	db, err := profile.Collect(space, apps.Suite(), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Size:    size,
+		Space:   space,
+		DB:      db,
+		Samples: control20,
+		Trials:  DefaultTrials,
+		Noise:   0.01,
+		Seed:    seed,
+	}, nil
+}
+
+// control20 is §6.3's sample count.
+const control20 = 20
+
+// Rng returns a deterministic generator derived from the env seed and a
+// stream id, so experiments are reproducible and independent.
+func (e *Env) Rng(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(e.Seed*1000003 + stream))
+}
+
+// looSetup is one leave-one-out evaluation scenario.
+type looSetup struct {
+	app       string
+	restPerf  *matrix.Matrix
+	restPower *matrix.Matrix
+	truePerf  []float64
+	truePower []float64
+}
+
+// leaveOneOut prepares the scenario for a named target application.
+func (e *Env) leaveOneOut(app string) (*looSetup, error) {
+	idx, err := e.DB.AppIndex(app)
+	if err != nil {
+		return nil, err
+	}
+	rest, perf, power, err := e.DB.LeaveOneOut(idx)
+	if err != nil {
+		return nil, err
+	}
+	return &looSetup{
+		app:       app,
+		restPerf:  rest.Perf,
+		restPower: rest.Power,
+		truePerf:  perf,
+		truePower: power,
+	}, nil
+}
+
+// estimators builds the three estimation approaches for one metric of a
+// scenario. Metric is "perf" (absolute heartbeats/s), "speedup" (performance
+// normalized per application to the reference configuration — how Fig. 5
+// measures performance accuracy), or "power" (Watts).
+func (e *Env) estimators(s *looSetup, metric string) (leoEst, online, offline baseline.Estimator, truth []float64, err error) {
+	var known *matrix.Matrix
+	switch metric {
+	case "perf":
+		known, truth = s.restPerf, s.truePerf
+	case "speedup":
+		known, truth = normalizeRows(s.restPerf), normalizeVec(s.truePerf)
+	case "power":
+		known, truth = s.restPower, s.truePower
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("experiments: unknown metric %q", metric)
+	}
+	off, err := baseline.NewOffline(known)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return baseline.NewLEO(known, core.Options{}), baseline.NewOnline(e.Space), off, truth, nil
+}
+
+// normalizeRows divides each row by its entry at the reference configuration
+// (index 0: one thread, lowest clock, one memory controller), converting
+// absolute rates to speedups.
+func normalizeRows(m *matrix.Matrix) *matrix.Matrix {
+	out := m.Clone()
+	for r := 0; r < out.Rows; r++ {
+		row := out.RowView(r)
+		ref := row[0]
+		for c := range row {
+			row[c] /= ref
+		}
+	}
+	return out
+}
+
+// normalizeVec divides a vector by its reference entry.
+func normalizeVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	ref := v[0]
+	for i, x := range v {
+		out[i] = x / ref
+	}
+	return out
+}
+
+// representativeApps are the three applications the paper singles out for
+// Figs. 7–10 (§6.3): unusual peaks at 8 (kmeans) and 16 (swish) threads,
+// and flatness past 16 (x264).
+var representativeApps = []string{"kmeans", "swish", "x264"}

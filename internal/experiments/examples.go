@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"leo/internal/apps"
+	"leo/internal/baseline"
+	"leo/internal/core"
+	"leo/internal/pareto"
+	"leo/internal/platform"
+	"leo/internal/profile"
+	"leo/internal/stats"
+)
+
+// Fig01Report reproduces the motivating example (§2, Fig. 1): kmeans on the
+// 32-configuration cores-only space, observed at 6 evenly spaced core
+// counts, estimated by each approach, and the resulting energy across
+// utilizations.
+type Fig01Report struct {
+	Cores []int // 1..32
+
+	TruthPerf   []float64
+	LEOPerf     []float64
+	OnlinePerf  []float64
+	OfflinePerf []float64
+
+	TruthPower   []float64
+	LEOPower     []float64
+	OnlinePower  []float64
+	OfflinePower []float64
+
+	Utilizations []float64
+	Energy       map[string][]float64 // approach → Joules per utilization
+}
+
+// Fig01 reproduces Figure 1. It always runs on the cores-only space
+// regardless of env size, exactly as §2 describes, and observes 6 uniform
+// samples (5, 10, …, 30 cores).
+func Fig01(env *Env, utilPoints int) (*Fig01Report, error) {
+	if utilPoints <= 0 {
+		utilPoints = 100
+	}
+	space := platform.CoresOnly()
+	db, err := profile.Collect(space, apps.Suite(), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	target, err := db.AppIndex("kmeans")
+	if err != nil {
+		return nil, err
+	}
+	rest, truthPerf, truthPower, err := db.LeaveOneOut(target)
+	if err != nil {
+		return nil, err
+	}
+	mask := profile.UniformMask(space.N(), 6)
+	rng := env.Rng(1)
+
+	rep := &Fig01Report{
+		TruthPerf:  truthPerf,
+		TruthPower: truthPower,
+		Energy:     make(map[string][]float64),
+	}
+	for c := 1; c <= space.N(); c++ {
+		rep.Cores = append(rep.Cores, c)
+	}
+
+	estimate := func(truth []float64, est baseline.Estimator) []float64 {
+		obs := profile.Observe(truth, mask, env.Noise, rng)
+		pred, err := est.Estimate(obs.Indices, obs.Values)
+		if err != nil {
+			return make([]float64, len(truth)) // rank-deficient etc. → flat zero
+		}
+		return pred
+	}
+	offPerf, err := baseline.NewOffline(rest.Perf)
+	if err != nil {
+		return nil, err
+	}
+	offPower, err := baseline.NewOffline(rest.Power)
+	if err != nil {
+		return nil, err
+	}
+	rep.LEOPerf = estimate(truthPerf, baseline.NewLEO(rest.Perf, core.Options{}))
+	rep.OnlinePerf = estimate(truthPerf, baseline.NewOnline(space))
+	rep.OfflinePerf = estimate(truthPerf, offPerf)
+	rep.LEOPower = estimate(truthPower, baseline.NewLEO(rest.Power, core.Options{}))
+	rep.OnlinePower = estimate(truthPower, baseline.NewOnline(space))
+	rep.OfflinePower = estimate(truthPower, offPower)
+
+	// Energy sweep on the cores-only machine.
+	coresEnv := &Env{
+		Size:    env.Size,
+		Space:   space,
+		DB:      db,
+		Samples: 6,
+		Trials:  env.Trials,
+		Noise:   env.Noise,
+		Seed:    env.Seed,
+	}
+	rep.Utilizations = utilizationPoints(utilPoints)
+	series, err := coresEnv.energySweep("kmeans", rep.Utilizations, 7)
+	if err != nil {
+		return nil, err
+	}
+	rep.Energy = series
+	return rep, nil
+}
+
+// Name implements Report.
+func (r *Fig01Report) Name() string { return "fig1" }
+
+// Render implements Report.
+func (r *Fig01Report) Render(w io.Writer) error {
+	t := newTable("fig1a/b: kmeans estimates vs cores (6 samples at 5,10,…,30)",
+		"cores", "perf true", "perf LEO", "perf Online", "perf Offline",
+		"power true", "power LEO", "power Online", "power Offline")
+	for i, c := range r.Cores {
+		if c%2 != 0 && c != 1 {
+			continue
+		}
+		t.addRow(fmt.Sprintf("%d", c),
+			f1(r.TruthPerf[i]), f1(r.LEOPerf[i]), f1(r.OnlinePerf[i]), f1(r.OfflinePerf[i]),
+			f1(r.TruthPower[i]), f1(r.LEOPower[i]), f1(r.OnlinePower[i]), f1(r.OfflinePower[i]))
+	}
+	t.addNote("perf accuracy: LEO %.3f, Online %.3f, Offline %.3f",
+		stats.Accuracy(r.LEOPerf, r.TruthPerf),
+		stats.Accuracy(r.OnlinePerf, r.TruthPerf),
+		stats.Accuracy(r.OfflinePerf, r.TruthPerf))
+	t.addNote("power accuracy: LEO %.3f, Online %.3f, Offline %.3f",
+		stats.Accuracy(r.LEOPower, r.TruthPower),
+		stats.Accuracy(r.OnlinePower, r.TruthPower),
+		stats.Accuracy(r.OfflinePower, r.TruthPower))
+	if err := t.render(w); err != nil {
+		return err
+	}
+
+	e := newTable("fig1c: kmeans energy (J) vs utilization",
+		"util%", "Optimal", "LEO", "Online", "Offline", "RaceToIdle")
+	for i, u := range r.Utilizations {
+		if len(r.Utilizations) > 25 && i%(len(r.Utilizations)/10) != 0 && i != len(r.Utilizations)-1 {
+			continue
+		}
+		e.addRow(fmt.Sprintf("%.0f", u*100),
+			f1(r.Energy["Optimal"][i]), f1(r.Energy["LEO"][i]),
+			f1(r.Energy["Online"][i]), f1(r.Energy["Offline"][i]),
+			f1(r.Energy["RaceToIdle"][i]))
+	}
+	return e.render(w)
+}
+
+// ExampleEstimatesReport reproduces Figures 7 (performance) and 8 (power):
+// LEO's estimates across every configuration for kmeans, swish and x264.
+type ExampleEstimatesReport struct {
+	id     string
+	Metric string
+	Apps   []string
+	Truth  map[string][]float64
+	LEO    map[string][]float64
+}
+
+// Fig07 reproduces Figure 7 (performance estimates).
+func Fig07(env *Env) (*ExampleEstimatesReport, error) {
+	return exampleEstimates(env, "fig7", "perf")
+}
+
+// Fig08 reproduces Figure 8 (power estimates).
+func Fig08(env *Env) (*ExampleEstimatesReport, error) {
+	return exampleEstimates(env, "fig8", "power")
+}
+
+func exampleEstimates(env *Env, id, metric string) (*ExampleEstimatesReport, error) {
+	rep := &ExampleEstimatesReport{
+		id:     id,
+		Metric: metric,
+		Truth:  make(map[string][]float64),
+		LEO:    make(map[string][]float64),
+	}
+	rng := env.Rng(int64(len(id)) * 7)
+	for _, app := range representativeApps {
+		setup, err := env.leaveOneOut(app)
+		if err != nil {
+			return nil, err
+		}
+		leoEst, _, _, truth, err := env.estimators(setup, metric)
+		if err != nil {
+			return nil, err
+		}
+		mask := profile.RandomMask(env.Space.N(), env.Samples, rng)
+		obs := profile.Observe(truth, mask, env.Noise, rng)
+		pred, err := leoEst.Estimate(obs.Indices, obs.Values)
+		if err != nil {
+			return nil, err
+		}
+		rep.Apps = append(rep.Apps, app)
+		rep.Truth[app] = truth
+		rep.LEO[app] = pred
+	}
+	return rep, nil
+}
+
+// Name implements Report.
+func (r *ExampleEstimatesReport) Name() string { return r.id }
+
+// Render implements Report.
+func (r *ExampleEstimatesReport) Render(w io.Writer) error {
+	label := "performance (heartbeats/s)"
+	if r.Metric == "power" {
+		label = "power (W)"
+	}
+	t := newTable(fmt.Sprintf("%s: LEO %s estimates across configuration index", r.id, label),
+		"config", "kmeans true", "kmeans LEO", "swish true", "swish LEO", "x264 true", "x264 LEO")
+	n := len(r.Truth[r.Apps[0]])
+	step := n / 16
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		t.addRow(fmt.Sprintf("%d", i),
+			f1(r.Truth["kmeans"][i]), f1(r.LEO["kmeans"][i]),
+			f1(r.Truth["swish"][i]), f1(r.LEO["swish"][i]),
+			f1(r.Truth["x264"][i]), f1(r.LEO["x264"][i]))
+	}
+	for _, app := range r.Apps {
+		t.addNote("%s accuracy: %.3f", app, stats.Accuracy(r.LEO[app], r.Truth[app]))
+	}
+	return t.render(w)
+}
+
+// ParetoReport reproduces Figure 9: Pareto frontiers (lower convex hulls of
+// the power/performance tradeoff) estimated by each approach vs the true
+// frontier, for the three representative applications.
+type ParetoReport struct {
+	Apps []string
+	// Hulls[app][approach] is the estimated hull; approach "True" holds the
+	// exhaustive-search hull.
+	Hulls map[string]map[string][]pareto.Point
+	// Deviation[app][approach] is the mean |estimated hull − true hull|
+	// power gap (W) sampled at the true hull's performance points.
+	Deviation map[string]map[string]float64
+}
+
+// Fig09 reproduces Figure 9.
+func Fig09(env *Env) (*ParetoReport, error) {
+	rep := &ParetoReport{
+		Hulls:     make(map[string]map[string][]pareto.Point),
+		Deviation: make(map[string]map[string]float64),
+	}
+	rng := env.Rng(9)
+	for _, app := range representativeApps {
+		setup, err := env.leaveOneOut(app)
+		if err != nil {
+			return nil, err
+		}
+		a, err := apps.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		idle := a.IdlePower
+		hulls := make(map[string][]pareto.Point)
+		devs := make(map[string]float64)
+		trueHull := tradeoffHull(setup.truePerf, setup.truePower, idle)
+		hulls["True"] = trueHull
+
+		mask := profile.RandomMask(env.Space.N(), env.Samples, rng)
+		perfObs := profile.Observe(setup.truePerf, mask, env.Noise, rng)
+		powerObs := profile.Observe(setup.truePower, mask, env.Noise, rng)
+		for _, approach := range []string{"LEO", "Online", "Offline"} {
+			perfEst, powerEst, err := estimateBoth(env, setup, approach, perfObs, powerObs)
+			if err != nil {
+				return nil, err
+			}
+			hull := tradeoffHull(perfEst, powerEst, idle)
+			hulls[approach] = hull
+			devs[approach] = hullDeviation(hull, trueHull)
+		}
+		rep.Apps = append(rep.Apps, app)
+		rep.Hulls[app] = hulls
+		rep.Deviation[app] = devs
+	}
+	return rep, nil
+}
+
+// estimateBoth runs one approach's perf and power estimates from shared
+// observations.
+func estimateBoth(env *Env, setup *looSetup, approach string, perfObs, powerObs profile.Observations) (perf, power []float64, err error) {
+	var perfEst, powerEst baseline.Estimator
+	switch approach {
+	case "LEO":
+		perfEst = baseline.NewLEO(setup.restPerf, core.Options{})
+		powerEst = baseline.NewLEO(setup.restPower, core.Options{})
+	case "Online":
+		perfEst = baseline.NewOnline(env.Space)
+		powerEst = baseline.NewOnline(env.Space)
+	case "Offline":
+		perfEst, err = baseline.NewOffline(setup.restPerf)
+		if err != nil {
+			return nil, nil, err
+		}
+		powerEst, err = baseline.NewOffline(setup.restPower)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown approach %q", approach)
+	}
+	perf, err = perfEst.Estimate(perfObs.Indices, perfObs.Values)
+	if err != nil {
+		return nil, nil, err
+	}
+	power, err = powerEst.Estimate(powerObs.Indices, powerObs.Values)
+	if err != nil {
+		return nil, nil, err
+	}
+	return perf, power, nil
+}
+
+// tradeoffHull builds the lower convex hull of the (perf, power) cloud plus
+// the idle point, mirroring the planner's tradeoff space.
+func tradeoffHull(perf, power []float64, idle float64) []pareto.Point {
+	pts := []pareto.Point{{Index: pareto.IdleIndex, Perf: 0, Power: idle}}
+	for i := range perf {
+		if perf[i] > 0 && power[i] > 0 {
+			pts = append(pts, pareto.Point{Index: i, Perf: perf[i], Power: power[i]})
+		}
+	}
+	return pareto.LowerHull(pts)
+}
+
+// hullDeviation samples the estimated hull at the true hull's performance
+// points and averages the absolute power gap; points beyond the estimated
+// hull's reach contribute the gap to its fastest point.
+func hullDeviation(est, truth []pareto.Point) float64 {
+	if len(truth) == 0 || len(est) == 0 {
+		return 0
+	}
+	interp := func(hull []pareto.Point, x float64) float64 {
+		if x <= hull[0].Perf {
+			return hull[0].Power
+		}
+		for s := 0; s < len(hull)-1; s++ {
+			a, b := hull[s], hull[s+1]
+			if x >= a.Perf && x <= b.Perf {
+				fr := (x - a.Perf) / (b.Perf - a.Perf)
+				return a.Power*(1-fr) + b.Power*fr
+			}
+		}
+		return hull[len(hull)-1].Power
+	}
+	total := 0.0
+	for _, p := range truth {
+		d := interp(est, p.Perf) - p.Power
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	return total / float64(len(truth))
+}
+
+// Name implements Report.
+func (r *ParetoReport) Name() string { return "fig9" }
+
+// Render implements Report.
+func (r *ParetoReport) Render(w io.Writer) error {
+	for _, app := range r.Apps {
+		t := newTable(fmt.Sprintf("fig9: Pareto frontier — %s (true hull sampled)", app),
+			"perf", "true W", "LEO W", "Online W", "Offline W")
+		trueHull := r.Hulls[app]["True"]
+		interp := func(approach string, x float64) float64 {
+			hull := r.Hulls[app][approach]
+			if len(hull) == 0 {
+				return 0
+			}
+			if x <= hull[0].Perf {
+				return hull[0].Power
+			}
+			for s := 0; s < len(hull)-1; s++ {
+				a, b := hull[s], hull[s+1]
+				if x >= a.Perf && x <= b.Perf {
+					fr := (x - a.Perf) / (b.Perf - a.Perf)
+					return a.Power*(1-fr) + b.Power*fr
+				}
+			}
+			return hull[len(hull)-1].Power
+		}
+		for _, p := range trueHull {
+			t.addRow(f1(p.Perf), f1(p.Power),
+				f1(interp("LEO", p.Perf)), f1(interp("Online", p.Perf)), f1(interp("Offline", p.Perf)))
+		}
+		t.addNote("mean |ΔW| vs true hull: LEO %.2f, Online %.2f, Offline %.2f",
+			r.Deviation[app]["LEO"], r.Deviation[app]["Online"], r.Deviation[app]["Offline"])
+		if err := t.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"leo/internal/baseline"
+	"leo/internal/core"
+	"leo/internal/profile"
+)
+
+// Runner executes one experiment against an environment.
+type Runner func(*Env) (Report, error)
+
+// registry maps experiment ids to runners. Parameterized drivers are bound
+// with their defaults; callers needing custom parameters use the typed
+// functions directly.
+var registry = map[string]Runner{
+	"fig1":   func(e *Env) (Report, error) { return Fig01(e, 0) },
+	"fig4":   func(e *Env) (Report, error) { return Fig04(e) },
+	"fig5":   func(e *Env) (Report, error) { return Fig05(e) },
+	"fig6":   func(e *Env) (Report, error) { return Fig06(e) },
+	"fig7":   func(e *Env) (Report, error) { return Fig07(e) },
+	"fig8":   func(e *Env) (Report, error) { return Fig08(e) },
+	"fig9":   func(e *Env) (Report, error) { return Fig09(e) },
+	"fig10":  func(e *Env) (Report, error) { return Fig10(e, 0) },
+	"fig11":  func(e *Env) (Report, error) { return Fig11(e, 0) },
+	"fig12":  func(e *Env) (Report, error) { return Fig12(e, nil, 0) },
+	"fig13":  func(e *Env) (Report, error) { return Fig13(e) },
+	"table1": func(e *Env) (Report, error) { return Table1(e) },
+	"overhead": func(e *Env) (Report, error) {
+		return Overhead(e, 3)
+	},
+	"ext-sampling": func(e *Env) (Report, error) {
+		return ExtSampling(e, nil, 0)
+	},
+	"ext-colocate": func(e *Env) (Report, error) {
+		return ExtColocate(e)
+	},
+}
+
+// Names lists all experiment ids in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment.
+func Run(name string, env *Env) (Report, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (available: %v)", name, Names())
+	}
+	return r(env)
+}
+
+// OverheadReport reproduces §6.7: the wall-clock cost of one LEO estimation
+// (the paper measures 0.8 s per metric on its platform, amortized over
+// long-running applications).
+type OverheadReport struct {
+	Configs       int
+	Apps          int
+	Samples       int
+	Repeats       int
+	MeanPerFit    time.Duration
+	PerMetricPair time.Duration // power + performance, the per-application cost
+}
+
+// Overhead times repeated LEO fits on the env's database.
+func Overhead(env *Env, repeats int) (*OverheadReport, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	setup, err := env.leaveOneOut("kmeans")
+	if err != nil {
+		return nil, err
+	}
+	rng := env.Rng(67)
+	mask := profile.RandomMask(env.Space.N(), env.Samples, rng)
+	perfObs := profile.Observe(setup.truePerf, mask, env.Noise, rng)
+	powerObs := profile.Observe(setup.truePower, mask, env.Noise, rng)
+
+	start := time.Now()
+	for i := 0; i < repeats; i++ {
+		if _, err := baseline.NewLEO(setup.restPerf, core.Options{}).Estimate(perfObs.Indices, perfObs.Values); err != nil {
+			return nil, err
+		}
+		if _, err := baseline.NewLEO(setup.restPower, core.Options{}).Estimate(powerObs.Indices, powerObs.Values); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	fits := 2 * repeats
+	return &OverheadReport{
+		Configs:       env.Space.N(),
+		Apps:          env.DB.NumApps(),
+		Samples:       env.Samples,
+		Repeats:       repeats,
+		MeanPerFit:    elapsed / time.Duration(fits),
+		PerMetricPair: elapsed / time.Duration(repeats),
+	}, nil
+}
+
+// Name implements Report.
+func (r *OverheadReport) Name() string { return "overhead" }
+
+// Render implements Report.
+func (r *OverheadReport) Render(w io.Writer) error {
+	t := newTable("overhead (§6.7): LEO estimation cost",
+		"configs", "apps", "samples", "per fit", "per app (perf+power)")
+	t.addRow(fmt.Sprintf("%d", r.Configs), fmt.Sprintf("%d", r.Apps), fmt.Sprintf("%d", r.Samples),
+		r.MeanPerFit.String(), r.PerMetricPair.String())
+	t.addNote("(paper: 0.8 s average per model on a 2013-era Xeon, Matlab implementation)")
+	return t.render(w)
+}

@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"leo/internal/stats"
+)
+
+// testEnv returns a small, reduced-trials environment shared by tests.
+// Experiments are deterministic given the seed, so sharing is safe.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(SizeSmall, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Trials = 2
+	return env
+}
+
+func TestParseSize(t *testing.T) {
+	if s, err := ParseSize("small"); err != nil || s != SizeSmall {
+		t.Fatalf("ParseSize(small) = %v, %v", s, err)
+	}
+	if s, err := ParseSize("full"); err != nil || s != SizeFull {
+		t.Fatalf("ParseSize(full) = %v, %v", s, err)
+	}
+	if _, err := ParseSize("medium"); err == nil {
+		t.Fatal("unknown size must error")
+	}
+	if SizeFull.Space().N() != 1024 || SizeSmall.Space().N() != 128 {
+		t.Fatal("size spaces wrong")
+	}
+	if SizeFull.String() != "full" || SizeSmall.String() != "small" {
+		t.Fatal("size strings wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 15 {
+		t.Fatalf("registry has %d experiments: %v", len(names), names)
+	}
+	for _, want := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table1", "overhead", "ext-sampling", "ext-colocate"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("experiment %q missing from registry", want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	env := testEnv(t)
+	if _, err := Run("fig99", env); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+// TestFig05Shape asserts the paper's performance-accuracy ordering:
+// LEO beats Online beats Offline on average, and LEO is near-perfect.
+func TestFig05Shape(t *testing.T) {
+	env := testEnv(t)
+	rep, err := Fig05(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Apps) != 25 {
+		t.Fatalf("fig5 covers %d apps", len(rep.Apps))
+	}
+	leo, online, offline := rep.Means()
+	if leo < 0.9 {
+		t.Fatalf("LEO mean perf accuracy = %g, want >= 0.9 (paper 0.97)", leo)
+	}
+	if leo <= online || leo <= offline {
+		t.Fatalf("ordering violated: LEO %g, Online %g, Offline %g", leo, online, offline)
+	}
+	if online <= offline {
+		t.Fatalf("paper has Online (%g) above Offline (%g) for performance", online, offline)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MEAN") || !strings.Contains(buf.String(), "kmeans") {
+		t.Fatalf("render missing content:\n%s", buf.String())
+	}
+}
+
+// TestFig06Shape asserts the power-accuracy ordering: LEO best; both
+// baselines still respectable (paper: 0.98 / 0.85 / 0.89).
+func TestFig06Shape(t *testing.T) {
+	env := testEnv(t)
+	rep, err := Fig06(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leo, online, offline := rep.Means()
+	if leo < 0.9 {
+		t.Fatalf("LEO mean power accuracy = %g, want >= 0.9 (paper 0.98)", leo)
+	}
+	if leo <= online || leo <= offline {
+		t.Fatalf("ordering violated: LEO %g, Online %g, Offline %g", leo, online, offline)
+	}
+	if offline < 0.5 {
+		t.Fatalf("Offline power accuracy %g unexpectedly bad (paper 0.89)", offline)
+	}
+}
+
+func TestFig01Shape(t *testing.T) {
+	env := testEnv(t)
+	rep, err := Fig01(env, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cores) != 32 {
+		t.Fatalf("fig1 has %d cores", len(rep.Cores))
+	}
+	leoAcc := stats.Accuracy(rep.LEOPerf, rep.TruthPerf)
+	onAcc := stats.Accuracy(rep.OnlinePerf, rep.TruthPerf)
+	offAcc := stats.Accuracy(rep.OfflinePerf, rep.TruthPerf)
+	if leoAcc <= onAcc || leoAcc <= offAcc {
+		t.Fatalf("fig1 ordering: LEO %g, Online %g, Offline %g", leoAcc, onAcc, offAcc)
+	}
+	// Energy: LEO within 25% of optimal on average; race-to-idle much worse.
+	var leoSum, optSum, raceSum float64
+	for i := range rep.Utilizations {
+		leoSum += rep.Energy["LEO"][i]
+		optSum += rep.Energy["Optimal"][i]
+		raceSum += rep.Energy["RaceToIdle"][i]
+	}
+	if leoSum > 1.25*optSum {
+		t.Fatalf("fig1 LEO energy %g vs optimal %g", leoSum, optSum)
+	}
+	if raceSum < leoSum {
+		t.Fatalf("race-to-idle (%g) should cost more than LEO (%g) on kmeans", raceSum, leoSum)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig07Fig08Shape(t *testing.T) {
+	env := testEnv(t)
+	for _, run := range []func(*Env) (*ExampleEstimatesReport, error){Fig07, Fig08} {
+		rep, err := run(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Apps) != 3 {
+			t.Fatalf("%s apps = %v", rep.Name(), rep.Apps)
+		}
+		for _, app := range rep.Apps {
+			acc := stats.Accuracy(rep.LEO[app], rep.Truth[app])
+			if acc < 0.85 {
+				t.Fatalf("%s: LEO accuracy on %s = %g", rep.Name(), app, acc)
+			}
+		}
+		var buf bytes.Buffer
+		if err := rep.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "accuracy") {
+			t.Fatal("render missing accuracy notes")
+		}
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	env := testEnv(t)
+	rep, err := Fig09(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LEO's hull must deviate least from the true hull on average.
+	var leo, online, offline float64
+	for _, app := range rep.Apps {
+		leo += rep.Deviation[app]["LEO"]
+		online += rep.Deviation[app]["Online"]
+		offline += rep.Deviation[app]["Offline"]
+	}
+	if leo >= online || leo >= offline {
+		t.Fatalf("hull deviations: LEO %g, Online %g, Offline %g", leo, online, offline)
+	}
+	for _, app := range rep.Apps {
+		trueHull := rep.Hulls[app]["True"]
+		if len(trueHull) < 3 {
+			t.Fatalf("%s true hull has %d points", app, len(trueHull))
+		}
+		// Hull must be sorted by perf and start at the idle point.
+		if trueHull[0].Index != -1 {
+			t.Fatalf("%s hull does not start at idle", app)
+		}
+		for i := 1; i < len(trueHull); i++ {
+			if trueHull[i].Perf <= trueHull[i-1].Perf {
+				t.Fatalf("%s hull not sorted", app)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	env := testEnv(t)
+	rep, err := Fig10(env, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range rep.Apps {
+		var opt, leo, race float64
+		for i := range rep.Utilizations {
+			opt += rep.Energy[app]["Optimal"][i]
+			leo += rep.Energy[app]["LEO"][i]
+			race += rep.Energy[app]["RaceToIdle"][i]
+		}
+		if leo < opt*0.999 {
+			t.Fatalf("%s: LEO (%g) beats optimal (%g)?", app, leo, opt)
+		}
+		if leo > 1.25*opt {
+			t.Fatalf("%s: LEO energy %g too far above optimal %g", app, leo, opt)
+		}
+		if race <= leo {
+			t.Fatalf("%s: race-to-idle (%g) should exceed LEO (%g)", app, race, leo)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	env := testEnv(t)
+	rep, err := Fig11(env, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Apps) != 25 {
+		t.Fatalf("fig11 covers %d apps", len(rep.Apps))
+	}
+	m := rep.Means()
+	if m["LEO"] > 1.2 {
+		t.Fatalf("LEO normalized energy %g, want near 1 (paper 1.06)", m["LEO"])
+	}
+	if m["LEO"] >= m["Online"] || m["LEO"] >= m["Offline"] || m["LEO"] >= m["RaceToIdle"] {
+		t.Fatalf("ordering violated: %v", m)
+	}
+	if m["RaceToIdle"] <= m["Online"] || m["RaceToIdle"] <= m["Offline"] {
+		t.Fatalf("race-to-idle should be the most expensive: %v", m)
+	}
+	// Normalized energies are ratios to optimal; nothing should be
+	// systematically below 1 by more than noise.
+	for approach, vals := range rep.Normalized {
+		for i, v := range vals {
+			if v < 0.95 {
+				t.Fatalf("%s on %s: normalized energy %g < 0.95", approach, rep.Apps[i], v)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	env := testEnv(t)
+	sizes := []int{0, 5, 11, 14, 20, 40}
+	rep, err := Fig12(env, sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(series []float64, k int) float64 {
+		for i, s := range sizes {
+			if s == k {
+				return series[i]
+			}
+		}
+		t.Fatalf("size %d missing", k)
+		return 0
+	}
+	// Online is rank deficient below its 12-term basis on the small space.
+	if v := at(rep.PerfOnline, 5); v != 0 {
+		t.Fatalf("Online accuracy with 5 samples = %g, want 0", v)
+	}
+	if v := at(rep.PerfOnline, 11); v != 0 {
+		t.Fatalf("Online accuracy with 11 samples = %g, want 0 (rank deficient)", v)
+	}
+	if v := at(rep.PerfOnline, 20); v <= 0 {
+		t.Fatalf("Online accuracy with 20 samples = %g, want > 0", v)
+	}
+	// LEO works at 0 samples (offline behavior) and improves with more.
+	if v := at(rep.PerfLEO, 0); v <= 0.2 {
+		t.Fatalf("LEO accuracy with 0 samples = %g", v)
+	}
+	if at(rep.PerfLEO, 40) < at(rep.PerfLEO, 0) {
+		t.Fatalf("LEO accuracy should improve with samples: %v", rep.PerfLEO)
+	}
+	// LEO dominates Online at every sample size.
+	for i := range sizes {
+		if rep.PerfLEO[i] < rep.PerfOnline[i]-0.02 {
+			t.Fatalf("LEO below Online at %d samples: %g vs %g", sizes[i], rep.PerfLEO[i], rep.PerfOnline[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig13AndTable1Shape(t *testing.T) {
+	env := testEnv(t)
+	rep, err := Table1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 frames for every approach; phase change at frame 60.
+	for _, approach := range phasedApproaches {
+		frames := rep.Frames[approach]
+		if len(frames) != 120 {
+			t.Fatalf("%s ran %d frames", approach, len(frames))
+		}
+		if frames[59].Phase != 0 || frames[60].Phase != 1 {
+			t.Fatalf("%s phase boundary wrong", approach)
+		}
+		// All approaches meet the (feasible) per-frame goal, §6.6.
+		missed := 0
+		for _, f := range frames {
+			if f.PerfNormalized < 0.98 {
+				missed++
+			}
+		}
+		if missed > 6 {
+			t.Fatalf("%s missed %d frames", approach, missed)
+		}
+	}
+	// Table 1 ordering: LEO closest to optimal overall.
+	leo := rep.Relative["LEO"]
+	off := rep.Relative["Offline"]
+	on := rep.Relative["Online"]
+	if leo[2] >= off[2] || leo[2] >= on[2] {
+		t.Fatalf("table1 overall: LEO %g, Offline %g, Online %g", leo[2], off[2], on[2])
+	}
+	if leo[2] > 1.15 {
+		t.Fatalf("LEO overall relative energy %g, want near 1 (paper 1.028)", leo[2])
+	}
+	if leo[2] < 0.99 {
+		t.Fatalf("LEO cannot beat the phase-aware optimal: %g", leo[2])
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "overall") {
+		t.Fatal("table1 render missing columns")
+	}
+	// Fig13 render too.
+	var buf13 bytes.Buffer
+	if err := rep.PhasedReport.Render(&buf13); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadReport(t *testing.T) {
+	env := testEnv(t)
+	rep, err := Overhead(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanPerFit <= 0 || rep.PerMetricPair < rep.MeanPerFit {
+		t.Fatalf("overhead durations: %+v", rep)
+	}
+	if rep.Configs != 128 || rep.Apps != 25 {
+		t.Fatalf("overhead metadata: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistrySmokeCheap runs the cheap registry entries end to end exactly
+// as the CLI would.
+func TestRegistrySmokeCheap(t *testing.T) {
+	env := testEnv(t)
+	for _, name := range []string{"fig7", "fig8", "fig9", "overhead"} {
+		rep, err := Run(name, env)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Name() != name {
+			t.Fatalf("report name %q for %q", rep.Name(), name)
+		}
+		var buf bytes.Buffer
+		if err := rep.Render(&buf); err != nil {
+			t.Fatalf("%s render: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s rendered nothing", name)
+		}
+	}
+}
+
+// TestEnvDeterminism: identical seeds give identical results.
+func TestEnvDeterminism(t *testing.T) {
+	run := func() []float64 {
+		env := testEnv(t)
+		rep, err := Fig07(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.LEO["kmeans"]
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("experiments are not deterministic")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig04CorrelationStructure(t *testing.T) {
+	env := testEnv(t)
+	rep, err := Fig04(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ThreadCorr) == 0 {
+		t.Fatal("no thread correlations")
+	}
+	if rep.ThreadCorr[0] < 0.999 {
+		t.Fatalf("self-correlation = %g, want 1", rep.ThreadCorr[0])
+	}
+	// Correlation decays with thread distance but stays high for
+	// neighbours — the transferable structure the model exploits.
+	for d := 1; d < len(rep.ThreadCorr); d++ {
+		if rep.ThreadCorr[d] > rep.ThreadCorr[d-1]+1e-9 {
+			t.Fatalf("correlation not decaying at Δ=%d: %v", d, rep.ThreadCorr)
+		}
+	}
+	if rep.ThreadCorr[1] < 0.9 {
+		t.Fatalf("adjacent-thread correlation %g, want high", rep.ThreadCorr[1])
+	}
+	if rep.SpeedCorr < 0.8 || rep.MemCorr < 0.8 {
+		t.Fatalf("speed/mem correlations %g/%g, want high", rep.SpeedCorr, rep.MemCorr)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Δthreads") {
+		t.Fatal("render missing table")
+	}
+	if rep.Name() != "fig4" {
+		t.Fatalf("Name = %q", rep.Name())
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"leo/internal/apps"
+	"leo/internal/control"
+	"leo/internal/machine"
+)
+
+// PhasedReport reproduces Figure 13 and Table 1: fluidanimate rendering
+// frames through a two-phase input whose second phase needs 2/3 the
+// resources, under each approach, against the phase-aware optimal.
+type PhasedReport struct {
+	// Frames[approach] holds per-frame records (Fig. 13: performance
+	// normalized to the target and power over time).
+	Frames map[string][]control.FrameRecord
+	// PhaseEnergy[approach][phase] is Joules spent per phase; the last
+	// entry of each slice is the total.
+	PhaseEnergy map[string][]float64
+	// Relative[approach][phase] is energy normalized to optimal (Table 1:
+	// phase 1, phase 2, overall).
+	Relative map[string][]float64
+	// Replans[approach] counts calibrations (LEO detecting the phase
+	// change replans at least twice: startup + the transition).
+	Replans map[string]int
+}
+
+// phasedApproaches are the rows of Table 1 plus the optimal reference.
+var phasedApproaches = []string{"Optimal", "LEO", "Offline", "Online"}
+
+// Fig13 reproduces Figure 13 / Table 1. The demand is set to 60% of
+// fluidanimate's peak phase-1 rate, a load both phases can meet (phase 2
+// with room to spare — the adaptation opportunity).
+func Fig13(env *Env) (*PhasedReport, error) {
+	app, err := apps.ByName("fluidanimate")
+	if err != nil {
+		return nil, err
+	}
+	setup, err := env.leaveOneOut("fluidanimate")
+	if err != nil {
+		return nil, err
+	}
+	maxRate := 0.0
+	for _, v := range setup.truePerf {
+		if v > maxRate {
+			maxRate = v
+		}
+	}
+	const frameTime = 2.0
+	spec := control.PhasedSpec{FrameWork: 0.6 * maxRate * frameTime, FrameTime: frameTime}
+
+	rep := &PhasedReport{
+		Frames:      make(map[string][]control.FrameRecord),
+		PhaseEnergy: make(map[string][]float64),
+		Relative:    make(map[string][]float64),
+		Replans:     make(map[string]int),
+	}
+	for ai, approach := range phasedApproaches {
+		mach, err := machine.New(env.Space, app, env.Noise, env.Rng(1300+int64(ai)))
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := env.newController(approach, mach, setup, env.Rng(1350+int64(ai)))
+		if err != nil {
+			return nil, err
+		}
+		res, err := ctrl.RunPhased(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig13/%s: %w", approach, err)
+		}
+		rep.Frames[approach] = res.Frames
+		energies := append([]float64(nil), res.PhaseEnergy...)
+		energies = append(energies, res.TotalEnergy)
+		rep.PhaseEnergy[approach] = energies
+		rep.Replans[approach] = res.Replans
+	}
+	opt := rep.PhaseEnergy["Optimal"]
+	for _, approach := range phasedApproaches {
+		rel := make([]float64, len(opt))
+		for i, e := range rep.PhaseEnergy[approach] {
+			rel[i] = e / opt[i]
+		}
+		rep.Relative[approach] = rel
+	}
+	return rep, nil
+}
+
+// Name implements Report.
+func (r *PhasedReport) Name() string { return "fig13" }
+
+// Render implements Report.
+func (r *PhasedReport) Render(w io.Writer) error {
+	t := newTable("fig13: fluidanimate phased run (phase change at frame 60)",
+		"frame", "phase", "LEO perf", "LEO W", "Online perf", "Online W", "Offline perf", "Offline W", "Optimal W")
+	frames := r.Frames["LEO"]
+	for i := range frames {
+		if i%10 != 0 && i != 59 && i != 60 && i != len(frames)-1 {
+			continue
+		}
+		t.addRow(fmt.Sprintf("%d", frames[i].Frame), fmt.Sprintf("%d", frames[i].Phase+1),
+			f3(r.Frames["LEO"][i].PerfNormalized), f1(r.Frames["LEO"][i].Power),
+			f3(r.Frames["Online"][i].PerfNormalized), f1(r.Frames["Online"][i].Power),
+			f3(r.Frames["Offline"][i].PerfNormalized), f1(r.Frames["Offline"][i].Power),
+			f1(r.Frames["Optimal"][i].Power))
+	}
+	t.addNote("replans: LEO %d, Online %d, Offline %d", r.Replans["LEO"], r.Replans["Online"], r.Replans["Offline"])
+	return t.render(w)
+}
+
+// Table1Report renders the Table 1 view of a phased run.
+type Table1Report struct {
+	*PhasedReport
+}
+
+// Table1 reproduces Table 1 (relative energy per phase).
+func Table1(env *Env) (*Table1Report, error) {
+	rep, err := Fig13(env)
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Report{PhasedReport: rep}, nil
+}
+
+// Name implements Report.
+func (r *Table1Report) Name() string { return "table1" }
+
+// Render implements Report.
+func (r *Table1Report) Render(w io.Writer) error {
+	t := newTable("table1: relative energy vs optimal",
+		"algorithm", "phase 1", "phase 2", "overall")
+	for _, approach := range []string{"LEO", "Offline", "Online"} {
+		rel := r.Relative[approach]
+		t.addRow(approach, f3(rel[0]), f3(rel[1]), f3(rel[2]))
+	}
+	t.addNote("(paper: LEO 1.045/1.005/1.028, Offline 1.169/1.275/1.216, Online 1.325/1.248/1.291)")
+	return t.render(w)
+}

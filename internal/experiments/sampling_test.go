@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtSamplingShape(t *testing.T) {
+	env := testEnv(t)
+	rep, err := ExtSampling(env, []int{4, 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Budgets) != 2 {
+		t.Fatalf("budgets = %v", rep.Budgets)
+	}
+	for _, policy := range []string{"random", "uniform", "active"} {
+		series := rep.Accuracy[policy]
+		if len(series) != 2 {
+			t.Fatalf("%s series = %v", policy, series)
+		}
+		for _, v := range series {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s accuracy %g outside [0,1]", policy, v)
+			}
+		}
+	}
+	// Active probing should not trail random probing at the small budget.
+	if rep.Accuracy["active"][0] < rep.Accuracy["random"][0]-0.1 {
+		t.Fatalf("active (%g) clearly worse than random (%g) at 4 probes",
+			rep.Accuracy["active"][0], rep.Accuracy["random"][0])
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "active") {
+		t.Fatal("render missing policies")
+	}
+}
+
+func TestExtSamplingBudgetValidation(t *testing.T) {
+	env := testEnv(t)
+	if _, err := ExtSampling(env, []int{env.Space.N() + 1}, 1); err == nil {
+		t.Fatal("budget beyond space must error")
+	}
+}
+
+func TestExtSamplingViaRegistry(t *testing.T) {
+	// The registry default runs the full budget sweep; use a tiny env
+	// but verify the entry exists and returns the right report name.
+	env := testEnv(t)
+	rep, err := ExtSampling(env, []int{5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name() != "ext-sampling" {
+		t.Fatalf("Name = %q", rep.Name())
+	}
+}

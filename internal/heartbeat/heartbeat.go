@@ -1,0 +1,122 @@
+// Package heartbeat implements an Application Heartbeats monitor in the
+// style of Hoffmann et al. (ICAC 2010), the instrumentation the paper uses
+// for application-specific performance feedback (§6.1). Applications issue
+// heartbeats at work milestones (a frame rendered, a batch clustered); the
+// monitor exposes windowed and lifetime heartbeat rates in beats/second.
+//
+// Time is supplied by the caller as float64 seconds so the monitor works
+// identically under simulated and wall-clock time.
+package heartbeat
+
+import (
+	"fmt"
+	"math"
+)
+
+// beat records a heartbeat batch.
+type beat struct {
+	time  float64
+	count int64
+}
+
+// Monitor accumulates heartbeats and reports rates over a sliding window of
+// the most recent beats.
+type Monitor struct {
+	window     []beat
+	windowSize int
+	total      int64
+	firstTime  float64
+	lastTime   float64
+	started    bool
+}
+
+// DefaultWindow is the default number of beat records kept for windowed
+// rates.
+const DefaultWindow = 20
+
+// NewMonitor creates a monitor with the given window size (number of beat
+// records); size <= 0 selects DefaultWindow.
+func NewMonitor(windowSize int) *Monitor {
+	if windowSize <= 0 {
+		windowSize = DefaultWindow
+	}
+	return &Monitor{windowSize: windowSize}
+}
+
+// Heartbeat registers count heartbeats at the given time (seconds). Time
+// must be non-decreasing; count must be positive.
+func (m *Monitor) Heartbeat(now float64, count int64) {
+	if count <= 0 {
+		panic(fmt.Sprintf("heartbeat: count must be positive, got %d", count))
+	}
+	if m.started && now < m.lastTime {
+		panic(fmt.Sprintf("heartbeat: time went backwards: %g < %g", now, m.lastTime))
+	}
+	if !m.started {
+		m.started = true
+		m.firstTime = now
+	}
+	m.lastTime = now
+	m.total += count
+	m.window = append(m.window, beat{time: now, count: count})
+	if len(m.window) > m.windowSize {
+		m.window = m.window[len(m.window)-m.windowSize:]
+	}
+}
+
+// Total returns the lifetime heartbeat count.
+func (m *Monitor) Total() int64 { return m.total }
+
+// Rate returns the windowed heartbeat rate (beats/s) over the retained
+// window. It returns 0 until at least two beat records exist.
+func (m *Monitor) Rate() float64 {
+	if len(m.window) < 2 {
+		return 0
+	}
+	first := m.window[0]
+	last := m.window[len(m.window)-1]
+	dt := last.time - first.time
+	if dt <= 0 {
+		return math.Inf(1)
+	}
+	n := int64(0)
+	for _, b := range m.window[1:] { // beats after the window's start instant
+		n += b.count
+	}
+	return float64(n) / dt
+}
+
+// LifetimeRate returns the rate over the whole observation span, or 0 before
+// the second beat.
+func (m *Monitor) LifetimeRate() float64 {
+	if !m.started || m.lastTime <= m.firstTime {
+		return 0
+	}
+	// Exclude the first batch: it marks the start instant.
+	if len(m.window) == 0 {
+		return 0
+	}
+	return float64(m.total-firstCount(m)) / (m.lastTime - m.firstTime)
+}
+
+// firstCount returns the count of the very first beat if it is still known;
+// the monitor only needs it for LifetimeRate and approximates with the
+// oldest retained beat once the window has slid.
+func firstCount(m *Monitor) int64 {
+	if len(m.window) == 0 {
+		return 0
+	}
+	return m.window[0].count
+}
+
+// Reset clears all state, e.g. at a phase boundary.
+func (m *Monitor) Reset() {
+	m.window = m.window[:0]
+	m.total = 0
+	m.started = false
+	m.firstTime = 0
+	m.lastTime = 0
+}
+
+// Window returns the number of beat records currently retained.
+func (m *Monitor) Window() int { return len(m.window) }

@@ -1,0 +1,127 @@
+package heartbeat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRateSteady(t *testing.T) {
+	m := NewMonitor(10)
+	for i := 0; i <= 5; i++ {
+		m.Heartbeat(float64(i), 2) // 2 beats per second
+	}
+	if r := m.Rate(); math.Abs(r-2) > 1e-12 {
+		t.Fatalf("Rate = %g, want 2", r)
+	}
+	if m.Total() != 12 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+}
+
+func TestRateBeforeTwoBeats(t *testing.T) {
+	m := NewMonitor(5)
+	if m.Rate() != 0 {
+		t.Fatal("empty monitor rate should be 0")
+	}
+	m.Heartbeat(1, 1)
+	if m.Rate() != 0 {
+		t.Fatal("single-beat rate should be 0")
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	m := NewMonitor(3)
+	// Slow beats early, fast beats late; windowed rate must reflect the
+	// recent fast period only.
+	m.Heartbeat(0, 1)
+	m.Heartbeat(10, 1) // 0.1 beats/s era
+	m.Heartbeat(10.5, 1)
+	m.Heartbeat(11, 1)
+	m.Heartbeat(11.5, 1) // 2 beats/s era
+	if m.Window() != 3 {
+		t.Fatalf("window = %d, want 3", m.Window())
+	}
+	if r := m.Rate(); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("windowed rate = %g, want 2", r)
+	}
+}
+
+func TestDefaultWindow(t *testing.T) {
+	m := NewMonitor(0)
+	for i := 0; i < DefaultWindow+10; i++ {
+		m.Heartbeat(float64(i), 1)
+	}
+	if m.Window() != DefaultWindow {
+		t.Fatalf("window = %d, want %d", m.Window(), DefaultWindow)
+	}
+}
+
+func TestLifetimeRate(t *testing.T) {
+	m := NewMonitor(100)
+	m.Heartbeat(0, 1)
+	for i := 1; i <= 10; i++ {
+		m.Heartbeat(float64(i), 3)
+	}
+	if r := m.LifetimeRate(); math.Abs(r-3) > 1e-12 {
+		t.Fatalf("LifetimeRate = %g, want 3", r)
+	}
+	empty := NewMonitor(5)
+	if empty.LifetimeRate() != 0 {
+		t.Fatal("empty lifetime rate should be 0")
+	}
+}
+
+func TestBatchCounts(t *testing.T) {
+	m := NewMonitor(10)
+	m.Heartbeat(0, 5)
+	m.Heartbeat(2, 10)
+	if r := m.Rate(); math.Abs(r-5) > 1e-12 {
+		t.Fatalf("batch rate = %g, want 5", r)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMonitor(10)
+	m.Heartbeat(0, 1)
+	m.Heartbeat(1, 1)
+	m.Reset()
+	if m.Total() != 0 || m.Rate() != 0 || m.Window() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	// Time may restart after reset without panicking.
+	m.Heartbeat(0.5, 1)
+	m.Heartbeat(1.0, 1)
+	if m.Rate() == 0 {
+		t.Fatal("monitor unusable after reset")
+	}
+}
+
+func TestZeroDurationWindow(t *testing.T) {
+	m := NewMonitor(10)
+	m.Heartbeat(1, 1)
+	m.Heartbeat(1, 1)
+	if !math.IsInf(m.Rate(), 1) {
+		t.Fatal("zero-duration window should report +Inf rate")
+	}
+}
+
+func TestNonPositiveCountPanics(t *testing.T) {
+	m := NewMonitor(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Heartbeat(0, 0)
+}
+
+func TestTimeBackwardsPanics(t *testing.T) {
+	m := NewMonitor(5)
+	m.Heartbeat(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Heartbeat(4, 1)
+}

@@ -1,0 +1,54 @@
+package lp
+
+import (
+	"fmt"
+
+	"leo/internal/matrix"
+)
+
+// EnergyProblem builds the paper's Eq. (1) as a standard-form LP:
+//
+//	minimize    Σ_c power[c]·t_c
+//	subject to  Σ_c perf[c]·t_c = W      (work completes)
+//	            Σ_c t_c + s   = T        (deadline, s = idle slack)
+//	            t, s >= 0
+//
+// The slack variable s is the final variable; idleness costs zero energy in
+// the LP itself (idle power is accounted by the caller, which keeps the LP
+// equivalent to the paper's formulation where p_c can be read as power above
+// idle).
+func EnergyProblem(perf, power []float64, w, t float64) (Problem, error) {
+	n := len(perf)
+	if len(power) != n {
+		return Problem{}, fmt.Errorf("lp: perf has %d entries, power %d", n, len(power))
+	}
+	if n == 0 {
+		return Problem{}, fmt.Errorf("lp: empty configuration set")
+	}
+	if w < 0 || t <= 0 {
+		return Problem{}, fmt.Errorf("lp: invalid work %g or deadline %g", w, t)
+	}
+	a := matrix.New(2, n+1)
+	for c := 0; c < n; c++ {
+		a.Set(0, c, perf[c])
+		a.Set(1, c, 1)
+	}
+	a.Set(1, n, 1) // slack on the deadline row
+	obj := make([]float64, n+1)
+	copy(obj, power)
+	return Problem{C: obj, A: a, B: []float64{w, t}}, nil
+}
+
+// SolveEnergy solves Eq. (1) directly and returns the per-configuration time
+// allocation t_c (length n, excluding slack) and the objective Σ p_c t_c.
+func SolveEnergy(perf, power []float64, w, t float64) ([]float64, float64, error) {
+	p, err := EnergyProblem(perf, power, w, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sol.X[:len(perf)], sol.Objective, nil
+}

@@ -1,0 +1,220 @@
+// Package lp provides a dense two-phase simplex solver for small linear
+// programs in standard form:
+//
+//	minimize    c'x
+//	subject to  A x = b,  x >= 0.
+//
+// The paper formulates energy minimization as the linear program of Eq. (1)
+// and solves it "using existing convex optimization techniques"; this
+// package is that substrate. The Pareto-hull scheduler (internal/pareto)
+// solves the same program in closed form; the simplex solver both
+// cross-checks it and handles arbitrary variations.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"leo/internal/matrix"
+)
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+// Problem is a standard-form linear program: minimize C·x subject to
+// A x = B and x >= 0.
+type Problem struct {
+	C []float64
+	A *matrix.Matrix
+	B []float64
+}
+
+// Solution is an optimal vertex.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex with Bland's anti-cycling rule.
+func Solve(p Problem) (*Solution, error) {
+	if p.A == nil {
+		return nil, fmt.Errorf("lp: nil constraint matrix")
+	}
+	m, n := p.A.Rows, p.A.Cols
+	if len(p.C) != n {
+		return nil, fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.C), n)
+	}
+	if len(p.B) != m {
+		return nil, fmt.Errorf("lp: rhs has %d entries for %d constraints", len(p.B), m)
+	}
+
+	// Tableau layout: columns [0,n) original variables, [n,n+m) artificial
+	// variables, column n+m the RHS. Rows [0,m) constraints, row m the
+	// cost row of the current phase.
+	width := n + m + 1
+	t := matrix.New(m+1, width)
+	for i := 0; i < m; i++ {
+		row := t.RowView(i)
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * p.A.At(i, j)
+		}
+		row[n+i] = 1
+		row[width-1] = sign * p.B[i]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	// Phase 1: minimize the sum of artificials. Express the cost row in
+	// terms of non-basic variables: cost_j = -sum_i A[i][j].
+	cost := t.RowView(m)
+	for j := 0; j < width; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += t.At(i, j)
+		}
+		cost[j] = -s
+	}
+	for i := 0; i < m; i++ {
+		cost[n+i] = 0
+	}
+	if err := pivotLoop(t, basis, width); err != nil {
+		return nil, err
+	}
+	if phase1 := -t.At(m, width-1); phase1 > 1e-7 {
+		return nil, fmt.Errorf("%w: artificial residual %g", ErrInfeasible, phase1)
+	}
+
+	// Drive remaining artificial variables out of the basis when a real
+	// pivot exists; rows with no real pivot are redundant constraints.
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(t.At(i, j)) > eps {
+				pivot(t, basis, i, j, width)
+				break
+			}
+		}
+	}
+
+	// Phase 2: original objective, with basic variables priced out.
+	for j := 0; j < width; j++ {
+		cost[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		cost[j] = p.C[j]
+	}
+	for i := 0; i < m; i++ {
+		if basis[i] < n && math.Abs(p.C[basis[i]]) > 0 {
+			cb := p.C[basis[i]]
+			row := t.RowView(i)
+			for j := 0; j < width; j++ {
+				cost[j] -= cb * row[j]
+			}
+		}
+	}
+	// Forbid artificials from re-entering.
+	for i := 0; i < m; i++ {
+		cost[n+i] = math.Inf(1)
+	}
+	if err := pivotLoopRestricted(t, basis, width, n); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t.At(i, width-1)
+		}
+	}
+	obj := 0.0
+	for j, c := range p.C {
+		obj += c * x[j]
+	}
+	return &Solution{X: x, Objective: obj}, nil
+}
+
+// pivotLoop runs simplex iterations until optimality, considering all
+// columns.
+func pivotLoop(t *matrix.Matrix, basis []int, width int) error {
+	return pivotLoopRestricted(t, basis, width, width-1)
+}
+
+// pivotLoopRestricted considers only the first limit columns for entering
+// variables (used in phase 2 to exclude artificials).
+func pivotLoopRestricted(t *matrix.Matrix, basis []int, width, limit int) error {
+	m := t.Rows - 1
+	cost := t.RowView(m)
+	for iter := 0; ; iter++ {
+		if iter > 50000 {
+			return fmt.Errorf("lp: iteration limit exceeded")
+		}
+		// Bland's rule: smallest-index column with negative reduced cost.
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if cost[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test, smallest basis index breaking ties (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t.At(i, enter)
+			if a <= eps {
+				continue
+			}
+			ratio := t.At(i, width-1) / a
+			if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+				best = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter, width)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col), updating the basis.
+func pivot(t *matrix.Matrix, basis []int, row, col, width int) {
+	pr := t.RowView(row)
+	inv := 1 / pr[col]
+	for j := 0; j < width; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := 0; i < t.Rows; i++ {
+		if i == row {
+			continue
+		}
+		r := t.RowView(i)
+		f := r[col]
+		if f == 0 || math.IsInf(f, 0) {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			r[j] -= f * pr[j]
+		}
+		r[col] = 0 // exact
+	}
+	basis[row] = col
+}

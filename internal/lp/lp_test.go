@@ -1,0 +1,257 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leo/internal/matrix"
+)
+
+func TestSolveSimple(t *testing.T) {
+	// minimize -x - y  s.t. x + y + s = 4, x + 3y + u = 6 (s,u slacks).
+	// Optimum: x=4, y=0, objective -4? Check x+3y<=6: x=3,y=1 gives -4 too;
+	// vertex candidates: (4,0): -4, (3,1): -4, (0,2): -2. Optimal -4.
+	a := matrix.NewFromRows([][]float64{
+		{1, 1, 1, 0},
+		{1, 3, 0, 1},
+	})
+	sol, err := Solve(Problem{C: []float64{-1, -1, 0, 0}, A: a, B: []float64{4, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective+4) > 1e-9 {
+		t.Fatalf("objective = %g, want -4", sol.Objective)
+	}
+	// Feasibility of the returned point.
+	if math.Abs(sol.X[0]+sol.X[1]+sol.X[2]-4) > 1e-9 {
+		t.Fatalf("constraint 1 violated: %v", sol.X)
+	}
+}
+
+func TestSolveEqualityOnly(t *testing.T) {
+	// minimize 2x + 3y  s.t. x + y = 10 → x=10, y=0, obj 20.
+	a := matrix.NewFromRows([][]float64{{1, 1}})
+	sol, err := Solve(Problem{C: []float64{2, 3}, A: a, B: []float64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-20) > 1e-9 || math.Abs(sol.X[0]-10) > 1e-9 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x + y = -5 with x,y >= 0 is infeasible... but b<0 is normalized, so
+	// use x + y = 1 and x + y = 2 simultaneously.
+	a := matrix.NewFromRows([][]float64{{1, 1}, {1, 1}})
+	_, err := Solve(Problem{C: []float64{1, 1}, A: a, B: []float64{1, 2}})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// minimize -x  s.t. x - y = 0: x can grow without bound.
+	a := matrix.NewFromRows([][]float64{{1, -1}})
+	_, err := Solve(Problem{C: []float64{-1, 0}, A: a, B: []float64{0}})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x - y = -10 is x + y = 10 after normalization.
+	a := matrix.NewFromRows([][]float64{{-1, -1}})
+	sol, err := Solve(Problem{C: []float64{1, 2}, A: a, B: []float64{-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-10) > 1e-9 {
+		t.Fatalf("objective = %g, want 10", sol.Objective)
+	}
+}
+
+func TestSolveRedundantConstraint(t *testing.T) {
+	// Duplicate rows: x + y = 4 twice.
+	a := matrix.NewFromRows([][]float64{{1, 1}, {1, 1}})
+	sol, err := Solve(Problem{C: []float64{1, 3}, A: a, B: []float64{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-4) > 1e-9 {
+		t.Fatalf("objective = %g, want 4", sol.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must not cycle.
+	a := matrix.NewFromRows([][]float64{
+		{0.5, -5.5, -2.5, 9, 1, 0, 0},
+		{0.5, -1.5, -0.5, 1, 0, 1, 0},
+		{1, 0, 0, 0, 0, 0, 1},
+	})
+	c := []float64{-10, 57, 9, 24, 0, 0, 0}
+	sol, err := Solve(Problem{C: c, A: a, B: []float64{0, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective+1) > 1e-6 {
+		t.Fatalf("Beale-style LP objective = %g, want -1", sol.Objective)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	a := matrix.NewFromRows([][]float64{{1}})
+	if _, err := Solve(Problem{C: []float64{1, 2}, A: a, B: []float64{1}}); err == nil {
+		t.Fatal("objective length mismatch must error")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: a, B: []float64{1, 2}}); err == nil {
+		t.Fatal("rhs length mismatch must error")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: nil, B: []float64{1}}); err == nil {
+		t.Fatal("nil A must error")
+	}
+}
+
+func TestSolutionIsFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 2+int(r.Int31n(3)), 4+int(r.Int31n(5))
+		// Build a guaranteed-feasible problem: pick x0 >= 0, set b = A x0.
+		a := matrix.New(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = r.Float64() * 3
+		}
+		b := a.MulVec(x0)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = r.Float64() // positive costs ⇒ bounded below by 0... not
+			// necessarily bounded with free directions, but feasible.
+		}
+		sol, err := Solve(Problem{C: c, A: a, B: b})
+		if errors.Is(err, ErrUnbounded) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		// Check feasibility and optimality vs the known point.
+		res := matrix.SubVec(a.MulVec(sol.X), b)
+		if matrix.Norm2(res) > 1e-6*(1+matrix.Norm2(b)) {
+			return false
+		}
+		for _, v := range sol.X {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		return sol.Objective <= matrix.Dot(c, x0)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyProblemBasic(t *testing.T) {
+	// Two configurations: slow/low-power and fast/high-power.
+	perf := []float64{1, 4}
+	power := []float64{10, 100}
+	// W=2 work units in T=1s: must use config 2 at least partially.
+	alloc, obj, err := SolveEnergy(perf, power, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: t1 + t2 = 1 (or less), t1 + 4 t2 = 2 → mixing: t2=1/3,
+	// t1=2/3: energy = 10*2/3 + 100/3 = 40. Using only c2: t2=0.5,
+	// energy = 50. Mixing wins.
+	if math.Abs(obj-40) > 1e-6 {
+		t.Fatalf("objective = %g, want 40", obj)
+	}
+	work := perf[0]*alloc[0] + perf[1]*alloc[1]
+	if math.Abs(work-2) > 1e-6 {
+		t.Fatalf("work done = %g", work)
+	}
+	if alloc[0]+alloc[1] > 1+1e-6 {
+		t.Fatalf("deadline exceeded: %v", alloc)
+	}
+}
+
+func TestEnergyProblemInfeasible(t *testing.T) {
+	// Demands more work than the fastest configuration can deliver.
+	_, _, err := SolveEnergy([]float64{1, 2}, []float64{5, 9}, 10, 1)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestEnergyProblemZeroWork(t *testing.T) {
+	alloc, obj, err := SolveEnergy([]float64{1, 2}, []float64{5, 9}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 0 {
+		t.Fatalf("zero work should cost zero, got %g", obj)
+	}
+	for _, v := range alloc {
+		if v > 1e-9 {
+			t.Fatalf("zero work should allocate no time, got %v", alloc)
+		}
+	}
+}
+
+func TestEnergyProblemValidation(t *testing.T) {
+	if _, _, err := SolveEnergy([]float64{1}, []float64{1, 2}, 1, 1); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, _, err := SolveEnergy(nil, nil, 1, 1); err == nil {
+		t.Fatal("empty configs must error")
+	}
+	if _, _, err := SolveEnergy([]float64{1}, []float64{1}, -1, 1); err == nil {
+		t.Fatal("negative work must error")
+	}
+	if _, _, err := SolveEnergy([]float64{1}, []float64{1}, 1, 0); err == nil {
+		t.Fatal("zero deadline must error")
+	}
+}
+
+// TestEnergyUsesAtMostTwoConfigs: a vertex of Eq. (1) has at most two basic
+// time variables (two constraints), matching the hull-walk structure.
+func TestEnergyUsesAtMostTwoConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		n := 10
+		perf := make([]float64, n)
+		power := make([]float64, n)
+		for i := range perf {
+			perf[i] = 1 + rng.Float64()*9
+			power[i] = 10 + rng.Float64()*90
+		}
+		maxPerf := 0.0
+		for _, v := range perf {
+			if v > maxPerf {
+				maxPerf = v
+			}
+		}
+		w := rng.Float64() * maxPerf // feasible within T=1
+		alloc, _, err := SolveEnergy(perf, power, w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := 0
+		for _, v := range alloc {
+			if v > 1e-9 {
+				used++
+			}
+		}
+		if used > 2 {
+			t.Fatalf("optimal schedule uses %d configurations, want <= 2", used)
+		}
+	}
+}

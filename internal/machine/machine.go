@@ -1,0 +1,246 @@
+// Package machine is an executable simulator of the paper's test platform.
+// It gives the runtime the same interface a real machine would: apply a
+// configuration (the paper uses affinity masks, cpufrequtils and numactl),
+// run the application for a while, and read back heartbeats and power
+// samples. Time is simulated, so experiments that took the authors days
+// (exhaustive search on semphy took 5+ days, §6.7) complete instantly while
+// exercising identical control logic.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leo/internal/apps"
+	"leo/internal/heartbeat"
+	"leo/internal/platform"
+)
+
+// PowerSamplePeriod is the wall-power meter's sampling interval; the paper's
+// WattsUp meter reports at 1 s intervals (§6.1).
+const PowerSamplePeriod = 1.0
+
+// Machine simulates one application running on the configurable platform.
+type Machine struct {
+	space platform.Space
+	app   *apps.App
+	noise float64 // relative stddev of measurement noise
+	rng   *rand.Rand
+
+	cur     platform.Config
+	phase   int
+	simTime float64 // seconds since boot
+	energy  float64 // Joules consumed (true, noise-free)
+	work    float64 // heartbeats completed (true, fractional)
+	monitor *heartbeat.Monitor
+}
+
+// New creates a machine running app in the space's minimum configuration.
+// noise is the relative standard deviation of performance and power
+// measurements (0 for ideal instruments); rng may be nil when noise is 0.
+func New(space platform.Space, app *apps.App, noise float64, rng *rand.Rand) (*Machine, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if noise < 0 {
+		return nil, fmt.Errorf("machine: negative noise %g", noise)
+	}
+	if noise > 0 && rng == nil {
+		return nil, fmt.Errorf("machine: noise requires a random source")
+	}
+	return &Machine{
+		space:   space,
+		app:     app,
+		noise:   noise,
+		rng:     rng,
+		cur:     platform.Config{Threads: 1, Speed: 0, MemCtrls: 1},
+		monitor: heartbeat.NewMonitor(0),
+	}, nil
+}
+
+// Space returns the machine's configuration space.
+func (m *Machine) Space() platform.Space { return m.space }
+
+// App returns the application under control.
+func (m *Machine) App() *apps.App { return m.app }
+
+// Config returns the currently applied configuration.
+func (m *Machine) Config() platform.Config { return m.cur }
+
+// Apply switches the machine to configuration c. Reconfiguration is modeled
+// as free; the paper measures its runtime cost as part of LEO's overhead
+// separately (§6.7).
+func (m *Machine) Apply(c platform.Config) error {
+	if err := m.space.CheckConfig(c); err != nil {
+		return err
+	}
+	m.cur = c
+	return nil
+}
+
+// ApplyIndex switches to the configuration with flat index i.
+func (m *Machine) ApplyIndex(i int) error {
+	if i < 0 || i >= m.space.N() {
+		return fmt.Errorf("machine: configuration index %d out of range [0,%d)", i, m.space.N())
+	}
+	return m.Apply(m.space.ConfigAt(i))
+}
+
+// SetPhase switches the application's workload phase (§6.6).
+func (m *Machine) SetPhase(ph int) {
+	if ph < 0 || ph >= m.app.NumPhases() {
+		panic(fmt.Sprintf("machine: app %s has no phase %d", m.app.Name, ph))
+	}
+	m.phase = ph
+}
+
+// Phase returns the current workload phase.
+func (m *Machine) Phase() int { return m.phase }
+
+// Sample is one observation window returned by Run.
+type Sample struct {
+	Config     platform.Config
+	Duration   float64 // seconds
+	Heartbeats float64 // heartbeats completed in the window (true)
+	PerfRate   float64 // measured heartbeat rate (noisy), beats/s
+	Power      float64 // measured average power (noisy), Watts
+	Energy     float64 // true energy consumed in the window, Joules
+}
+
+// Run executes the application in the current configuration for duration
+// simulated seconds and returns the measured sample. Heartbeats accumulate
+// and energy is accounted with true (noise-free) power; the sample's
+// PerfRate and Power carry measurement noise.
+func (m *Machine) Run(duration float64) Sample {
+	if duration <= 0 {
+		panic(fmt.Sprintf("machine: non-positive run duration %g", duration))
+	}
+	rate := m.app.PhasePerformance(m.space, m.cur, m.phase)
+	power := m.app.Power(m.space, m.cur)
+	beats := rate * duration
+	energy := power * duration
+
+	m.simTime += duration
+	m.energy += energy
+	m.work += beats
+	if whole := int64(beats); whole > 0 {
+		m.monitor.Heartbeat(m.simTime, whole)
+	}
+
+	return Sample{
+		Config:     m.cur,
+		Duration:   duration,
+		Heartbeats: beats,
+		PerfRate:   m.noisy(rate),
+		Power:      m.noisy(power),
+		Energy:     energy,
+	}
+}
+
+// RunLogged executes like Run but also returns the wall-power meter's
+// readings over the window: one noisy sample per PowerSamplePeriod (the
+// paper's WattsUp meter reports at 1 s intervals, §6.1), with a final
+// partial-period sample if the duration is not a multiple of the period.
+func (m *Machine) RunLogged(duration float64) (Sample, []float64) {
+	if duration <= 0 {
+		panic(fmt.Sprintf("machine: non-positive run duration %g", duration))
+	}
+	var readings []float64
+	var agg Sample
+	remaining := duration
+	for remaining > 1e-12 {
+		step := PowerSamplePeriod
+		if step > remaining {
+			step = remaining
+		}
+		s := m.Run(step)
+		readings = append(readings, s.Power)
+		agg.Duration += s.Duration
+		agg.Heartbeats += s.Heartbeats
+		agg.Energy += s.Energy
+		remaining -= step
+	}
+	agg.Config = m.cur
+	agg.PerfRate = agg.Heartbeats / agg.Duration
+	agg.Power = agg.Energy / agg.Duration
+	return agg, readings
+}
+
+// RunWork executes until the given number of heartbeats completes in the
+// current configuration, returning the sample for that span.
+func (m *Machine) RunWork(beats float64) Sample {
+	if beats <= 0 {
+		panic(fmt.Sprintf("machine: non-positive work %g", beats))
+	}
+	rate := m.app.PhasePerformance(m.space, m.cur, m.phase)
+	return m.Run(beats / rate)
+}
+
+// Idle parks the machine for duration seconds, consuming idle power only.
+// Race-to-idle depends on this accounting (§6.2).
+func (m *Machine) Idle(duration float64) float64 {
+	if duration < 0 {
+		panic(fmt.Sprintf("machine: negative idle duration %g", duration))
+	}
+	e := m.app.IdlePower * duration
+	m.simTime += duration
+	m.energy += e
+	return e
+}
+
+// MeasurePerf samples the true heartbeat rate of configuration c with
+// measurement noise, without advancing time (a short calibration probe).
+func (m *Machine) MeasurePerf(c platform.Config) float64 {
+	return m.noisy(m.app.PhasePerformance(m.space, c, m.phase))
+}
+
+// MeasurePower samples the true power of configuration c with measurement
+// noise, without advancing time.
+func (m *Machine) MeasurePower(c platform.Config) float64 {
+	return m.noisy(m.app.Power(m.space, c))
+}
+
+// Probe runs configuration index i for the probe duration and returns
+// (perfRate, power) measurements; this is the sampling step LEO performs
+// online, and it does advance simulated time and energy.
+func (m *Machine) Probe(i int, duration float64) (perfRate, power float64, err error) {
+	prev := m.cur
+	if err := m.ApplyIndex(i); err != nil {
+		return 0, 0, err
+	}
+	s := m.Run(duration)
+	m.cur = prev
+	return s.PerfRate, s.Power, nil
+}
+
+// Elapsed returns the simulated seconds since boot.
+func (m *Machine) Elapsed() float64 { return m.simTime }
+
+// Energy returns the true total energy consumed since boot (Joules).
+func (m *Machine) Energy() float64 { return m.energy }
+
+// Work returns the true total heartbeats completed since boot.
+func (m *Machine) Work() float64 { return m.work }
+
+// HeartbeatRate returns the windowed heartbeat rate from the application's
+// heartbeat monitor.
+func (m *Machine) HeartbeatRate() float64 { return m.monitor.Rate() }
+
+// Reset clears time, energy, work and heartbeat state, keeping the
+// application, configuration and phase.
+func (m *Machine) Reset() {
+	m.simTime = 0
+	m.energy = 0
+	m.work = 0
+	m.monitor.Reset()
+}
+
+func (m *Machine) noisy(v float64) float64 {
+	if m.noise == 0 {
+		return v
+	}
+	return v * (1 + m.noise*m.rng.NormFloat64())
+}

@@ -1,0 +1,318 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leo/internal/apps"
+	"leo/internal/platform"
+)
+
+func newTestMachine(t *testing.T, noise float64) *Machine {
+	t.Helper()
+	var rng *rand.Rand
+	if noise > 0 {
+		rng = rand.New(rand.NewSource(99))
+	}
+	m, err := New(platform.Paper(), apps.MustByName("kmeans"), noise, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(platform.Space{}, apps.MustByName("kmeans"), 0, nil); err == nil {
+		t.Fatal("invalid space must error")
+	}
+	bad := *apps.MustByName("kmeans")
+	bad.BaseRate = 0
+	if _, err := New(platform.Paper(), &bad, 0, nil); err == nil {
+		t.Fatal("invalid app must error")
+	}
+	if _, err := New(platform.Paper(), apps.MustByName("kmeans"), -1, nil); err == nil {
+		t.Fatal("negative noise must error")
+	}
+	if _, err := New(platform.Paper(), apps.MustByName("kmeans"), 0.1, nil); err == nil {
+		t.Fatal("noise without rng must error")
+	}
+}
+
+func TestApplyAndConfig(t *testing.T) {
+	m := newTestMachine(t, 0)
+	c := platform.Config{Threads: 8, Speed: 10, MemCtrls: 2}
+	if err := m.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if m.Config() != c {
+		t.Fatalf("Config = %v", m.Config())
+	}
+	if err := m.Apply(platform.Config{Threads: 99, Speed: 0, MemCtrls: 1}); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestApplyIndexRoundTrip(t *testing.T) {
+	m := newTestMachine(t, 0)
+	if err := m.ApplyIndex(500); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Space().Index(m.Config()); got != 500 {
+		t.Fatalf("ApplyIndex(500) landed at %d", got)
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	m := newTestMachine(t, 0)
+	c := platform.Config{Threads: 8, Speed: 15, MemCtrls: 2}
+	if err := m.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	app := m.App()
+	wantRate := app.Performance(m.Space(), c)
+	wantPower := app.Power(m.Space(), c)
+	s := m.Run(10)
+	if math.Abs(s.PerfRate-wantRate) > 1e-12 {
+		t.Fatalf("noise-free PerfRate = %g, want %g", s.PerfRate, wantRate)
+	}
+	if math.Abs(s.Power-wantPower) > 1e-12 {
+		t.Fatalf("noise-free Power = %g, want %g", s.Power, wantPower)
+	}
+	if math.Abs(s.Heartbeats-wantRate*10) > 1e-9 {
+		t.Fatalf("Heartbeats = %g", s.Heartbeats)
+	}
+	if math.Abs(s.Energy-wantPower*10) > 1e-9 {
+		t.Fatalf("Energy = %g", s.Energy)
+	}
+	if m.Elapsed() != 10 || math.Abs(m.Energy()-s.Energy) > 1e-12 || math.Abs(m.Work()-s.Heartbeats) > 1e-12 {
+		t.Fatalf("machine totals: t=%g E=%g W=%g", m.Elapsed(), m.Energy(), m.Work())
+	}
+}
+
+func TestRunAccumulates(t *testing.T) {
+	m := newTestMachine(t, 0)
+	m.Run(5)
+	m.Run(7)
+	if m.Elapsed() != 12 {
+		t.Fatalf("Elapsed = %g", m.Elapsed())
+	}
+}
+
+func TestRunWork(t *testing.T) {
+	m := newTestMachine(t, 0)
+	if err := m.Apply(platform.Config{Threads: 4, Speed: 3, MemCtrls: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := m.RunWork(100)
+	if math.Abs(s.Heartbeats-100) > 1e-9 {
+		t.Fatalf("RunWork completed %g beats", s.Heartbeats)
+	}
+	wantDur := 100 / m.App().Performance(m.Space(), m.Config())
+	if math.Abs(s.Duration-wantDur) > 1e-9 {
+		t.Fatalf("RunWork duration %g, want %g", s.Duration, wantDur)
+	}
+}
+
+func TestIdleEnergy(t *testing.T) {
+	m := newTestMachine(t, 0)
+	e := m.Idle(20)
+	want := m.App().IdlePower * 20
+	if math.Abs(e-want) > 1e-9 || math.Abs(m.Energy()-want) > 1e-9 {
+		t.Fatalf("Idle energy %g, want %g", e, want)
+	}
+	if m.Elapsed() != 20 {
+		t.Fatalf("Idle must advance time, Elapsed = %g", m.Elapsed())
+	}
+	if m.Work() != 0 {
+		t.Fatal("Idle must not complete work")
+	}
+}
+
+func TestMeasurementNoise(t *testing.T) {
+	m := newTestMachine(t, 0.05)
+	c := platform.Config{Threads: 8, Speed: 15, MemCtrls: 2}
+	truth := m.App().Performance(m.Space(), c)
+	n := 2000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := m.MeasurePerf(c)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean-truth)/truth > 0.01 {
+		t.Fatalf("noisy measurements biased: mean %g vs truth %g", mean, truth)
+	}
+	if rel := sd / truth; rel < 0.03 || rel > 0.07 {
+		t.Fatalf("noise level %g, want ~0.05", rel)
+	}
+}
+
+func TestMeasurePerfDoesNotAdvanceTime(t *testing.T) {
+	m := newTestMachine(t, 0)
+	m.MeasurePerf(platform.Config{Threads: 1, Speed: 0, MemCtrls: 1})
+	m.MeasurePower(platform.Config{Threads: 1, Speed: 0, MemCtrls: 1})
+	if m.Elapsed() != 0 || m.Energy() != 0 {
+		t.Fatal("Measure* must not advance state")
+	}
+}
+
+func TestProbeAdvancesAndRestores(t *testing.T) {
+	m := newTestMachine(t, 0)
+	orig := platform.Config{Threads: 2, Speed: 1, MemCtrls: 1}
+	if err := m.Apply(orig); err != nil {
+		t.Fatal(err)
+	}
+	perf, power, err := m.Probe(700, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Space().ConfigAt(700)
+	if perf != m.App().Performance(m.Space(), c) || power != m.App().Power(m.Space(), c) {
+		t.Fatal("Probe measurements wrong")
+	}
+	if m.Config() != orig {
+		t.Fatal("Probe must restore the previous configuration")
+	}
+	if m.Elapsed() != 1.0 {
+		t.Fatalf("Probe must advance time, Elapsed = %g", m.Elapsed())
+	}
+	if _, _, err := m.Probe(-1, 1); err == nil {
+		t.Fatal("invalid probe index must... panic or error")
+	}
+}
+
+func TestPhaseSwitching(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := New(platform.Paper(), apps.MustByName("fluidanimate"), 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := platform.Config{Threads: 16, Speed: 8, MemCtrls: 2}
+	if err := m.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	r0 := m.Run(1).PerfRate
+	m.SetPhase(1)
+	if m.Phase() != 1 {
+		t.Fatalf("Phase = %d", m.Phase())
+	}
+	r1 := m.Run(1).PerfRate
+	if math.Abs(r1/r0-1.5) > 1e-9 {
+		t.Fatalf("phase 2 rate ratio = %g, want 1.5", r1/r0)
+	}
+}
+
+func TestSetPhasePanicsOutOfRange(t *testing.T) {
+	m := newTestMachine(t, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SetPhase(1) // kmeans has a single phase
+}
+
+func TestHeartbeatRate(t *testing.T) {
+	m := newTestMachine(t, 0)
+	if err := m.Apply(platform.Config{Threads: 8, Speed: 15, MemCtrls: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		m.Run(1)
+	}
+	want := m.App().Performance(m.Space(), m.Config())
+	if r := m.HeartbeatRate(); math.Abs(r-want)/want > 0.1 {
+		t.Fatalf("HeartbeatRate = %g, want ~%g", r, want)
+	}
+}
+
+func TestRunLoggedReadings(t *testing.T) {
+	m := newTestMachine(t, 0.02)
+	if err := m.Apply(platform.Config{Threads: 8, Speed: 10, MemCtrls: 2}); err != nil {
+		t.Fatal(err)
+	}
+	agg, readings := m.RunLogged(5.5)
+	// 5 full one-second samples plus a final half-second one.
+	if len(readings) != 6 {
+		t.Fatalf("got %d readings for 5.5 s", len(readings))
+	}
+	if math.Abs(agg.Duration-5.5) > 1e-9 {
+		t.Fatalf("aggregate duration %g", agg.Duration)
+	}
+	truth := m.App().Power(m.Space(), m.Config())
+	varies := false
+	for _, r := range readings {
+		if math.Abs(r-truth)/truth > 0.2 {
+			t.Fatalf("reading %g too far from true power %g", r, truth)
+		}
+		if r != readings[0] {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("noisy meter readings should vary")
+	}
+	// Aggregate energy is exact (true power × time).
+	if math.Abs(agg.Energy-truth*5.5) > 1e-6 {
+		t.Fatalf("aggregate energy %g", agg.Energy)
+	}
+}
+
+func TestRunLoggedMatchesRunAccounting(t *testing.T) {
+	a := newTestMachine(t, 0)
+	b := newTestMachine(t, 0)
+	cfg := platform.Config{Threads: 4, Speed: 3, MemCtrls: 1}
+	if err := a.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sa := a.Run(3)
+	sb, _ := b.RunLogged(3)
+	if math.Abs(sa.Energy-sb.Energy) > 1e-9 || math.Abs(sa.Heartbeats-sb.Heartbeats) > 1e-9 {
+		t.Fatalf("logged run diverges: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestRunLoggedPanics(t *testing.T) {
+	m := newTestMachine(t, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.RunLogged(0)
+}
+
+func TestReset(t *testing.T) {
+	m := newTestMachine(t, 0)
+	m.Run(5)
+	m.Reset()
+	if m.Elapsed() != 0 || m.Energy() != 0 || m.Work() != 0 || m.HeartbeatRate() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestRunPanics(t *testing.T) {
+	m := newTestMachine(t, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Run(0)
+}
+
+func TestIdlePanicsNegative(t *testing.T) {
+	m := newTestMachine(t, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Idle(-1)
+}

@@ -1,0 +1,105 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSPD(n int) *Matrix {
+	rng := rand.New(rand.NewSource(1))
+	return randomSPD(rng, n)
+}
+
+func BenchmarkMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomMatrix(rng, 128, 128)
+	y := randomMatrix(rng, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}
+
+func BenchmarkMul512Parallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomMatrix(rng, 512, 512)
+	y := randomMatrix(rng, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}
+
+func BenchmarkCholesky128(b *testing.B) {
+	a := benchSPD(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholesky512(b *testing.B) {
+	a := benchSPD(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskySolveMatrix128(b *testing.B) {
+	a := benchSPD(128)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	rhs := randomMatrix(rng, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Solve(rhs)
+	}
+}
+
+func BenchmarkCholeskyInverse128(b *testing.B) {
+	a := benchSPD(128)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Inverse()
+	}
+}
+
+func BenchmarkQRLeastSquares(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 200, 15)
+	y := make([]float64, 200)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulVec1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomMatrix(rng, 1024, 1024)
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x)
+	}
+}

@@ -1,0 +1,228 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization encounters
+// a non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("matrix: not positive definite")
+
+// Cholesky is the lower-triangular factor L of a symmetric positive-definite
+// matrix A = L L'.
+type Cholesky struct {
+	n int
+	l *Matrix // lower triangular, upper part zeroed
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a. The input is
+// not modified. It returns ErrNotPositiveDefinite if a pivot is not strictly
+// positive.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	a.checkSquare("NewCholesky")
+	n := a.Rows
+	l := a.Clone()
+	data := l.Data
+	for j := 0; j < n; j++ {
+		d := data[j*n+j]
+		for k := 0; k < j; k++ {
+			v := data[j*n+k]
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d)
+		}
+		d = math.Sqrt(d)
+		data[j*n+j] = d
+		inv := 1 / d
+		cholColumn(data, n, j, inv)
+	}
+	// Zero the strictly upper triangle so l is exactly lower triangular.
+	for r := 0; r < n; r++ {
+		for c := r + 1; c < n; c++ {
+			data[r*n+c] = 0
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// cholColumn updates column j below the diagonal: for i > j,
+// L[i,j] = (A[i,j] - sum_k L[i,k] L[j,k]) / L[j,j].
+// It parallelizes across rows for large systems.
+func cholColumn(data []float64, n, j int, invPivot float64) {
+	lo, hi := j+1, n
+	rows := hi - lo
+	work := rows * j
+	if work < 1<<18 || rows < 4 {
+		cholColumnRange(data, n, j, invPivot, lo, hi)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for s := lo; s < hi; s += chunk {
+		e := s + chunk
+		if e > hi {
+			e = hi
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			cholColumnRange(data, n, j, invPivot, s, e)
+		}(s, e)
+	}
+	wg.Wait()
+}
+
+func cholColumnRange(data []float64, n, j int, invPivot float64, lo, hi int) {
+	jrow := data[j*n : j*n+j]
+	for i := lo; i < hi; i++ {
+		irow := data[i*n : i*n+j]
+		s := data[i*n+j]
+		for k, v := range jrow {
+			s -= irow[k] * v
+		}
+		data[i*n+j] = s * invPivot
+	}
+}
+
+// NewCholeskyJitter factors a, adding progressively larger multiples of the
+// identity (starting at jitter, growing 10× up to maxTries times) until the
+// factorization succeeds. It returns the factor and the jitter actually
+// applied. This is how LEO keeps Σ usable despite floating-point drift.
+func NewCholeskyJitter(a *Matrix, jitter float64, maxTries int) (*Cholesky, float64, error) {
+	if jitter <= 0 {
+		jitter = 1e-10
+	}
+	if ch, err := NewCholesky(a); err == nil {
+		return ch, 0, nil
+	}
+	cur := jitter
+	for try := 0; try < maxTries; try++ {
+		b := a.Clone().AddDiagonal(cur)
+		if ch, err := NewCholesky(b); err == nil {
+			return ch, cur, nil
+		}
+		cur *= 10
+	}
+	return nil, 0, fmt.Errorf("%w even after jitter up to %g", ErrNotPositiveDefinite, cur/10)
+}
+
+// Size returns the dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// SolveVec solves A x = b for x, where A = L L'.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("matrix: SolveVec length %d != size %d", len(b), c.n))
+	}
+	x := CloneVec(b)
+	c.solveInPlace(x)
+	return x
+}
+
+// solveInPlace solves L L' x = x, overwriting x.
+func (c *Cholesky) solveInPlace(x []float64) {
+	n, data := c.n, c.l.Data
+	// Forward substitution: L y = b.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		row := data[i*n : i*n+i]
+		for k, v := range row {
+			s -= v * x[k]
+		}
+		x[i] = s / data[i*n+i]
+	}
+	// Back substitution: L' x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= data[k*n+i] * x[k]
+		}
+		x[i] = s / data[i*n+i]
+	}
+}
+
+// Solve solves A X = B for X, column by column, in parallel for large B.
+func (c *Cholesky) Solve(b *Matrix) *Matrix {
+	if b.Rows != c.n {
+		panic(fmt.Sprintf("matrix: Solve rows %d != size %d", b.Rows, c.n))
+	}
+	// Work on the transpose so each goroutine owns contiguous memory.
+	bt := b.Transpose()
+	cols := bt.Rows
+	workers := runtime.GOMAXPROCS(0)
+	if c.n < 128 || cols < 2 {
+		workers = 1
+	}
+	if workers > cols {
+		workers = cols
+	}
+	var wg sync.WaitGroup
+	chunk := (cols + workers - 1) / workers
+	for lo := 0; lo < cols; lo += chunk {
+		hi := lo + chunk
+		if hi > cols {
+			hi = cols
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				c.solveInPlace(bt.RowView(j))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return bt.Transpose()
+}
+
+// Inverse returns A^{-1} where A = L L'. The result is symmetrized to remove
+// round-off asymmetry.
+func (c *Cholesky) Inverse() *Matrix {
+	inv := c.Solve(Identity(c.n))
+	return inv.Symmetrize()
+}
+
+// LogDet returns log(det(A)) = 2 * sum(log(diag(L))).
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.Data[i*c.n+i])
+	}
+	return 2 * s
+}
+
+// Det returns det(A). It can overflow to +Inf for large well-scaled systems;
+// prefer LogDet for likelihood computations.
+func (c *Cholesky) Det() float64 {
+	return math.Exp(c.LogDet())
+}
+
+// MulLVec returns L * x; useful for sampling from N(mu, A) via mu + L*z.
+func (c *Cholesky) MulLVec(x []float64) []float64 {
+	if len(x) != c.n {
+		panic(fmt.Sprintf("matrix: MulLVec length %d != size %d", len(x), c.n))
+	}
+	n, data := c.n, c.l.Data
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := data[i*n : i*n+i+1]
+		s := 0.0
+		for k, v := range row {
+			s += v * x[k]
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned by least-squares solves whose design matrix
+// does not have full column rank. The Online baseline in the paper hits this
+// below 15 samples (§6.5, Fig. 12).
+var ErrRankDeficient = errors.New("matrix: rank-deficient least squares")
+
+// QR holds a Householder QR factorization of an m×n matrix (m >= n):
+// A = Q R with Q orthogonal (stored implicitly as Householder vectors) and R
+// upper triangular.
+type QR struct {
+	m, n int
+	qr   *Matrix   // packed: R in upper triangle, Householder vectors below
+	tau  []float64 // Householder scalar factors
+}
+
+// NewQR factors a (m×n, m >= n). The input is not modified.
+func NewQR(a *Matrix) *QR {
+	if a.Rows < a.Cols {
+		panic(fmt.Sprintf("matrix: NewQR needs rows >= cols, got %dx%d", a.Rows, a.Cols))
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Compute the norm of column k below (and including) the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			v := qr.Data[i*n+k]
+			norm = math.Hypot(norm, v)
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		if qr.Data[k*n+k] < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Data[i*n+k] /= norm
+		}
+		qr.Data[k*n+k] += 1
+		tau[k] = norm
+		// Apply the transformation to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.Data[i*n+k] * qr.Data[i*n+j]
+			}
+			s = -s / qr.Data[k*n+k]
+			for i := k; i < m; i++ {
+				qr.Data[i*n+j] += s * qr.Data[i*n+k]
+			}
+		}
+	}
+	return &QR{m: m, n: n, qr: qr, tau: tau}
+}
+
+// Rank estimates the numerical rank of the factored matrix by counting
+// diagonal entries of R above tol * max|diag(R)|.
+func (q *QR) Rank(tol float64) int {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxDiag := 0.0
+	for k := 0; k < q.n; k++ {
+		if d := math.Abs(q.tau[k]); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		return 0
+	}
+	rank := 0
+	for k := 0; k < q.n; k++ {
+		if math.Abs(q.tau[k]) > tol*maxDiag {
+			rank++
+		}
+	}
+	return rank
+}
+
+// SolveVec solves the least-squares problem min ||A x - b||_2. It returns
+// ErrRankDeficient when A lacks full column rank.
+func (q *QR) SolveVec(b []float64) ([]float64, error) {
+	if len(b) != q.m {
+		panic(fmt.Sprintf("matrix: QR SolveVec length %d != rows %d", len(b), q.m))
+	}
+	if q.Rank(1e-10) < q.n {
+		return nil, fmt.Errorf("%w: rank %d < %d columns", ErrRankDeficient, q.Rank(1e-10), q.n)
+	}
+	m, n := q.m, q.n
+	y := CloneVec(b)
+	// Apply Householder reflections: y = Q' b.
+	for k := 0; k < n; k++ {
+		if q.tau[k] == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += q.qr.Data[i*n+k] * y[i]
+		}
+		s = -s / q.qr.Data[k*n+k]
+		for i := k; i < m; i++ {
+			y[i] += s * q.qr.Data[i*n+k]
+		}
+	}
+	// Back substitution with R (diag(R) = -tau, off-diagonals stored above).
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= q.qr.Data[i*n+j] * x[j]
+		}
+		x[i] = s / -q.tau[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A x - b||_2 in one call.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	return NewQR(a).SolveVec(b)
+}

@@ -1,0 +1,295 @@
+// Package pareto extracts Pareto-optimal power/performance tradeoffs and
+// solves the paper's energy-minimization LP (Eq. 1) in closed form by
+// walking the lower convex hull of the tradeoff space (§5.3: LEO "finds the
+// set of configurations that represent Pareto-optimal performance and power
+// tradeoffs, and finally walks along the convex hull of this optimal
+// tradeoff space until the performance goal is reached").
+//
+// The optimal schedule time-shares between at most two configurations that
+// are adjacent vertices of the lower convex hull of the (performance, power)
+// cloud augmented with the idle point — exactly the vertex structure of the
+// LP, which internal/lp cross-checks.
+package pareto
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInfeasible is returned when no configuration (or mix) can complete the
+// requested work by the deadline.
+var ErrInfeasible = errors.New("pareto: performance demand exceeds fastest configuration")
+
+// Point is one configuration's position in the tradeoff space.
+type Point struct {
+	Index int     // configuration index; -1 denotes the idle pseudo-point
+	Perf  float64 // heartbeats/s
+	Power float64 // Watts
+}
+
+// IdleIndex is the Index of the idle pseudo-point in hulls.
+const IdleIndex = -1
+
+// Frontier returns the Pareto-optimal points of the (perf, power) cloud:
+// points for which no other point has both higher-or-equal performance and
+// lower-or-equal power (with at least one strict). The result is sorted by
+// increasing performance, and by increasing power among equals.
+func Frontier(perf, power []float64) []Point {
+	if len(perf) != len(power) {
+		panic(fmt.Sprintf("pareto: perf has %d entries, power %d", len(perf), len(power)))
+	}
+	pts := make([]Point, len(perf))
+	for i := range perf {
+		pts[i] = Point{Index: i, Perf: perf[i], Power: power[i]}
+	}
+	// Sort by perf descending, power ascending; sweep keeping the running
+	// minimum power. A point is dominated iff some point with >= perf has
+	// <= power (other than itself, ties handled by ordering).
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].Perf != pts[b].Perf {
+			return pts[a].Perf > pts[b].Perf
+		}
+		if pts[a].Power != pts[b].Power {
+			return pts[a].Power < pts[b].Power
+		}
+		return pts[a].Index < pts[b].Index
+	})
+	var out []Point
+	best := math.Inf(1)
+	for _, p := range pts {
+		if p.Power < best {
+			out = append(out, p)
+			best = p.Power
+		}
+	}
+	// Reverse to increasing performance.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// LowerHull returns the vertices of the lower convex hull of pts in the
+// (perf, power) plane, sorted by increasing performance. Input points need
+// not be Pareto-filtered. The hull is the graph of the convex minorant:
+// every achievable time-sharing mix lies on or above it.
+func LowerHull(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Perf != sorted[b].Perf {
+			return sorted[a].Perf < sorted[b].Perf
+		}
+		return sorted[a].Power < sorted[b].Power
+	})
+	// Drop duplicate-perf points, keeping the cheapest.
+	dedup := sorted[:0]
+	for _, p := range sorted {
+		if len(dedup) > 0 && dedup[len(dedup)-1].Perf == p.Perf {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	// Andrew's monotone chain, lower boundary only.
+	var hull []Point
+	for _, p := range dedup {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull
+}
+
+// cross returns the z-component of (b−a)×(c−a); > 0 means a→b→c turns
+// counter-clockwise (b below the a–c chord, i.e. b is a hull vertex).
+func cross(a, b, c Point) float64 {
+	return (b.Perf-a.Perf)*(c.Power-a.Power) - (b.Power-a.Power)*(c.Perf-a.Perf)
+}
+
+// Allocation is time assigned to one configuration.
+type Allocation struct {
+	Index int     // configuration index (never IdleIndex)
+	Time  float64 // seconds
+}
+
+// Plan is an energy-minimizing schedule for one (W, T) demand.
+type Plan struct {
+	Allocations []Allocation // at most two entries, fastest last
+	IdleTime    float64      // seconds spent idle before the deadline
+	Energy      float64      // predicted energy over [0,T], Joules (includes idle)
+	Rate        float64      // demanded average rate W/T
+}
+
+// MinimizeEnergy computes the minimal-energy plan that completes w heartbeats
+// within t seconds, given per-configuration performance and total-system
+// power plus the system's idle power. Estimates may be imperfect: the plan
+// is optimal for the inputs, and the caller measures what actually happens.
+//
+// Non-positive or non-finite perf estimates are treated as unusable
+// configurations (an estimator can produce them; the machine cannot run
+// backwards).
+func MinimizeEnergy(perf, power []float64, idlePower, w, t float64) (*Plan, error) {
+	if len(perf) != len(power) {
+		return nil, fmt.Errorf("pareto: perf has %d entries, power %d", len(perf), len(power))
+	}
+	if w < 0 || t <= 0 {
+		return nil, fmt.Errorf("pareto: invalid work %g or deadline %g", w, t)
+	}
+	if idlePower < 0 {
+		return nil, fmt.Errorf("pareto: negative idle power %g", idlePower)
+	}
+	pts := []Point{{Index: IdleIndex, Perf: 0, Power: idlePower}}
+	for i := range perf {
+		if perf[i] <= 0 || math.IsNaN(perf[i]) || math.IsInf(perf[i], 0) ||
+			power[i] <= 0 || math.IsNaN(power[i]) || math.IsInf(power[i], 0) {
+			continue
+		}
+		pts = append(pts, Point{Index: i, Perf: perf[i], Power: power[i]})
+	}
+	hull := LowerHull(pts)
+	rate := w / t
+	// Locate the hull segment containing the demanded rate.
+	last := hull[len(hull)-1]
+	if rate > last.Perf*(1+1e-12) {
+		return nil, fmt.Errorf("%w: need %g beats/s, fastest hull point %g", ErrInfeasible, rate, last.Perf)
+	}
+	if rate >= last.Perf {
+		return finishPlan([]weighted{{last, t}}, w, t, idlePower), nil
+	}
+	for s := 0; s < len(hull)-1; s++ {
+		lo, hi := hull[s], hull[s+1]
+		if rate < lo.Perf || rate > hi.Perf {
+			continue
+		}
+		frac := (rate - lo.Perf) / (hi.Perf - lo.Perf)
+		return finishPlan([]weighted{{lo, (1 - frac) * t}, {hi, frac * t}}, w, t, idlePower), nil
+	}
+	// rate below the slowest hull point: time-share with idle... which is
+	// hull[0] when idle is cheapest; if we get here the rate is below
+	// hull[0].Perf with hull[0] a real config (idle was dominated, which
+	// cannot happen since idle has perf 0 and is leftmost after dedup
+	// unless a config has perf 0 too). Run the slowest hull point long
+	// enough for the work and idle the remainder.
+	lo := hull[0]
+	run := w / lo.Perf
+	return finishPlan([]weighted{{lo, run}}, w, t, idlePower), nil
+}
+
+type weighted struct {
+	p    Point
+	time float64
+}
+
+// finishPlan converts weighted hull points to a Plan, folding the idle
+// pseudo-point into IdleTime and accounting idle energy for slack.
+func finishPlan(parts []weighted, w, t, idlePower float64) *Plan {
+	plan := &Plan{Rate: w / t}
+	used := 0.0
+	for _, part := range parts {
+		if part.time <= 0 {
+			continue
+		}
+		used += part.time
+		if part.p.Index == IdleIndex {
+			plan.IdleTime += part.time
+			plan.Energy += idlePower * part.time
+			continue
+		}
+		plan.Allocations = append(plan.Allocations, Allocation{Index: part.p.Index, Time: part.time})
+		plan.Energy += part.p.Power * part.time
+	}
+	if slack := t - used; slack > 1e-12 {
+		plan.IdleTime += slack
+		plan.Energy += idlePower * slack
+	}
+	// Fastest last, for controllers that prefer the faster configuration
+	// when correcting for estimation error.
+	sort.Slice(plan.Allocations, func(a, b int) bool {
+		return plan.Allocations[a].Time > plan.Allocations[b].Time
+	})
+	return plan
+}
+
+// MaximizePerformance solves the dual problem (the goal of systems like
+// Flicker, discussed in §7): find the time-sharing schedule with the highest
+// average heartbeat rate whose average power does not exceed powerCap.
+// The optimum again lies on the tradeoff hull: it is the fastest point of
+// the hull whose power is within the cap, or the mix of the two hull points
+// bracketing the cap. Returns the achievable rate and the plan over a
+// deadline of t seconds.
+func MaximizePerformance(perf, power []float64, idlePower, powerCap, t float64) (*Plan, error) {
+	if len(perf) != len(power) {
+		return nil, fmt.Errorf("pareto: perf has %d entries, power %d", len(perf), len(power))
+	}
+	if t <= 0 {
+		return nil, fmt.Errorf("pareto: invalid deadline %g", t)
+	}
+	if idlePower < 0 {
+		return nil, fmt.Errorf("pareto: negative idle power %g", idlePower)
+	}
+	if powerCap < idlePower {
+		return nil, fmt.Errorf("pareto: power cap %g below idle power %g", powerCap, idlePower)
+	}
+	pts := []Point{{Index: IdleIndex, Perf: 0, Power: idlePower}}
+	for i := range perf {
+		if perf[i] <= 0 || math.IsNaN(perf[i]) || math.IsInf(perf[i], 0) ||
+			power[i] <= 0 || math.IsNaN(power[i]) || math.IsInf(power[i], 0) {
+			continue
+		}
+		pts = append(pts, Point{Index: i, Perf: perf[i], Power: power[i]})
+	}
+	hull := LowerHull(pts)
+	last := hull[len(hull)-1]
+	if last.Power <= powerCap {
+		// The cap doesn't bind: run the fastest hull point flat out.
+		w := last.Perf * t
+		return finishPlan([]weighted{{last, t}}, w, t, idlePower), nil
+	}
+	// Walk to the segment whose power brackets the cap. Hull power is
+	// increasing along the walk (the hull is convex and starts at idle).
+	for s := 0; s < len(hull)-1; s++ {
+		lo, hi := hull[s], hull[s+1]
+		if powerCap < lo.Power || powerCap > hi.Power {
+			continue
+		}
+		frac := (powerCap - lo.Power) / (hi.Power - lo.Power)
+		rate := lo.Perf*(1-frac) + hi.Perf*frac
+		return finishPlan([]weighted{{lo, (1 - frac) * t}, {hi, frac * t}}, rate*t, t, idlePower), nil
+	}
+	// Cap below every real hull point: all idle.
+	return finishPlan([]weighted{{hull[0], t}}, 0, t, idlePower), nil
+}
+
+// Work returns the work the plan completes under the given true performance
+// vector (heartbeats).
+func (p *Plan) Work(truePerf []float64) float64 {
+	w := 0.0
+	for _, a := range p.Allocations {
+		w += truePerf[a.Index] * a.Time
+	}
+	return w
+}
+
+// TrueEnergy returns the energy the plan actually consumes under the true
+// power vector and idle power.
+func (p *Plan) TrueEnergy(truePower []float64, idlePower float64) float64 {
+	e := idlePower * p.IdleTime
+	for _, a := range p.Allocations {
+		e += truePower[a.Index] * a.Time
+	}
+	return e
+}
+
+// TotalTime returns allocated plus idle time.
+func (p *Plan) TotalTime() float64 {
+	t := p.IdleTime
+	for _, a := range p.Allocations {
+		t += a.Time
+	}
+	return t
+}

@@ -1,0 +1,146 @@
+// Package platform models the configurable machine LEO optimizes: the
+// cross-product of thread allocation, DVFS clock speed, and memory-controller
+// assignment. It reproduces the paper's test platform — a dual-socket Xeon
+// E5-2690 exposing 32 hardware threads, 15 DVFS settings (1.2–2.9 GHz) plus
+// TurboBoost, and 2 memory controllers, for 1024 user-accessible
+// configurations — as a parametric Space so experiments can also run at
+// reduced sizes without changing any code paths.
+//
+// Configuration indices follow the paper's flattening order (§6.3): "The
+// number of memory controllers is the fastest changing component of
+// configuration, followed by clockspeed, followed by number of cores."
+package platform
+
+import "fmt"
+
+// Space describes a configuration space: every combination of
+// 1..Threads threads, Speeds clock settings, and 1..MemCtrls memory
+// controllers is a distinct configuration.
+type Space struct {
+	Threads  int // number of allocatable hardware threads (cores × SMT)
+	Speeds   int // number of clock settings, including TurboBoost as the top one
+	MemCtrls int // number of memory controllers
+}
+
+// Paper returns the paper's full platform: 32 threads × 16 speeds × 2 memory
+// controllers = 1024 configurations.
+func Paper() Space { return Space{Threads: 32, Speeds: 16, MemCtrls: 2} }
+
+// Small returns a reduced space (32 × 2 × 2 = 128 configurations) that keeps
+// all three dimensions active; used for fast test/CI runs.
+func Small() Space { return Space{Threads: 32, Speeds: 2, MemCtrls: 2} }
+
+// CoresOnly returns the 32-configuration core-allocation space used by the
+// paper's motivating Kmeans example (§2, Fig. 1).
+func CoresOnly() Space { return Space{Threads: 32, Speeds: 1, MemCtrls: 1} }
+
+// Validate reports whether the space's dimensions are all positive.
+func (s Space) Validate() error {
+	if s.Threads < 1 || s.Speeds < 1 || s.MemCtrls < 1 {
+		return fmt.Errorf("platform: invalid space %+v: all dimensions must be >= 1", s)
+	}
+	return nil
+}
+
+// N returns the number of configurations in the space.
+func (s Space) N() int { return s.Threads * s.Speeds * s.MemCtrls }
+
+// Config identifies one machine configuration.
+type Config struct {
+	Threads  int // 1..Space.Threads
+	Speed    int // 0..Space.Speeds-1, index into the frequency table
+	MemCtrls int // 1..Space.MemCtrls
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("threads=%d speed=%d memctrls=%d", c.Threads, c.Speed, c.MemCtrls)
+}
+
+// Index flattens a configuration into [0, N) following the paper's order:
+// memory controller varies fastest, then clock speed, then thread count.
+func (s Space) Index(c Config) int {
+	if err := s.CheckConfig(c); err != nil {
+		panic(err)
+	}
+	return (c.Threads-1)*s.Speeds*s.MemCtrls + c.Speed*s.MemCtrls + (c.MemCtrls - 1)
+}
+
+// ConfigAt inverts Index.
+func (s Space) ConfigAt(i int) Config {
+	if i < 0 || i >= s.N() {
+		panic(fmt.Sprintf("platform: index %d out of range [0,%d)", i, s.N()))
+	}
+	mc := i%s.MemCtrls + 1
+	i /= s.MemCtrls
+	sp := i % s.Speeds
+	th := i/s.Speeds + 1
+	return Config{Threads: th, Speed: sp, MemCtrls: mc}
+}
+
+// CheckConfig validates that c lies within the space.
+func (s Space) CheckConfig(c Config) error {
+	if c.Threads < 1 || c.Threads > s.Threads ||
+		c.Speed < 0 || c.Speed >= s.Speeds ||
+		c.MemCtrls < 1 || c.MemCtrls > s.MemCtrls {
+		return fmt.Errorf("platform: config %v outside space %+v", c, s)
+	}
+	return nil
+}
+
+// Configs returns every configuration in index order.
+func (s Space) Configs() []Config {
+	out := make([]Config, s.N())
+	for i := range out {
+		out[i] = s.ConfigAt(i)
+	}
+	return out
+}
+
+// Physical frequency limits of the modeled Xeon E5-2690 (GHz).
+const (
+	MinFreqGHz   = 1.2 // lowest DVFS setting
+	BaseFreqGHz  = 2.9 // highest non-turbo setting; used as the reference
+	TurboFreqGHz = 3.3 // TurboBoost
+)
+
+// Frequency returns the clock frequency (GHz) for speed setting sp.
+// The top setting is TurboBoost; the remaining settings are spaced evenly
+// over [MinFreqGHz, BaseFreqGHz] (for Speeds == 16 this reproduces the
+// paper's 15 DVFS steps plus turbo). A one-speed space runs at base clock.
+func (s Space) Frequency(sp int) float64 {
+	if sp < 0 || sp >= s.Speeds {
+		panic(fmt.Sprintf("platform: speed %d out of range [0,%d)", sp, s.Speeds))
+	}
+	if s.Speeds == 1 {
+		return BaseFreqGHz
+	}
+	if sp == s.Speeds-1 {
+		return TurboFreqGHz
+	}
+	steps := s.Speeds - 1 // non-turbo settings
+	if steps == 1 {
+		return BaseFreqGHz
+	}
+	return MinFreqGHz + float64(sp)*(BaseFreqGHz-MinFreqGHz)/float64(steps-1)
+}
+
+// PhysicalCores is the number of physical cores on the modeled machine;
+// thread counts above this use the second hardware thread of each core.
+const PhysicalCores = 16
+
+// CoresPerSocket is the number of physical cores per socket.
+const CoresPerSocket = 8
+
+// MaxConfig returns the "race-to-idle" configuration: all threads, highest
+// clock, all memory controllers.
+func (s Space) MaxConfig() Config {
+	return Config{Threads: s.Threads, Speed: s.Speeds - 1, MemCtrls: s.MemCtrls}
+}
+
+// Features returns the numeric predictors (threads, frequency in GHz, memory
+// controllers) the Online polynomial-regression baseline uses for
+// configuration i.
+func (s Space) Features(i int) (threads, freqGHz, memCtrls float64) {
+	c := s.ConfigAt(i)
+	return float64(c.Threads), s.Frequency(c.Speed), float64(c.MemCtrls)
+}

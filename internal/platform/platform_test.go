@@ -1,0 +1,217 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperSpaceSize(t *testing.T) {
+	s := Paper()
+	if n := s.N(); n != 1024 {
+		t.Fatalf("paper space has %d configurations, want 1024", n)
+	}
+}
+
+func TestSmallAndCoresOnlySizes(t *testing.T) {
+	if n := Small().N(); n != 128 {
+		t.Fatalf("small space N = %d, want 128", n)
+	}
+	if n := CoresOnly().N(); n != 32 {
+		t.Fatalf("cores-only space N = %d, want 32", n)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Paper().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Space{Threads: 0, Speeds: 1, MemCtrls: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero threads must be invalid")
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	s := Paper()
+	for i := 0; i < s.N(); i++ {
+		c := s.ConfigAt(i)
+		if got := s.Index(c); got != i {
+			t.Fatalf("round trip failed: %d -> %v -> %d", i, c, got)
+		}
+	}
+}
+
+func TestIndexRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Space{
+			Threads:  1 + int(r.Int31n(40)),
+			Speeds:   1 + int(r.Int31n(20)),
+			MemCtrls: 1 + int(r.Int31n(4)),
+		}
+		i := int(r.Int31n(int32(s.N())))
+		return s.Index(s.ConfigAt(i)) == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperOrdering verifies the flattening order stated in §6.3: memory
+// controller fastest, then clock speed, then cores.
+func TestPaperOrdering(t *testing.T) {
+	s := Paper()
+	c0 := s.ConfigAt(0)
+	if c0.Threads != 1 || c0.Speed != 0 || c0.MemCtrls != 1 {
+		t.Fatalf("ConfigAt(0) = %v", c0)
+	}
+	c1 := s.ConfigAt(1)
+	if c1.MemCtrls != 2 || c1.Threads != 1 || c1.Speed != 0 {
+		t.Fatalf("index 1 should advance memory controllers first, got %v", c1)
+	}
+	c2 := s.ConfigAt(2)
+	if c2.Speed != 1 || c2.MemCtrls != 1 || c2.Threads != 1 {
+		t.Fatalf("index 2 should advance speed next, got %v", c2)
+	}
+	cLastOfThread1 := s.ConfigAt(31)
+	if cLastOfThread1.Threads != 1 || cLastOfThread1.Speed != 15 || cLastOfThread1.MemCtrls != 2 {
+		t.Fatalf("index 31 = %v", cLastOfThread1)
+	}
+	cThread2 := s.ConfigAt(32)
+	if cThread2.Threads != 2 || cThread2.Speed != 0 || cThread2.MemCtrls != 1 {
+		t.Fatalf("index 32 should advance threads last, got %v", cThread2)
+	}
+}
+
+func TestIndexPanicsOutsideSpace(t *testing.T) {
+	s := Small()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Index(Config{Threads: 33, Speed: 0, MemCtrls: 1})
+}
+
+func TestConfigAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Paper().ConfigAt(1024)
+}
+
+func TestCheckConfig(t *testing.T) {
+	s := Paper()
+	valid := Config{Threads: 16, Speed: 8, MemCtrls: 2}
+	if err := s.CheckConfig(valid); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Config{
+		{Threads: 0, Speed: 0, MemCtrls: 1},
+		{Threads: 1, Speed: 16, MemCtrls: 1},
+		{Threads: 1, Speed: -1, MemCtrls: 1},
+		{Threads: 1, Speed: 0, MemCtrls: 3},
+		{Threads: 1, Speed: 0, MemCtrls: 0},
+	} {
+		if err := s.CheckConfig(c); err == nil {
+			t.Fatalf("config %v should be invalid", c)
+		}
+	}
+}
+
+func TestConfigsEnumeration(t *testing.T) {
+	s := Small()
+	cfgs := s.Configs()
+	if len(cfgs) != s.N() {
+		t.Fatalf("Configs returned %d, want %d", len(cfgs), s.N())
+	}
+	seen := make(map[Config]bool, len(cfgs))
+	for i, c := range cfgs {
+		if s.Index(c) != i {
+			t.Fatalf("Configs[%d] = %v has index %d", i, c, s.Index(c))
+		}
+		if seen[c] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestFrequencyTablePaper(t *testing.T) {
+	s := Paper()
+	if f := s.Frequency(0); math.Abs(f-MinFreqGHz) > 1e-12 {
+		t.Fatalf("lowest speed = %g GHz, want %g", f, MinFreqGHz)
+	}
+	if f := s.Frequency(14); math.Abs(f-BaseFreqGHz) > 1e-12 {
+		t.Fatalf("highest DVFS = %g GHz, want %g", f, BaseFreqGHz)
+	}
+	if f := s.Frequency(15); f != TurboFreqGHz {
+		t.Fatalf("turbo = %g GHz, want %g", f, TurboFreqGHz)
+	}
+	// Monotone non-decreasing across the table.
+	prev := 0.0
+	for sp := 0; sp < s.Speeds; sp++ {
+		f := s.Frequency(sp)
+		if f < prev {
+			t.Fatalf("frequency table not monotone at %d: %g < %g", sp, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestFrequencySingleSpeed(t *testing.T) {
+	s := CoresOnly()
+	if f := s.Frequency(0); f != BaseFreqGHz {
+		t.Fatalf("single-speed frequency = %g", f)
+	}
+}
+
+func TestFrequencyTwoSpeeds(t *testing.T) {
+	s := Space{Threads: 1, Speeds: 2, MemCtrls: 1}
+	if f := s.Frequency(0); f != BaseFreqGHz {
+		t.Fatalf("two-speed low = %g, want base", f)
+	}
+	if f := s.Frequency(1); f != TurboFreqGHz {
+		t.Fatalf("two-speed high = %g, want turbo", f)
+	}
+}
+
+func TestFrequencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Paper().Frequency(16)
+}
+
+func TestMaxConfig(t *testing.T) {
+	s := Paper()
+	m := s.MaxConfig()
+	if m.Threads != 32 || m.Speed != 15 || m.MemCtrls != 2 {
+		t.Fatalf("MaxConfig = %v", m)
+	}
+	if s.Index(m) != s.N()-1 {
+		t.Fatalf("MaxConfig should be the last index, got %d", s.Index(m))
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	s := Paper()
+	c := Config{Threads: 7, Speed: 15, MemCtrls: 2}
+	th, f, mc := s.Features(s.Index(c))
+	if th != 7 || f != TurboFreqGHz || mc != 2 {
+		t.Fatalf("Features = %g %g %g", th, f, mc)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{Threads: 4, Speed: 2, MemCtrls: 1}
+	if s := c.String(); s != "threads=4 speed=2 memctrls=1" {
+		t.Fatalf("String = %q", s)
+	}
+}

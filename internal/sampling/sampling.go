@@ -1,0 +1,156 @@
+// Package sampling provides policies for choosing which configurations to
+// probe online. The paper samples uniformly at random (§6.3); this package
+// also implements the natural extension the hierarchical model invites:
+// active sampling, which greedily probes the configuration with the highest
+// posterior predictive variance, refitting after each probe. The posterior
+// covariance Ĉ_M (Eq. 3) quantifies exactly how uncertain each unobserved
+// configuration still is — the signal LEO's CALOREE follow-on builds on.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leo/internal/core"
+	"leo/internal/matrix"
+	"leo/internal/profile"
+)
+
+// Measure probes one configuration and returns its (possibly noisy)
+// measured value.
+type Measure func(config int) float64
+
+// Policy selects a budget of configurations to probe and returns the
+// resulting observations.
+type Policy interface {
+	// Name identifies the policy for reports.
+	Name() string
+	// Collect probes up to budget configurations of an n-configuration
+	// space via measure.
+	Collect(n, budget int, measure Measure) (profile.Observations, error)
+}
+
+// Random probes uniformly random distinct configurations (the paper's
+// policy).
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Collect implements Policy.
+func (r *Random) Collect(n, budget int, measure Measure) (profile.Observations, error) {
+	if err := checkBudget(n, budget); err != nil {
+		return profile.Observations{}, err
+	}
+	if r.Rng == nil {
+		return profile.Observations{}, fmt.Errorf("sampling: random policy needs a random source")
+	}
+	mask := profile.RandomMask(n, budget, r.Rng)
+	return observe(mask, measure), nil
+}
+
+// Uniform probes evenly spaced configurations (the §2 motivating example's
+// policy).
+type Uniform struct{}
+
+// Name implements Policy.
+func (Uniform) Name() string { return "uniform" }
+
+// Collect implements Policy.
+func (Uniform) Collect(n, budget int, measure Measure) (profile.Observations, error) {
+	if err := checkBudget(n, budget); err != nil {
+		return profile.Observations{}, err
+	}
+	mask := profile.UniformMask(n, budget)
+	return observe(mask, measure), nil
+}
+
+// Active greedily probes the configuration with the highest posterior
+// variance under the hierarchical model, refitting after every probe. It
+// needs the offline database (the model's prior); Seed configurations are
+// probed first to anchor the fit (default: 2 uniform probes).
+type Active struct {
+	Known *matrix.Matrix // offline data for the metric being sampled
+	Opts  core.Options
+	Seed  int // initial uniform probes before the greedy loop (default 2)
+}
+
+// Name implements Policy.
+func (a *Active) Name() string { return "active" }
+
+// Collect implements Policy.
+func (a *Active) Collect(n, budget int, measure Measure) (profile.Observations, error) {
+	if err := checkBudget(n, budget); err != nil {
+		return profile.Observations{}, err
+	}
+	if a.Known == nil || a.Known.Cols != n {
+		return profile.Observations{}, fmt.Errorf("sampling: active policy needs offline data with %d columns", n)
+	}
+	seed := a.Seed
+	if seed <= 0 {
+		seed = 2
+	}
+	if seed > budget {
+		seed = budget
+	}
+	obs := observe(profile.UniformMask(n, seed), measure)
+	taken := make(map[int]bool, budget)
+	for _, idx := range obs.Indices {
+		taken[idx] = true
+	}
+	for len(obs.Indices) < budget {
+		res, err := core.Estimate(a.Known, obs.Indices, obs.Values, a.Opts)
+		if err != nil {
+			return profile.Observations{}, err
+		}
+		next, found := -1, false
+		best := -1.0
+		for i, v := range res.Variance {
+			if taken[i] {
+				continue
+			}
+			if v > best {
+				best, next, found = v, i, true
+			}
+		}
+		if !found {
+			break
+		}
+		taken[next] = true
+		obs.Indices = append(obs.Indices, next)
+		obs.Values = append(obs.Values, measure(next))
+	}
+	return obs, nil
+}
+
+func checkBudget(n, budget int) error {
+	if budget < 0 || budget > n {
+		return fmt.Errorf("sampling: budget %d outside [0,%d]", budget, n)
+	}
+	return nil
+}
+
+func observe(mask []int, measure Measure) profile.Observations {
+	obs := profile.Observations{
+		Indices: append([]int(nil), mask...),
+		Values:  make([]float64, len(mask)),
+	}
+	for i, idx := range mask {
+		obs.Values[i] = measure(idx)
+	}
+	return obs
+}
+
+// TruthMeasure adapts a ground-truth vector (with optional multiplicative
+// noise) into a Measure.
+func TruthMeasure(truth []float64, noise float64, rng *rand.Rand) Measure {
+	return func(config int) float64 {
+		v := truth[config]
+		if noise > 0 {
+			v *= 1 + noise*rng.NormFloat64()
+		}
+		return v
+	}
+}

@@ -1,0 +1,212 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"leo/internal/apps"
+	"leo/internal/core"
+	"leo/internal/matrix"
+	"leo/internal/platform"
+	"leo/internal/profile"
+	"leo/internal/stats"
+)
+
+// fixture builds the kmeans leave-one-out scenario on the cores-only space.
+func fixture(t *testing.T) (known *matrix.Matrix, truth []float64) {
+	t.Helper()
+	db, err := profile.Collect(platform.CoresOnly(), apps.Suite(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := db.AppIndex("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, perf, _, err := db.LeaveOneOut(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rest.Perf, perf
+}
+
+func countingMeasure(truth []float64, calls *int) Measure {
+	return func(config int) float64 {
+		*calls++
+		return truth[config]
+	}
+}
+
+func TestRandomPolicy(t *testing.T) {
+	_, truth := fixture(t)
+	calls := 0
+	p := &Random{Rng: rand.New(rand.NewSource(1))}
+	if p.Name() != "random" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	obs, err := p.Collect(32, 10, countingMeasure(truth, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Indices) != 10 || calls != 10 {
+		t.Fatalf("collected %d with %d calls", len(obs.Indices), calls)
+	}
+	seen := map[int]bool{}
+	for i, idx := range obs.Indices {
+		if seen[idx] {
+			t.Fatal("duplicate probe")
+		}
+		seen[idx] = true
+		if obs.Values[i] != truth[idx] {
+			t.Fatal("measured value mismatch")
+		}
+	}
+}
+
+func TestRandomPolicyNeedsRng(t *testing.T) {
+	p := &Random{}
+	if _, err := p.Collect(32, 5, func(int) float64 { return 0 }); err == nil {
+		t.Fatal("nil rng must error")
+	}
+}
+
+func TestUniformPolicy(t *testing.T) {
+	_, truth := fixture(t)
+	calls := 0
+	obs, err := Uniform{}.Collect(32, 6, countingMeasure(truth, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Indices) != 6 {
+		t.Fatalf("collected %d", len(obs.Indices))
+	}
+	for i := 1; i < len(obs.Indices); i++ {
+		if obs.Indices[i] <= obs.Indices[i-1] {
+			t.Fatal("uniform probes not increasing")
+		}
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	if _, err := (Uniform{}).Collect(10, 11, func(int) float64 { return 0 }); err == nil {
+		t.Fatal("budget > n must error")
+	}
+	if _, err := (Uniform{}).Collect(10, -1, func(int) float64 { return 0 }); err == nil {
+		t.Fatal("negative budget must error")
+	}
+}
+
+func TestActivePolicyCollects(t *testing.T) {
+	known, truth := fixture(t)
+	calls := 0
+	p := &Active{Known: known}
+	if p.Name() != "active" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	obs, err := p.Collect(32, 8, countingMeasure(truth, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Indices) != 8 || calls != 8 {
+		t.Fatalf("collected %d with %d calls", len(obs.Indices), calls)
+	}
+	seen := map[int]bool{}
+	for _, idx := range obs.Indices {
+		if idx < 0 || idx >= 32 || seen[idx] {
+			t.Fatalf("bad probe set %v", obs.Indices)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestActivePolicyValidation(t *testing.T) {
+	p := &Active{}
+	if _, err := p.Collect(32, 5, func(int) float64 { return 0 }); err == nil {
+		t.Fatal("missing offline data must error")
+	}
+}
+
+func TestActivePolicyFullBudget(t *testing.T) {
+	known, truth := fixture(t)
+	p := &Active{Known: known}
+	obs, err := p.Collect(32, 32, TruthMeasure(truth, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Indices) != 32 {
+		t.Fatalf("full budget collected %d", len(obs.Indices))
+	}
+}
+
+// TestActiveBeatsRandomSampleEfficiency: with a small probe budget, variance
+// -driven probing should (on average over targets) estimate at least as well
+// as random probing.
+func TestActiveBeatsRandomSampleEfficiency(t *testing.T) {
+	db, err := profile.Collect(platform.CoresOnly(), apps.Suite(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 5
+	var activeSum, randomSum float64
+	targets := []string{"kmeans", "swish", "x264", "streamcluster", "bfs"}
+	rng := rand.New(rand.NewSource(4))
+	for _, name := range targets {
+		idx, err := db.AppIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest, truth, _, err := db.LeaveOneOut(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measure := TruthMeasure(truth, 0, nil)
+
+		active := &Active{Known: rest.Perf}
+		obsA, err := active.Collect(32, budget, measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resA, err := core.Estimate(rest.Perf, obsA.Indices, obsA.Values, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		activeSum += stats.Accuracy(resA.Estimate, truth)
+
+		// Average a few random draws for a fair comparison.
+		const draws = 4
+		for d := 0; d < draws; d++ {
+			rp := &Random{Rng: rng}
+			obsR, err := rp.Collect(32, budget, measure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resR, err := core.Estimate(rest.Perf, obsR.Indices, obsR.Values, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			randomSum += stats.Accuracy(resR.Estimate, truth) / draws
+		}
+	}
+	if activeSum < randomSum-0.1 {
+		t.Fatalf("active sampling (%g) clearly worse than random (%g)", activeSum, randomSum)
+	}
+}
+
+func TestTruthMeasureNoise(t *testing.T) {
+	truth := []float64{100, 200}
+	exact := TruthMeasure(truth, 0, nil)
+	if exact(1) != 200 {
+		t.Fatal("noiseless measure wrong")
+	}
+	rng := rand.New(rand.NewSource(5))
+	noisy := TruthMeasure(truth, 0.1, rng)
+	same := true
+	for i := 0; i < 10; i++ {
+		if noisy(0) != 100 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("noisy measure produced no noise")
+	}
+}

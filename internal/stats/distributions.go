@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"leo/internal/matrix"
+)
+
+// Gaussian is a univariate normal distribution N(Mu, Sigma²).
+type Gaussian struct {
+	Mu    float64
+	Sigma float64 // standard deviation, must be > 0
+}
+
+// NewGaussian constructs a Gaussian; it panics if sigma <= 0.
+func NewGaussian(mu, sigma float64) Gaussian {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("stats: Gaussian sigma must be positive, got %g", sigma))
+	}
+	return Gaussian{Mu: mu, Sigma: sigma}
+}
+
+// PDF returns the probability density at x.
+func (g Gaussian) PDF(x float64) float64 {
+	z := (x - g.Mu) / g.Sigma
+	return math.Exp(-0.5*z*z) / (g.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// LogPDF returns the log density at x.
+func (g Gaussian) LogPDF(x float64) float64 {
+	z := (x - g.Mu) / g.Sigma
+	return -0.5*z*z - math.Log(g.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// CDF returns P(X <= x).
+func (g Gaussian) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-g.Mu)/(g.Sigma*math.Sqrt2))
+}
+
+// Sample draws one value using rng.
+func (g Gaussian) Sample(rng *rand.Rand) float64 {
+	return g.Mu + g.Sigma*rng.NormFloat64()
+}
+
+// MultivariateNormal is an n-dimensional Gaussian N(Mean, Cov) with the
+// covariance held as its Cholesky factor for sampling and density queries.
+type MultivariateNormal struct {
+	Mean []float64
+	chol *matrix.Cholesky
+}
+
+// NewMultivariateNormal builds the distribution; cov must be symmetric
+// positive definite.
+func NewMultivariateNormal(mean []float64, cov *matrix.Matrix) (*MultivariateNormal, error) {
+	if cov.Rows != len(mean) || cov.Cols != len(mean) {
+		return nil, fmt.Errorf("stats: covariance %dx%d does not match mean length %d", cov.Rows, cov.Cols, len(mean))
+	}
+	ch, err := matrix.NewCholesky(cov)
+	if err != nil {
+		return nil, fmt.Errorf("stats: covariance not SPD: %w", err)
+	}
+	return &MultivariateNormal{Mean: matrix.CloneVec(mean), chol: ch}, nil
+}
+
+// Dim returns the dimensionality.
+func (m *MultivariateNormal) Dim() int { return len(m.Mean) }
+
+// Sample draws one vector using rng.
+func (m *MultivariateNormal) Sample(rng *rand.Rand) []float64 {
+	z := make([]float64, m.Dim())
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	out := m.chol.MulLVec(z)
+	for i, v := range m.Mean {
+		out[i] += v
+	}
+	return out
+}
+
+// LogPDF returns the log density at x.
+func (m *MultivariateNormal) LogPDF(x []float64) float64 {
+	if len(x) != m.Dim() {
+		panic(fmt.Sprintf("stats: LogPDF dimension %d != %d", len(x), m.Dim()))
+	}
+	diff := matrix.SubVec(x, m.Mean)
+	sol := m.chol.SolveVec(diff)
+	quad := matrix.Dot(diff, sol)
+	n := float64(m.Dim())
+	return -0.5 * (quad + m.chol.LogDet() + n*math.Log(2*math.Pi))
+}
+
+// SampleGamma draws from Gamma(shape, 1) using the Marsaglia–Tsang method,
+// valid for shape > 0.
+func SampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("stats: gamma shape must be positive, got %g", shape))
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return SampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// SampleChiSquared draws from a chi-squared distribution with df degrees of
+// freedom.
+func SampleChiSquared(rng *rand.Rand, df float64) float64 {
+	return 2 * SampleGamma(rng, df/2)
+}
+
+// Wishart is a Wishart distribution W(V, nu) over p×p SPD matrices, with
+// scale matrix V and nu >= p degrees of freedom.
+type Wishart struct {
+	nu   float64
+	p    int
+	chol *matrix.Cholesky // factor of the scale matrix V
+}
+
+// NewWishart builds a Wishart distribution; scale must be SPD and nu >= p.
+func NewWishart(scale *matrix.Matrix, nu float64) (*Wishart, error) {
+	if scale.Rows != scale.Cols {
+		return nil, fmt.Errorf("stats: Wishart scale must be square, got %dx%d", scale.Rows, scale.Cols)
+	}
+	if nu < float64(scale.Rows) {
+		return nil, fmt.Errorf("stats: Wishart needs nu >= p, got nu=%g p=%d", nu, scale.Rows)
+	}
+	ch, err := matrix.NewCholesky(scale)
+	if err != nil {
+		return nil, fmt.Errorf("stats: Wishart scale not SPD: %w", err)
+	}
+	return &Wishart{nu: nu, p: scale.Rows, chol: ch}, nil
+}
+
+// Sample draws one SPD matrix via the Bartlett decomposition.
+func (w *Wishart) Sample(rng *rand.Rand) *matrix.Matrix {
+	p := w.p
+	// Lower-triangular A: diag sqrt(chi²(nu-i)), below-diag N(0,1).
+	a := matrix.New(p, p)
+	for i := 0; i < p; i++ {
+		a.Set(i, i, math.Sqrt(SampleChiSquared(rng, w.nu-float64(i))))
+		for j := 0; j < i; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	// Sample = L A A' L' where V = L L'.
+	la := w.chol.L().Mul(a)
+	return la.Mul(la.Transpose()).Symmetrize()
+}
+
+// InverseWishart is an inverse-Wishart distribution IW(Psi, nu): if
+// X ~ W(Psi^{-1}, nu) then X^{-1} ~ IW(Psi, nu).
+type InverseWishart struct {
+	w *Wishart
+}
+
+// NewInverseWishart builds an inverse-Wishart distribution with SPD scale
+// matrix psi and nu >= p degrees of freedom.
+func NewInverseWishart(psi *matrix.Matrix, nu float64) (*InverseWishart, error) {
+	ch, err := matrix.NewCholesky(psi)
+	if err != nil {
+		return nil, fmt.Errorf("stats: InverseWishart scale not SPD: %w", err)
+	}
+	w, err := NewWishart(ch.Inverse(), nu)
+	if err != nil {
+		return nil, err
+	}
+	return &InverseWishart{w: w}, nil
+}
+
+// Sample draws one SPD matrix from the inverse-Wishart distribution.
+func (iw *InverseWishart) Sample(rng *rand.Rand) (*matrix.Matrix, error) {
+	x := iw.w.Sample(rng)
+	ch, _, err := matrix.NewCholeskyJitter(x, 1e-12, 8)
+	if err != nil {
+		return nil, fmt.Errorf("stats: inverse-Wishart draw not invertible: %w", err)
+	}
+	return ch.Inverse(), nil
+}
+
+// NormalInverseWishart is the conjugate prior used by LEO's hierarchy
+// (Eq. 2): (μ, Σ) ~ N(μ₀, Σ/π) · IW(Σ | ν, Ψ). The paper fixes
+// μ₀ = 0, π = 1, Ψ = I, ν = 1.
+type NormalInverseWishart struct {
+	Mu0 []float64
+	Pi  float64
+	Psi *matrix.Matrix
+	Nu  float64
+}
+
+// DefaultNIW returns the paper's hyper-parameter setting for an n-dimensional
+// configuration space: μ₀ = 0, π = 1, Ψ = I, ν = 1.
+func DefaultNIW(n int) NormalInverseWishart {
+	return NormalInverseWishart{
+		Mu0: matrix.Zeros(n),
+		Pi:  1,
+		Psi: matrix.Identity(n),
+		Nu:  1,
+	}
+}
+
+// Sample draws (μ, Σ) from the prior. Because sampling Σ ~ IW(ν, Ψ) needs
+// ν >= n, draws use max(ν, n+2) degrees of freedom; the EM algorithm itself
+// never samples from the prior — this exists for model checking and tests.
+func (p NormalInverseWishart) Sample(rng *rand.Rand) (mu []float64, sigma *matrix.Matrix, err error) {
+	n := len(p.Mu0)
+	nu := p.Nu
+	if nu < float64(n)+2 {
+		nu = float64(n) + 2
+	}
+	iw, err := NewInverseWishart(p.Psi, nu)
+	if err != nil {
+		return nil, nil, err
+	}
+	sigma, err = iw.Sample(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	mvn, err := NewMultivariateNormal(p.Mu0, sigma.Scale(1/p.Pi))
+	if err != nil {
+		return nil, nil, err
+	}
+	return mvn.Sample(rng), sigma, nil
+}

@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leo/internal/matrix"
+)
+
+func TestGaussianPDF(t *testing.T) {
+	g := NewGaussian(0, 1)
+	want := 1 / math.Sqrt(2*math.Pi)
+	if p := g.PDF(0); math.Abs(p-want) > 1e-12 {
+		t.Fatalf("PDF(0) = %g, want %g", p, want)
+	}
+	if math.Abs(math.Log(g.PDF(1.3))-g.LogPDF(1.3)) > 1e-12 {
+		t.Fatal("LogPDF inconsistent with PDF")
+	}
+}
+
+func TestGaussianCDF(t *testing.T) {
+	g := NewGaussian(0, 1)
+	if c := g.CDF(0); math.Abs(c-0.5) > 1e-12 {
+		t.Fatalf("CDF(0) = %g", c)
+	}
+	if c := g.CDF(1.96); math.Abs(c-0.975) > 1e-3 {
+		t.Fatalf("CDF(1.96) = %g", c)
+	}
+	shifted := NewGaussian(5, 2)
+	if c := shifted.CDF(5); math.Abs(c-0.5) > 1e-12 {
+		t.Fatalf("shifted CDF(mean) = %g", c)
+	}
+}
+
+func TestGaussianInvalidSigma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGaussian(0, 0)
+}
+
+func TestGaussianSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	g := NewGaussian(3, 2)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Sample(rng)
+	}
+	if m := Mean(xs); math.Abs(m-3) > 0.1 {
+		t.Fatalf("sample mean = %g", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 0.1 {
+		t.Fatalf("sample stddev = %g", s)
+	}
+}
+
+func TestMultivariateNormalSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	mean := []float64{1, -2}
+	cov := matrix.NewFromRows([][]float64{{2, 0.8}, {0.8, 1}})
+	mvn, err := NewMultivariateNormal(mean, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 30000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := mvn.Sample(rng)
+		xs[i], ys[i] = v[0], v[1]
+	}
+	if math.Abs(Mean(xs)-1) > 0.05 || math.Abs(Mean(ys)+2) > 0.05 {
+		t.Fatalf("sample means = %g, %g", Mean(xs), Mean(ys))
+	}
+	if math.Abs(Variance(xs)-2) > 0.1 {
+		t.Fatalf("sample var x = %g", Variance(xs))
+	}
+	if math.Abs(Covariance(xs, ys)-0.8) > 0.05 {
+		t.Fatalf("sample cov = %g", Covariance(xs, ys))
+	}
+}
+
+func TestMultivariateNormalLogPDF(t *testing.T) {
+	// Independent standard normal: log pdf at 0 is -n/2 log(2π).
+	mean := []float64{0, 0, 0}
+	mvn, err := NewMultivariateNormal(mean, matrix.Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -1.5 * math.Log(2*math.Pi)
+	if lp := mvn.LogPDF([]float64{0, 0, 0}); math.Abs(lp-want) > 1e-12 {
+		t.Fatalf("LogPDF = %g, want %g", lp, want)
+	}
+	// Matches the product of univariate log densities at an offset point.
+	g := NewGaussian(0, 1)
+	x := []float64{0.3, -1.2, 2.2}
+	want = g.LogPDF(x[0]) + g.LogPDF(x[1]) + g.LogPDF(x[2])
+	if lp := mvn.LogPDF(x); math.Abs(lp-want) > 1e-12 {
+		t.Fatalf("LogPDF = %g, want %g", lp, want)
+	}
+}
+
+func TestMultivariateNormalErrors(t *testing.T) {
+	if _, err := NewMultivariateNormal([]float64{0}, matrix.Identity(2)); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	bad := matrix.NewFromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := NewMultivariateNormal([]float64{0, 0}, bad); err == nil {
+		t.Fatal("non-SPD covariance must error")
+	}
+}
+
+func TestSampleGammaMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, shape := range []float64{0.5, 1, 2.5, 10} {
+		n := 20000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = SampleGamma(rng, shape)
+		}
+		// Gamma(k,1): mean k, variance k.
+		if m := Mean(xs); math.Abs(m-shape) > 0.15*math.Max(1, shape) {
+			t.Fatalf("shape %g: sample mean %g", shape, m)
+		}
+		if v := Variance(xs); math.Abs(v-shape) > 0.25*math.Max(1, shape) {
+			t.Fatalf("shape %g: sample variance %g", shape, v)
+		}
+	}
+}
+
+func TestSampleGammaInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SampleGamma(rand.New(rand.NewSource(1)), -1)
+}
+
+func TestSampleChiSquaredMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	df := 4.0
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = SampleChiSquared(rng, df)
+	}
+	if m := Mean(xs); math.Abs(m-df) > 0.2 {
+		t.Fatalf("chi² mean = %g, want %g", m, df)
+	}
+	if v := Variance(xs); math.Abs(v-2*df) > 1 {
+		t.Fatalf("chi² variance = %g, want %g", v, 2*df)
+	}
+}
+
+func TestWishartMean(t *testing.T) {
+	// E[W(V, nu)] = nu * V.
+	rng := rand.New(rand.NewSource(34))
+	scale := matrix.NewFromRows([][]float64{{1, 0.3}, {0.3, 0.5}})
+	nu := 6.0
+	w, err := NewWishart(scale, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := matrix.New(2, 2)
+	n := 4000
+	for i := 0; i < n; i++ {
+		sum.AddInPlace(w.Sample(rng))
+	}
+	mean := sum.Scale(1 / float64(n))
+	want := scale.Scale(nu)
+	if !mean.Equal(want, 0.25) {
+		t.Fatalf("Wishart sample mean %v, want %v", mean, want)
+	}
+}
+
+func TestWishartSamplesSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	w, err := NewWishart(matrix.Identity(3), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s := w.Sample(rng)
+		if !s.IsSymmetric(1e-10) {
+			t.Fatal("Wishart draw not symmetric")
+		}
+		if _, err := matrix.NewCholesky(s); err != nil {
+			t.Fatalf("Wishart draw not PD: %v", err)
+		}
+	}
+}
+
+func TestWishartErrors(t *testing.T) {
+	if _, err := NewWishart(matrix.New(2, 3), 5); err == nil {
+		t.Fatal("non-square scale must error")
+	}
+	if _, err := NewWishart(matrix.Identity(3), 2); err == nil {
+		t.Fatal("nu < p must error")
+	}
+	bad := matrix.NewFromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := NewWishart(bad, 5); err == nil {
+		t.Fatal("non-SPD scale must error")
+	}
+}
+
+func TestInverseWishartSamplesSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	iw, err := NewInverseWishart(matrix.Identity(3), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		s, err := iw.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := matrix.NewCholesky(s); err != nil {
+			t.Fatalf("inverse-Wishart draw not PD: %v", err)
+		}
+	}
+}
+
+func TestInverseWishartMean(t *testing.T) {
+	// E[IW(Psi, nu)] = Psi / (nu - p - 1) for nu > p + 1.
+	rng := rand.New(rand.NewSource(37))
+	psi := matrix.Identity(2).Scale(3)
+	nu := 8.0
+	iw, err := NewInverseWishart(psi, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := matrix.New(2, 2)
+	n := 4000
+	for i := 0; i < n; i++ {
+		s, err := iw.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.AddInPlace(s)
+	}
+	mean := sum.Scale(1 / float64(n))
+	want := psi.Scale(1 / (nu - 2 - 1))
+	if !mean.Equal(want, 0.15) {
+		t.Fatalf("IW sample mean %v, want %v", mean, want)
+	}
+}
+
+func TestDefaultNIW(t *testing.T) {
+	p := DefaultNIW(4)
+	if len(p.Mu0) != 4 || p.Pi != 1 || p.Nu != 1 {
+		t.Fatalf("DefaultNIW = %+v", p)
+	}
+	if !p.Psi.Equal(matrix.Identity(4), 0) {
+		t.Fatal("DefaultNIW Psi must be identity")
+	}
+}
+
+func TestNIWSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	p := DefaultNIW(3)
+	mu, sigma, err := p.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mu) != 3 {
+		t.Fatalf("mu length %d", len(mu))
+	}
+	if _, err := matrix.NewCholesky(sigma); err != nil {
+		t.Fatalf("sampled Σ not PD: %v", err)
+	}
+}

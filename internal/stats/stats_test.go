@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leo/internal/matrix"
+)
+
+func TestAccuracyPerfect(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if a := Accuracy(y, y); a != 1 {
+		t.Fatalf("perfect accuracy = %g", a)
+	}
+}
+
+func TestAccuracyMeanPredictor(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	est := []float64{2.5, 2.5, 2.5, 2.5}
+	if a := Accuracy(est, y); a != 0 {
+		t.Fatalf("mean predictor accuracy = %g, want 0", a)
+	}
+}
+
+func TestAccuracyClippedAtZero(t *testing.T) {
+	y := []float64{1, 2, 3}
+	est := []float64{100, -50, 7}
+	if a := Accuracy(est, y); a != 0 {
+		t.Fatalf("terrible predictor accuracy = %g, want clipped 0", a)
+	}
+}
+
+func TestAccuracyConstantTruth(t *testing.T) {
+	y := []float64{5, 5, 5}
+	if a := Accuracy([]float64{5, 5, 5}, y); a != 1 {
+		t.Fatalf("exact constant accuracy = %g", a)
+	}
+	if a := Accuracy([]float64{5, 5, 6}, y); a != 0 {
+		t.Fatalf("inexact constant accuracy = %g", a)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if a := Accuracy(nil, nil); a != 0 {
+		t.Fatalf("empty accuracy = %g", a)
+	}
+}
+
+func TestAccuracyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]float64{1}, []float64{1, 2})
+}
+
+func TestAccuracyBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(r.Int31n(30))
+		y := make([]float64, n)
+		est := make([]float64, n)
+		for i := range y {
+			y[i] = r.NormFloat64() * 10
+			est[i] = r.NormFloat64() * 10
+		}
+		a := Accuracy(est, y)
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccuracyMonotoneInNoise: adding more noise to a perfect estimate must
+// not increase accuracy (statistically; we use fixed scaling of one error
+// vector so it is deterministic).
+func TestAccuracyMonotoneInNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 50
+	y := make([]float64, n)
+	noise := make([]float64, n)
+	for i := range y {
+		y[i] = rng.NormFloat64() * 5
+		noise[i] = rng.NormFloat64()
+	}
+	prev := 1.1
+	for _, scale := range []float64{0, 0.1, 0.5, 1, 2, 5} {
+		est := make([]float64, n)
+		for i := range est {
+			est[i] = y[i] + scale*noise[i]
+		}
+		a := Accuracy(est, y)
+		if a > prev+1e-12 {
+			t.Fatalf("accuracy rose from %g to %g as noise scaled to %g", prev, a, scale)
+		}
+		prev = a
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); m != 5 {
+		t.Fatalf("Mean = %g", m)
+	}
+	if v := Variance(x); v != 4 {
+		t.Fatalf("Variance = %g", v)
+	}
+	if s := StdDev(x); s != 2 {
+		t.Fatalf("StdDev = %g", s)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("single-value variance should be 0")
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	est := []float64{1, 2, 3}
+	truth := []float64{1, 2, 7}
+	want := math.Sqrt(16.0 / 3.0)
+	if r := RMSE(est, truth); math.Abs(r-want) > 1e-12 {
+		t.Fatalf("RMSE = %g, want %g", r, want)
+	}
+	if m := MAE(est, truth); math.Abs(m-4.0/3.0) > 1e-12 {
+		t.Fatalf("MAE = %g", m)
+	}
+	if RMSE(nil, nil) != 0 || MAE(nil, nil) != 0 {
+		t.Fatal("empty RMSE/MAE should be 0")
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	x := []float64{3, 1, 2}
+	if m := Median(x); m != 2 {
+		t.Fatalf("Median = %g", m)
+	}
+	// Input must not be modified.
+	if x[0] != 3 {
+		t.Fatal("Median must not sort in place")
+	}
+	even := []float64{1, 2, 3, 4}
+	if m := Median(even); m != 2.5 {
+		t.Fatalf("even Median = %g", m)
+	}
+	if p := Percentile(even, 0); p != 1 {
+		t.Fatalf("P0 = %g", p)
+	}
+	if p := Percentile(even, 100); p != 4 {
+		t.Fatalf("P100 = %g", p)
+	}
+	if p := Percentile(even, 25); math.Abs(p-1.75) > 1e-12 {
+		t.Fatalf("P25 = %g", p)
+	}
+	if Percentile([]float64{9}, 73) != 9 {
+		t.Fatal("single-element percentile")
+	}
+}
+
+func TestPercentileRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestGeometricMean(t *testing.T) {
+	if g := GeometricMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeometricMean = %g", g)
+	}
+	if GeometricMean(nil) != 0 {
+		t.Fatal("empty geometric mean should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive value")
+		}
+	}()
+	GeometricMean([]float64{1, 0})
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8} // perfectly correlated
+	if c := Correlation(x, y); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("Correlation = %g, want 1", c)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if c := Correlation(x, neg); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("Correlation = %g, want -1", c)
+	}
+	if Correlation(x, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("correlation with constant should be 0")
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	m := matrix.NewFromRows([][]float64{{1, 2, 3}, {3, 4, 5}})
+	got := ColumnMeans(m)
+	want := []float64{2, 3, 4}
+	if matrix.MaxAbsDiffVec(got, want) > 1e-15 {
+		t.Fatalf("ColumnMeans = %v", got)
+	}
+	empty := ColumnMeans(matrix.New(0, 3))
+	if len(empty) != 3 || empty[0] != 0 {
+		t.Fatalf("empty ColumnMeans = %v", empty)
+	}
+}

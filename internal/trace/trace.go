@@ -1,0 +1,207 @@
+// Package trace generates utilization traces — sequences of performance
+// demands over time — for driving the runtime controller through realistic
+// deployment patterns: the diurnal curves of interactive services, Poisson
+// job arrivals, bursty on/off demand, and Markov-modulated phase switches.
+// The paper's premise is that systems "run at a wide range of utilizations"
+// (§1); these generators provide that range deterministically from a seed.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is one interval of a utilization trace.
+type Point struct {
+	Start       float64 // seconds since trace start
+	Duration    float64 // seconds
+	Utilization float64 // demanded fraction of peak performance, [0,1]
+}
+
+// Trace is a sequence of contiguous utilization intervals.
+type Trace []Point
+
+// TotalDuration returns the trace's length in seconds.
+func (tr Trace) TotalDuration() float64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	last := tr[len(tr)-1]
+	return last.Start + last.Duration
+}
+
+// MeanUtilization returns the duration-weighted mean demand.
+func (tr Trace) MeanUtilization() float64 {
+	total, weighted := 0.0, 0.0
+	for _, p := range tr {
+		total += p.Duration
+		weighted += p.Utilization * p.Duration
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// Validate checks contiguity and bounds.
+func (tr Trace) Validate() error {
+	at := 0.0
+	for i, p := range tr {
+		if math.Abs(p.Start-at) > 1e-9 {
+			return fmt.Errorf("trace: point %d starts at %g, expected %g", i, p.Start, at)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("trace: point %d has non-positive duration %g", i, p.Duration)
+		}
+		if p.Utilization < 0 || p.Utilization > 1 {
+			return fmt.Errorf("trace: point %d utilization %g outside [0,1]", i, p.Utilization)
+		}
+		at += p.Duration
+	}
+	return nil
+}
+
+// Diurnal builds a day-like curve: `intervals` equal slices whose demand
+// follows a raised sine between low and high.
+func Diurnal(intervals int, interval, low, high float64) (Trace, error) {
+	if intervals <= 0 || interval <= 0 {
+		return nil, fmt.Errorf("trace: invalid diurnal shape %d × %g", intervals, interval)
+	}
+	if low < 0 || high > 1 || low > high {
+		return nil, fmt.Errorf("trace: invalid diurnal range [%g, %g]", low, high)
+	}
+	tr := make(Trace, intervals)
+	for i := range tr {
+		phase := math.Sin(math.Pi * float64(i) / float64(intervals))
+		tr[i] = Point{
+			Start:       float64(i) * interval,
+			Duration:    interval,
+			Utilization: low + (high-low)*phase*phase,
+		}
+	}
+	return tr, nil
+}
+
+// Poisson builds a trace where each interval's demand is the offered load
+// of Poisson job arrivals: arrivals in an interval are Poisson(lambda ·
+// interval), each contributing jobCost utilization, clamped to 1.
+func Poisson(intervals int, interval, lambda, jobCost float64, rng *rand.Rand) (Trace, error) {
+	if intervals <= 0 || interval <= 0 || lambda < 0 || jobCost <= 0 {
+		return nil, fmt.Errorf("trace: invalid poisson parameters")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("trace: poisson needs a random source")
+	}
+	tr := make(Trace, intervals)
+	for i := range tr {
+		n := samplePoisson(rng, lambda*interval)
+		u := float64(n) * jobCost / interval
+		if u > 1 {
+			u = 1
+		}
+		tr[i] = Point{Start: float64(i) * interval, Duration: interval, Utilization: u}
+	}
+	return tr, nil
+}
+
+// samplePoisson draws from Poisson(mean) via Knuth's method for small means
+// and a normal approximation for large ones.
+func samplePoisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bursty alternates between a low base demand and high bursts with
+// geometrically distributed lengths.
+func Bursty(intervals int, interval, base, burst, burstProb float64, rng *rand.Rand) (Trace, error) {
+	if intervals <= 0 || interval <= 0 {
+		return nil, fmt.Errorf("trace: invalid bursty shape")
+	}
+	if base < 0 || burst > 1 || base > burst {
+		return nil, fmt.Errorf("trace: invalid bursty range [%g, %g]", base, burst)
+	}
+	if burstProb < 0 || burstProb > 1 {
+		return nil, fmt.Errorf("trace: burst probability %g outside [0,1]", burstProb)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("trace: bursty needs a random source")
+	}
+	tr := make(Trace, intervals)
+	inBurst := false
+	for i := range tr {
+		if inBurst {
+			// Leave the burst with probability 1/2 each interval.
+			inBurst = rng.Float64() >= 0.5
+		} else {
+			inBurst = rng.Float64() < burstProb
+		}
+		u := base
+		if inBurst {
+			u = burst
+		}
+		tr[i] = Point{Start: float64(i) * interval, Duration: interval, Utilization: u}
+	}
+	return tr, nil
+}
+
+// MarkovPhases builds a trace that switches between named demand levels
+// with the given per-interval transition probability — a coarse model of
+// application phases (§6.6 at the workload level).
+func MarkovPhases(intervals int, interval float64, levels []float64, switchProb float64, rng *rand.Rand) (Trace, error) {
+	if intervals <= 0 || interval <= 0 || len(levels) == 0 {
+		return nil, fmt.Errorf("trace: invalid markov shape")
+	}
+	for _, l := range levels {
+		if l < 0 || l > 1 {
+			return nil, fmt.Errorf("trace: level %g outside [0,1]", l)
+		}
+	}
+	if switchProb < 0 || switchProb > 1 {
+		return nil, fmt.Errorf("trace: switch probability %g outside [0,1]", switchProb)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("trace: markov needs a random source")
+	}
+	tr := make(Trace, intervals)
+	state := 0
+	for i := range tr {
+		if rng.Float64() < switchProb {
+			state = rng.Intn(len(levels))
+		}
+		tr[i] = Point{Start: float64(i) * interval, Duration: interval, Utilization: levels[state]}
+	}
+	return tr, nil
+}
+
+// Constant builds a flat trace.
+func Constant(intervals int, interval, utilization float64) (Trace, error) {
+	if intervals <= 0 || interval <= 0 {
+		return nil, fmt.Errorf("trace: invalid constant shape")
+	}
+	if utilization < 0 || utilization > 1 {
+		return nil, fmt.Errorf("trace: utilization %g outside [0,1]", utilization)
+	}
+	tr := make(Trace, intervals)
+	for i := range tr {
+		tr[i] = Point{Start: float64(i) * interval, Duration: interval, Utilization: utilization}
+	}
+	return tr, nil
+}

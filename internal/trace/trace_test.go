@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiurnalShape(t *testing.T) {
+	tr, err := Diurnal(24, 60, 0.3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalDuration() != 24*60 {
+		t.Fatalf("duration %g", tr.TotalDuration())
+	}
+	// Starts at the low level, peaks mid-trace.
+	if math.Abs(tr[0].Utilization-0.3) > 1e-12 {
+		t.Fatalf("start util %g", tr[0].Utilization)
+	}
+	if math.Abs(tr[12].Utilization-0.9) > 1e-9 {
+		t.Fatalf("midday util %g", tr[12].Utilization)
+	}
+	for _, p := range tr {
+		if p.Utilization < 0.3-1e-12 || p.Utilization > 0.9+1e-12 {
+			t.Fatalf("util %g outside range", p.Utilization)
+		}
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	if _, err := Diurnal(0, 1, 0, 1); err == nil {
+		t.Fatal("zero intervals must error")
+	}
+	if _, err := Diurnal(10, 1, 0.8, 0.2); err == nil {
+		t.Fatal("low > high must error")
+	}
+	if _, err := Diurnal(10, 1, 0, 1.5); err == nil {
+		t.Fatal("high > 1 must error")
+	}
+}
+
+func TestPoissonLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// λ = 2 jobs/s, each costing 0.2 s of capacity per second: expected
+	// utilization 0.4.
+	tr, err := Poisson(500, 1, 2, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m := tr.MeanUtilization(); math.Abs(m-0.4) > 0.05 {
+		t.Fatalf("mean utilization %g, want ~0.4", m)
+	}
+}
+
+func TestPoissonClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr, err := Poisson(100, 1, 50, 1, rng) // absurd load: clamp at 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr {
+		if p.Utilization > 1 {
+			t.Fatalf("unclamped utilization %g", p.Utilization)
+		}
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := Poisson(10, 1, 1, 0.1, nil); err == nil {
+		t.Fatal("nil rng must error")
+	}
+	if _, err := Poisson(10, 1, -1, 0.1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("negative lambda must error")
+	}
+}
+
+func TestSamplePoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, mean := range []float64{0.5, 4, 100} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(samplePoisson(rng, mean))
+		}
+		if got := sum / float64(n); math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("mean %g: sample mean %g", mean, got)
+		}
+	}
+	if samplePoisson(rng, 0) != 0 {
+		t.Fatal("zero mean must give zero")
+	}
+}
+
+func TestBursty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr, err := Bursty(1000, 1, 0.2, 0.9, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lows, highs := 0, 0
+	for _, p := range tr {
+		switch p.Utilization {
+		case 0.2:
+			lows++
+		case 0.9:
+			highs++
+		default:
+			t.Fatalf("unexpected level %g", p.Utilization)
+		}
+	}
+	if lows == 0 || highs == 0 {
+		t.Fatalf("bursty trace degenerate: %d low, %d high", lows, highs)
+	}
+	if highs > lows {
+		t.Fatalf("bursts dominate (%d vs %d) at 10%% burst probability", highs, lows)
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := Bursty(10, 1, 0.9, 0.2, 0.1, rng); err == nil {
+		t.Fatal("base > burst must error")
+	}
+	if _, err := Bursty(10, 1, 0.1, 0.9, 1.5, rng); err == nil {
+		t.Fatal("probability > 1 must error")
+	}
+	if _, err := Bursty(10, 1, 0.1, 0.9, 0.5, nil); err == nil {
+		t.Fatal("nil rng must error")
+	}
+}
+
+func TestMarkovPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	levels := []float64{0.2, 0.5, 0.8}
+	tr, err := MarkovPhases(500, 2, levels, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	switches := 0
+	for i, p := range tr {
+		seen[p.Utilization] = true
+		if i > 0 && tr[i-1].Utilization != p.Utilization {
+			switches++
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatal("markov trace never switched levels")
+	}
+	if switches > 100 {
+		t.Fatalf("too many switches (%d) for 5%% switch probability", switches)
+	}
+}
+
+func TestMarkovValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := MarkovPhases(10, 1, nil, 0.1, rng); err == nil {
+		t.Fatal("empty levels must error")
+	}
+	if _, err := MarkovPhases(10, 1, []float64{2}, 0.1, rng); err == nil {
+		t.Fatal("level > 1 must error")
+	}
+	if _, err := MarkovPhases(10, 1, []float64{0.5}, 0.1, nil); err == nil {
+		t.Fatal("nil rng must error")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	tr, err := Constant(5, 10, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MeanUtilization() != 0.7 || tr.TotalDuration() != 50 {
+		t.Fatalf("constant trace wrong: %+v", tr)
+	}
+	if _, err := Constant(5, 10, 1.2); err == nil {
+		t.Fatal("utilization > 1 must error")
+	}
+}
+
+func TestValidateCatchesGaps(t *testing.T) {
+	tr := Trace{
+		{Start: 0, Duration: 1, Utilization: 0.5},
+		{Start: 2, Duration: 1, Utilization: 0.5}, // gap at t=1
+	}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("gap must fail validation")
+	}
+	bad := Trace{{Start: 0, Duration: 0, Utilization: 0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero duration must fail validation")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var tr Trace
+	if tr.TotalDuration() != 0 || tr.MeanUtilization() != 0 {
+		t.Fatal("empty trace should be zero-valued")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal("empty trace is valid")
+	}
+}
+
+func TestGeneratorsAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(r.Int31n(50))
+		d, err := Diurnal(n, 1+r.Float64()*10, 0.1, 0.9)
+		if err != nil || d.Validate() != nil {
+			return false
+		}
+		p, err := Poisson(n, 1, r.Float64()*5, 0.1+r.Float64(), r)
+		if err != nil || p.Validate() != nil {
+			return false
+		}
+		bu, err := Bursty(n, 1, 0.1, 0.9, r.Float64(), r)
+		if err != nil || bu.Validate() != nil {
+			return false
+		}
+		m, err := MarkovPhases(n, 1, []float64{0.2, 0.8}, r.Float64(), r)
+		return err == nil && m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

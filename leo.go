@@ -1,0 +1,315 @@
+// Package leo is a Go implementation of LEO (Learning for Energy
+// Optimization) from "A Probabilistic Graphical Model-based Approach for
+// Minimizing Energy Under Performance Constraints" (Mishra, Zhang, Lafferty,
+// Hoffmann — ASPLOS 2015).
+//
+// LEO estimates an application's power and performance in every
+// configuration of a configurable machine from (1) an offline database of
+// previously profiled applications and (2) a handful of online observations
+// of the running application, using a hierarchical Bayesian model fit with
+// EM. The estimates feed a Pareto-hull energy planner and a heartbeat-driven
+// runtime controller that completes work by deadlines at near-minimal
+// energy.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Spaces and configurations       (internal/platform)
+//   - Synthetic benchmark suite       (internal/apps)
+//   - Machine simulator               (internal/machine)
+//   - Profile databases and sampling  (internal/profile)
+//   - The LEO model                   (internal/core)
+//   - Baseline estimators             (internal/baseline)
+//   - Energy planning                 (internal/pareto, internal/lp)
+//   - Runtime control                 (internal/control)
+//
+// A minimal end-to-end use:
+//
+//	space := leo.PaperSpace()
+//	db, _ := leo.CollectProfiles(space, leo.Benchmarks(), 0, nil)
+//	rest, truthPerf, _, _ := db.LeaveOneOut(0)
+//	est := leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{})
+//	mask := leo.RandomMask(space.N(), 20, rng)
+//	obs := leo.Observe(truthPerf, mask, 0, nil)
+//	pred, _ := est.Estimate(obs.Indices, obs.Values)
+//	fmt.Println(leo.Accuracy(pred, truthPerf))
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// experiment-by-experiment reproduction index.
+package leo
+
+import (
+	"io"
+	"math/rand"
+
+	"leo/internal/apps"
+	"leo/internal/baseline"
+	"leo/internal/colocate"
+	"leo/internal/control"
+	"leo/internal/core"
+	"leo/internal/machine"
+	"leo/internal/pareto"
+	"leo/internal/platform"
+	"leo/internal/profile"
+	"leo/internal/sampling"
+	"leo/internal/stats"
+	"leo/internal/trace"
+)
+
+// Platform types.
+type (
+	// Space is a machine configuration space (threads × speeds × memory
+	// controllers).
+	Space = platform.Space
+	// Config identifies one machine configuration.
+	Config = platform.Config
+)
+
+// PaperSpace returns the paper's full 1024-configuration platform.
+func PaperSpace() Space { return platform.Paper() }
+
+// SmallSpace returns a fast 128-configuration platform with all dimensions
+// active.
+func SmallSpace() Space { return platform.Small() }
+
+// CoresOnlySpace returns the 32-configuration core-allocation space of the
+// paper's motivating example.
+func CoresOnlySpace() Space { return platform.CoresOnly() }
+
+// Application types.
+type (
+	// App is a synthetic application response surface.
+	App = apps.App
+	// Phase is one workload phase of an App.
+	Phase = apps.Phase
+	// Input perturbs an application's response surface the way a different
+	// dataset would (App.WithInput).
+	Input = apps.Input
+)
+
+// Benchmarks returns fresh copies of the 25-application benchmark suite.
+func Benchmarks() []*App { return apps.Suite() }
+
+// Benchmark returns the named suite application.
+func Benchmark(name string) (*App, error) { return apps.ByName(name) }
+
+// BenchmarkNames lists the suite's application names.
+func BenchmarkNames() []string { return apps.Names() }
+
+// Profiling types.
+type (
+	// Database is an offline profiling database (apps × configurations).
+	Database = profile.Database
+	// Observations pairs sampled configuration indices with measured values.
+	Observations = profile.Observations
+)
+
+// CollectProfiles profiles applications across a space with optional
+// relative measurement noise.
+func CollectProfiles(space Space, list []*App, noise float64, rng *rand.Rand) (*Database, error) {
+	return profile.Collect(space, list, noise, rng)
+}
+
+// LoadDatabase reads a database written with Database.Save.
+func LoadDatabase(r io.Reader) (*Database, error) { return profile.Load(r) }
+
+// RandomMask draws k distinct configuration indices uniformly at random.
+func RandomMask(n, k int, rng *rand.Rand) []int { return profile.RandomMask(n, k, rng) }
+
+// UniformMask returns k evenly spaced configuration indices.
+func UniformMask(n, k int) []int { return profile.UniformMask(n, k) }
+
+// Observe samples truth at the masked indices with optional noise.
+func Observe(truth []float64, mask []int, noise float64, rng *rand.Rand) Observations {
+	return profile.Observe(truth, mask, noise, rng)
+}
+
+// Estimation types.
+type (
+	// Estimator predicts a metric for every configuration from sparse
+	// observations.
+	Estimator = baseline.Estimator
+	// ModelOptions configures LEO's EM fit.
+	ModelOptions = core.Options
+	// ModelResult is the full output of one EM fit (estimate plus fitted
+	// parameters).
+	ModelResult = core.Result
+)
+
+// NewLEOEstimator builds LEO over an offline data matrix (one fully profiled
+// application per row).
+func NewLEOEstimator(known *Matrix, opts ModelOptions) Estimator {
+	return baseline.NewLEO(known, opts)
+}
+
+// NewOnlineEstimator builds the polynomial-regression baseline for a space.
+func NewOnlineEstimator(space Space) Estimator { return baseline.NewOnline(space) }
+
+// NewOfflineEstimator builds the offline (population mean) baseline.
+func NewOfflineEstimator(known *Matrix) (Estimator, error) { return baseline.NewOffline(known) }
+
+// NewExhaustiveEstimator wraps a ground-truth vector.
+func NewExhaustiveEstimator(truth []float64) Estimator { return baseline.NewExhaustive(truth) }
+
+// NewOracleEstimator wraps a ground-truth source that is re-read on every
+// estimate (e.g. phase-dependent truth).
+func NewOracleEstimator(fn func() []float64) Estimator { return baseline.NewOracle(fn) }
+
+// FitModel runs LEO's EM directly, returning the fitted parameters along
+// with the prediction.
+func FitModel(known *Matrix, obsIdx []int, obsVal []float64, opts ModelOptions) (*ModelResult, error) {
+	return core.Estimate(known, obsIdx, obsVal, opts)
+}
+
+// Matrix is the dense matrix type used for profile data.
+type Matrix = matrixType
+
+// Planning types.
+type (
+	// Plan is a minimal-energy schedule for one (work, deadline) demand.
+	Plan = pareto.Plan
+	// Allocation is time assigned to one configuration within a Plan.
+	Allocation = pareto.Allocation
+	// ParetoPoint is one configuration in the power/performance tradeoff
+	// space.
+	ParetoPoint = pareto.Point
+)
+
+// MinimizeEnergy plans the minimal-energy schedule completing w heartbeats
+// within t seconds given per-configuration estimates and the idle power.
+func MinimizeEnergy(perf, power []float64, idlePower, w, t float64) (*Plan, error) {
+	return pareto.MinimizeEnergy(perf, power, idlePower, w, t)
+}
+
+// MaximizePerformance solves the dual problem: the fastest time-sharing
+// schedule whose average power stays under powerCap (an extension beyond
+// the paper's Eq. (1); see §7's discussion of power-capped systems).
+func MaximizePerformance(perf, power []float64, idlePower, powerCap, t float64) (*Plan, error) {
+	return pareto.MaximizePerformance(perf, power, idlePower, powerCap, t)
+}
+
+// ParetoFrontier returns the Pareto-optimal (performance, power) points.
+func ParetoFrontier(perf, power []float64) []ParetoPoint { return pareto.Frontier(perf, power) }
+
+// ParetoHull returns the lower convex hull of the tradeoff points.
+func ParetoHull(points []ParetoPoint) []ParetoPoint { return pareto.LowerHull(points) }
+
+// Execution types.
+type (
+	// Machine simulates an application on the configurable platform.
+	Machine = machine.Machine
+	// Sample is one measured execution window.
+	Sample = machine.Sample
+	// Controller drives a machine with an estimation policy.
+	Controller = control.Controller
+	// JobResult summarizes one executed job.
+	JobResult = control.JobResult
+	// PhasedSpec describes a phased real-time workload.
+	PhasedSpec = control.PhasedSpec
+	// PhasedResult aggregates a phased run.
+	PhasedResult = control.PhasedResult
+	// FrameRecord is one frame of a phased run.
+	FrameRecord = control.FrameRecord
+)
+
+// NewMachine builds a machine simulator for an application.
+func NewMachine(space Space, app *App, noise float64, rng *rand.Rand) (*Machine, error) {
+	return machine.New(space, app, noise, rng)
+}
+
+// NewController builds a runtime controller. Pass nil estimators for the
+// race-to-idle heuristic.
+func NewController(name string, mach *Machine, estPerf, estPower Estimator, samples int, rng *rand.Rand) (*Controller, error) {
+	return control.New(name, mach, estPerf, estPower, samples, rng)
+}
+
+// Accuracy computes the paper's Eq. (5) estimation-accuracy metric.
+func Accuracy(estimate, truth []float64) float64 { return stats.Accuracy(estimate, truth) }
+
+// Multi-tenant coordination types (extension, §7's Bitirgen direction).
+type (
+	// Tenant is one co-located application's profile and demand.
+	Tenant = colocate.Tenant
+	// Assignment is a static thread/clock partition across tenants.
+	Assignment = colocate.Assignment
+)
+
+// PlanColocation partitions threads and picks the shared clock so every
+// tenant meets its rate at minimal combined power.
+func PlanColocation(space Space, tenants []Tenant, idlePower float64) (*Assignment, error) {
+	return colocate.Plan(space, tenants, idlePower)
+}
+
+// ColocationVerifier measures a tenant's true rate at a configuration.
+type ColocationVerifier = colocate.Verifier
+
+// PlanColocationVerified plans from estimates, probes the assigned
+// configurations, and re-plans on disagreement (up to `rounds` times).
+func PlanColocationVerified(space Space, tenants []Tenant, verify ColocationVerifier, idlePower float64, rounds int) (*Assignment, error) {
+	return colocate.PlanVerified(space, tenants, verify, idlePower, rounds)
+}
+
+// ColocationPower evaluates an assignment under true tenant power profiles.
+func ColocationPower(space Space, a *Assignment, tenants []Tenant, idlePower float64) (float64, error) {
+	return colocate.CombinedPower(space, a, tenants, idlePower)
+}
+
+// ColocationRates evaluates each tenant's rate under an assignment.
+func ColocationRates(space Space, a *Assignment, tenants []Tenant) ([]float64, error) {
+	return colocate.Rates(space, a, tenants)
+}
+
+// Sampling types (extension: active, variance-driven probing).
+type (
+	// SamplingPolicy selects which configurations to probe online.
+	SamplingPolicy = sampling.Policy
+	// Measure probes one configuration.
+	Measure = sampling.Measure
+	// RandomSampling probes uniformly random configurations (the paper's
+	// policy, §6.3).
+	RandomSampling = sampling.Random
+	// UniformSampling probes evenly spaced configurations (§2).
+	UniformSampling = sampling.Uniform
+	// ActiveSampling greedily probes the highest posterior-variance
+	// configuration under the hierarchical model.
+	ActiveSampling = sampling.Active
+)
+
+// TruthMeasure adapts a ground-truth vector into a Measure with optional
+// multiplicative noise.
+func TruthMeasure(truth []float64, noise float64, rng *rand.Rand) Measure {
+	return sampling.TruthMeasure(truth, noise, rng)
+}
+
+// Workload-trace types (utilization generators for driving the controller).
+type (
+	// Trace is a sequence of utilization intervals.
+	Trace = trace.Trace
+	// TracePoint is one interval of a Trace.
+	TracePoint = trace.Point
+)
+
+// DiurnalTrace builds a day-like raised-sine demand curve.
+func DiurnalTrace(intervals int, interval, low, high float64) (Trace, error) {
+	return trace.Diurnal(intervals, interval, low, high)
+}
+
+// PoissonTrace builds demand from Poisson job arrivals.
+func PoissonTrace(intervals int, interval, lambda, jobCost float64, rng *rand.Rand) (Trace, error) {
+	return trace.Poisson(intervals, interval, lambda, jobCost, rng)
+}
+
+// BurstyTrace alternates base demand with geometric bursts.
+func BurstyTrace(intervals int, interval, base, burst, burstProb float64, rng *rand.Rand) (Trace, error) {
+	return trace.Bursty(intervals, interval, base, burst, burstProb, rng)
+}
+
+// MarkovTrace switches between demand levels with a fixed per-interval
+// probability.
+func MarkovTrace(intervals int, interval float64, levels []float64, switchProb float64, rng *rand.Rand) (Trace, error) {
+	return trace.MarkovPhases(intervals, interval, levels, switchProb, rng)
+}
+
+// ConstantTrace holds one demand level.
+func ConstantTrace(intervals int, interval, utilization float64) (Trace, error) {
+	return trace.Constant(intervals, interval, utilization)
+}

@@ -1,0 +1,13 @@
+package leo
+
+import "leo/internal/matrix"
+
+// matrixType aliases the internal dense matrix so the public API can expose
+// profile databases without leaking the internal import path.
+type matrixType = matrix.Matrix
+
+// NewMatrix returns a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return matrix.New(rows, cols) }
+
+// NewMatrixFromRows builds a matrix from row slices.
+func NewMatrixFromRows(rows [][]float64) *Matrix { return matrix.NewFromRows(rows) }
