@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race check faults
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the PR gate: everything builds, vet is clean, and the full test
+# suite passes under the race detector.
+check: build vet race
+
+# faults runs the robustness sweep (ext-faults) on the small space.
+faults:
+	$(GO) run ./cmd/leo-experiments -experiment ext-faults

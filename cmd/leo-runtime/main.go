@@ -7,9 +7,16 @@
 //
 //	leo-runtime [-app kmeans] [-utilization 0.5] [-deadline 10]
 //	            [-size small|full] [-seed 1] [-phased]
+//	            [-fault-rate 0.1] [-fault-seed 7]
 //
 // With -phased it runs the application's phase schedule (the §6.6
 // experiment) instead of a single job.
+//
+// With -fault-rate > 0 a deterministic fault plan (seeded by -fault-seed)
+// injects sensor dropouts, heartbeat loss/duplication and actuation failures
+// at the given per-event probability; the LEO controller then runs with its
+// full degradation ladder (LEO → Online → Offline → race-to-idle) and each
+// run prints the injected-fault counts and a degradation report.
 package main
 
 import (
@@ -28,13 +35,18 @@ func main() {
 		deadline = flag.Float64("deadline", 10, "job deadline, seconds")
 		size     = flag.String("size", "small", "small (128 configs) or full (1024 configs)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		noise    = flag.Float64("noise", 0.01, "relative measurement noise")
-		phased   = flag.Bool("phased", false, "run the application's phase schedule (§6.6)")
+		noise     = flag.Float64("noise", 0.01, "relative measurement noise")
+		phased    = flag.Bool("phased", false, "run the application's phase schedule (§6.6)")
+		faultRate = flag.Float64("fault-rate", 0, "per-event probability of each fault kind (0 disables injection)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 	)
 	flag.Parse()
 
 	if *util <= 0 || *util > 1 {
 		fatal(fmt.Errorf("utilization %g outside (0,1]", *util))
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		fatal(fmt.Errorf("fault-rate %g outside [0,1]", *faultRate))
 	}
 	space := leo.SmallSpace()
 	if *size == "full" {
@@ -70,9 +82,37 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		var plan *leo.FaultPlan
+		if *faultRate > 0 {
+			plan, err = leo.NewFaultPlan(*faultSeed+stream, leo.UniformFaults(*faultRate))
+			if err != nil {
+				fatal(err)
+			}
+			mach.InstallFaults(plan)
+		}
 		ctrl, err := leo.NewController(name, mach, estPerf, estPower, 0, rand.New(rand.NewSource(*seed+stream+100)))
 		if err != nil {
 			fatal(err)
+		}
+		if plan != nil && name == "LEO" {
+			// Under injected faults LEO runs with its full degradation
+			// ladder, bottoming out in race-to-idle, which cannot fail.
+			offPerf, err := leo.NewOfflineEstimator(rest.Perf)
+			if err != nil {
+				fatal(err)
+			}
+			offPower, err := leo.NewOfflineEstimator(rest.Power)
+			if err != nil {
+				fatal(err)
+			}
+			err = ctrl.AddFallbacks(
+				leo.Tier{Name: "Online", Perf: leo.NewOnlineEstimator(space), Power: leo.NewOnlineEstimator(space)},
+				leo.Tier{Name: "Offline", Perf: offPerf, Power: offPower},
+				leo.Tier{Name: "race-to-idle"},
+			)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		if *phased {
 			res, err := ctrl.RunPhased(leo.PhasedSpec{
@@ -84,6 +124,10 @@ func main() {
 			}
 			fmt.Printf("%-11s frames=%d replans=%d total=%.1f J phases=%v\n",
 				name, len(res.Frames), res.Replans, res.TotalEnergy, fmtJoules(res.PhaseEnergy))
+			if plan != nil {
+				fmt.Printf("            injected: %s\n            degradation: %s\n",
+					plan.Summary(), ctrl.Report())
+			}
 			return
 		}
 		job, err := ctrl.ExecuteJob(*util*maxRate**deadline, *deadline)
@@ -92,6 +136,10 @@ func main() {
 		}
 		fmt.Printf("%-11s energy=%8.1f J  avg power=%6.1f W  work=%8.1f beats  deadline met=%v\n",
 			name, job.Energy, job.AvgPower, job.Work, job.MetDeadline)
+		if plan != nil {
+			fmt.Printf("            tier=%s  injected: %s\n            degradation: %s\n",
+				job.Tier, plan.Summary(), ctrl.Report())
+		}
 	}
 
 	fmt.Printf("app=%s space=%d configs demand=%.0f%% of peak (%.1f beats/s) deadline=%.0fs\n\n",

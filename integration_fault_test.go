@@ -1,0 +1,178 @@
+package leo_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leo"
+	"leo/internal/experiments"
+)
+
+// ladderController builds a LEO controller with the full degradation ladder
+// (LEO → Online → Offline → race-to-idle) through the public facade.
+func ladderController(t *testing.T, rig *traceRig, mach *leo.Machine, seed int64) *leo.Controller {
+	t.Helper()
+	ctrl, err := leo.NewController("LEO", mach,
+		leo.NewLEOEstimator(rig.rest.Perf, leo.ModelOptions{}),
+		leo.NewLEOEstimator(rig.rest.Power, leo.ModelOptions{}),
+		0, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offPerf, err := leo.NewOfflineEstimator(rig.rest.Perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offPower, err := leo.NewOfflineEstimator(rig.rest.Power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ctrl.AddFallbacks(
+		leo.Tier{Name: "Online", Perf: leo.NewOnlineEstimator(rig.space), Power: leo.NewOnlineEstimator(rig.space)},
+		leo.Tier{Name: "Offline", Perf: offPerf, Power: offPower},
+		leo.Tier{Name: "race-to-idle"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// TestIntegrationFaultLadderChaos drives the full LEO runtime through the
+// facade at escalating fault rates with fixed seeds: no job may error, no
+// energy may go NaN, and ground-truth accounting must survive even when most
+// sensor readings are corrupted.
+func TestIntegrationFaultLadderChaos(t *testing.T) {
+	rig := newTraceRig(t, "swish")
+	for _, rate := range []float64{0, 0.05, 0.15, 0.35} {
+		mach, err := leo.NewMachine(rig.space, rig.app, 0.01, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := leo.NewFaultPlan(11, leo.UniformFaults(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach.InstallFaults(plan)
+		ctrl := ladderController(t, rig, mach, 23)
+		if err := ctrl.Calibrate(); err != nil {
+			t.Fatalf("rate %g: ladder bottomed out in calibration: %v", rate, err)
+		}
+		for i := 0; i < 4; i++ {
+			job, err := ctrl.ExecuteJob(0.5*rig.maxRate*10, 10)
+			if err != nil {
+				t.Fatalf("rate %g job %d: %v", rate, i, err)
+			}
+			if math.IsNaN(job.Energy) || math.IsInf(job.Energy, 0) || job.Energy <= 0 {
+				t.Fatalf("rate %g job %d: corrupted energy %g", rate, i, job.Energy)
+			}
+			if math.IsNaN(job.Work) || job.Work < 0 {
+				t.Fatalf("rate %g job %d: corrupted work %g", rate, i, job.Work)
+			}
+			if job.Tier == "" {
+				t.Fatalf("rate %g job %d: no serving tier recorded", rate, i)
+			}
+		}
+		rep := ctrl.Report()
+		if rate == 0 {
+			if plan.Total() != 0 || rep.Fallbacks != 0 || rep.ActuationRetries != 0 {
+				t.Fatalf("rate 0 injected faults or engaged resilience: %d injected, %s", plan.Total(), rep)
+			}
+		} else if plan.Total() == 0 {
+			t.Fatalf("rate %g injected nothing over 4 jobs", rate)
+		}
+	}
+}
+
+// TestIntegrationZeroFaultRateBitIdentical runs the LEO runtime twice — bare
+// and with an installed zero-rate fault plan — and requires identical job
+// results through the whole facade stack.
+func TestIntegrationZeroFaultRateBitIdentical(t *testing.T) {
+	rig := newTraceRig(t, "kmeans")
+	run := func(install bool) []leo.JobResult {
+		mach, err := leo.NewMachine(rig.space, rig.app, 0.01, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if install {
+			plan, err := leo.NewFaultPlan(1, leo.UniformFaults(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach.InstallFaults(plan)
+		}
+		ctrl := ladderController(t, rig, mach, 7)
+		if err := ctrl.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+		var out []leo.JobResult
+		for _, u := range []float64{0.3, 0.7} {
+			job, err := ctrl.ExecuteJob(u*rig.maxRate*10, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, job)
+		}
+		return out
+	}
+	bare, planned := run(false), run(true)
+	for i := range bare {
+		if bare[i] != planned[i] {
+			t.Fatalf("job %d diverged under zero-rate plan:\n%+v\n%+v", i, bare[i], planned[i])
+		}
+	}
+}
+
+// TestIntegrationFaultSweepAcceptance is the acceptance gate for the
+// robustness substrate: the 25-app degradation-ladder sweep completes with
+// zero panics and errors, reports at least one fallback-tier activation at a
+// non-zero fault rate, and degrades monotone-ishly — deadline hit-rate does
+// not improve and injected-fault volume strictly grows with the rate.
+func TestIntegrationFaultSweepAcceptance(t *testing.T) {
+	env, err := experiments.NewEnv(experiments.SizeSmall, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := experiments.ExtFaults(env, []float64{0, 0.1, 0.2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Apps != 25 {
+		t.Fatalf("sweep covered %d apps, want the full 25-app suite", rep.Apps)
+	}
+	wantJobs := rep.Apps * len(rep.Utils)
+	for _, row := range rep.Rows {
+		if row.Jobs != wantJobs {
+			t.Fatalf("rate %g ran %d jobs, want %d", row.Rate, row.Jobs, wantJobs)
+		}
+		if math.IsNaN(row.MeanEnergy) || row.MeanEnergy <= 0 {
+			t.Fatalf("rate %g corrupted mean energy %g", row.Rate, row.MeanEnergy)
+		}
+	}
+	base := rep.Rows[0]
+	if base.Injected != 0 || base.Fallbacks != 0 || base.DeadlinesMet != wantJobs {
+		t.Fatalf("fault-free row not clean: %+v", base)
+	}
+	if n := base.TierJobs["LEO"]; n != wantJobs {
+		t.Fatalf("fault-free row served %d/%d jobs from the primary tier", n, wantJobs)
+	}
+	fallbacks := 0
+	for i := 1; i < len(rep.Rows); i++ {
+		prev, row := rep.Rows[i-1], rep.Rows[i]
+		if row.Injected <= prev.Injected {
+			t.Fatalf("injected faults did not grow with the rate: %d at %g vs %d at %g",
+				row.Injected, row.Rate, prev.Injected, prev.Rate)
+		}
+		// Monotone-ish: a higher fault rate must not look healthier than a
+		// lower one beyond a small wobble allowance.
+		if row.DeadlinesMet > prev.DeadlinesMet+wantJobs/10 {
+			t.Fatalf("deadline hit-rate improved under more faults: %d/%d at %g vs %d/%d at %g",
+				row.DeadlinesMet, wantJobs, row.Rate, prev.DeadlinesMet, wantJobs, prev.Rate)
+		}
+		fallbacks += row.Fallbacks
+	}
+	if fallbacks == 0 {
+		t.Fatal("no fallback-tier activation anywhere in the non-zero-rate sweep")
+	}
+}

@@ -90,10 +90,16 @@ func NewLEO(known *matrix.Matrix, opts core.Options) *LEO {
 // Name implements Estimator.
 func (l *LEO) Name() string { return "LEO" }
 
-// Estimate implements Estimator.
+// Estimate implements Estimator. EM non-convergence is a soft condition —
+// the capped estimate is still the best available prediction — so it is not
+// surfaced as an estimation failure even under Options.StrictConvergence;
+// hard numerical failures are.
 func (l *LEO) Estimate(obsIdx []int, obsVal []float64) ([]float64, error) {
 	res, err := core.Estimate(l.known, obsIdx, obsVal, l.opts)
 	if err != nil {
+		if res != nil && core.IsNotConverged(err) {
+			return res.Estimate, nil
+		}
 		return nil, err
 	}
 	return res.Estimate, nil

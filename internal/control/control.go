@@ -8,7 +8,9 @@
 package control
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -19,14 +21,19 @@ import (
 )
 
 // Controller drives one machine/application pair with one estimation
-// approach.
+// approach. Its estimators form a degradation ladder (tiers): jobs are
+// served by the highest rung that works, and repeated estimation failures or
+// sustained fault pressure demote the controller down the ladder — see
+// AddFallbacks and Resilience.
 type Controller struct {
-	name     string
-	mach     *machine.Machine
-	estPerf  baseline.Estimator // nil ⇒ race-to-idle heuristic
-	estPower baseline.Estimator
-	samples  int
-	rng      *rand.Rand
+	name    string
+	mach    *machine.Machine
+	samples int
+	rng     *rand.Rand
+
+	tiers []Tier // tiers[0] is the primary policy; Perf == nil ⇒ race-to-idle
+	tier  int    // current rung
+	res   Resilience
 
 	perfEst  []float64
 	powerEst []float64
@@ -37,6 +44,11 @@ type Controller struct {
 	// across jobs, so later jobs correct for estimation error immediately.
 	// Cleared on Calibrate (the estimates change, and so may the phase).
 	measuredRates map[int]float64
+
+	estFailStreak int          // consecutive calibration failures at this tier
+	cleanJobs     int          // consecutive fault-free jobs while degraded
+	deadConfigs   map[int]bool // configurations abandoned after actuation give-ups
+	stats         DegradationReport
 }
 
 // DefaultSamples is the number of configurations probed per calibration,
@@ -57,22 +69,27 @@ func New(name string, mach *machine.Machine, estPerf, estPower baseline.Estimato
 	if samples <= 0 {
 		samples = DefaultSamples
 	}
+	tierName := "race-to-idle"
+	if estPerf != nil {
+		tierName = estPerf.Name()
+	}
 	return &Controller{
-		name:     name,
-		mach:     mach,
-		estPerf:  estPerf,
-		estPower: estPower,
-		samples:  samples,
-		rng:      rng,
+		name:    name,
+		mach:    mach,
+		samples: samples,
+		rng:     rng,
+		tiers:   []Tier{{Name: tierName, Perf: estPerf, Power: estPower}},
+		res:     Resilience{}.withDefaults(),
 	}, nil
 }
 
 // Name returns the controller's policy name.
 func (c *Controller) Name() string { return c.name }
 
-// RaceToIdle reports whether this controller uses the race-to-idle
-// heuristic.
-func (c *Controller) RaceToIdle() bool { return c.estPerf == nil }
+// RaceToIdle reports whether the controller's current tier is the
+// race-to-idle heuristic (either by construction or after degrading to the
+// terminal rung).
+func (c *Controller) RaceToIdle() bool { return c.tiers[c.tier].Perf == nil }
 
 // Replans returns the number of calibrations performed so far.
 func (c *Controller) Replans() int { return c.replans }
@@ -81,33 +98,77 @@ func (c *Controller) Replans() int { return c.replans }
 // and performance estimates. Probes use the machine's measurement interface
 // without consuming job time; the paper charges this as LEO's (small)
 // one-time overhead separately (§6.7). It is a no-op for race-to-idle.
+//
+// Calibration is hardened: faulted probe readings are discarded before they
+// reach the estimator, estimator output is validated before it can reach the
+// planner, and after MaxEstimationFailures consecutive failures the
+// controller degrades down its fallback ladder. Calibrate only returns an
+// error once the bottom rung has failed too.
 func (c *Controller) Calibrate() error {
+	for {
+		err := c.calibrateTier()
+		if err == nil {
+			c.estFailStreak = 0
+			return nil
+		}
+		c.stats.EstimationFailures++
+		c.estFailStreak++
+		if c.estFailStreak < c.res.MaxEstimationFailures {
+			continue // transient: retry with a fresh probe mask
+		}
+		if !c.degrade() {
+			return err
+		}
+	}
+}
+
+// calibrateTier runs one calibration attempt at the current tier.
+func (c *Controller) calibrateTier() error {
 	if c.RaceToIdle() {
 		return nil
 	}
+	tier := c.tiers[c.tier]
 	space := c.mach.Space()
 	k := c.samples
 	if k > space.N() {
 		k = space.N()
 	}
 	mask := profile.RandomMask(space.N(), k, c.rng)
-	perfObs := make([]float64, len(mask))
-	powerObs := make([]float64, len(mask))
-	for i, idx := range mask {
+	obsIdx := make([]int, 0, len(mask))
+	perfObs := make([]float64, 0, len(mask))
+	powerObs := make([]float64, 0, len(mask))
+	for _, idx := range mask {
 		cfg := space.ConfigAt(idx)
-		perfObs[i] = c.mach.MeasurePerf(cfg)
-		powerObs[i] = c.mach.MeasurePower(cfg)
+		p := c.mach.MeasurePerf(cfg)
+		q := c.mach.MeasurePower(cfg)
+		// Discard faulted probes (NaN meter dropouts, lost heartbeat
+		// batches reading zero): core.Estimate rejects non-finite
+		// observations outright, and a non-positive rate or power is
+		// physically impossible.
+		if !validReading(p) || !validReading(q) {
+			c.stats.DroppedObservations++
+			continue
+		}
+		obsIdx = append(obsIdx, idx)
+		perfObs = append(perfObs, p)
+		powerObs = append(powerObs, q)
 	}
-	perfEst, err := c.estPerf.Estimate(mask, perfObs)
+	if len(obsIdx) < c.res.MinValidSamples {
+		return fmt.Errorf("control: only %d of %d calibration probes usable", len(obsIdx), len(mask))
+	}
+	perfEst, err := tier.Perf.Estimate(obsIdx, perfObs)
 	if err != nil {
 		return fmt.Errorf("control: performance estimation: %w", err)
 	}
-	powerEst, err := c.estPower.Estimate(mask, powerObs)
+	powerEst, err := tier.Power.Estimate(obsIdx, powerObs)
 	if err != nil {
 		return fmt.Errorf("control: power estimation: %w", err)
 	}
-	c.perfEst, c.powerEst = perfEst, powerEst
-	c.obsIdx, c.obsPerf = mask, perfObs
+	if err := checkEstimates(perfEst, powerEst, space.N()); err != nil {
+		return fmt.Errorf("control: %s estimates rejected: %w", tier.Name, err)
+	}
+	c.perfEst, c.powerEst = sanitizeEstimates(perfEst, powerEst)
+	c.obsIdx, c.obsPerf = obsIdx, perfObs
 	c.measuredRates = nil
 	c.replans++
 	return nil
@@ -130,8 +191,13 @@ func (c *Controller) Plan(w, t float64) (*pareto.Plan, error) {
 		if err := c.Calibrate(); err != nil {
 			return nil, err
 		}
+		if c.RaceToIdle() {
+			// Calibration degraded all the way to the terminal rung.
+			return c.raceToIdlePlan(w, t)
+		}
 	}
-	plan, err := pareto.MinimizeEnergy(c.perfEst, c.powerEst, idle, w, t)
+	perf, power := c.planEstimates()
+	plan, err := pareto.MinimizeEnergy(perf, power, idle, w, t)
 	if err == nil {
 		return plan, nil
 	}
@@ -148,21 +214,43 @@ func (c *Controller) Plan(w, t float64) (*pareto.Plan, error) {
 	}, nil
 }
 
+// probeRetries bounds re-measurement of a faulted probe inside
+// raceToIdlePlan, which must never fail: it is the ladder's terminal rung.
+const probeRetries = 3
+
 // raceToIdlePlan allocates the maximum configuration for however long its
-// measured rate needs, idling the remainder.
+// measured rate needs, idling the remainder. It tolerates faulted probes by
+// re-measuring a few times and, under a total sensor blackout, falls back to
+// running flat out for the whole window — the feedback loop idles early once
+// heartbeats report the work complete — so it never returns an error.
 func (c *Controller) raceToIdlePlan(w, t float64) (*pareto.Plan, error) {
 	space := c.mach.Space()
 	maxCfg := space.MaxConfig()
 	rate := c.mach.MeasurePerf(maxCfg)
-	if rate <= 0 {
-		return nil, fmt.Errorf("control: race-to-idle measured non-positive rate %g", rate)
+	for retry := 0; !validReading(rate) && retry < probeRetries; retry++ {
+		c.stats.DroppedObservations++
+		rate = c.mach.MeasurePerf(maxCfg)
+	}
+	idle := c.mach.App().IdlePower
+	power := c.mach.MeasurePower(maxCfg)
+	for retry := 0; !validReading(power) && retry < probeRetries; retry++ {
+		c.stats.DroppedObservations++
+		power = c.mach.MeasurePower(maxCfg)
+	}
+	if !validReading(power) {
+		power = idle // meter blackout: predict the floor; execution measures truth
+	}
+	if !validReading(rate) {
+		return &pareto.Plan{
+			Allocations: []pareto.Allocation{{Index: space.Index(maxCfg), Time: t}},
+			Energy:      power * t,
+			Rate:        w / t,
+		}, nil
 	}
 	run := w / rate
 	if run > t {
 		run = t
 	}
-	idle := c.mach.App().IdlePower
-	power := c.mach.MeasurePower(maxCfg)
 	return &pareto.Plan{
 		Allocations: []pareto.Allocation{{Index: space.Index(maxCfg), Time: run}},
 		IdleTime:    t - run,
@@ -172,11 +260,15 @@ func (c *Controller) raceToIdlePlan(w, t float64) (*pareto.Plan, error) {
 }
 
 // believedFastest returns the configuration index with the highest estimated
-// performance, or -1 when no estimate is available.
+// performance, or -1 when no estimate is available. Abandoned configurations
+// and non-finite estimates are never chosen (NaN fails every comparison).
 func (c *Controller) believedFastest() int {
 	best, bestIdx := 0.0, -1
 	for i, v := range c.perfEst {
-		if v > best {
+		if c.deadConfigs[i] {
+			continue
+		}
+		if v > best && !math.IsInf(v, 1) {
 			best, bestIdx = v, i
 		}
 	}
@@ -186,10 +278,11 @@ func (c *Controller) believedFastest() int {
 // JobResult summarizes one executed job.
 type JobResult struct {
 	Energy      float64 // Joules consumed over the whole deadline window
-	Work        float64 // heartbeats completed
+	Work        float64 // heartbeats completed (ground truth, not lossy observations)
 	Duration    float64 // seconds of the window actually simulated (== deadline)
 	MetDeadline bool
 	AvgPower    float64 // Energy / Duration
+	Tier        string  // degradation-ladder rung that served the job
 }
 
 // feedbackStep is the granularity of the corrective execution loop; it
@@ -221,12 +314,19 @@ func (c *Controller) ExecuteJob(w, t float64) (JobResult, error) {
 		return JobResult{}, fmt.Errorf("control: invalid job w=%g t=%g", w, t)
 	}
 	plan, err := c.Plan(w, t)
+	for err != nil && c.degrade() {
+		// Planning failed at this tier (calibration exhausted its retries);
+		// walk down the ladder before giving up on the job.
+		plan, err = c.Plan(w, t)
+	}
 	if err != nil {
 		return JobResult{}, err
 	}
+	tierIdx := c.tier
 	startE, startT, startW := c.mach.Energy(), c.mach.Elapsed(), c.mach.Work()
 	remainT := t
 	remainW := w
+	jobFaults := 0
 
 	cands := c.candidates(plan)
 	ranking := c.perfRanking()
@@ -241,18 +341,35 @@ func (c *Controller) ExecuteJob(w, t float64) (JobResult, error) {
 		for allMeasuredBelow(cands, needed) && escalated < len(ranking) {
 			idx := ranking[escalated]
 			escalated++
-			if hasCandidate(cands, idx) {
+			if hasCandidate(cands, idx) || c.deadConfigs[idx] {
 				continue
 			}
 			cands = append(cands, c.newCandidate(idx))
 		}
+		if len(cands) == 0 {
+			// Every option was abandoned to actuation give-ups; nothing
+			// left to run — idle out the window below.
+			break
+		}
 		pick := chooseCandidate(cands, needed)
-		if err := c.mach.ApplyIndex(pick.index); err != nil {
-			return JobResult{}, err
+		if err := c.applyWithRetry(pick.index, &remainT); err != nil {
+			if !errors.Is(err, machine.ErrActuation) {
+				return JobResult{}, err
+			}
+			// Retry budget exhausted: abandon this configuration (an
+			// offlined core behaves exactly like this) and re-pick.
+			c.stats.ActuationGiveUps++
+			jobFaults++
+			c.markDead(pick.index)
+			cands = dropCandidate(cands, pick.index)
+			continue
 		}
 		dt := feedbackStep
 		if dt > remainT {
 			dt = remainT
+		}
+		if dt <= 0 {
+			break // backoff consumed the rest of the window
 		}
 		// Avoid overshooting the remaining work: bound the step by the
 		// believed rate (measured when available, estimated otherwise);
@@ -268,9 +385,28 @@ func (c *Controller) ExecuteJob(w, t float64) (JobResult, error) {
 		}
 		s := c.mach.Run(dt)
 		remainT -= dt
+		if s.Heartbeats <= 0 && pick.rate > 0 {
+			// No beats arrived although the configuration should be making
+			// progress. Two cases, split by the heartbeat watchdog: past
+			// WatchdogAge the sensor is stale — account believed progress so
+			// the loop doesn't race a silent application for the whole
+			// window; below it this is a transient lost batch — assume no
+			// progress (the conservative direction) and keep the previous
+			// rate belief rather than poisoning it with a zero.
+			jobFaults++
+			if c.mach.BeatAge() >= c.res.WatchdogAge {
+				c.stats.WatchdogTrips++
+				remainW -= pick.rate * dt
+			} else {
+				c.stats.DroppedObservations++
+			}
+			continue
+		}
 		remainW -= s.Heartbeats
 		pick.rate = s.Heartbeats / dt // heartbeats are the ground-truth feedback
-		pick.power = s.Power
+		if p := s.Power; validReading(p) || !c.mach.Faults().Active() {
+			pick.power = p
+		}
 		pick.measured = true
 		if c.measuredRates == nil {
 			c.measuredRates = make(map[int]float64)
@@ -282,14 +418,19 @@ func (c *Controller) ExecuteJob(w, t float64) (JobResult, error) {
 	}
 
 	res := JobResult{
-		Energy:      c.mach.Energy() - startE,
-		Work:        c.mach.Work() - startW,
-		Duration:    c.mach.Elapsed() - startT,
-		MetDeadline: remainW <= 1e-6*(1+w),
+		Energy:   c.mach.Energy() - startE,
+		Work:     c.mach.Work() - startW,
+		Duration: c.mach.Elapsed() - startT,
+		Tier:     c.tiers[tierIdx].Name,
 	}
+	// Judge the deadline on true completed work, not the lossy observed
+	// count: heartbeat duplication must not fake success, loss must not fake
+	// failure. Identical to the observed accounting when no faults fire.
+	res.MetDeadline = res.Work >= w-1e-6*(1+w)
 	if res.Duration > 0 {
 		res.AvgPower = res.Energy / res.Duration
 	}
+	c.recordJob(tierIdx, jobFaults)
 	return res, nil
 }
 
@@ -304,7 +445,7 @@ func (c *Controller) candidates(plan *pareto.Plan) []*candidate {
 	seen := make(map[int]bool)
 	var out []*candidate
 	add := func(idx int) {
-		if idx < 0 || seen[idx] {
+		if idx < 0 || seen[idx] || c.deadConfigs[idx] {
 			return
 		}
 		seen[idx] = true

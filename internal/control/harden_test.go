@@ -1,0 +1,315 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"leo/internal/baseline"
+	"leo/internal/fault"
+)
+
+var errStub = errors.New("stub estimator failure")
+
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// stubEstimator scripts estimator behavior for ladder tests.
+type stubEstimator struct {
+	name string
+	fn   func() ([]float64, error)
+}
+
+func (s *stubEstimator) Name() string { return s.name }
+func (s *stubEstimator) Estimate(_ []int, _ []float64) ([]float64, error) {
+	return s.fn()
+}
+
+func (r *rig) oracleTier(name string) Tier {
+	return Tier{
+		Name:  name,
+		Perf:  baseline.NewOracle(func() []float64 { return r.truePerf }),
+		Power: baseline.NewOracle(func() []float64 { return r.truePower }),
+	}
+}
+
+func installFaults(t *testing.T, r *rig, seed int64, spec fault.Spec) *fault.Plan {
+	t.Helper()
+	p, err := fault.New(seed, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mach.InstallFaults(p)
+	return p
+}
+
+// TestZeroRateFaultsBitIdentical runs the same controller twice — once bare,
+// once with an all-zero fault plan — and requires identical job results: the
+// hardened loop must not perturb the fault-free path.
+func TestZeroRateFaultsBitIdentical(t *testing.T) {
+	run := func(withPlan bool) []JobResult {
+		r := newRig(t, "kmeans", 0.02)
+		if withPlan {
+			installFaults(t, r, 9, fault.Uniform(0))
+		}
+		c := r.controller(t, "Online", 11)
+		if err := c.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+		w := 0.5 * r.maxRate() * 10
+		var out []JobResult
+		for i := 0; i < 3; i++ {
+			res, err := c.ExecuteJob(w, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	bare, planned := run(false), run(true)
+	for i := range bare {
+		if bare[i] != planned[i] {
+			t.Fatalf("job %d diverged under zero-rate plan:\n%+v\n%+v", i, bare[i], planned[i])
+		}
+	}
+}
+
+// TestActuationRetryRecovers: with visibly failing actuations, the retry
+// loop (capped exponential backoff) keeps jobs completing and accounts for
+// every retry.
+func TestActuationRetryRecovers(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	installFaults(t, r, 21, fault.Spec{Rates: map[fault.Kind]float64{fault.ActuationFail: 0.4}})
+	c := r.controller(t, "Optimal", 3)
+	if err := c.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	w := 0.4 * r.maxRate() * 10
+	for i := 0; i < 5; i++ {
+		res, err := c.ExecuteJob(w, 10)
+		if err != nil {
+			t.Fatalf("job %d failed under retryable actuation faults: %v", i, err)
+		}
+		if math.IsNaN(res.Energy) || res.Energy <= 0 {
+			t.Fatalf("job %d energy corrupted: %g", i, res.Energy)
+		}
+	}
+	if rep := c.Report(); rep.ActuationRetries == 0 {
+		t.Fatalf("no retries recorded at 40%% actuation failure: %+v", rep)
+	}
+}
+
+// TestBlacklistAbandonsConfig: a statically offlined configuration exhausts
+// its retry budget once, is marked dead, and jobs still complete.
+func TestBlacklistAbandonsConfig(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "Optimal", 3)
+	if err := c.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	// Offline every configuration the planner would pick first: the loop
+	// must give up on them and route to the remaining ones.
+	w := 0.4 * r.maxRate() * 10
+	plan, err := c.Plan(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var black []int
+	for _, a := range plan.Allocations {
+		black = append(black, a.Index)
+	}
+	installFaults(t, r, 21, fault.Spec{Blacklist: black})
+	res, err := c.ExecuteJob(w, 10)
+	if err != nil {
+		t.Fatalf("job failed with %d blacklisted configs: %v", len(black), err)
+	}
+	if !res.MetDeadline {
+		t.Fatalf("deadline missed despite working alternatives: %+v", res)
+	}
+	rep := c.Report()
+	if rep.ActuationGiveUps == 0 {
+		t.Fatalf("blacklisted configs were never abandoned: %+v", rep)
+	}
+	// The dead configurations must not be scheduled again.
+	for i := 0; i < 3; i++ {
+		if _, err := c.ExecuteJob(w, 10); err != nil {
+			t.Fatalf("post-blacklist job %d failed: %v", i, err)
+		}
+	}
+	if after := c.Report(); after.ActuationGiveUps != rep.ActuationGiveUps {
+		t.Fatalf("controller kept retrying dead configs: %d -> %d give-ups",
+			rep.ActuationGiveUps, after.ActuationGiveUps)
+	}
+}
+
+// TestEstimationFailureDegradesLadder: a persistently failing primary
+// estimator walks the controller down to its fallback, which then serves
+// jobs.
+func TestEstimationFailureDegradesLadder(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	broken := &stubEstimator{name: "Broken", fn: func() ([]float64, error) {
+		return nil, errStub
+	}}
+	c, err := New("test", r.mach, broken, broken, DefaultSamples, testRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFallbacks(r.oracleTier("oracle"), Tier{Name: "race-to-idle"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Calibrate(); err != nil {
+		t.Fatalf("ladder bottomed out: %v", err)
+	}
+	if got := c.CurrentTier(); got != "oracle" {
+		t.Fatalf("CurrentTier = %q, want oracle", got)
+	}
+	w := 0.4 * r.maxRate() * 10
+	res, err := c.ExecuteJob(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != "oracle" {
+		t.Fatalf("job served by %q, want oracle", res.Tier)
+	}
+	rep := c.Report()
+	if rep.Fallbacks != 1 || rep.EstimationFailures < 2 {
+		t.Fatalf("expected 1 fallback after >=2 estimation failures, got %+v", rep)
+	}
+	if !rep.Degraded() {
+		t.Fatal("report does not admit degradation")
+	}
+}
+
+// TestPoisonEstimatesRejected guards the planner: an estimator emitting
+// NaN/Inf vectors must be rejected before pareto sees them (and the
+// controller degrades past it when it can).
+func TestPoisonEstimatesRejected(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	n := r.space.N()
+	poison := &stubEstimator{name: "Poison", fn: func() ([]float64, error) {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out, nil
+	}}
+	c, err := New("test", r.mach, poison, poison, DefaultSamples, testRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Calibrate(); err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("poison estimates accepted: %v", err)
+	}
+	// With a fallback, the same poison degrades instead of failing.
+	c2, err := New("test", r.mach, poison, poison, DefaultSamples, testRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.AddFallbacks(r.oracleTier("oracle")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.CurrentTier(); got != "oracle" {
+		t.Fatalf("CurrentTier = %q, want oracle", got)
+	}
+	perf, power := c2.Estimates()
+	for i := range perf {
+		if math.IsNaN(perf[i]) || math.IsNaN(power[i]) {
+			t.Fatalf("NaN reached the accepted estimates at %d", i)
+		}
+	}
+}
+
+// TestWatchdogTripsUnderHeartbeatBlackout: with every heartbeat batch lost,
+// the watchdog must detect the stale sensor and keep the job moving on
+// believed progress instead of racing a silent application all window.
+func TestWatchdogTripsUnderHeartbeatBlackout(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "Optimal", 3)
+	if err := c.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	installFaults(t, r, 31, fault.Spec{Rates: map[fault.Kind]float64{fault.HeartbeatLoss: 1}})
+	w := 0.4 * r.maxRate() * 20
+	res, err := c.ExecuteJob(w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Report()
+	if rep.WatchdogTrips == 0 {
+		t.Fatalf("watchdog never tripped under total heartbeat loss: %+v", rep)
+	}
+	if res.Work <= 0 || math.IsNaN(res.Energy) || res.Energy <= 0 {
+		t.Fatalf("blackout job lost ground truth: %+v", res)
+	}
+}
+
+// TestRecoveryAfterCleanJobs: a transiently failing primary demotes the
+// controller, and a run of clean jobs at the fallback promotes it back.
+func TestRecoveryAfterCleanJobs(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	calls := 0
+	flaky := &stubEstimator{name: "Flaky"}
+	flaky.fn = func() ([]float64, error) {
+		calls++
+		if calls <= 2 { // perf estimation fails twice -> one demotion
+			return nil, errStub
+		}
+		return append([]float64(nil), r.truePerf...), nil
+	}
+	c, err := New("test", r.mach, flaky, flaky, DefaultSamples, testRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFallbacks(r.oracleTier("oracle")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetResilience(Resilience{RecoveryJobs: 2})
+	if err := c.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CurrentTier(); got != "oracle" {
+		t.Fatalf("CurrentTier = %q, want oracle after flaky start", got)
+	}
+	w := 0.4 * r.maxRate() * 10
+	for i := 0; i < 3; i++ {
+		if _, err := c.ExecuteJob(w, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.CurrentTier(); got != "Flaky" {
+		t.Fatalf("CurrentTier = %q, want promoted back to Flaky", got)
+	}
+	rep := c.Report()
+	if rep.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1 (%+v)", rep.Recoveries, rep)
+	}
+	if rep.TierJobs["oracle"] == 0 {
+		t.Fatalf("no jobs attributed to the fallback tier: %+v", rep.TierJobs)
+	}
+}
+
+// TestRaceToIdleSurvivesSensorBlackout: the terminal rung must never fail,
+// even when most probe readings are faulted.
+func TestRaceToIdleSurvivesSensorBlackout(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	installFaults(t, r, 41, fault.Spec{Rates: map[fault.Kind]float64{
+		fault.HeartbeatLoss: 0.9,
+		fault.PowerDropout:  0.9,
+	}})
+	c := r.controller(t, "RaceToIdle", 0)
+	w := 0.4 * r.maxRate() * 10
+	for i := 0; i < 3; i++ {
+		res, err := c.ExecuteJob(w, 10)
+		if err != nil {
+			t.Fatalf("race-to-idle failed under blackout: %v", err)
+		}
+		if math.IsNaN(res.Energy) || res.Energy <= 0 || res.Work <= 0 {
+			t.Fatalf("blackout corrupted accounting: %+v", res)
+		}
+	}
+}

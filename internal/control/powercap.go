@@ -1,9 +1,11 @@
 package control
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"leo/internal/machine"
 	"leo/internal/pareto"
 )
 
@@ -56,8 +58,24 @@ func (c *Controller) ExecuteCapped(powerCap, t float64) (JobResult, error) {
 			remainT -= dt
 			continue
 		}
-		if err := c.mach.ApplyIndex(pick.index); err != nil {
-			return JobResult{}, err
+		beforeT := remainT
+		if err := c.applyWithRetry(pick.index, &remainT); err != nil {
+			if !errors.Is(err, machine.ErrActuation) {
+				return JobResult{}, err
+			}
+			c.stats.ActuationGiveUps++
+			c.markDead(pick.index)
+			cands = dropCandidate(cands, pick.index)
+			budget -= c.mach.App().IdlePower * (beforeT - remainT)
+			continue
+		}
+		// Backoff idles consumed window time and budget.
+		budget -= c.mach.App().IdlePower * (beforeT - remainT)
+		if dt > remainT {
+			dt = remainT
+		}
+		if dt <= 0 {
+			break
 		}
 		s := c.mach.Run(dt)
 		budget -= s.Energy
@@ -89,7 +107,7 @@ func (c *Controller) cappedCandidates(plan *pareto.Plan) []*candidate {
 	seen := make(map[int]bool)
 	var out []*candidate
 	add := func(idx int) {
-		if idx < 0 || seen[idx] {
+		if idx < 0 || seen[idx] || c.deadConfigs[idx] {
 			return
 		}
 		seen[idx] = true

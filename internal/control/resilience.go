@@ -1,0 +1,326 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"leo/internal/baseline"
+	"leo/internal/machine"
+)
+
+// Tier is one rung of a controller's degradation ladder: a named pair of
+// estimators. Both nil means the race-to-idle heuristic, which needs no
+// estimation at all and therefore cannot fail — it is the natural terminal
+// rung.
+type Tier struct {
+	Name  string
+	Perf  baseline.Estimator
+	Power baseline.Estimator
+}
+
+// Resilience tunes the hardened control loop. The zero value selects the
+// defaults; fields left at zero are filled in by SetResilience.
+type Resilience struct {
+	// MaxActuationRetries is how many times a visibly failed configuration
+	// change is retried (with exponential backoff) before the configuration
+	// is abandoned for the rest of the run. Default 3.
+	MaxActuationRetries int
+	// BackoffBase and BackoffCap bound the exponential backoff between
+	// actuation retries, in simulated seconds: base, 2·base, 4·base, …
+	// capped. Backoff consumes job time (the machine idles through it), so
+	// retrying is never free. Defaults 0.05 s and 0.8 s.
+	BackoffBase float64
+	BackoffCap  float64
+	// WatchdogAge is how long the heartbeat monitor may be silent, in
+	// simulated seconds, before the watchdog declares the sensor stale and
+	// the loop switches to believed-rate progress accounting. Below the
+	// threshold a beat-less window is treated as a transient lost batch
+	// (no progress assumed — the conservative direction). Default 3 s,
+	// i.e. three silent feedback steps.
+	WatchdogAge float64
+	// MaxEstimationFailures is how many consecutive calibration failures a
+	// tier is allowed before the controller degrades to the next rung.
+	// Default 2 (one retry with a fresh probe mask, then degrade).
+	MaxEstimationFailures int
+	// MinValidSamples is the minimum number of usable calibration probes;
+	// fewer (after discarding faulted readings) fails the calibration.
+	// Default 4.
+	MinValidSamples int
+	// JobFaultBudget is how many fault events (actuation give-ups, watchdog
+	// trips, lost feedback windows) a single job tolerates before the
+	// controller degrades a rung for subsequent jobs. Default 3.
+	JobFaultBudget int
+	// RecoveryJobs is how many consecutive fault-free jobs a degraded
+	// controller waits before promoting back up a rung. Default 5.
+	RecoveryJobs int
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.MaxActuationRetries <= 0 {
+		r.MaxActuationRetries = 3
+	}
+	if r.BackoffBase <= 0 {
+		r.BackoffBase = 0.05
+	}
+	if r.BackoffCap <= 0 {
+		r.BackoffCap = 0.8
+	}
+	if r.WatchdogAge <= 0 {
+		r.WatchdogAge = 3
+	}
+	if r.MaxEstimationFailures <= 0 {
+		r.MaxEstimationFailures = 2
+	}
+	if r.MinValidSamples <= 0 {
+		r.MinValidSamples = 4
+	}
+	if r.JobFaultBudget <= 0 {
+		r.JobFaultBudget = 3
+	}
+	if r.RecoveryJobs <= 0 {
+		r.RecoveryJobs = 5
+	}
+	return r
+}
+
+// SetResilience replaces the controller's resilience tuning (zero fields
+// take defaults).
+func (c *Controller) SetResilience(r Resilience) { c.res = r.withDefaults() }
+
+// AddFallbacks appends rungs to the controller's degradation ladder, in the
+// order they should be tried. A Tier with nil estimators is the race-to-idle
+// rung; appending it last guarantees the ladder always bottoms out in a
+// policy that cannot fail.
+func (c *Controller) AddFallbacks(tiers ...Tier) error {
+	for _, tier := range tiers {
+		if (tier.Perf == nil) != (tier.Power == nil) {
+			return fmt.Errorf("control: fallback %q estimators must be both nil or both set", tier.Name)
+		}
+		if tier.Name == "" {
+			return fmt.Errorf("control: fallback tier needs a name")
+		}
+		c.tiers = append(c.tiers, tier)
+	}
+	return nil
+}
+
+// CurrentTier returns the name of the rung currently serving jobs.
+func (c *Controller) CurrentTier() string { return c.tiers[c.tier].Name }
+
+// DegradationReport accounts for every resilience mechanism that engaged
+// during a run. A report with Fallbacks == 0 and all counters zero means the
+// run never left the happy path.
+type DegradationReport struct {
+	// TierJobs counts executed jobs per tier name.
+	TierJobs map[string]int
+	// Fallbacks counts tier demotions; Recoveries counts promotions back up
+	// after RecoveryJobs consecutive clean jobs.
+	Fallbacks  int
+	Recoveries int
+	// ActuationRetries counts retried configuration changes;
+	// ActuationGiveUps counts configurations abandoned after the retry
+	// budget was exhausted.
+	ActuationRetries int64
+	ActuationGiveUps int64
+	// WatchdogTrips counts feedback windows where the heartbeat sensor was
+	// declared stale and believed-rate accounting took over.
+	WatchdogTrips int64
+	// DroppedObservations counts sensor readings discarded as unusable:
+	// faulted calibration probes and beat-less feedback windows below the
+	// watchdog threshold.
+	DroppedObservations int64
+	// EstimationFailures counts failed calibration attempts (invalid probe
+	// sets, estimator errors, rejected estimate vectors).
+	EstimationFailures int64
+}
+
+// Degraded reports whether the controller ever left its primary tier.
+func (r DegradationReport) Degraded() bool { return r.Fallbacks > 0 }
+
+// String renders the report as one stable line for experiment output.
+func (r DegradationReport) String() string {
+	tiers := make([]string, 0, len(r.TierJobs))
+	for name := range r.TierJobs {
+		tiers = append(tiers, name)
+	}
+	sort.Strings(tiers)
+	out := "tiers["
+	for i, name := range tiers {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", name, r.TierJobs[name])
+	}
+	out += fmt.Sprintf("] fallbacks=%d recoveries=%d retries=%d giveups=%d watchdog=%d dropped=%d estfail=%d",
+		r.Fallbacks, r.Recoveries, r.ActuationRetries, r.ActuationGiveUps,
+		r.WatchdogTrips, r.DroppedObservations, r.EstimationFailures)
+	return out
+}
+
+// Report returns a copy of the controller's degradation accounting.
+func (c *Controller) Report() DegradationReport {
+	out := c.stats
+	out.TierJobs = make(map[string]int, len(c.stats.TierJobs))
+	for name, n := range c.stats.TierJobs {
+		out.TierJobs[name] = n
+	}
+	return out
+}
+
+// validReading reports whether a sensor reading is physically plausible:
+// finite and strictly positive. NaN meter dropouts, lost heartbeat batches
+// (rate 0) and sign-corrupted samples all fail.
+func validReading(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// checkEstimates guards the planner against poisoned estimator output
+// (NaN/Inf vectors must never reach internal/pareto as the only option): the
+// vectors must have one entry per configuration and at least one index where
+// both metrics are usable, since pareto drops invalid indices individually.
+func checkEstimates(perf, power []float64, n int) error {
+	if len(perf) != n || len(power) != n {
+		return fmt.Errorf("estimate length %d/%d != %d configurations", len(perf), len(power), n)
+	}
+	for i := range perf {
+		if validReading(perf[i]) && validReading(power[i]) {
+			return nil
+		}
+	}
+	return fmt.Errorf("no configuration has finite positive perf and power estimates")
+}
+
+// sanitizeEstimates neutralizes stray invalid entries so they cannot poison
+// candidate beliefs: an unusable perf entry becomes 0 (never chosen, skipped
+// by pareto), an unusable power entry becomes +Inf (chosen only as a last
+// resort). Valid vectors are returned unchanged, no copies made.
+func sanitizeEstimates(perf, power []float64) ([]float64, []float64) {
+	bad := false
+	for i := range perf {
+		if (perf[i] != 0 && !validReading(perf[i])) || !validReading(power[i]) {
+			bad = true
+			break
+		}
+	}
+	if !bad {
+		return perf, power
+	}
+	perfOut := append([]float64(nil), perf...)
+	powerOut := append([]float64(nil), power...)
+	for i := range perfOut {
+		if perfOut[i] != 0 && !validReading(perfOut[i]) {
+			perfOut[i] = 0
+		}
+		if !validReading(powerOut[i]) {
+			powerOut[i] = math.Inf(1)
+		}
+	}
+	return perfOut, powerOut
+}
+
+// degrade moves the controller one rung down the ladder, discarding the
+// failed tier's estimates. It returns false at the bottom.
+func (c *Controller) degrade() bool {
+	if c.tier+1 >= len(c.tiers) {
+		return false
+	}
+	c.tier++
+	c.estFailStreak = 0
+	c.cleanJobs = 0
+	c.stats.Fallbacks++
+	c.perfEst, c.powerEst = nil, nil
+	c.obsIdx, c.obsPerf = nil, nil
+	return true
+}
+
+// recordJob updates tier accounting after a job served by tier tierIdx with
+// jobFaults observed fault events: over-budget jobs degrade the controller,
+// a run of clean jobs at a degraded tier promotes it back up.
+func (c *Controller) recordJob(tierIdx, jobFaults int) {
+	if c.stats.TierJobs == nil {
+		c.stats.TierJobs = make(map[string]int)
+	}
+	c.stats.TierJobs[c.tiers[tierIdx].Name]++
+	switch {
+	case jobFaults > c.res.JobFaultBudget:
+		c.degrade()
+	case jobFaults > 0:
+		c.cleanJobs = 0
+	case c.tier > 0:
+		c.cleanJobs++
+		if c.cleanJobs >= c.res.RecoveryJobs {
+			c.tier--
+			c.cleanJobs = 0
+			c.stats.Recoveries++
+			// Force a fresh calibration at the restored tier.
+			c.perfEst, c.powerEst = nil, nil
+		}
+	}
+}
+
+// markDead permanently abandons a configuration whose actuation exhausted
+// the retry budget (an offlined core, persistently failing P-state write).
+func (c *Controller) markDead(idx int) {
+	if c.deadConfigs == nil {
+		c.deadConfigs = make(map[int]bool)
+	}
+	c.deadConfigs[idx] = true
+}
+
+// applyWithRetry applies configuration idx, retrying transient actuation
+// failures with capped exponential backoff. Backoff idles the machine, so it
+// consumes real (simulated) time and energy; *remainT is decremented
+// accordingly. Non-actuation errors and exhausted retries return the last
+// error.
+func (c *Controller) applyWithRetry(idx int, remainT *float64) error {
+	backoff := c.res.BackoffBase
+	for attempt := 0; ; attempt++ {
+		err := c.mach.ApplyIndex(idx)
+		if err == nil || !errors.Is(err, machine.ErrActuation) {
+			return err
+		}
+		if attempt >= c.res.MaxActuationRetries || *remainT <= 1e-12 {
+			return err
+		}
+		c.stats.ActuationRetries++
+		wait := backoff
+		if wait > *remainT {
+			wait = *remainT
+		}
+		c.mach.Idle(wait)
+		*remainT -= wait
+		backoff *= 2
+		if backoff > c.res.BackoffCap {
+			backoff = c.res.BackoffCap
+		}
+	}
+}
+
+// dropCandidate removes idx from the candidate set in place.
+func dropCandidate(cands []*candidate, idx int) []*candidate {
+	out := cands[:0]
+	for _, cand := range cands {
+		if cand.index != idx {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// planEstimates returns the estimate vectors with abandoned configurations
+// suppressed, so the planner stops scheduling them. With no dead
+// configurations the controller's vectors are returned as-is.
+func (c *Controller) planEstimates() (perf, power []float64) {
+	if len(c.deadConfigs) == 0 {
+		return c.perfEst, c.powerEst
+	}
+	perf = append([]float64(nil), c.perfEst...)
+	for idx := range c.deadConfigs {
+		if idx < len(perf) {
+			perf[idx] = 0
+		}
+	}
+	return perf, c.powerEst
+}

@@ -28,6 +28,33 @@ import (
 // applications and no online observations.
 var ErrNoData = errors.New("core: no offline applications and no observations")
 
+// ErrNotConverged reports that EM exhausted its iteration budget before the
+// target prediction stabilized. It is a soft failure: the accompanying
+// Result holds the best estimate reached at the cap, unlike the hard
+// numerical failures (non-factorable Σ, non-finite data) that return no
+// Result at all. Callers distinguish the two with errors.As or
+// IsNotConverged.
+type ErrNotConverged struct {
+	// Iterations is how many EM iterations ran before giving up.
+	Iterations int
+	// Change is the last relative change of the target prediction observed,
+	// against Tol, the convergence threshold it failed to reach.
+	Change float64
+	Tol    float64
+}
+
+// Error implements error.
+func (e *ErrNotConverged) Error() string {
+	return fmt.Sprintf("core: EM did not converge after %d iterations (change %.3g > tol %.3g)",
+		e.Iterations, e.Change, e.Tol)
+}
+
+// IsNotConverged reports whether err is (or wraps) an ErrNotConverged.
+func IsNotConverged(err error) bool {
+	var nc *ErrNotConverged
+	return errors.As(err, &nc)
+}
+
 // Options configures the EM fit. The zero value selects the defaults used
 // throughout the paper's evaluation.
 type Options struct {
@@ -62,6 +89,13 @@ type Options struct {
 	// default places them inside, which matches the standard NIW MAP update
 	// the equation is derived from.
 	StrictPaperSigma bool
+	// StrictConvergence makes Estimate surface an *ErrNotConverged (together
+	// with the capped Result) when EM hits MaxIter before stabilizing. By
+	// default non-convergence is reported only through Result.Converged —
+	// the paper's protocol runs a fixed small iteration budget and uses the
+	// estimate regardless (§5.5), so the capped estimate is the product, not
+	// an error.
+	StrictConvergence bool
 }
 
 func (o Options) withDefaults() Options {
@@ -147,5 +181,11 @@ func Estimate(known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Options
 	}
 
 	em := newEMState(known, obsIdx, obsVal, opts)
-	return em.run()
+	res, err := em.run()
+	if err != nil && !opts.StrictConvergence && IsNotConverged(err) {
+		// Soft failure: the capped estimate in res is the usable product;
+		// Result.Converged already records the shortfall.
+		return res, nil
+	}
+	return res, err
 }

@@ -417,3 +417,55 @@ func TestOfflineInitBeatsZeroInit(t *testing.T) {
 		t.Fatalf("offline init (%g) should be at least as good as zero init (%g)", sumOff/trials, sumZero/trials)
 	}
 }
+
+// TestErrNotConvergedDistinguishable pins the degradation-ladder contract:
+// iteration-budget exhaustion is a soft, typed error carrying a usable
+// Result, while hard numerical failure returns no Result and does not match
+// the type.
+func TestErrNotConvergedDistinguishable(t *testing.T) {
+	known, truth, _ := kmeansLOO(t)
+	mask := profile.UniformMask(32, 6)
+	obs := profile.Observe(truth, mask, 0, nil)
+
+	// One iteration with an unreachable tolerance cannot converge.
+	res, err := Estimate(known, obs.Indices, obs.Values,
+		Options{MaxIter: 1, Tol: 1e-300, StrictConvergence: true})
+	var nc *ErrNotConverged
+	if !errors.As(err, &nc) {
+		t.Fatalf("err = %v, want *ErrNotConverged", err)
+	}
+	if nc.Iterations != 1 {
+		t.Fatalf("Iterations = %d, want 1", nc.Iterations)
+	}
+	if !IsNotConverged(err) {
+		t.Fatal("IsNotConverged(err) = false")
+	}
+	if res == nil || res.Converged || len(res.Estimate) != 32 {
+		t.Fatalf("soft failure must still carry the capped result, got %+v", res)
+	}
+	for _, v := range res.Estimate {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("capped estimate contains %g", v)
+		}
+	}
+
+	// Without StrictConvergence the same fit reports only via Converged.
+	res, err = Estimate(known, obs.Indices, obs.Values, Options{MaxIter: 1, Tol: 1e-300})
+	if err != nil {
+		t.Fatalf("lenient mode surfaced %v", err)
+	}
+	if res.Converged {
+		t.Fatal("lenient mode claims convergence")
+	}
+
+	// Hard failure: non-finite observations are rejected outright.
+	bad := append([]float64(nil), obs.Values...)
+	bad[0] = math.NaN()
+	res, err = Estimate(known, obs.Indices, bad, Options{StrictConvergence: true})
+	if err == nil || res != nil {
+		t.Fatalf("hard failure returned (%v, %v)", res, err)
+	}
+	if IsNotConverged(err) {
+		t.Fatal("hard failure misclassified as non-convergence")
+	}
+}

@@ -83,7 +83,11 @@ func (em *emState) initialNoise() float64 {
 	return s2
 }
 
-// run executes EM to convergence and assembles the result.
+// run executes EM to convergence and assembles the result. When the
+// iteration budget runs out first, it returns the capped Result together
+// with an *ErrNotConverged carrying the iteration count — a soft failure the
+// caller can distinguish from the hard numerical errors (which return a nil
+// Result).
 func (em *emState) run() (*Result, error) {
 	em.init()
 
@@ -92,6 +96,7 @@ func (em *emState) run() (*Result, error) {
 		zM           []float64
 		converged    bool
 		iters        int
+		lastChange   = math.Inf(1)
 	)
 	for iter := 0; iter < em.opts.MaxIter; iter++ {
 		iters = iter + 1
@@ -102,9 +107,12 @@ func (em *emState) run() (*Result, error) {
 		zM = e.zTarget
 		em.mStep(e)
 
-		if prevEstimate != nil && relChange(prevEstimate, zM) < em.opts.Tol {
-			converged = true
-			break
+		if prevEstimate != nil {
+			lastChange = relChange(prevEstimate, zM)
+			if lastChange < em.opts.Tol {
+				converged = true
+				break
+			}
 		}
 		prevEstimate = matrix.CloneVec(zM)
 	}
@@ -119,7 +127,7 @@ func (em *emState) run() (*Result, error) {
 	for i := range variance {
 		variance[i] = e.cTarget.At(i, i)
 	}
-	return &Result{
+	res := &Result{
 		Estimate:   e.zTarget,
 		Variance:   variance,
 		Mu:         matrix.CloneVec(em.mu),
@@ -127,7 +135,11 @@ func (em *emState) run() (*Result, error) {
 		Noise:      math.Sqrt(em.sigma2),
 		Iterations: iters,
 		Converged:  converged,
-	}, nil
+	}
+	if !converged {
+		return res, &ErrNotConverged{Iterations: iters, Change: lastChange, Tol: em.opts.Tol}
+	}
+	return res, nil
 }
 
 // relChange returns max_i |a_i − b_i| / (1 + |b_i|).

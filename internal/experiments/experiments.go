@@ -39,6 +39,9 @@ var registry = map[string]Runner{
 	"ext-colocate": func(e *Env) (Report, error) {
 		return ExtColocate(e)
 	},
+	"ext-faults": func(e *Env) (Report, error) {
+		return ExtFaults(e, nil, 0)
+	},
 }
 
 // Names lists all experiment ids in a stable order.

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"leo/internal/apps"
+	"leo/internal/baseline"
+	"leo/internal/control"
+	"leo/internal/fault"
+	"leo/internal/machine"
+)
+
+// DefaultFaultRates is the per-event fault probability sweep of the
+// robustness experiment: from the paper's fault-free testbed up to one in
+// five sensor readings / actuations failing.
+var DefaultFaultRates = []float64{0, 0.02, 0.05, 0.1, 0.2}
+
+// faultUtils are the demand levels each application runs at per fault rate.
+var faultUtils = []float64{0.3, 0.6, 0.9}
+
+// FaultRateResult aggregates one fault rate across the whole benchmark
+// suite.
+type FaultRateResult struct {
+	Rate         float64
+	Jobs         int
+	DeadlinesMet int
+	MeanEnergy   float64 // Joules per job, averaged over apps and demands
+	NormEnergy   float64 // MeanEnergy / fault-free MeanEnergy (0 if no baseline row)
+	// TierJobs counts jobs per serving tier, summed over the suite.
+	TierJobs map[string]int
+	// Ladder and loop accounting summed over the suite's controllers.
+	Fallbacks          int
+	Recoveries         int
+	ActuationRetries   int64
+	ActuationGiveUps   int64
+	WatchdogTrips      int64
+	Dropped            int64
+	EstimationFailures int64
+	// Injected is the total number of faults the plans actually fired.
+	Injected int64
+}
+
+// FaultsReport is the ext-faults experiment: the full LEO degradation ladder
+// (LEO → Online → Offline → race-to-idle) driving every benchmark under a
+// seeded fault plan, swept over fault rates. It quantifies how gracefully
+// energy and deadline behavior degrade as the platform gets less
+// cooperative.
+type FaultsReport struct {
+	Apps  int
+	Utils []float64
+	Rows  []FaultRateResult
+}
+
+// LadderController builds a controller with the full degradation ladder for
+// the env's leave-one-out scenario of appName: LEO primary, then Online,
+// Offline, and finally race-to-idle, which cannot fail.
+func (e *Env) LadderController(appName string, mach *machine.Machine, rng *rand.Rand) (*control.Controller, error) {
+	setup, err := e.leaveOneOut(appName)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := e.newController("LEO", mach, setup, rng)
+	if err != nil {
+		return nil, err
+	}
+	offPerf, err := baseline.NewOffline(setup.restPerf)
+	if err != nil {
+		return nil, err
+	}
+	offPower, err := baseline.NewOffline(setup.restPower)
+	if err != nil {
+		return nil, err
+	}
+	err = ctrl.AddFallbacks(
+		control.Tier{Name: "Online", Perf: baseline.NewOnline(e.Space), Power: baseline.NewOnline(e.Space)},
+		control.Tier{Name: "Offline", Perf: offPerf, Power: offPower},
+		control.Tier{Name: "race-to-idle"},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return ctrl, nil
+}
+
+// ExtFaults runs the fault-rate sweep. rates == nil selects
+// DefaultFaultRates; seed offsets the fault plans so repeated runs explore
+// different schedules while staying reproducible.
+func ExtFaults(env *Env, rates []float64, seed int64) (*FaultsReport, error) {
+	if rates == nil {
+		rates = DefaultFaultRates
+	}
+	rep := &FaultsReport{
+		Apps:  len(env.DB.Apps),
+		Utils: append([]float64(nil), faultUtils...),
+	}
+	for ri, rate := range rates {
+		row := FaultRateResult{Rate: rate, TierJobs: make(map[string]int)}
+		for ai, appName := range env.DB.Apps {
+			app, err := apps.ByName(appName)
+			if err != nil {
+				return nil, err
+			}
+			setup, err := env.leaveOneOut(appName)
+			if err != nil {
+				return nil, err
+			}
+			stream := seed + int64(ri)*1000 + int64(ai)
+			mach, err := machine.New(env.Space, app, env.Noise, env.Rng(stream*2+1))
+			if err != nil {
+				return nil, err
+			}
+			plan, err := fault.New(env.Seed*131071+stream, fault.Uniform(rate))
+			if err != nil {
+				return nil, err
+			}
+			mach.InstallFaults(plan)
+			ctrl, err := env.LadderController(appName, mach, env.Rng(stream*2))
+			if err != nil {
+				return nil, err
+			}
+			if err := ctrl.Calibrate(); err != nil {
+				return nil, fmt.Errorf("%s at rate %g: ladder bottomed out: %w", appName, rate, err)
+			}
+			maxRate := 0.0
+			for _, v := range setup.truePerf {
+				if v > maxRate {
+					maxRate = v
+				}
+			}
+			for _, u := range faultUtils {
+				job, err := ctrl.ExecuteJob(u*maxRate*JobDeadline, JobDeadline)
+				if err != nil {
+					return nil, fmt.Errorf("%s at rate %g util %g: %w", appName, rate, u, err)
+				}
+				if math.IsNaN(job.Energy) || math.IsInf(job.Energy, 0) || job.Energy < 0 {
+					return nil, fmt.Errorf("%s at rate %g util %g: corrupted energy %g", appName, rate, u, job.Energy)
+				}
+				row.Jobs++
+				if job.MetDeadline {
+					row.DeadlinesMet++
+				}
+				row.MeanEnergy += job.Energy
+				row.TierJobs[job.Tier]++
+			}
+			r := ctrl.Report()
+			row.Fallbacks += r.Fallbacks
+			row.Recoveries += r.Recoveries
+			row.ActuationRetries += r.ActuationRetries
+			row.ActuationGiveUps += r.ActuationGiveUps
+			row.WatchdogTrips += r.WatchdogTrips
+			row.Dropped += r.DroppedObservations
+			row.EstimationFailures += r.EstimationFailures
+			row.Injected += plan.Total()
+		}
+		if row.Jobs > 0 {
+			row.MeanEnergy /= float64(row.Jobs)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for i := range rep.Rows {
+		if base := rep.Rows[0]; base.Rate == 0 && base.MeanEnergy > 0 {
+			rep.Rows[i].NormEnergy = rep.Rows[i].MeanEnergy / base.MeanEnergy
+		}
+	}
+	return rep, nil
+}
+
+// FallbackJobs counts jobs served below the primary tier at a row.
+func (r FaultRateResult) FallbackJobs() int {
+	n := 0
+	for tier, jobs := range r.TierJobs {
+		if tier != "LEO" {
+			n += jobs
+		}
+	}
+	return n
+}
+
+// Name implements Report.
+func (r *FaultsReport) Name() string { return "ext-faults" }
+
+// Render implements Report.
+func (r *FaultsReport) Render(w io.Writer) error {
+	t := newTable(fmt.Sprintf("ext-faults: degradation ladder under injected faults (%d apps, %d jobs/rate)",
+		r.Apps, len(r.Utils)*r.Apps),
+		"rate", "met%", "J/job", "norm", "fallback jobs", "demotions", "retries", "giveups", "watchdog", "dropped", "injected")
+	for _, row := range r.Rows {
+		met := 0.0
+		if row.Jobs > 0 {
+			met = 100 * float64(row.DeadlinesMet) / float64(row.Jobs)
+		}
+		t.addRow(
+			fmt.Sprintf("%.2f", row.Rate),
+			f1(met),
+			f1(row.MeanEnergy),
+			f3(row.NormEnergy),
+			fmt.Sprintf("%d", row.FallbackJobs()),
+			fmt.Sprintf("%d", row.Fallbacks),
+			fmt.Sprintf("%d", row.ActuationRetries),
+			fmt.Sprintf("%d", row.ActuationGiveUps),
+			fmt.Sprintf("%d", row.WatchdogTrips),
+			fmt.Sprintf("%d", row.Dropped),
+			fmt.Sprintf("%d", row.Injected),
+		)
+	}
+	for _, row := range r.Rows {
+		tiers := make([]string, 0, len(row.TierJobs))
+		for tier := range row.TierJobs {
+			tiers = append(tiers, tier)
+		}
+		sort.Strings(tiers)
+		line := fmt.Sprintf("(rate %.2f tiers:", row.Rate)
+		for _, tier := range tiers {
+			line += fmt.Sprintf(" %s=%d", tier, row.TierJobs[tier])
+		}
+		t.addNote(line + ")")
+	}
+	return t.render(w)
+}

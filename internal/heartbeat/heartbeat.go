@@ -10,7 +10,6 @@ package heartbeat
 
 import (
 	"fmt"
-	"math"
 )
 
 // beat records a heartbeat batch.
@@ -28,6 +27,7 @@ type Monitor struct {
 	firstTime  float64
 	lastTime   float64
 	started    bool
+	reordered  int64
 }
 
 // DefaultWindow is the default number of beat records kept for windowed
@@ -43,14 +43,18 @@ func NewMonitor(windowSize int) *Monitor {
 	return &Monitor{windowSize: windowSize}
 }
 
-// Heartbeat registers count heartbeats at the given time (seconds). Time
-// must be non-decreasing; count must be positive.
+// Heartbeat registers count heartbeats at the given time (seconds); count
+// must be positive. Batches may arrive out of order (a delayed delivery on a
+// real system): a timestamp earlier than the newest already registered is
+// clamped to it, so the batch still counts and windowed rates stay finite and
+// non-negative. Reordered() reports how often that happened.
 func (m *Monitor) Heartbeat(now float64, count int64) {
 	if count <= 0 {
 		panic(fmt.Sprintf("heartbeat: count must be positive, got %d", count))
 	}
 	if m.started && now < m.lastTime {
-		panic(fmt.Sprintf("heartbeat: time went backwards: %g < %g", now, m.lastTime))
+		now = m.lastTime
+		m.reordered++
 	}
 	if !m.started {
 		m.started = true
@@ -68,7 +72,9 @@ func (m *Monitor) Heartbeat(now float64, count int64) {
 func (m *Monitor) Total() int64 { return m.total }
 
 // Rate returns the windowed heartbeat rate (beats/s) over the retained
-// window. It returns 0 until at least two beat records exist.
+// window. It returns 0 until at least two beat records exist, and 0 when the
+// window spans no elapsed time (all beats at one instant carry no rate
+// information — never Inf, which would poison downstream estimates).
 func (m *Monitor) Rate() float64 {
 	if len(m.window) < 2 {
 		return 0
@@ -77,7 +83,7 @@ func (m *Monitor) Rate() float64 {
 	last := m.window[len(m.window)-1]
 	dt := last.time - first.time
 	if dt <= 0 {
-		return math.Inf(1)
+		return 0
 	}
 	n := int64(0)
 	for _, b := range m.window[1:] { // beats after the window's start instant
@@ -109,6 +115,16 @@ func firstCount(m *Monitor) int64 {
 	return m.window[0].count
 }
 
+// LastTime returns the timestamp of the most recent beat and whether any
+// beat has been registered at all.
+func (m *Monitor) LastTime() (float64, bool) {
+	return m.lastTime, m.started
+}
+
+// Reordered returns how many beat batches arrived with a timestamp older
+// than an already-registered batch (and were clamped into order).
+func (m *Monitor) Reordered() int64 { return m.reordered }
+
 // Reset clears all state, e.g. at a phase boundary.
 func (m *Monitor) Reset() {
 	m.window = m.window[:0]
@@ -116,6 +132,7 @@ func (m *Monitor) Reset() {
 	m.started = false
 	m.firstTime = 0
 	m.lastTime = 0
+	m.reordered = 0
 }
 
 // Window returns the number of beat records currently retained.

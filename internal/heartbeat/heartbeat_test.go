@@ -100,8 +100,8 @@ func TestZeroDurationWindow(t *testing.T) {
 	m := NewMonitor(10)
 	m.Heartbeat(1, 1)
 	m.Heartbeat(1, 1)
-	if !math.IsInf(m.Rate(), 1) {
-		t.Fatal("zero-duration window should report +Inf rate")
+	if r := m.Rate(); r != 0 {
+		t.Fatalf("zero-duration window rate = %g, want 0 (no rate information)", r)
 	}
 }
 
@@ -115,13 +115,91 @@ func TestNonPositiveCountPanics(t *testing.T) {
 	m.Heartbeat(0, 0)
 }
 
-func TestTimeBackwardsPanics(t *testing.T) {
+func TestOutOfOrderClamped(t *testing.T) {
 	m := NewMonitor(5)
 	m.Heartbeat(5, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	m.Heartbeat(4, 1)
+	m.Heartbeat(4, 1) // late delivery: clamped to t=5, still counted
+	if m.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", m.Total())
+	}
+	if m.Reordered() != 1 {
+		t.Fatalf("Reordered = %d, want 1", m.Reordered())
+	}
+	m.Heartbeat(6, 2)
+	if r := m.Rate(); r < 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+		t.Fatalf("rate after reorder = %g, want finite non-negative", r)
+	}
+}
+
+// TestEdgeBatches drives the monitor through the adversarial delivery
+// patterns a faulty transport produces and asserts every windowed rate stays
+// finite and non-negative.
+func TestEdgeBatches(t *testing.T) {
+	cases := []struct {
+		name      string
+		beats     []struct{ t float64; n int64 }
+		wantRate  float64 // -1 ⇒ only assert finite and non-negative
+		reordered int64
+	}{
+		{
+			name:  "zero elapsed pair",
+			beats: []struct{ t float64; n int64 }{{3, 1}, {3, 1}},
+		},
+		{
+			name:  "all beats at one instant",
+			beats: []struct{ t float64; n int64 }{{2, 4}, {2, 4}, {2, 4}},
+		},
+		{
+			name:      "out of order then forward",
+			beats:     []struct{ t float64; n int64 }{{10, 1}, {8, 1}, {12, 2}},
+			wantRate:  1.5, // 3 beats after the window start over [10,12]
+			reordered: 1,
+		},
+		{
+			name:      "strictly decreasing times",
+			beats:     []struct{ t float64; n int64 }{{9, 1}, {7, 1}, {5, 1}},
+			reordered: 2,
+		},
+		{
+			name:      "zero elapsed after reorder",
+			beats:     []struct{ t float64; n int64 }{{4, 1}, {4, 1}, {1, 1}},
+			reordered: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMonitor(10)
+			for _, b := range tc.beats {
+				m.Heartbeat(b.t, b.n)
+			}
+			r := m.Rate()
+			if r < 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+				t.Fatalf("rate = %g, want finite non-negative", r)
+			}
+			if tc.wantRate > 0 && math.Abs(r-tc.wantRate) > 1e-12 {
+				t.Fatalf("rate = %g, want %g", r, tc.wantRate)
+			}
+			if lr := m.LifetimeRate(); lr < 0 || math.IsInf(lr, 0) || math.IsNaN(lr) {
+				t.Fatalf("lifetime rate = %g, want finite non-negative", lr)
+			}
+			if m.Reordered() != tc.reordered {
+				t.Fatalf("Reordered = %d, want %d", m.Reordered(), tc.reordered)
+			}
+		})
+	}
+}
+
+func TestLastTime(t *testing.T) {
+	m := NewMonitor(5)
+	if _, ok := m.LastTime(); ok {
+		t.Fatal("empty monitor reports a last beat")
+	}
+	m.Heartbeat(3, 1)
+	if last, ok := m.LastTime(); !ok || last != 3 {
+		t.Fatalf("LastTime = %g,%v want 3,true", last, ok)
+	}
+	m.Reset()
+	if _, ok := m.LastTime(); ok {
+		t.Fatal("reset monitor reports a last beat")
+	}
 }

@@ -8,13 +8,22 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"leo/internal/apps"
+	"leo/internal/fault"
 	"leo/internal/heartbeat"
 	"leo/internal/platform"
 )
+
+// ErrActuation marks a configuration change that failed transiently under an
+// installed fault plan (the simulated analogue of cpufrequtils/numactl
+// exiting non-zero). Callers may retry; errors.Is distinguishes it from
+// invalid-configuration errors, which retrying cannot fix.
+var ErrActuation = errors.New("machine: actuation failed")
 
 // PowerSamplePeriod is the wall-power meter's sampling interval; the paper's
 // WattsUp meter reports at 1 s intervals (§6.1).
@@ -33,6 +42,7 @@ type Machine struct {
 	energy  float64 // Joules consumed (true, noise-free)
 	work    float64 // heartbeats completed (true, fractional)
 	monitor *heartbeat.Monitor
+	faults  *fault.Plan // nil ⇒ no fault injection
 }
 
 // New creates a machine running app in the space's minimum configuration.
@@ -70,12 +80,29 @@ func (m *Machine) App() *apps.App { return m.app }
 // Config returns the currently applied configuration.
 func (m *Machine) Config() platform.Config { return m.cur }
 
+// InstallFaults installs a fault plan consulted on every actuation and
+// sensor reading; nil uninstalls. The fault-free machine pays only a nil
+// check and behaves bit-identically to one with no plan installed.
+func (m *Machine) InstallFaults(p *fault.Plan) { m.faults = p }
+
+// Faults returns the installed fault plan (nil when fault injection is off).
+func (m *Machine) Faults() *fault.Plan { return m.faults }
+
 // Apply switches the machine to configuration c. Reconfiguration is modeled
 // as free; the paper measures its runtime cost as part of LEO's overhead
-// separately (§6.7).
+// separately (§6.7). Under an installed fault plan the actuation may fail
+// visibly (ErrActuation) or report success without landing.
 func (m *Machine) Apply(c platform.Config) error {
 	if err := m.space.CheckConfig(c); err != nil {
 		return err
+	}
+	if m.faults.Active() {
+		switch m.faults.Actuate(m.space.Index(c)) {
+		case fault.ActFail:
+			return fmt.Errorf("machine: apply %v: %w", c, ErrActuation)
+		case fault.ActDrop:
+			return nil // reported success; the configuration never landed
+		}
 	}
 	m.cur = c
 	return nil
@@ -104,16 +131,17 @@ func (m *Machine) Phase() int { return m.phase }
 type Sample struct {
 	Config     platform.Config
 	Duration   float64 // seconds
-	Heartbeats float64 // heartbeats completed in the window (true)
-	PerfRate   float64 // measured heartbeat rate (noisy), beats/s
-	Power      float64 // measured average power (noisy), Watts
+	Heartbeats float64 // heartbeats observed in the window (faults may lose or duplicate batches)
+	PerfRate   float64 // measured heartbeat rate (noisy, possibly faulted), beats/s
+	Power      float64 // measured average power (noisy, possibly faulted), Watts
 	Energy     float64 // true energy consumed in the window, Joules
 }
 
 // Run executes the application in the current configuration for duration
-// simulated seconds and returns the measured sample. Heartbeats accumulate
-// and energy is accounted with true (noise-free) power; the sample's
-// PerfRate and Power carry measurement noise.
+// simulated seconds and returns the measured sample. True heartbeats and
+// energy accumulate in the machine's internal accounting regardless of
+// faults; the sample's Heartbeats, PerfRate and Power are what the
+// instruments observed, which an installed fault plan may corrupt.
 func (m *Machine) Run(duration float64) Sample {
 	if duration <= 0 {
 		panic(fmt.Sprintf("machine: non-positive run duration %g", duration))
@@ -126,16 +154,17 @@ func (m *Machine) Run(duration float64) Sample {
 	m.simTime += duration
 	m.energy += energy
 	m.work += beats
-	if whole := int64(beats); whole > 0 {
+	obsBeats := m.faults.Heartbeats(beats)
+	if whole := int64(obsBeats); whole > 0 {
 		m.monitor.Heartbeat(m.simTime, whole)
 	}
 
 	return Sample{
 		Config:     m.cur,
 		Duration:   duration,
-		Heartbeats: beats,
-		PerfRate:   m.noisy(rate),
-		Power:      m.noisy(power),
+		Heartbeats: obsBeats,
+		PerfRate:   m.faults.Perf(m.noisy(rate)),
+		Power:      m.faults.Power(m.noisy(power)),
 		Energy:     energy,
 	}
 }
@@ -193,14 +222,23 @@ func (m *Machine) Idle(duration float64) float64 {
 
 // MeasurePerf samples the true heartbeat rate of configuration c with
 // measurement noise, without advancing time (a short calibration probe).
+// Under faults the probe may read zero (lost heartbeat batch) or a spike.
 func (m *Machine) MeasurePerf(c platform.Config) float64 {
-	return m.noisy(m.app.PhasePerformance(m.space, c, m.phase))
+	return m.faults.Perf(m.noisy(m.app.PhasePerformance(m.space, c, m.phase)))
 }
 
 // MeasurePower samples the true power of configuration c with measurement
-// noise, without advancing time.
+// noise, without advancing time. Under faults the reading may be NaN
+// (dropout), stale (stuck meter), or spiked.
 func (m *Machine) MeasurePower(c platform.Config) float64 {
-	return m.noisy(m.app.Power(m.space, c))
+	return m.faults.Power(m.noisy(m.app.Power(m.space, c)))
+}
+
+// ReadPower samples the wall-power meter at the currently applied
+// configuration, without advancing time — the WattsUp poll a runtime issues
+// between windows. Subject to the same meter faults as MeasurePower.
+func (m *Machine) ReadPower() float64 {
+	return m.faults.Power(m.noisy(m.app.Power(m.space, m.cur)))
 }
 
 // Probe runs configuration index i for the probe duration and returns
@@ -228,6 +266,17 @@ func (m *Machine) Work() float64 { return m.work }
 // HeartbeatRate returns the windowed heartbeat rate from the application's
 // heartbeat monitor.
 func (m *Machine) HeartbeatRate() float64 { return m.monitor.Rate() }
+
+// BeatAge returns the simulated seconds since the monitor last received a
+// heartbeat batch, or +Inf when none has arrived yet. A watchdog uses this
+// to detect stuck or stale heartbeat sensors.
+func (m *Machine) BeatAge() float64 {
+	last, ok := m.monitor.LastTime()
+	if !ok {
+		return math.Inf(1)
+	}
+	return m.simTime - last
+}
 
 // Reset clears time, energy, work and heartbeat state, keeping the
 // application, configuration and phase.

@@ -46,6 +46,7 @@ import (
 	"leo/internal/colocate"
 	"leo/internal/control"
 	"leo/internal/core"
+	"leo/internal/fault"
 	"leo/internal/machine"
 	"leo/internal/pareto"
 	"leo/internal/platform"
@@ -210,6 +211,47 @@ type (
 	// FrameRecord is one frame of a phased run.
 	FrameRecord = control.FrameRecord
 )
+
+// Fault-injection and resilience types (robustness extension): a seeded
+// FaultPlan installed on a Machine injects deterministic sensor/actuation
+// faults, and the Controller's degradation ladder (Tier, Resilience)
+// tolerates them, accounting everything in a DegradationReport.
+type (
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = fault.Kind
+	// FaultSpec configures per-kind fault rates and a config blacklist.
+	FaultSpec = fault.Spec
+	// FaultPlan is a deterministic, seeded fault schedule.
+	FaultPlan = fault.Plan
+	// Tier is one rung of a controller's degradation ladder.
+	Tier = control.Tier
+	// Resilience tunes the hardened control loop.
+	Resilience = control.Resilience
+	// DegradationReport accounts for engaged resilience mechanisms.
+	DegradationReport = control.DegradationReport
+)
+
+// Injectable fault kinds.
+const (
+	PowerDropout    = fault.PowerDropout
+	PowerStuck      = fault.PowerStuck
+	SensorSpike     = fault.SensorSpike
+	HeartbeatLoss   = fault.HeartbeatLoss
+	HeartbeatDup    = fault.HeartbeatDup
+	ActuationFail   = fault.ActuationFail
+	ActuationDrop   = fault.ActuationDrop
+	ConfigBlacklist = fault.ConfigBlacklist
+)
+
+// NewFaultPlan builds a deterministic fault schedule from a seed and spec.
+func NewFaultPlan(seed int64, spec FaultSpec) (*FaultPlan, error) { return fault.New(seed, spec) }
+
+// UniformFaults returns a spec with every probabilistic fault kind firing at
+// the given per-event rate.
+func UniformFaults(rate float64) FaultSpec { return fault.Uniform(rate) }
+
+// ErrActuation marks a transient, retryable configuration-change failure.
+var ErrActuation = machine.ErrActuation
 
 // NewMachine builds a machine simulator for an application.
 func NewMachine(space Space, app *App, noise float64, rng *rand.Rand) (*Machine, error) {
