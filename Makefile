@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check faults
+.PHONY: build vet test race check faults bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the PR gate: everything builds, vet is clean, and the full test
-# suite passes under the race detector.
-check: build vet race
+# check is the PR gate: everything builds, vet is clean, the full test suite
+# passes under the race detector, and every benchmark still compiles and
+# single-steps.
+check: build vet race bench-smoke
+
+# bench measures the perf-tracked benchmarks (the full-size EM fit and
+# Cholesky factorization, the §6.7 overhead fit, and the allocation-free
+# E-step) and records them in BENCH_em.json so future PRs have a trajectory.
+bench:
+	$(GO) test -run=NONE -bench='BenchmarkLEOOverheadFull|BenchmarkEMFitLarge|BenchmarkCholesky1024|BenchmarkEStepOnly|BenchmarkEstimateSmall$$|BenchmarkCholesky512|BenchmarkMul512Parallel' \
+		-benchmem -timeout=60m . ./internal/core ./internal/matrix \
+		| $(GO) run ./cmd/benchjson -out BENCH_em.json
+
+# bench-smoke compiles and single-steps every benchmark (-short skips the
+# full-size ones) so check catches benchmark bit-rot without paying
+# measurement time.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -short ./...
 
 # faults runs the robustness sweep (ext-faults) on the small space.
 faults:

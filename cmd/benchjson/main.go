@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// perf record, so future PRs can diff benchmark trajectories instead of
+// eyeballing terminal scrollback.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=... -benchmem ./... | benchjson -out BENCH_em.json
+//
+// The record keeps every parsed benchmark (ns/op, B/op, allocs/op and any
+// custom ReportMetric columns) plus a headline block with the numbers the
+// perf work tracks across PRs: the full-size EM fit, the full-size Cholesky
+// factorization, and the steady-state E-step allocation count.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// benchLine matches one benchmark result row, e.g.
+// "BenchmarkCholesky1024-8    3    14663837 ns/op    0 B/op    0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// metricField matches trailing "<value> <unit>" pairs after ns/op.
+var metricField = regexp.MustCompile(`([0-9.]+) (\S+)`)
+
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type record struct {
+	GoOS       string             `json:"goos"`
+	GoArch     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	Headline   map[string]float64 `json:"headline"`
+	Benchmarks []result           `json:"benchmarks"`
+}
+
+// headlineKeys maps benchmark names to the headline metric they feed.
+var headlineKeys = map[string]struct{ key, field string }{
+	"BenchmarkEMFitLarge":      {"em_fit_large_ms", "ns"},
+	"BenchmarkLEOOverheadFull": {"leo_overhead_full_ms", "ns"},
+	"BenchmarkCholesky1024":    {"cholesky_1024_ms", "ns"},
+	"BenchmarkEStepOnly":       {"estep_allocs_per_op", "allocs"},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_em.json", "output path for the JSON record")
+	flag.Parse()
+
+	rec := record{
+		GoOS:     runtime.GOOS,
+		GoArch:   runtime.GOARCH,
+		NumCPU:   runtime.NumCPU(),
+		Headline: map[string]float64{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the terminal log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, f := range metricField.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				continue
+			}
+			switch f[2] {
+			case "B/op":
+				r.BytesPerOp = &v
+			case "allocs/op":
+				r.AllocsPerOp = &v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[f[2]] = v
+			}
+		}
+		rec.Benchmarks = append(rec.Benchmarks, r)
+		if h, ok := headlineKeys[r.Name]; ok {
+			switch h.field {
+			case "ns":
+				rec.Headline[h.key] = r.NsPerOp / 1e6
+			case "allocs":
+				if r.AllocsPerOp != nil {
+					rec.Headline[h.key] = *r.AllocsPerOp
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"leo"
 )
@@ -28,8 +29,12 @@ func main() {
 		noise     = flag.Float64("noise", 0.01, "relative measurement noise")
 		dump      = flag.Bool("dump", false, "print every configuration's estimate")
 		listApps  = flag.Bool("apps", false, "list benchmark names and exit")
+		workers   = flag.Int("workers", 0, "cores the matrix kernels may use (default: all; results are identical at any value)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *listApps {
 		for _, name := range leo.BenchmarkNames() {

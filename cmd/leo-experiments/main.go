@@ -4,7 +4,7 @@
 // Usage:
 //
 //	leo-experiments [-experiment all|fig1,fig5,...] [-size small|full]
-//	                [-seed N] [-trials N] [-samples N] [-list]
+//	                [-seed N] [-trials N] [-samples N] [-workers N] [-list]
 //
 // Each experiment prints a text table mirroring the corresponding figure or
 // table of the paper; see DESIGN.md for the per-experiment index and
@@ -34,6 +34,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed (experiments are deterministic per seed)")
 		trials  = flag.Int("trials", 0, "random-mask trials per estimate (default: the paper's 10)")
 		samples = flag.Int("samples", 0, "online samples per estimator (default: the paper's 20)")
+		workers = flag.Int("workers", 0, "parallel sweep tasks (default: GOMAXPROCS; results are identical at any value)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
@@ -58,6 +59,9 @@ func main() {
 	}
 	if *samples > 0 {
 		env.Samples = *samples
+	}
+	if *workers > 0 {
+		env.Workers = *workers
 	}
 
 	names := experiments.Names()

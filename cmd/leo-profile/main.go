@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"leo"
 )
@@ -27,8 +28,12 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed for noisy collection")
 		summarize = flag.String("summarize", "", "path of a database to summarize")
 		appName   = flag.String("app", "", "with -summarize: detail one application")
+		workers   = flag.Int("workers", 0, "cores the matrix kernels may use (default: all; results are identical at any value)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	switch {
 	case *collect:

@@ -24,23 +24,28 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"leo"
 )
 
 func main() {
 	var (
-		appName  = flag.String("app", "kmeans", "target benchmark")
-		util     = flag.Float64("utilization", 0.5, "fraction of peak performance demanded (0,1]")
-		deadline = flag.Float64("deadline", 10, "job deadline, seconds")
-		size     = flag.String("size", "small", "small (128 configs) or full (1024 configs)")
-		seed     = flag.Int64("seed", 1, "random seed")
+		appName   = flag.String("app", "kmeans", "target benchmark")
+		util      = flag.Float64("utilization", 0.5, "fraction of peak performance demanded (0,1]")
+		deadline  = flag.Float64("deadline", 10, "job deadline, seconds")
+		size      = flag.String("size", "small", "small (128 configs) or full (1024 configs)")
+		seed      = flag.Int64("seed", 1, "random seed")
 		noise     = flag.Float64("noise", 0.01, "relative measurement noise")
 		phased    = flag.Bool("phased", false, "run the application's phase schedule (§6.6)")
 		faultRate = flag.Float64("fault-rate", 0, "per-event probability of each fault kind (0 disables injection)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
+		workers   = flag.Int("workers", 0, "cores the matrix kernels may use (default: all; results are identical at any value)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *util <= 0 || *util > 1 {
 		fatal(fmt.Errorf("utilization %g outside (0,1]", *util))

@@ -52,6 +52,16 @@ func BenchmarkEstimateSmallStrictSigma(b *testing.B) {
 	benchFit(b, platform.Small(), 20, Options{StrictPaperSigma: true})
 }
 
+// BenchmarkEMFitLarge runs the full 1024-configuration leave-one-out fit —
+// the paper's §6.7 overhead workload and the headline number tracked in
+// BENCH_em.json across PRs.
+func BenchmarkEMFitLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-size fit skipped in -short mode")
+	}
+	benchFit(b, platform.Paper(), 20, Options{})
+}
+
 func BenchmarkEStepOnly(b *testing.B) {
 	space := platform.Small()
 	db, err := profile.Collect(space, apps.Suite(), 0, nil)

@@ -20,6 +20,60 @@ type emState struct {
 	mu     []float64
 	sigma  *matrix.Matrix // Σ, n×n
 	sigma2 float64        // σ²
+
+	ws *emWorkspace
+}
+
+// emWorkspace owns every scratch buffer the E- and M-steps need, sized once
+// per fit. After the first iteration touches each buffer, eStep and mStep
+// perform zero heap allocations (verified by TestEMIterationAllocs); the only
+// exception is the goroutine fan-out inside the matrix kernels, which
+// allocates O(workers) when the operands are large enough to parallelize and
+// GOMAXPROCS > 1 — see DESIGN.md §7.
+type emWorkspace struct {
+	chS *matrix.Cholesky // n×n factor of Σ
+	chA *matrix.Cholesky // n×n factor of Σ+σ²I
+	chK *matrix.Cholesky // k×k factor of the observation kernel
+
+	a       *matrix.Matrix // n×n: Σ+σ²I
+	cFull   *matrix.Matrix // n×n: shared posterior covariance
+	cTarget *matrix.Matrix // n×n: target posterior covariance
+	sw      *matrix.Matrix // n×n: S K⁻¹ Sᵀ
+	s       *matrix.Matrix // n×k: Σ[:,Ω]
+	wT      *matrix.Matrix // n×k: S K⁻¹
+	kmat    *matrix.Matrix // k×k: σ²I + Σ[Ω,Ω]
+	rhsFull *matrix.Matrix // rows×n: E-step right-hand sides
+	zFull   *matrix.Matrix // rows×n: posterior means, fully observed apps
+
+	sinvMu  []float64 // Σ⁻¹μ
+	rhs     []float64 // target right-hand side
+	zTarget []float64 // target posterior mean
+	d       []float64 // centered-difference scratch (M-step)
+	prev    []float64 // previous estimate (convergence check)
+
+	e eResult // reused E-step output, fields point into the buffers above
+}
+
+func newEMWorkspace(n, rows, k int) *emWorkspace {
+	return &emWorkspace{
+		chS:     matrix.NewCholeskyWorkspace(n),
+		chA:     matrix.NewCholeskyWorkspace(n),
+		chK:     matrix.NewCholeskyWorkspace(k),
+		a:       matrix.New(n, n),
+		cFull:   matrix.New(n, n),
+		cTarget: matrix.New(n, n),
+		sw:      matrix.New(n, n),
+		s:       matrix.New(n, k),
+		wT:      matrix.New(n, k),
+		kmat:    matrix.New(k, k),
+		rhsFull: matrix.New(rows, n),
+		zFull:   matrix.New(rows, n),
+		sinvMu:  make([]float64, n),
+		rhs:     make([]float64, n),
+		zTarget: make([]float64, n),
+		d:       make([]float64, n),
+		prev:    make([]float64, n),
+	}
 }
 
 func newEMState(known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Options) *emState {
@@ -30,6 +84,7 @@ func newEMState(known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Optio
 		obsVal: obsVal,
 		n:      known.Cols,
 		m:      known.Rows + 1,
+		ws:     newEMWorkspace(known.Cols, known.Rows, len(obsIdx)),
 	}
 }
 
@@ -61,6 +116,8 @@ func (em *emState) init() {
 }
 
 // initialNoise picks a starting σ² proportional to the overall data scale.
+// With no data at all (no known rows, no observations) there is no scale to
+// measure, so it falls back to the σ² floor rather than dividing by zero.
 func (em *emState) initialNoise() float64 {
 	sum, count := 0.0, 0
 	for _, v := range em.known.Data {
@@ -70,6 +127,9 @@ func (em *emState) initialNoise() float64 {
 	for _, v := range em.obsVal {
 		sum += v * v
 		count++
+	}
+	if count == 0 {
+		return em.opts.SigmaFloor
 	}
 	meanSq := sum / float64(count)
 	// With one measurement per (app, configuration) cell, σ² moves slowly
@@ -92,11 +152,11 @@ func (em *emState) run() (*Result, error) {
 	em.init()
 
 	var (
-		prevEstimate []float64
-		zM           []float64
-		converged    bool
-		iters        int
-		lastChange   = math.Inf(1)
+		havePrev   bool
+		zM         []float64
+		converged  bool
+		iters      int
+		lastChange = math.Inf(1)
 	)
 	for iter := 0; iter < em.opts.MaxIter; iter++ {
 		iters = iter + 1
@@ -107,14 +167,15 @@ func (em *emState) run() (*Result, error) {
 		zM = e.zTarget
 		em.mStep(e)
 
-		if prevEstimate != nil {
-			lastChange = relChange(prevEstimate, zM)
+		if havePrev {
+			lastChange = relChange(em.ws.prev, zM)
 			if lastChange < em.opts.Tol {
 				converged = true
 				break
 			}
 		}
-		prevEstimate = matrix.CloneVec(zM)
+		copy(em.ws.prev, zM)
+		havePrev = true
 	}
 
 	// One final E-step so the returned prediction is conditioned on the
@@ -128,7 +189,7 @@ func (em *emState) run() (*Result, error) {
 		variance[i] = e.cTarget.At(i, i)
 	}
 	res := &Result{
-		Estimate:   e.zTarget,
+		Estimate:   matrix.CloneVec(e.zTarget),
 		Variance:   variance,
 		Mu:         matrix.CloneVec(em.mu),
 		Sigma:      em.sigma.Clone(),
@@ -142,19 +203,23 @@ func (em *emState) run() (*Result, error) {
 	return res, nil
 }
 
-// relChange returns max_i |a_i − b_i| / (1 + |b_i|).
+// relChange returns max_i |a_i − b_i| / (1 + |b_i|), or +Inf when the
+// lengths disagree (mismatched estimates can never have converged).
 func relChange(a, b []float64) float64 {
-	max := 0.0
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	worst := 0.0
 	for i, v := range a {
-		d := math.Abs(v-b[i]) / (1 + math.Abs(b[i]))
-		if d > max {
-			max = d
+		if d := math.Abs(v-b[i]) / (1 + math.Abs(b[i])); d > worst {
+			worst = d
 		}
 	}
-	return max
+	return worst
 }
 
-// eResult holds the E-step posteriors (Eq. 3).
+// eResult holds the E-step posteriors (Eq. 3). On the fast path the fields
+// alias emWorkspace buffers that the next eStep overwrites.
 type eResult struct {
 	zFull     *matrix.Matrix // (M−1)×n posterior means of fully observed apps
 	cFull     *matrix.Matrix // shared posterior covariance of fully observed apps
@@ -176,82 +241,91 @@ type eResult struct {
 // identity on its |Ω| observed coordinates:
 //
 //	Ĉ_M = Σ − Σ_{:,Ω} (σ²I + Σ_{Ω,Ω})^{-1} Σ_{Ω,:}
+//
+// Everything runs in the fit's workspace: factorizations reuse their
+// Cholesky buffers, solves land in pre-sized matrices, and the per-app
+// posterior means are one batched GEMM instead of M−1 mat-vecs.
 func (em *emState) eStep() (*eResult, error) {
 	if em.opts.NaiveEStep {
 		return em.eStepNaive()
 	}
-	n := em.n
-	out := &eResult{targetObs: len(em.obsIdx)}
+	n, ws := em.n, em.ws
+	out := &ws.e
+	*out = eResult{targetObs: len(em.obsIdx)}
 
-	chS, _, err := matrix.NewCholeskyJitter(em.sigma, 1e-10, 14)
-	if err != nil {
+	if _, err := ws.chS.FactorizeJitter(em.sigma, 1e-10, 14); err != nil {
 		return nil, fmt.Errorf("core: Σ not factorable: %w", err)
 	}
-	out.sinvMu = chS.SolveVec(em.mu)
+	out.sinvMu = ws.chS.SolveVecInto(ws.sinvMu, em.mu)
 
 	// Shared covariance for fully observed applications.
 	if em.known.Rows > 0 {
-		a := em.sigma.Clone().AddDiagonal(em.sigma2)
-		chA, err := matrix.NewCholesky(a)
-		if err != nil {
+		matrix.CloneInto(ws.a, em.sigma).AddDiagonal(em.sigma2)
+		if err := ws.chA.Factorize(ws.a); err != nil {
 			return nil, fmt.Errorf("core: Σ+σ²I not factorable: %w", err)
 		}
-		out.cFull = chA.Solve(em.sigma).ScaleInPlace(em.sigma2).Symmetrize()
+		// SolveTInto yields Σ(Σ+σ²I)⁻¹ transposed relative to the textbook
+		// order; symmetrizing erases the distinction exactly.
+		ws.chA.SolveTInto(ws.cFull, em.sigma)
+		out.cFull = ws.cFull.ScaleInPlace(em.sigma2).Symmetrize()
 
-		out.zFull = matrix.New(em.known.Rows, n)
 		inv := 1 / em.sigma2
 		for i := 0; i < em.known.Rows; i++ {
-			rhs := make([]float64, n)
 			row := em.known.RowView(i)
+			rhs := ws.rhsFull.RowView(i)
 			for j := range rhs {
 				rhs[j] = row[j]*inv + out.sinvMu[j]
 			}
-			out.zFull.SetRow(i, out.cFull.MulVec(rhs))
 		}
+		// ẑ_i = Ĉ rhs_i for every app at once; Ĉ is symmetric so the
+		// transposed-B kernel applies it directly.
+		out.zFull = matrix.MulTransBInto(ws.zFull, ws.rhsFull, out.cFull)
 	} else {
-		out.zFull = matrix.New(0, n)
+		out.zFull = ws.zFull // 0×n
 	}
 
 	// Target application via Woodbury on the observed coordinates.
 	k := len(em.obsIdx)
 	if k == 0 {
-		out.cTarget = em.sigma.Clone()
-		out.zTarget = matrix.CloneVec(em.mu)
+		out.cTarget = matrix.CloneInto(ws.cTarget, em.sigma)
+		copy(ws.zTarget, em.mu)
+		out.zTarget = ws.zTarget
 		return out, nil
 	}
 	// S = Σ[:, Ω] (n×k), K = σ²I_k + Σ[Ω, Ω].
-	s := matrix.New(n, k)
 	for col, idx := range em.obsIdx {
 		for r := 0; r < n; r++ {
-			s.Set(r, col, em.sigma.At(r, idx))
+			ws.s.Data[r*k+col] = em.sigma.Data[r*n+idx]
 		}
 	}
-	kmat := matrix.New(k, k)
 	for a, ia := range em.obsIdx {
 		for b, ib := range em.obsIdx {
-			kmat.Set(a, b, em.sigma.At(ia, ib))
+			ws.kmat.Data[a*k+b] = em.sigma.Data[ia*n+ib]
 		}
 	}
-	kmat.AddDiagonal(em.sigma2)
-	chK, _, err := matrix.NewCholeskyJitter(kmat, 1e-10, 14)
-	if err != nil {
+	ws.kmat.AddDiagonal(em.sigma2)
+	if _, err := ws.chK.FactorizeJitter(ws.kmat, 1e-10, 14); err != nil {
 		return nil, fmt.Errorf("core: observation kernel not factorable: %w", err)
 	}
-	w := chK.Solve(s.Transpose()) // k×n
-	out.cTarget = em.sigma.Sub(s.Mul(w)).Symmetrize()
+	// Each row of S is one right-hand side: wT = S K⁻¹ (n×k), and the
+	// Woodbury correction S K⁻¹ Sᵀ is then a single transposed-B GEMM.
+	ws.chK.SolveTInto(ws.wT, ws.s)
+	matrix.MulTransBInto(ws.sw, ws.wT, ws.s)
+	out.cTarget = matrix.SubInto(ws.cTarget, em.sigma, ws.sw).Symmetrize()
 
-	rhs := matrix.CloneVec(out.sinvMu)
+	copy(ws.rhs, out.sinvMu)
 	inv := 1 / em.sigma2
 	for i, idx := range em.obsIdx {
-		rhs[idx] += em.obsVal[i] * inv
+		ws.rhs[idx] += em.obsVal[i] * inv
 	}
-	out.zTarget = out.cTarget.MulVec(rhs)
+	out.zTarget = matrix.MulVecInto(ws.zTarget, out.cTarget, ws.rhs)
 	return out, nil
 }
 
 // eStepNaive computes Eq. (3) literally: one n×n factorization per
 // application. It exists to quantify the value of the shared-covariance
-// fast path; results are identical up to round-off.
+// fast path; results are identical up to round-off. Unlike the fast path it
+// allocates freely — it is the ablation baseline, not a production path.
 func (em *emState) eStepNaive() (*eResult, error) {
 	n := em.n
 	out := &eResult{targetObs: len(em.obsIdx)}
@@ -303,52 +377,68 @@ func (em *emState) eStepNaive() (*eResult, error) {
 }
 
 // mStep applies Eq. (4): closed-form updates of μ, Σ and σ² given the
-// E-step posteriors.
+// E-step posteriors. It writes μ and Σ in place — the E-step result it
+// consumes lives in separate workspace buffers, so nothing it reads can
+// alias what it writes.
 func (em *emState) mStep(e *eResult) {
 	n, mf := em.n, float64(em.m)
+	rows := e.zFull.Rows
 
 	// μ = (Σ_i ẑ_i) / (M + π).
-	muNew := matrix.Zeros(n)
-	for i := 0; i < e.zFull.Rows; i++ {
-		matrix.AxpyInPlace(1, e.zFull.RowView(i), muNew)
+	mu := em.mu
+	for i := range mu {
+		mu[i] = 0
 	}
-	matrix.AxpyInPlace(1, e.zTarget, muNew)
+	for i := 0; i < rows; i++ {
+		matrix.AxpyInPlace(1, e.zFull.RowView(i), mu)
+	}
+	matrix.AxpyInPlace(1, e.zTarget, mu)
 	scale := 1 / (mf + em.opts.Pi)
-	for i := range muNew {
-		muNew[i] *= scale
+	for i := range mu {
+		mu[i] *= scale
 	}
 
 	// Σ update: sum of posterior covariances and centered outer products,
 	// plus the NIW prior terms πμμ' and Ψ = I.
-	sigmaNew := matrix.New(n, n)
-	if e.cFull != nil && e.zFull.Rows > 0 {
-		sigmaNew.AddInPlace(e.cFull.Scale(float64(e.zFull.Rows)))
+	sigma := em.sigma
+	if e.cFull != nil && rows > 0 {
+		rf := float64(rows)
+		for i, v := range e.cFull.Data {
+			sigma.Data[i] = v*rf + e.cTarget.Data[i]
+		}
+	} else {
+		copy(sigma.Data, e.cTarget.Data)
 	}
-	sigmaNew.AddInPlace(e.cTarget)
-	for i := 0; i < e.zFull.Rows; i++ {
-		d := matrix.SubVec(e.zFull.RowView(i), muNew)
-		sigmaNew.AddScaledOuter(1, d, d)
+	d := em.ws.d
+	for i := 0; i < rows; i++ {
+		z := e.zFull.RowView(i)
+		for j := range d {
+			d[j] = z[j] - mu[j]
+		}
+		matrix.OuterAccumInto(sigma, 1, d, d)
 	}
-	dT := matrix.SubVec(e.zTarget, muNew)
-	sigmaNew.AddScaledOuter(1, dT, dT)
+	for j := range d {
+		d[j] = e.zTarget[j] - mu[j]
+	}
+	matrix.OuterAccumInto(sigma, 1, d, d)
 
 	norm := 1 / (mf + 1)
 	if em.opts.StrictPaperSigma {
-		sigmaNew.ScaleInPlace(norm)
-		sigmaNew.AddScaledOuter(em.opts.Pi, muNew, muNew)
-		sigmaNew.AddDiagonal(1)
+		sigma.ScaleInPlace(norm)
+		sigma.AddScaledOuter(em.opts.Pi, mu, mu)
+		sigma.AddDiagonal(1)
 	} else {
-		sigmaNew.AddScaledOuter(em.opts.Pi, muNew, muNew)
-		sigmaNew.AddDiagonal(1) // Ψ = I
-		sigmaNew.ScaleInPlace(norm)
+		sigma.AddScaledOuter(em.opts.Pi, mu, mu)
+		sigma.AddDiagonal(1) // Ψ = I
+		sigma.ScaleInPlace(norm)
 	}
-	sigmaNew.Symmetrize()
+	sigma.Symmetrize()
 
 	// σ² = Σ_i tr(diag(L_i)(Ĉ_i + (ẑ_i−y_i)(ẑ_i−y_i)')) / ‖L‖²_F.
 	num := 0.0
-	if e.zFull.Rows > 0 {
+	if rows > 0 {
 		trFull := e.cFull.Trace()
-		for i := 0; i < e.zFull.Rows; i++ {
+		for i := 0; i < rows; i++ {
 			row := em.known.RowView(i)
 			z := e.zFull.RowView(i)
 			num += trFull
@@ -362,15 +452,12 @@ func (em *emState) mStep(e *eResult) {
 		d := e.zTarget[idx] - em.obsVal[i]
 		num += e.cTarget.At(idx, idx) + d*d
 	}
-	den := float64(e.zFull.Rows*n + len(em.obsIdx))
+	den := float64(rows*n + len(em.obsIdx))
 	sigma2New := em.opts.SigmaFloor
 	if den > 0 {
 		if s := num / den; s > sigma2New {
 			sigma2New = s
 		}
 	}
-
-	em.mu = muNew
-	em.sigma = sigmaNew
 	em.sigma2 = sigma2New
 }

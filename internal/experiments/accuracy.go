@@ -61,24 +61,38 @@ func Fig05(env *Env) (*AccuracyReport, error) { return accuracyReport(env, "fig5
 // benchmarks (paper means: LEO 0.98, Online 0.85, Offline 0.89).
 func Fig06(env *Env) (*AccuracyReport, error) { return accuracyReport(env, "fig6", "power") }
 
+// accuracyReport evaluates every benchmark independently: each app is one
+// forEach task with its own RNG stream and its own output slots, so the
+// table is bit-identical at every worker count.
 func accuracyReport(env *Env, id, metric string) (*AccuracyReport, error) {
-	rep := &AccuracyReport{id: id, Metric: metric}
-	rng := env.Rng(int64(len(id)))
-	for _, app := range env.DB.Apps {
-		setup, err := env.leaveOneOut(app)
+	apps := env.DB.Apps
+	rep := &AccuracyReport{
+		id: id, Metric: metric,
+		Apps:    make([]string, len(apps)),
+		LEO:     make([]float64, len(apps)),
+		Online:  make([]float64, len(apps)),
+		Offline: make([]float64, len(apps)),
+	}
+	n := env.Space.N()
+	err := env.forEach(len(apps), func(i int) error {
+		setup, err := env.leaveOneOut(apps[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		leoEst, online, offline, truth, err := env.estimators(setup, metric)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		n := env.Space.N()
-		rep.Apps = append(rep.Apps, app)
-		rep.LEO = append(rep.LEO, meanAccuracy(leoEst, truth, n, env.Samples, env.Trials, env.Noise, rng))
-		rep.Online = append(rep.Online, meanAccuracy(online, truth, n, env.Samples, env.Trials, env.Noise, rng))
+		rng := env.Rng(streamFor(id, i))
+		rep.Apps[i] = apps[i]
+		rep.LEO[i] = meanAccuracy(leoEst, truth, n, env.Samples, env.Trials, env.Noise, rng)
+		rep.Online[i] = meanAccuracy(online, truth, n, env.Samples, env.Trials, env.Noise, rng)
 		// Offline ignores samples; a single evaluation suffices.
-		rep.Offline = append(rep.Offline, accuracyTrial(offline, truth, nil, 0, nil))
+		rep.Offline[i] = accuracyTrial(offline, truth, nil, 0, nil)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rep, nil
 }
@@ -134,35 +148,54 @@ func Fig12(env *Env, sizes []int, trials int) (*SensitivityReport, error) {
 		trials = env.Trials
 	}
 	rep := &SensitivityReport{SampleSizes: sizes}
-	rng := env.Rng(12)
 	n := env.Space.N()
 	for _, k := range sizes {
 		if k > n {
 			return nil, fmt.Errorf("experiments: sample size %d exceeds %d configurations", k, n)
 		}
-		var pl, po, wl, wo float64
-		for _, app := range env.DB.Apps {
-			setup, err := env.leaveOneOut(app)
+	}
+	// One task per (sample size, app) cell; the sums over apps happen below
+	// in a fixed order, so the averages carry the same bits regardless of
+	// which worker produced each cell.
+	napps := len(env.DB.Apps)
+	type cell struct{ pl, po, wl, wo float64 }
+	cells := make([]cell, len(sizes)*napps)
+	err := env.forEach(len(cells), func(t int) error {
+		ki, ai := t/napps, t%napps
+		setup, err := env.leaveOneOut(env.DB.Apps[ai])
+		if err != nil {
+			return err
+		}
+		rng := env.Rng(streamFor("fig12", t))
+		c := &cells[t]
+		for _, metric := range []string{"speedup", "power"} {
+			leoEst, online, _, truth, err := env.estimators(setup, metric)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			for _, metric := range []string{"speedup", "power"} {
-				leoEst, online, _, truth, err := env.estimators(setup, metric)
-				if err != nil {
-					return nil, err
-				}
-				leoAcc := meanAccuracy(leoEst, truth, n, k, trials, env.Noise, rng)
-				onAcc := meanAccuracy(online, truth, n, k, trials, env.Noise, rng)
-				if metric == "speedup" {
-					pl += leoAcc
-					po += onAcc
-				} else {
-					wl += leoAcc
-					wo += onAcc
-				}
+			leoAcc := meanAccuracy(leoEst, truth, n, sizes[ki], trials, env.Noise, rng)
+			onAcc := meanAccuracy(online, truth, n, sizes[ki], trials, env.Noise, rng)
+			if metric == "speedup" {
+				c.pl, c.po = leoAcc, onAcc
+			} else {
+				c.wl, c.wo = leoAcc, onAcc
 			}
 		}
-		apps := float64(len(env.DB.Apps))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	apps := float64(napps)
+	for ki := range sizes {
+		var pl, po, wl, wo float64
+		for ai := 0; ai < napps; ai++ {
+			c := cells[ki*napps+ai]
+			pl += c.pl
+			po += c.po
+			wl += c.wl
+			wo += c.wo
+		}
 		rep.PerfLEO = append(rep.PerfLEO, pl/apps)
 		rep.PerfOnline = append(rep.PerfOnline, po/apps)
 		rep.PowerLEO = append(rep.PowerLEO, wl/apps)

@@ -132,12 +132,17 @@ func Fig10(env *Env, utilPoints int) (*EnergyCurvesReport, error) {
 		Utilizations: utilizationPoints(utilPoints),
 		Energy:       make(map[string]map[string][]float64),
 	}
+	series := make([]map[string][]float64, len(rep.Apps))
+	err := env.forEach(len(rep.Apps), func(i int) error {
+		s, err := env.energySweep(rep.Apps[i], rep.Utilizations, 100+int64(i))
+		series[i] = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, app := range rep.Apps {
-		series, err := env.energySweep(app, rep.Utilizations, 100+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		rep.Energy[app] = series
+		rep.Energy[app] = series[i]
 	}
 	return rep, nil
 }
@@ -189,11 +194,19 @@ func Fig11(env *Env, utilPoints int) (*EnergySummaryReport, error) {
 	for ai := 1; ai < len(energyApproaches); ai++ {
 		rep.Normalized[energyApproaches[ai]] = nil
 	}
+	// One task per app; normalization folds the per-app series in suite
+	// order afterwards, keeping the table independent of worker count.
+	allSeries := make([]map[string][]float64, len(env.DB.Apps))
+	err := env.forEach(len(env.DB.Apps), func(i int) error {
+		s, err := env.energySweep(env.DB.Apps[i], utils, 1100+int64(i))
+		allSeries[i] = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, app := range env.DB.Apps {
-		series, err := env.energySweep(app, utils, 1100+int64(i))
-		if err != nil {
-			return nil, err
-		}
+		series := allSeries[i]
 		rep.Apps = append(rep.Apps, app)
 		opt := series["Optimal"]
 		for approach, energies := range series {

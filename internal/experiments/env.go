@@ -10,7 +10,11 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"leo/internal/apps"
 	"leo/internal/baseline"
@@ -67,6 +71,7 @@ type Env struct {
 	Trials  int     // repeated random masks averaged per result (§6.3: 10)
 	Noise   float64 // relative measurement noise for online observations
 	Seed    int64
+	Workers int // per-task fan-out of the sweep drivers; <=0 means GOMAXPROCS
 }
 
 // DefaultTrials matches §6.3 ("the average estimates produced over 10
@@ -102,6 +107,69 @@ const control20 = 20
 // stream id, so experiments are reproducible and independent.
 func (e *Env) Rng(stream int64) *rand.Rand {
 	return rand.New(rand.NewSource(e.Seed*1000003 + stream))
+}
+
+// workerCount resolves the fan-out for forEach.
+func (e *Env) workerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every i in [0, n), fanning tasks across the env's
+// worker budget. Tasks must be independent: each derives its own RNG stream
+// from its index (see streamFor) and writes results only into its own
+// per-index slot, so the assembled output is bit-identical for every worker
+// count — the partition decides scheduling, never values. On error the
+// lowest-index error is returned.
+func (e *Env) forEach(n int, fn func(i int) error) error {
+	workers := e.workerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamFor derives the RNG stream for task i of a named experiment: the
+// experiment id picks a hash-separated band, the task index the offset
+// within it. Tying the stream to the task's identity (not to visitation
+// order, as a shared generator would) is what lets forEach run tasks in any
+// order — or concurrently — without changing a single sample.
+func streamFor(id string, i int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64()&0x7fffffff)*(1<<16) + int64(i)
 }
 
 // looSetup is one leave-one-out evaluation scenario.

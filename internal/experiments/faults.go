@@ -97,64 +97,95 @@ func ExtFaults(env *Env, rates []float64, seed int64) (*FaultsReport, error) {
 		Apps:  len(env.DB.Apps),
 		Utils: append([]float64(nil), faultUtils...),
 	}
+	// One task per (rate, app) cell. Every cell owns its RNG streams and
+	// fault plan — derived from (ri, ai) exactly as the serial loop derived
+	// them — and the per-rate rows fold the cells in suite order below, so
+	// energy sums carry identical bits at every worker count.
+	napps := len(env.DB.Apps)
+	cells := make([]FaultRateResult, len(rates)*napps)
+	err := env.forEach(len(cells), func(t int) error {
+		ri, ai := t/napps, t%napps
+		rate, appName := rates[ri], env.DB.Apps[ai]
+		cell := &cells[t]
+		cell.TierJobs = make(map[string]int)
+		app, err := apps.ByName(appName)
+		if err != nil {
+			return err
+		}
+		setup, err := env.leaveOneOut(appName)
+		if err != nil {
+			return err
+		}
+		stream := seed + int64(ri)*1000 + int64(ai)
+		mach, err := machine.New(env.Space, app, env.Noise, env.Rng(stream*2+1))
+		if err != nil {
+			return err
+		}
+		plan, err := fault.New(env.Seed*131071+stream, fault.Uniform(rate))
+		if err != nil {
+			return err
+		}
+		mach.InstallFaults(plan)
+		ctrl, err := env.LadderController(appName, mach, env.Rng(stream*2))
+		if err != nil {
+			return err
+		}
+		if err := ctrl.Calibrate(); err != nil {
+			return fmt.Errorf("%s at rate %g: ladder bottomed out: %w", appName, rate, err)
+		}
+		maxRate := 0.0
+		for _, v := range setup.truePerf {
+			if v > maxRate {
+				maxRate = v
+			}
+		}
+		for _, u := range faultUtils {
+			job, err := ctrl.ExecuteJob(u*maxRate*JobDeadline, JobDeadline)
+			if err != nil {
+				return fmt.Errorf("%s at rate %g util %g: %w", appName, rate, u, err)
+			}
+			if math.IsNaN(job.Energy) || math.IsInf(job.Energy, 0) || job.Energy < 0 {
+				return fmt.Errorf("%s at rate %g util %g: corrupted energy %g", appName, rate, u, job.Energy)
+			}
+			cell.Jobs++
+			if job.MetDeadline {
+				cell.DeadlinesMet++
+			}
+			cell.MeanEnergy += job.Energy
+			cell.TierJobs[job.Tier]++
+		}
+		r := ctrl.Report()
+		cell.Fallbacks = r.Fallbacks
+		cell.Recoveries = r.Recoveries
+		cell.ActuationRetries = r.ActuationRetries
+		cell.ActuationGiveUps = r.ActuationGiveUps
+		cell.WatchdogTrips = r.WatchdogTrips
+		cell.Dropped = r.DroppedObservations
+		cell.EstimationFailures = r.EstimationFailures
+		cell.Injected = plan.Total()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for ri, rate := range rates {
 		row := FaultRateResult{Rate: rate, TierJobs: make(map[string]int)}
-		for ai, appName := range env.DB.Apps {
-			app, err := apps.ByName(appName)
-			if err != nil {
-				return nil, err
+		for ai := 0; ai < napps; ai++ {
+			cell := &cells[ri*napps+ai]
+			row.Jobs += cell.Jobs
+			row.DeadlinesMet += cell.DeadlinesMet
+			row.MeanEnergy += cell.MeanEnergy
+			for tier, jobs := range cell.TierJobs {
+				row.TierJobs[tier] += jobs
 			}
-			setup, err := env.leaveOneOut(appName)
-			if err != nil {
-				return nil, err
-			}
-			stream := seed + int64(ri)*1000 + int64(ai)
-			mach, err := machine.New(env.Space, app, env.Noise, env.Rng(stream*2+1))
-			if err != nil {
-				return nil, err
-			}
-			plan, err := fault.New(env.Seed*131071+stream, fault.Uniform(rate))
-			if err != nil {
-				return nil, err
-			}
-			mach.InstallFaults(plan)
-			ctrl, err := env.LadderController(appName, mach, env.Rng(stream*2))
-			if err != nil {
-				return nil, err
-			}
-			if err := ctrl.Calibrate(); err != nil {
-				return nil, fmt.Errorf("%s at rate %g: ladder bottomed out: %w", appName, rate, err)
-			}
-			maxRate := 0.0
-			for _, v := range setup.truePerf {
-				if v > maxRate {
-					maxRate = v
-				}
-			}
-			for _, u := range faultUtils {
-				job, err := ctrl.ExecuteJob(u*maxRate*JobDeadline, JobDeadline)
-				if err != nil {
-					return nil, fmt.Errorf("%s at rate %g util %g: %w", appName, rate, u, err)
-				}
-				if math.IsNaN(job.Energy) || math.IsInf(job.Energy, 0) || job.Energy < 0 {
-					return nil, fmt.Errorf("%s at rate %g util %g: corrupted energy %g", appName, rate, u, job.Energy)
-				}
-				row.Jobs++
-				if job.MetDeadline {
-					row.DeadlinesMet++
-				}
-				row.MeanEnergy += job.Energy
-				row.TierJobs[job.Tier]++
-			}
-			r := ctrl.Report()
-			row.Fallbacks += r.Fallbacks
-			row.Recoveries += r.Recoveries
-			row.ActuationRetries += r.ActuationRetries
-			row.ActuationGiveUps += r.ActuationGiveUps
-			row.WatchdogTrips += r.WatchdogTrips
-			row.Dropped += r.DroppedObservations
-			row.EstimationFailures += r.EstimationFailures
-			row.Injected += plan.Total()
+			row.Fallbacks += cell.Fallbacks
+			row.Recoveries += cell.Recoveries
+			row.ActuationRetries += cell.ActuationRetries
+			row.ActuationGiveUps += cell.ActuationGiveUps
+			row.WatchdogTrips += cell.WatchdogTrips
+			row.Dropped += cell.Dropped
+			row.EstimationFailures += cell.EstimationFailures
+			row.Injected += cell.Injected
 		}
 		if row.Jobs > 0 {
 			row.MeanEnergy /= float64(row.Jobs)

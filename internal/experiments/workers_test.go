@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// workersEnv builds a small environment trimmed for speed: fewer apps and
+// trials than the real protocol, which is fine — the property under test is
+// that worker count never changes a result, not the results themselves.
+func workersEnv(t *testing.T, workers int) *Env {
+	t.Helper()
+	env, err := NewEnv(SizeSmall, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Trials = 2
+	env.Workers = workers
+	env.DB.Apps = env.DB.Apps[:6]
+	return env
+}
+
+// TestAccuracyBitIdenticalAcrossWorkers pins the determinism contract of the
+// parallel driver: the Fig. 5 table from a serial run and a 4-worker run
+// must match bit for bit (DeepEqual on float64 slices is exact equality).
+func TestAccuracyBitIdenticalAcrossWorkers(t *testing.T) {
+	serial, err := Fig05(workersEnv(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig05(workersEnv(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("fig5 differs between -workers=1 and -workers=4:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestEnergyBitIdenticalAcrossWorkers does the same for the energy sweep
+// (Fig. 11 path), whose per-app controller simulations are the heaviest
+// tasks the pool schedules.
+func TestEnergyBitIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("energy sweep is slow; run without -short")
+	}
+	serial, err := Fig11(workersEnv(t, 1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig11(workersEnv(t, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("fig11 differs between -workers=1 and -workers=4:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestFaultsBitIdenticalAcrossWorkers covers the fault sweep, where each
+// (rate, app) cell owns a fault plan and two RNG streams.
+func TestFaultsBitIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep is slow; run without -short")
+	}
+	rates := []float64{0, 0.1}
+	serial, err := ExtFaults(workersEnv(t, 1), rates, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ExtFaults(workersEnv(t, 4), rates, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("ext-faults differs between -workers=1 and -workers=4:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestForEachErrorPropagation checks that the pool surfaces the
+// lowest-index error, matching what the serial loop would have returned.
+func TestForEachErrorPropagation(t *testing.T) {
+	env := workersEnv(t, 4)
+	errs := map[int]string{2: "boom-2", 5: "boom-5"}
+	err := env.forEach(8, func(i int) error {
+		if msg, ok := errs[i]; ok {
+			return errFor(msg)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom-2" {
+		t.Fatalf("forEach error = %v, want boom-2", err)
+	}
+}
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }

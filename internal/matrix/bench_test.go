@@ -50,6 +50,23 @@ func BenchmarkCholesky512(b *testing.B) {
 	}
 }
 
+// BenchmarkCholesky1024 factors at the paper's full configuration-space
+// size through a reused workspace — the exact steady-state shape of one
+// full-size EM iteration's dominant factorization.
+func BenchmarkCholesky1024(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-size factorization skipped in -short mode")
+	}
+	a := benchSPD(1024)
+	ws := NewCholeskyWorkspace(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.Factorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCholeskySolveMatrix128(b *testing.B) {
 	a := benchSPD(128)
 	ch, err := NewCholesky(a)

@@ -4,19 +4,36 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // ErrNotPositiveDefinite is returned when a Cholesky factorization encounters
 // a non-positive pivot.
 var ErrNotPositiveDefinite = errors.New("matrix: not positive definite")
 
+// cholTile is the panel width of the blocked factorization. 64 columns keep
+// the diagonal block (64×64×8 B = 32 KB) in L1 while the trailing update —
+// where ~n³/3 of the flops live — runs as a tiled rank-64 GEMM.
+const cholTile = 64
+
 // Cholesky is the lower-triangular factor L of a symmetric positive-definite
 // matrix A = L L'.
+//
+// The zero value is unusable; obtain one from NewCholesky (factor once) or
+// NewCholeskyWorkspace (pre-size once, Factorize repeatedly without
+// allocating — the EM loop's steady state).
 type Cholesky struct {
 	n int
 	l *Matrix // lower triangular, upper part zeroed
+}
+
+// NewCholeskyWorkspace returns an unfactored Cholesky with storage for n×n
+// systems. Factorize and FactorizeJitter fill it in place, so a loop that
+// re-factors every iteration performs zero steady-state allocations.
+func NewCholeskyWorkspace(n int) *Cholesky {
+	if n < 0 {
+		panic(fmt.Sprintf("matrix: negative Cholesky size %d", n))
+	}
+	return &Cholesky{n: n, l: New(n, n)}
 }
 
 // NewCholesky factors the symmetric positive-definite matrix a. The input is
@@ -24,73 +41,239 @@ type Cholesky struct {
 // positive.
 func NewCholesky(a *Matrix) (*Cholesky, error) {
 	a.checkSquare("NewCholesky")
-	n := a.Rows
-	l := a.Clone()
-	data := l.Data
-	for j := 0; j < n; j++ {
+	c := NewCholeskyWorkspace(a.Rows)
+	if err := c.Factorize(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Factorize overwrites the receiver with the factorization of a (which must
+// match the workspace size and is not modified). On failure the workspace
+// contents are undefined but the workspace remains reusable.
+func (c *Cholesky) Factorize(a *Matrix) error { return c.factorize(a, 0) }
+
+// factorize copies a (plus shift·I) into the workspace and runs the blocked
+// right-looking algorithm: factor a cholTile-wide diagonal block, solve the
+// panel below it, then apply the rank-cholTile update to the trailing
+// submatrix with rows fanned out across goroutines. Each element of the
+// trailing matrix accumulates its panel contribution in a fixed order, so
+// the result is bit-identical for every worker count.
+func (c *Cholesky) factorize(a *Matrix, shift float64) error {
+	if a.Rows != c.n || a.Cols != c.n {
+		panic(fmt.Sprintf("matrix: Factorize got %dx%d for workspace size %d", a.Rows, a.Cols, c.n))
+	}
+	n, data := c.n, c.l.Data
+	copy(data, a.Data)
+	if shift != 0 {
+		for i := 0; i < n; i++ {
+			data[i*n+i] += shift
+		}
+	}
+	for j0 := 0; j0 < n; j0 += cholTile {
+		jb := cholTile
+		if j0+jb > n {
+			jb = n - j0
+		}
+		if err := cholFactorDiag(data, n, j0, jb); err != nil {
+			return err
+		}
+		cholPanelSolve(data, n, j0, jb)
+		cholTrailingUpdate(data, n, j0, jb)
+	}
+	// Zero the strictly upper triangle so l is exactly lower triangular.
+	for r := 0; r < n; r++ {
+		row := data[r*n : (r+1)*n]
+		for cc := r + 1; cc < n; cc++ {
+			row[cc] = 0
+		}
+	}
+	return nil
+}
+
+// cholFactorDiag runs the unblocked factorization on the jb×jb diagonal
+// block starting at (j0, j0). Trailing updates from earlier panels have
+// already been applied, so only columns within the block participate.
+func cholFactorDiag(data []float64, n, j0, jb int) error {
+	for j := j0; j < j0+jb; j++ {
+		jrow := data[j*n+j0 : j*n+j]
 		d := data[j*n+j]
-		for k := 0; k < j; k++ {
-			v := data[j*n+k]
+		for _, v := range jrow {
 			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d)
+			return fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d)
 		}
 		d = math.Sqrt(d)
 		data[j*n+j] = d
 		inv := 1 / d
-		cholColumn(data, n, j, inv)
-	}
-	// Zero the strictly upper triangle so l is exactly lower triangular.
-	for r := 0; r < n; r++ {
-		for c := r + 1; c < n; c++ {
-			data[r*n+c] = 0
+		for i := j + 1; i < j0+jb; i++ {
+			irow := data[i*n+j0 : i*n+j]
+			s := data[i*n+j]
+			for t, v := range jrow {
+				s -= irow[t] * v
+			}
+			data[i*n+j] = s * inv
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	return nil
 }
 
-// cholColumn updates column j below the diagonal: for i > j,
-// L[i,j] = (A[i,j] - sum_k L[i,k] L[j,k]) / L[j,j].
-// It parallelizes across rows for large systems.
-func cholColumn(data []float64, n, j int, invPivot float64) {
-	lo, hi := j+1, n
-	rows := hi - lo
-	work := rows * j
-	if work < 1<<18 || rows < 4 {
-		cholColumnRange(data, n, j, invPivot, lo, hi)
+// cholPanelSolve computes L21 = A21 L11⁻ᵀ for the rows below the diagonal
+// block: each row solves a jb-wide lower-triangular system independently, so
+// rows parallelize freely.
+func cholPanelSolve(data []float64, n, j0, jb int) {
+	lo := j0 + jb
+	rows := n - lo
+	if useParallel(rows, rows*jb*jb/2) {
+		parallelRange(rows, func(rlo, rhi int) {
+			cholPanelSolveRange(data, n, j0, jb, lo+rlo, lo+rhi)
+		})
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
-	}
-	chunk := (rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for s := lo; s < hi; s += chunk {
-		e := s + chunk
-		if e > hi {
-			e = hi
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			cholColumnRange(data, n, j, invPivot, s, e)
-		}(s, e)
-	}
-	wg.Wait()
+	cholPanelSolveRange(data, n, j0, jb, lo, lo+rows)
 }
 
-func cholColumnRange(data []float64, n, j int, invPivot float64, lo, hi int) {
-	jrow := data[j*n : j*n+j]
-	for i := lo; i < hi; i++ {
-		irow := data[i*n : i*n+j]
-		s := data[i*n+j]
-		for k, v := range jrow {
-			s -= irow[k] * v
+func cholPanelSolveRange(data []float64, n, j0, jb, ilo, ihi int) {
+	for i := ilo; i < ihi; i++ {
+		irow := data[i*n:]
+		for j := j0; j < j0+jb; j++ {
+			jrow := data[j*n+j0 : j*n+j]
+			s := irow[j]
+			for t, v := range jrow {
+				s -= irow[j0+t] * v
+			}
+			irow[j] = s / data[j*n+j]
 		}
-		data[i*n+j] = s * invPivot
 	}
+}
+
+// cholTrailingUpdate applies A22 -= L21 L21ᵀ to the lower triangle of the
+// trailing submatrix — the rank-jb GEMM where ~n³/3 of the factorization's
+// flops live. It runs the same 4×4 register-blocked kernel as the GEMM
+// (sixteen independent accumulator chains hide the FP-add latency a single
+// running dot would serialize on), falling back to scalar dots along the
+// diagonal and at partition edges. Every element subtracts one jb-length dot
+// product accumulated in ascending panel order on both paths, so the bits
+// never depend on which goroutine — or which path — produced them.
+func cholTrailingUpdate(data []float64, n, j0, jb int) {
+	lo := j0 + jb
+	rows := n - lo
+	// Triangular region: rows near the bottom carry more work, but contiguous
+	// ranges keep each goroutine on adjacent memory; the imbalance is at most
+	// 2× and only on the last panels.
+	if useParallel(rows, rows*rows/2*jb) {
+		parallelRange(rows, func(rlo, rhi int) {
+			cholTrailingRange(data, n, j0, jb, lo+rlo, lo+rhi)
+		})
+		return
+	}
+	cholTrailingRange(data, n, j0, jb, lo, lo+rows)
+}
+
+// cholTrailingRange updates rows [ilo, end) of the trailing submatrix.
+func cholTrailingRange(data []float64, n, j0, jb, ilo, end int) {
+	lo := j0 + jb
+	i := ilo
+	for ; i+4 <= end; i += 4 {
+		p0 := data[i*n+j0 : i*n+j0+jb]
+		p1 := data[(i+1)*n+j0 : (i+1)*n+j0+jb][:len(p0)]
+		p2 := data[(i+2)*n+j0 : (i+2)*n+j0+jb][:len(p0)]
+		p3 := data[(i+3)*n+j0 : (i+3)*n+j0+jb][:len(p0)]
+		r0 := data[i*n : (i+1)*n]
+		r1 := data[(i+1)*n : (i+2)*n]
+		r2 := data[(i+2)*n : (i+3)*n]
+		r3 := data[(i+3)*n : (i+4)*n]
+		cc := lo
+		// Full 4×4 blocks: columns cc..cc+3 are at or left of the
+		// diagonal for all four rows iff cc+3 <= i.
+		for ; cc+3 <= i; cc += 4 {
+			q0 := data[cc*n+j0 : cc*n+j0+jb][:len(p0)]
+			q1 := data[(cc+1)*n+j0 : (cc+1)*n+j0+jb][:len(p0)]
+			q2 := data[(cc+2)*n+j0 : (cc+2)*n+j0+jb][:len(p0)]
+			q3 := data[(cc+3)*n+j0 : (cc+3)*n+j0+jb][:len(p0)]
+			var s00, s01, s02, s03 float64
+			var s10, s11, s12, s13 float64
+			var s20, s21, s22, s23 float64
+			var s30, s31, s32, s33 float64
+			for t := range p0 {
+				pv0, pv1, pv2, pv3 := p0[t], p1[t], p2[t], p3[t]
+				qv0, qv1, qv2, qv3 := q0[t], q1[t], q2[t], q3[t]
+				s00 += pv0 * qv0
+				s01 += pv0 * qv1
+				s02 += pv0 * qv2
+				s03 += pv0 * qv3
+				s10 += pv1 * qv0
+				s11 += pv1 * qv1
+				s12 += pv1 * qv2
+				s13 += pv1 * qv3
+				s20 += pv2 * qv0
+				s21 += pv2 * qv1
+				s22 += pv2 * qv2
+				s23 += pv2 * qv3
+				s30 += pv3 * qv0
+				s31 += pv3 * qv1
+				s32 += pv3 * qv2
+				s33 += pv3 * qv3
+			}
+			r0[cc] -= s00
+			r0[cc+1] -= s01
+			r0[cc+2] -= s02
+			r0[cc+3] -= s03
+			r1[cc] -= s10
+			r1[cc+1] -= s11
+			r1[cc+2] -= s12
+			r1[cc+3] -= s13
+			r2[cc] -= s20
+			r2[cc+1] -= s21
+			r2[cc+2] -= s22
+			r2[cc+3] -= s23
+			r3[cc] -= s30
+			r3[cc+1] -= s31
+			r3[cc+2] -= s32
+			r3[cc+3] -= s33
+		}
+		// Diagonal-crossing remainder: scalar per row up to its diagonal.
+		cholTrailingRowScalar(data, n, j0, jb, i, cc)
+		cholTrailingRowScalar(data, n, j0, jb, i+1, cc)
+		cholTrailingRowScalar(data, n, j0, jb, i+2, cc)
+		cholTrailingRowScalar(data, n, j0, jb, i+3, cc)
+	}
+	for ; i < end; i++ {
+		cholTrailingRowScalar(data, n, j0, jb, i, lo)
+	}
+}
+
+// cholTrailingRowScalar subtracts the panel contribution from row i's
+// trailing elements in columns [cc, i].
+func cholTrailingRowScalar(data []float64, n, j0, jb, i, cc int) {
+	ipanel := data[i*n+j0 : i*n+j0+jb]
+	irow := data[i*n:]
+	for ; cc <= i; cc++ {
+		irow[cc] -= dotUnchecked(ipanel, data[cc*n+j0:cc*n+j0+jb])
+	}
+}
+
+// FactorizeJitter factors a, adding progressively larger multiples of the
+// identity (starting at jitter, growing 10× up to maxTries times) until the
+// factorization succeeds, and returns the jitter actually applied. Like
+// Factorize it allocates nothing: every attempt re-copies a into the
+// workspace.
+func (c *Cholesky) FactorizeJitter(a *Matrix, jitter float64, maxTries int) (float64, error) {
+	if jitter <= 0 {
+		jitter = 1e-10
+	}
+	if err := c.factorize(a, 0); err == nil {
+		return 0, nil
+	}
+	cur := jitter
+	for try := 0; try < maxTries; try++ {
+		if err := c.factorize(a, cur); err == nil {
+			return cur, nil
+		}
+		cur *= 10
+	}
+	return 0, fmt.Errorf("%w even after jitter up to %g", ErrNotPositiveDefinite, cur/10)
 }
 
 // NewCholeskyJitter factors a, adding progressively larger multiples of the
@@ -98,21 +281,13 @@ func cholColumnRange(data []float64, n, j int, invPivot float64, lo, hi int) {
 // factorization succeeds. It returns the factor and the jitter actually
 // applied. This is how LEO keeps Σ usable despite floating-point drift.
 func NewCholeskyJitter(a *Matrix, jitter float64, maxTries int) (*Cholesky, float64, error) {
-	if jitter <= 0 {
-		jitter = 1e-10
+	a.checkSquare("NewCholeskyJitter")
+	c := NewCholeskyWorkspace(a.Rows)
+	applied, err := c.FactorizeJitter(a, jitter, maxTries)
+	if err != nil {
+		return nil, 0, err
 	}
-	if ch, err := NewCholesky(a); err == nil {
-		return ch, 0, nil
-	}
-	cur := jitter
-	for try := 0; try < maxTries; try++ {
-		b := a.Clone().AddDiagonal(cur)
-		if ch, err := NewCholesky(b); err == nil {
-			return ch, cur, nil
-		}
-		cur *= 10
-	}
-	return nil, 0, fmt.Errorf("%w even after jitter up to %g", ErrNotPositiveDefinite, cur/10)
+	return c, applied, nil
 }
 
 // Size returns the dimension of the factored matrix.
@@ -123,12 +298,21 @@ func (c *Cholesky) L() *Matrix { return c.l.Clone() }
 
 // SolveVec solves A x = b for x, where A = L L'.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
+	return c.SolveVecInto(make([]float64, c.n), b)
+}
+
+// SolveVecInto solves A x = b into dst and returns dst. dst may be b itself
+// (the solve then runs fully in place).
+func (c *Cholesky) SolveVecInto(dst, b []float64) []float64 {
 	if len(b) != c.n {
 		panic(fmt.Sprintf("matrix: SolveVec length %d != size %d", len(b), c.n))
 	}
-	x := CloneVec(b)
-	c.solveInPlace(x)
-	return x
+	if len(dst) != c.n {
+		panic(fmt.Sprintf("matrix: SolveVecInto dst length %d != size %d", len(dst), c.n))
+	}
+	copy(dst, b)
+	c.solveInPlace(dst)
+	return dst
 }
 
 // solveInPlace solves L L' x = x, overwriting x.
@@ -154,37 +338,50 @@ func (c *Cholesky) solveInPlace(x []float64) {
 }
 
 // Solve solves A X = B for X, column by column, in parallel for large B.
-func (c *Cholesky) Solve(b *Matrix) *Matrix {
+func (c *Cholesky) Solve(b *Matrix) *Matrix { return c.SolveBatch(b) }
+
+// SolveBatch solves A X = B for X (B holds one right-hand side per column),
+// allocating the result. The columns are solved independently across
+// goroutines via SolveTInto on a transposed copy, so each right-hand side is
+// contiguous in memory.
+func (c *Cholesky) SolveBatch(b *Matrix) *Matrix {
 	if b.Rows != c.n {
 		panic(fmt.Sprintf("matrix: Solve rows %d != size %d", b.Rows, c.n))
 	}
-	// Work on the transpose so each goroutine owns contiguous memory.
 	bt := b.Transpose()
-	cols := bt.Rows
-	workers := runtime.GOMAXPROCS(0)
-	if c.n < 128 || cols < 2 {
-		workers = 1
-	}
-	if workers > cols {
-		workers = cols
-	}
-	var wg sync.WaitGroup
-	chunk := (cols + workers - 1) / workers
-	for lo := 0; lo < cols; lo += chunk {
-		hi := lo + chunk
-		if hi > cols {
-			hi = cols
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for j := lo; j < hi; j++ {
-				c.solveInPlace(bt.RowView(j))
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	c.SolveTInto(bt, bt)
 	return bt.Transpose()
+}
+
+// SolveTInto treats every row of b as a right-hand side: it writes A⁻¹ b_i
+// into row i of dst, i.e. dst = (A⁻¹ Bᵀ)ᵀ = B A⁻¹ (A is symmetric). b.Cols
+// must equal the system size; dst must share b's shape and may be b itself.
+// Rows solve independently in parallel. This is the allocation-free path for
+// multi-RHS solves against matrices whose transpose the caller would
+// otherwise have to materialize.
+func (c *Cholesky) SolveTInto(dst, b *Matrix) *Matrix {
+	if b.Cols != c.n {
+		panic(fmt.Sprintf("matrix: SolveTInto cols %d != size %d", b.Cols, c.n))
+	}
+	if dst.Rows != b.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: SolveTInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, b.Rows, b.Cols))
+	}
+	if useParallel(b.Rows, b.Rows*c.n*c.n) {
+		parallelRange(b.Rows, func(lo, hi int) {
+			c.solveTRange(dst, b, lo, hi)
+		})
+		return dst
+	}
+	c.solveTRange(dst, b, 0, b.Rows)
+	return dst
+}
+
+func (c *Cholesky) solveTRange(dst, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := dst.RowView(i)
+		copy(row, b.RowView(i))
+		c.solveInPlace(row)
+	}
 }
 
 // Inverse returns A^{-1} where A = L L'. The result is symmetrized to remove

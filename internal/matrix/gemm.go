@@ -1,0 +1,191 @@
+package matrix
+
+import (
+	"fmt"
+	"sync"
+)
+
+// GEMM kernels. The inner kernel always runs with the right operand stored
+// transposed, so both streams are contiguous: dst[i][j] is a dot product of
+// row i of A and row j of Bᵀ. A 4×4 register block amortizes the loads —
+// sixteen multiply-adds per eight element reads — and a column tile keeps
+// the active slice of Bᵀ resident in L2 while a block of A rows sweeps it.
+// Rows are fanned out across goroutines (parallelize); each element's
+// reduction order is fixed by its indices, so results are bit-identical for
+// every worker count.
+
+// gemmColTile is the number of Bᵀ rows (output columns) per cache tile:
+// 128 rows × 8 KB keeps the tile ~1 MB, comfortably inside L2.
+const gemmColTile = 128
+
+// packPool recycles the transposed copy of B that MulInto builds, so
+// steady-state callers (the EM loop) do not re-allocate an n×n buffer per
+// multiplication.
+var packPool sync.Pool
+
+func getPacked(rows, cols int) *Matrix {
+	if v := packPool.Get(); v != nil {
+		m := v.(*Matrix)
+		if cap(m.Data) >= rows*cols {
+			m.Rows, m.Cols = rows, cols
+			m.Data = m.Data[:rows*cols]
+			return m
+		}
+	}
+	return New(rows, cols)
+}
+
+func putPacked(m *Matrix) { packPool.Put(m) }
+
+// transposeInto writes srcᵀ into dst (dst must be src.Cols×src.Rows).
+func transposeInto(dst, src *Matrix) {
+	for r := 0; r < src.Rows; r++ {
+		row := src.Data[r*src.Cols : (r+1)*src.Cols]
+		for c, v := range row {
+			dst.Data[c*dst.Cols+r] = v
+		}
+	}
+}
+
+// Mul returns m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	out := New(m.Rows, other.Cols)
+	return MulInto(out, m, other)
+}
+
+// MulInto computes dst = a * b and returns dst. dst must not alias a or b;
+// its shape must be a.Rows × b.Cols.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: MulInto shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: MulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if dst == a || dst == b {
+		panic("matrix: MulInto dst must not alias an operand")
+	}
+	bt := getPacked(b.Cols, b.Rows)
+	transposeInto(bt, b)
+	mulTransB(dst, a, bt)
+	putPacked(bt)
+	return dst
+}
+
+// MulTransBInto computes dst = a * bᵀ and returns dst, reading b directly in
+// its row-major storage (no transposed copy is made — this is the natural
+// layout for the inner kernel). a is r×k, b is p×k, dst is r×p. dst must not
+// alias a or b.
+func MulTransBInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: MulTransBInto inner dim mismatch %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: MulTransBInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if dst == a || dst == b {
+		panic("matrix: MulTransBInto dst must not alias an operand")
+	}
+	mulTransB(dst, a, b)
+	return dst
+}
+
+// mulTransB computes dst = a * btᵀ with bt already in transposed layout.
+func mulTransB(dst, a, bt *Matrix) {
+	mulrows, p, k := a.Rows, bt.Rows, a.Cols
+	if useParallel(mulrows, mulrows*p*k) {
+		parallelRange(mulrows, func(lo, hi int) {
+			mulTransBRange(dst, a, bt, lo, hi)
+		})
+		return
+	}
+	mulTransBRange(dst, a, bt, 0, mulrows)
+}
+
+// mulTransBRange fills rows [lo, hi) of dst. Within a column tile it walks
+// the A rows in blocks of four so each Bᵀ row loaded from L2 feeds four
+// output elements.
+func mulTransBRange(dst, a, bt *Matrix, lo, hi int) {
+	k, p := a.Cols, bt.Rows
+	for jb := 0; jb < p; jb += gemmColTile {
+		je := jb + gemmColTile
+		if je > p {
+			je = p
+		}
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			a0 := a.Data[i*k : (i+1)*k]
+			a1 := a.Data[(i+1)*k : (i+2)*k][:len(a0)]
+			a2 := a.Data[(i+2)*k : (i+3)*k][:len(a0)]
+			a3 := a.Data[(i+3)*k : (i+4)*k][:len(a0)]
+			d0 := dst.Data[i*p : (i+1)*p]
+			d1 := dst.Data[(i+1)*p : (i+2)*p]
+			d2 := dst.Data[(i+2)*p : (i+3)*p]
+			d3 := dst.Data[(i+3)*p : (i+4)*p]
+			j := jb
+			for ; j+4 <= je; j += 4 {
+				// Re-slice every stream to len(a0) so the compiler can prove
+				// the indexed loads in-bounds and drop the checks.
+				b0 := bt.Data[j*k : (j+1)*k][:len(a0)]
+				b1 := bt.Data[(j+1)*k : (j+2)*k][:len(a0)]
+				b2 := bt.Data[(j+2)*k : (j+3)*k][:len(a0)]
+				b3 := bt.Data[(j+3)*k : (j+4)*k][:len(a0)]
+				var c00, c01, c02, c03 float64
+				var c10, c11, c12, c13 float64
+				var c20, c21, c22, c23 float64
+				var c30, c31, c32, c33 float64
+				for t := range a0 {
+					av0, av1, av2, av3 := a0[t], a1[t], a2[t], a3[t]
+					bv0, bv1, bv2, bv3 := b0[t], b1[t], b2[t], b3[t]
+					c00 += av0 * bv0
+					c01 += av0 * bv1
+					c02 += av0 * bv2
+					c03 += av0 * bv3
+					c10 += av1 * bv0
+					c11 += av1 * bv1
+					c12 += av1 * bv2
+					c13 += av1 * bv3
+					c20 += av2 * bv0
+					c21 += av2 * bv1
+					c22 += av2 * bv2
+					c23 += av2 * bv3
+					c30 += av3 * bv0
+					c31 += av3 * bv1
+					c32 += av3 * bv2
+					c33 += av3 * bv3
+				}
+				d0[j], d0[j+1], d0[j+2], d0[j+3] = c00, c01, c02, c03
+				d1[j], d1[j+1], d1[j+2], d1[j+3] = c10, c11, c12, c13
+				d2[j], d2[j+1], d2[j+2], d2[j+3] = c20, c21, c22, c23
+				d3[j], d3[j+1], d3[j+2], d3[j+3] = c30, c31, c32, c33
+			}
+			for ; j < je; j++ {
+				brow := bt.Data[j*k : (j+1)*k]
+				d0[j] = dotUnchecked(a0, brow)
+				d1[j] = dotUnchecked(a1, brow)
+				d2[j] = dotUnchecked(a2, brow)
+				d3[j] = dotUnchecked(a3, brow)
+			}
+		}
+		for ; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*p : (i+1)*p]
+			for j := jb; j < je; j++ {
+				drow[j] = dotUnchecked(arow, bt.Data[j*k:(j+1)*k])
+			}
+		}
+	}
+}
+
+// dotUnchecked is Dot without the length check, for kernel interiors where
+// lengths match by construction. It must keep a single accumulator walking t
+// ascending: the 4×4 micro-kernel uses the same order, so an element lands on
+// identical bits whether a partition put it on the blocked or remainder path.
+func dotUnchecked(x, y []float64) float64 {
+	y = y[:len(x)]
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}

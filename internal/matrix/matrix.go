@@ -4,16 +4,19 @@
 //
 // The package is self-contained (stdlib only) and tuned for the moderate
 // sizes LEO needs (configuration spaces up to a few thousand dimensions).
-// Matrices are stored row-major; multiplication parallelizes across rows for
-// large operands.
+// Matrices are stored row-major; the hot kernels — blocked Cholesky, the
+// tiled GEMM, and the multi-RHS solves — fan out across goroutines for large
+// operands while keeping each output element's reduction order fixed, so
+// results are bit-identical at every worker count (see DESIGN.md §7). The
+// *Into variants (MulInto, SubInto, CloneInto, OuterAccumInto, MulVecInto,
+// SolveTInto) write into caller-owned buffers so steady-state loops allocate
+// nothing.
 package matrix
 
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
@@ -265,70 +268,47 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("matrix: MulVec length %d != cols %d", len(x), m.Cols))
 	}
-	out := make([]float64, m.Rows)
+	return MulVecInto(make([]float64, m.Rows), m, x)
+}
+
+// SubInto computes dst = a - b elementwise and returns dst. All three must
+// share a shape; dst may alias a or b.
+func SubInto(dst, a, b *Matrix) *Matrix {
+	a.checkSameShape(b, "SubInto")
+	a.checkSameShape(dst, "SubInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+	return dst
+}
+
+// CloneInto copies src into dst (shapes must match) and returns dst. It is
+// the buffer-reusing counterpart of Clone.
+func CloneInto(dst, src *Matrix) *Matrix {
+	dst.CopyFrom(src)
+	return dst
+}
+
+// OuterAccumInto accumulates dst += s * x*yᵀ and returns dst — the
+// buffer-reusing spelling of AddScaledOuter for call sites that pair it with
+// the other *Into kernels.
+func OuterAccumInto(dst *Matrix, s float64, x, y []float64) *Matrix {
+	return dst.AddScaledOuter(s, x, y)
+}
+
+// MulVecInto computes dst = m * x and returns dst. dst must have length
+// m.Rows and must not alias x.
+func MulVecInto(dst []float64, m *Matrix, x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("matrix: MulVecInto length %d != cols %d", len(x), m.Cols))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("matrix: MulVecInto dst length %d != rows %d", len(dst), m.Rows))
+	}
 	for r := 0; r < m.Rows; r++ {
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
-		s := 0.0
-		for c, v := range row {
-			s += v * x[c]
-		}
-		out[r] = s
+		dst[r] = dotUnchecked(m.Data[r*m.Cols:(r+1)*m.Cols], x)
 	}
-	return out
-}
-
-// parallelMulThreshold is the flop count above which Mul spawns goroutines.
-const parallelMulThreshold = 1 << 21 // ~2M multiply-adds
-
-// Mul returns m * other.
-func (m *Matrix) Mul(other *Matrix) *Matrix {
-	if m.Cols != other.Rows {
-		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
-	}
-	out := New(m.Rows, other.Cols)
-	flops := m.Rows * m.Cols * other.Cols
-	if flops < parallelMulThreshold {
-		mulRange(out, m, other, 0, m.Rows)
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m.Rows {
-		workers = m.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (m.Rows + workers - 1) / workers
-	for lo := 0; lo < m.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > m.Rows {
-			hi = m.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulRange(out, m, other, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
-}
-
-// mulRange computes rows [lo,hi) of out = a*b using the cache-friendly ikj
-// ordering.
-func mulRange(out, a, b *Matrix, lo, hi int) {
-	n, p := a.Cols, b.Cols
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*n : (i+1)*n]
-		orow := out.Data[i*p : (i+1)*p]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	return dst
 }
 
 // Equal reports whether m and other have the same shape and all entries

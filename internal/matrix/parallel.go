@@ -1,0 +1,51 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMinWork is the flop count below which a kernel stays on the
+// calling goroutine. Spawning costs ~µs; a range this small finishes faster
+// inline, and the inline path performs zero heap allocations — which is what
+// lets the EM workspace guarantee allocation-free steady state for fits that
+// stay under the threshold (or when GOMAXPROCS is 1).
+const parallelMinWork = 1 << 17
+
+// useParallel reports whether a kernel over n rows and the given flop count
+// should fan out across goroutines. Kernels branch on it BEFORE constructing
+// the range closure: a func literal passed to parallelRange escapes to the
+// heap, so keeping the literal inside the parallel branch is what makes the
+// serial path allocation-free.
+func useParallel(n, work int) bool {
+	return n > 1 && work >= parallelMinWork && runtime.GOMAXPROCS(0) > 1
+}
+
+// parallelRange splits [0, n) into contiguous ranges, one per worker, and
+// runs fn on each concurrently. Callers gate on useParallel first; calling
+// this with one worker still works, it just pays a goroutine for nothing.
+//
+// Determinism contract: every kernel built on parallelRange computes each
+// output element with a fixed operation order that depends only on the
+// element's indices, never on the partition. Worker count therefore changes
+// wall-clock time, not one bit of the result.
+func parallelRange(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
