@@ -12,6 +12,7 @@
 package leo
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -40,7 +41,7 @@ func benchEnv(b *testing.B) *experiments.Env {
 func BenchmarkFig01Kmeans(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig01(env, 20)
+		rep, err := experiments.Fig01(context.Background(), env, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func BenchmarkFig01Kmeans(b *testing.B) {
 func BenchmarkFig05PerfAccuracy(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig05(env)
+		rep, err := experiments.Fig05(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkFig05PerfAccuracy(b *testing.B) {
 func BenchmarkFig06PowerAccuracy(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig06(env)
+		rep, err := experiments.Fig06(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkFig06PowerAccuracy(b *testing.B) {
 func BenchmarkFig07PerfExamples(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig07(env)
+		rep, err := experiments.Fig07(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkFig07PerfExamples(b *testing.B) {
 func BenchmarkFig08PowerExamples(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig08(env)
+		rep, err := experiments.Fig08(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func BenchmarkFig08PowerExamples(b *testing.B) {
 func BenchmarkFig09Pareto(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig09(env)
+		rep, err := experiments.Fig09(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +125,7 @@ func BenchmarkFig09Pareto(b *testing.B) {
 func BenchmarkFig10EnergyCurves(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig10(env, 20)
+		rep, err := experiments.Fig10(context.Background(), env, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func BenchmarkFig10EnergyCurves(b *testing.B) {
 func BenchmarkFig11EnergySummary(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig11(env, 10)
+		rep, err := experiments.Fig11(context.Background(), env, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func BenchmarkFig12Sensitivity(b *testing.B) {
 	env := benchEnv(b)
 	sizes := []int{0, 5, 11, 14, 20, 40}
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig12(env, sizes, 1)
+		rep, err := experiments.Fig12(context.Background(), env, sizes, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func BenchmarkFig12Sensitivity(b *testing.B) {
 func BenchmarkFig13Phases(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Fig13(env)
+		rep, err := experiments.Fig13(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func BenchmarkFig13Phases(b *testing.B) {
 func BenchmarkTable1PhaseEnergy(b *testing.B) {
 	env := benchEnv(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.Table1(env)
+		rep, err := experiments.Table1(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}

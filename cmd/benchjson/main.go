@@ -53,6 +53,8 @@ var headlineKeys = map[string]struct{ key, field string }{
 	"BenchmarkLEOOverheadFull": {"leo_overhead_full_ms", "ns"},
 	"BenchmarkCholesky1024":    {"cholesky_1024_ms", "ns"},
 	"BenchmarkEStepOnly":       {"estep_allocs_per_op", "allocs"},
+	"BenchmarkMultiWindowCold": {"multi_window_cold_ms", "ns"},
+	"BenchmarkMultiWindowWarm": {"multi_window_warm_ms", "ns"},
 }
 
 func main() {

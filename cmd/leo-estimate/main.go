@@ -7,14 +7,18 @@
 //
 //	leo-estimate [-app kmeans] [-estimator LEO|Online|Offline|Exhaustive]
 //	             [-size small|full] [-samples 20] [-seed 1] [-dump]
+//	             [-timeout 30s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
+	"os/signal"
+	"syscall"
 
 	"leo"
 )
@@ -30,10 +34,19 @@ func main() {
 		dump      = flag.Bool("dump", false, "print every configuration's estimate")
 		listApps  = flag.Bool("apps", false, "list benchmark names and exit")
 		workers   = flag.Int("workers", 0, "cores the matrix kernels may use (default: all; results are identical at any value)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
+	// Scope -workers to the linear-algebra pool; resizing GOMAXPROCS would
+	// throttle the whole process, not just the kernels the flag describes.
+	leo.SetKernelWorkers(*workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *listApps {
@@ -90,8 +103,19 @@ func main() {
 			fatal(fmt.Errorf("unknown estimator %q", *estimator))
 		}
 		obs := leo.Observe(metric.truth, mask, *noise, rng)
-		pred, err := est.Estimate(obs.Indices, obs.Values)
+		// Estimate through a fresh session so the fit honors ctx: the first
+		// Update of a session is exactly the cold one-shot fit, but a SIGINT
+		// (or -timeout) aborts the EM loop mid-fit instead of hanging.
+		sess, err := est.NewSession(ctx)
 		if err != nil {
+			fatal(fmt.Errorf("%s %s estimation: %w", *estimator, metric.name, err))
+		}
+		pred, err := sess.Update(ctx, obs.Indices, obs.Values)
+		if err != nil {
+			if errors.Is(err, leo.ErrEstimationCanceled) || ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "leo-estimate: %s estimation canceled (%v)\n", metric.name, context.Cause(ctx))
+				os.Exit(130)
+			}
 			fatal(fmt.Errorf("%s %s estimation: %w", *estimator, metric.name, err))
 		}
 		fmt.Printf("%s %s accuracy on %s: %.4f (%d samples of %d configurations)\n",

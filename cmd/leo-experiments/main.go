@@ -18,12 +18,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"leo/internal/core"
 	"leo/internal/experiments"
 )
 
@@ -35,9 +40,21 @@ func main() {
 		trials  = flag.Int("trials", 0, "random-mask trials per estimate (default: the paper's 10)")
 		samples = flag.Int("samples", 0, "online samples per estimator (default: the paper's 20)")
 		workers = flag.Int("workers", 0, "parallel sweep tasks (default: GOMAXPROCS; results are identical at any value)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
+
+	// Interrupts (and -timeout) cancel the run's context; every experiment
+	// driver aborts at its next task boundary or EM iteration instead of
+	// being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, name := range experiments.Names() {
@@ -71,8 +88,12 @@ func main() {
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		start := time.Now()
-		rep, err := experiments.Run(name, env)
+		rep, err := experiments.Run(ctx, name, env)
 		if err != nil {
+			if errors.Is(err, core.ErrCanceled) || ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "leo-experiments: %s canceled (%v)\n", name, context.Cause(ctx))
+				os.Exit(130)
+			}
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		if err := rep.Render(os.Stdout); err != nil {

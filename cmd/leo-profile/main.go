@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
+	"os/signal"
+	"syscall"
 
 	"leo"
 )
@@ -29,15 +31,28 @@ func main() {
 		summarize = flag.String("summarize", "", "path of a database to summarize")
 		appName   = flag.String("app", "", "with -summarize: detail one application")
 		workers   = flag.Int("workers", 0, "cores the matrix kernels may use (default: all; results are identical at any value)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
+	// Scope -workers to the linear-algebra pool; resizing GOMAXPROCS would
+	// throttle the whole process, not just the kernels the flag describes.
+	leo.SetKernelWorkers(*workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	switch {
 	case *collect:
-		if err := runCollect(*out, *size, *noise, *seed); err != nil {
+		if err := runCollect(ctx, *out, *size, *noise, *seed); err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "leo-profile: collection canceled:", context.Cause(ctx))
+				os.Exit(130)
+			}
 			fatal(err)
 		}
 	case *summarize != "":
@@ -50,7 +65,7 @@ func main() {
 	}
 }
 
-func runCollect(out, size string, noise float64, seed int64) error {
+func runCollect(ctx context.Context, out, size string, noise float64, seed int64) error {
 	space := leo.SmallSpace()
 	if size == "full" {
 		space = leo.PaperSpace()
@@ -63,6 +78,11 @@ func runCollect(out, size string, noise float64, seed int64) error {
 	}
 	db, err := leo.CollectProfiles(space, leo.Benchmarks(), noise, rng)
 	if err != nil {
+		return err
+	}
+	// Collection is fast even at full size, so ctx is only consulted between
+	// the collect and write steps: a cancellation never leaves a torn file.
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	f, err := os.Create(out)

@@ -20,11 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
+	"os/signal"
+	"syscall"
 
 	"leo"
 )
@@ -41,10 +43,19 @@ func main() {
 		faultRate = flag.Float64("fault-rate", 0, "per-event probability of each fault kind (0 disables injection)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 		workers   = flag.Int("workers", 0, "cores the matrix kernels may use (default: all; results are identical at any value)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
+	// Scope -workers to the linear-algebra pool; resizing GOMAXPROCS would
+	// throttle the whole process, not just the kernels the flag describes.
+	leo.SetKernelWorkers(*workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *util <= 0 || *util > 1 {
@@ -120,11 +131,14 @@ func main() {
 			}
 		}
 		if *phased {
-			res, err := ctrl.RunPhased(leo.PhasedSpec{
+			res, err := ctrl.RunPhasedContext(ctx, leo.PhasedSpec{
 				FrameWork: *util * maxRate * 2,
 				FrameTime: 2,
 			})
 			if err != nil {
+				if ctx.Err() != nil {
+					canceled(ctx, name)
+				}
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
 			fmt.Printf("%-11s frames=%d replans=%d total=%.1f J phases=%v\n",
@@ -135,8 +149,11 @@ func main() {
 			}
 			return
 		}
-		job, err := ctrl.ExecuteJob(*util*maxRate**deadline, *deadline)
+		job, err := ctrl.ExecuteJobContext(ctx, *util*maxRate**deadline, *deadline)
 		if err != nil {
+			if ctx.Err() != nil {
+				canceled(ctx, name)
+			}
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Printf("%-11s energy=%8.1f J  avg power=%6.1f W  work=%8.1f beats  deadline met=%v\n",
@@ -179,6 +196,11 @@ func fmtJoules(e []float64) []string {
 		out[i] = fmt.Sprintf("%.1fJ", v)
 	}
 	return out
+}
+
+func canceled(ctx context.Context, name string) {
+	fmt.Fprintf(os.Stderr, "leo-runtime: %s canceled (%v)\n", name, context.Cause(ctx))
+	os.Exit(130)
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package leo_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -88,7 +89,7 @@ func ExampleApp_WithInput() {
 // ExampleRandomSampling draws a reproducible probe set.
 func ExampleRandomSampling() {
 	p := &leo.RandomSampling{Rng: rand.New(rand.NewSource(1))}
-	obs, err := p.Collect(16, 4, func(config int) float64 { return float64(config) })
+	obs, err := p.Collect(context.Background(), 16, 4, func(config int) float64 { return float64(config) })
 	if err != nil {
 		fmt.Println(err)
 		return

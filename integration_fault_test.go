@@ -1,6 +1,7 @@
 package leo_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -134,7 +135,7 @@ func TestIntegrationFaultSweepAcceptance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := experiments.ExtFaults(env, []float64{0, 0.1, 0.2}, 0)
+	rep, err := experiments.ExtFaults(context.Background(), env, []float64{0, 0.1, 0.2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

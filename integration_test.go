@@ -2,6 +2,7 @@ package leo_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -170,7 +171,7 @@ func TestIntegrationSaveLoadEstimate(t *testing.T) {
 func TestIntegrationActiveSampling(t *testing.T) {
 	rig := newTraceRig(t, "x264")
 	policy := &leo.ActiveSampling{Known: rig.rest.Perf}
-	obs, err := policy.Collect(rig.space.N(), 12, leo.TruthMeasure(rig.truePerf, 0, nil))
+	obs, err := policy.Collect(context.Background(), rig.space.N(), 12, leo.TruthMeasure(rig.truePerf, 0, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"leo/internal/core"
@@ -19,7 +20,8 @@ import (
 // Estimator predicts a target application's metric (power or performance)
 // for every configuration from a handful of online observations.
 // Implementations are bound to one metric of one platform space at
-// construction.
+// construction, hold no per-target mutable state, and are safe to share:
+// per-target accumulation lives in the Sessions they open.
 type Estimator interface {
 	// Name identifies the approach ("LEO", "Online", "Offline",
 	// "Exhaustive") for reports.
@@ -27,8 +29,15 @@ type Estimator interface {
 	// Estimate returns a prediction for all n configurations given
 	// measurements obsVal taken at configuration indices obsIdx. Estimators
 	// that cannot produce a prediction (e.g. Online below its sample
-	// threshold) return an error.
+	// threshold) return an error. It is the one-shot path; a controller
+	// re-estimating every window should open a Session instead.
 	Estimate(obsIdx []int, obsVal []float64) ([]float64, error)
+	// NewSession opens an incremental estimation stream for one target
+	// application. LEO sessions share the estimator's offline Prior and
+	// warm-start from their previous posterior; the trivial estimators
+	// return an adapter that accumulates observations and re-runs Estimate.
+	// ctx bounds session setup, not the lifetime of the session.
+	NewSession(ctx context.Context) (Session, error)
 }
 
 // Offline predicts the column mean of the offline database, ignoring online
@@ -50,9 +59,18 @@ func NewOffline(known *matrix.Matrix) (*Offline, error) {
 // Name implements Estimator.
 func (o *Offline) Name() string { return "Offline" }
 
-// Estimate implements Estimator. Observations are ignored by design.
-func (o *Offline) Estimate(_ []int, _ []float64) ([]float64, error) {
+// Estimate implements Estimator. Observations are validated but otherwise
+// ignored by design.
+func (o *Offline) Estimate(obsIdx []int, obsVal []float64) ([]float64, error) {
+	if err := validateObs(obsIdx, obsVal, len(o.mean)); err != nil {
+		return nil, err
+	}
 	return matrix.CloneVec(o.mean), nil
+}
+
+// NewSession implements Estimator.
+func (o *Offline) NewSession(context.Context) (Session, error) {
+	return AdaptSession(o, len(o.mean)), nil
 }
 
 // Exhaustive returns the ground truth measured by brute force over every
@@ -70,32 +88,60 @@ func NewExhaustive(truth []float64) *Exhaustive {
 func (e *Exhaustive) Name() string { return "Exhaustive" }
 
 // Estimate implements Estimator.
-func (e *Exhaustive) Estimate(_ []int, _ []float64) ([]float64, error) {
+func (e *Exhaustive) Estimate(obsIdx []int, obsVal []float64) ([]float64, error) {
+	if err := validateObs(obsIdx, obsVal, len(e.truth)); err != nil {
+		return nil, err
+	}
 	return matrix.CloneVec(e.truth), nil
 }
 
-// LEO adapts core.Estimate to the Estimator interface: the hierarchical
-// Bayesian model conditioned on both the offline database and the online
-// observations.
-type LEO struct {
-	known *matrix.Matrix
-	opts  core.Options
+// NewSession implements Estimator.
+func (e *Exhaustive) NewSession(context.Context) (Session, error) {
+	return AdaptSession(e, len(e.truth)), nil
 }
 
-// NewLEO binds the offline database and EM options.
+// LEO adapts the hierarchical Bayesian model (internal/core) to the
+// Estimator interface. It is a thin wrapper over a *core.Prior fit once at
+// construction: every Estimate call and every session shares that offline
+// model instead of re-deriving it from the database.
+type LEO struct {
+	prior *core.Prior
+	err   error // deferred construction failure, surfaced on use
+}
+
+// NewLEO binds the offline database and EM options. The prior over the
+// database is fit here, once; an invalid database (zero width, non-finite
+// entries) surfaces as an error from Estimate/NewSession, preserving the
+// error-on-use contract this constructor has always had.
 func NewLEO(known *matrix.Matrix, opts core.Options) *LEO {
-	return &LEO{known: known, opts: opts}
+	prior, err := core.NewPrior(known, opts)
+	return &LEO{prior: prior, err: err}
+}
+
+// NewLEOFromPrior wraps an existing shared prior — the path for serving many
+// targets from one offline fit.
+func NewLEOFromPrior(prior *core.Prior) *LEO {
+	if prior == nil {
+		return &LEO{err: fmt.Errorf("baseline: nil prior")}
+	}
+	return &LEO{prior: prior}
 }
 
 // Name implements Estimator.
 func (l *LEO) Name() string { return "LEO" }
+
+// Prior exposes the shared offline model (nil if construction failed).
+func (l *LEO) Prior() *core.Prior { return l.prior }
 
 // Estimate implements Estimator. EM non-convergence is a soft condition —
 // the capped estimate is still the best available prediction — so it is not
 // surfaced as an estimation failure even under Options.StrictConvergence;
 // hard numerical failures are.
 func (l *LEO) Estimate(obsIdx []int, obsVal []float64) ([]float64, error) {
-	res, err := core.Estimate(l.known, obsIdx, obsVal, l.opts)
+	if l.err != nil {
+		return nil, l.err
+	}
+	res, err := l.prior.Estimate(context.Background(), obsIdx, obsVal)
 	if err != nil {
 		if res != nil && core.IsNotConverged(err) {
 			return res.Estimate, nil
@@ -103,6 +149,15 @@ func (l *LEO) Estimate(obsIdx []int, obsVal []float64) ([]float64, error) {
 		return nil, err
 	}
 	return res.Estimate, nil
+}
+
+// NewSession implements Estimator: a true incremental session over the
+// shared prior, warm-starting each fit from the previous posterior.
+func (l *LEO) NewSession(context.Context) (Session, error) {
+	if l.err != nil {
+		return nil, l.err
+	}
+	return &leoSession{s: l.prior.NewSession()}, nil
 }
 
 // Oracle is an Exhaustive-style estimator whose truth is recomputed on every
@@ -119,8 +174,16 @@ func NewOracle(fn func() []float64) *Oracle { return &Oracle{fn: fn} }
 func (o *Oracle) Name() string { return "Exhaustive" }
 
 // Estimate implements Estimator.
-func (o *Oracle) Estimate(_ []int, _ []float64) ([]float64, error) {
+func (o *Oracle) Estimate(obsIdx []int, obsVal []float64) ([]float64, error) {
+	if err := validateObs(obsIdx, obsVal, 0); err != nil {
+		return nil, err
+	}
 	return matrix.CloneVec(o.fn()), nil
+}
+
+// NewSession implements Estimator.
+func (o *Oracle) NewSession(context.Context) (Session, error) {
+	return AdaptSession(o, 0), nil
 }
 
 // ByName constructs the named estimator ("LEO", "Online", "Offline" or

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -73,6 +74,11 @@ func intMin(a, b int) int {
 // NumTerms returns the size of the regression basis.
 func (o *Online) NumTerms() int { return len(o.terms) }
 
+// NewSession implements Estimator.
+func (o *Online) NewSession(context.Context) (Session, error) {
+	return AdaptSession(o, o.space.N()), nil
+}
+
 // Name implements Estimator.
 func (o *Online) Name() string { return "Online" }
 
@@ -103,17 +109,14 @@ func (o *Online) features(idx int) []float64 {
 // Estimate implements Estimator: least-squares fit of the basis to the
 // observations, then evaluation at every configuration.
 func (o *Online) Estimate(obsIdx []int, obsVal []float64) ([]float64, error) {
-	if len(obsIdx) != len(obsVal) {
-		return nil, fmt.Errorf("baseline: %d indices but %d values", len(obsIdx), len(obsVal))
+	if err := validateObs(obsIdx, obsVal, o.space.N()); err != nil {
+		return nil, err
 	}
 	if len(obsIdx) < len(o.terms) {
 		return nil, fmt.Errorf("%w: %d samples < %d basis terms", ErrTooFewSamples, len(obsIdx), len(o.terms))
 	}
 	design := matrix.New(len(obsIdx), len(o.terms))
 	for r, idx := range obsIdx {
-		if idx < 0 || idx >= o.space.N() {
-			return nil, fmt.Errorf("baseline: observation index %d out of range [0,%d)", idx, o.space.N())
-		}
 		design.SetRow(r, o.features(idx))
 	}
 	coef, err := matrix.LeastSquares(design, obsVal)

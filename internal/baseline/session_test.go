@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"leo/internal/core"
+	"leo/internal/matrix"
+	"leo/internal/platform"
+)
+
+func sessionKnown() *matrix.Matrix {
+	return matrix.NewFromRows([][]float64{
+		{1, 2, 3, 4},
+		{2, 3, 4, 5},
+		{1.5, 2.5, 3.5, 4.5},
+	})
+}
+
+// allEstimators builds one of each implementation over the same 4-config
+// problem, so a property can be asserted across the board.
+func allEstimators(t *testing.T) []Estimator {
+	t.Helper()
+	known := sessionKnown()
+	off, err := NewOffline(known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Estimator{
+		NewLEO(known, core.Options{}),
+		NewOnline(platform.CoresOnly()),
+		off,
+		NewExhaustive([]float64{1, 2, 3, 4}),
+		NewOracle(func() []float64 { return []float64{1, 2, 3, 4} }),
+	}
+}
+
+// TestNonFiniteObservationsRejected: every implementation must reject NaN
+// and Inf observations instead of folding them into a prediction.
+func TestNonFiniteObservationsRejected(t *testing.T) {
+	for _, est := range allEstimators(t) {
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			if _, err := est.Estimate([]int{0, 1}, []float64{1, bad}); err == nil {
+				t.Errorf("%T.Estimate accepted observation %g", est, bad)
+			}
+			sess, err := est.NewSession(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Update(context.Background(), []int{0, 1}, []float64{1, bad}); err == nil {
+				t.Errorf("%T session accepted observation %g", est, bad)
+			}
+		}
+		if _, err := est.Estimate([]int{0, 1}, []float64{1}); err == nil {
+			t.Errorf("%T.Estimate accepted mismatched lengths", est)
+		}
+	}
+}
+
+// TestOnlineSessionBelowThreshold: the session path surfaces the same
+// too-few-samples failure as the one-shot path.
+func TestOnlineSessionBelowThreshold(t *testing.T) {
+	sess, err := NewOnline(platform.Small()).NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Update(context.Background(), []int{0, 1}, []float64{1, 2}); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+// TestOfflineEmptyDatabase: an empty database cannot seed the offline
+// estimator, and a LEO estimator over it fails on use with ErrNoData when
+// there are no observations either.
+func TestOfflineEmptyDatabase(t *testing.T) {
+	if _, err := NewOffline(matrix.New(0, 4)); err == nil {
+		t.Fatal("NewOffline on an empty database must fail")
+	}
+	leo := NewLEO(matrix.New(0, 4), core.Options{})
+	if _, err := leo.Estimate(nil, nil); !errors.Is(err, core.ErrNoData) {
+		t.Fatalf("LEO on empty database with no observations: err = %v, want ErrNoData", err)
+	}
+}
+
+// TestSessionAccumulates: observations persist across Update calls, with
+// latest-wins replacement, and DropObservations clears them.
+func TestSessionAccumulates(t *testing.T) {
+	truth := []float64{10, 20, 30, 40}
+	sess, err := NewExhaustive(truth).NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Update(context.Background(), []int{0}, []float64{11}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Update(context.Background(), []int{1}, []float64{22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if got[i] != truth[i] {
+			t.Fatalf("estimate[%d] = %g, want %g", i, got[i], truth[i])
+		}
+	}
+	a := sess.(*adaptSession)
+	if len(a.obsIdx) != 2 {
+		t.Fatalf("accumulated %d observations, want 2", len(a.obsIdx))
+	}
+	if _, err := sess.Update(context.Background(), []int{0}, []float64{99}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.obsIdx) != 2 || a.obsVal[0] != 99 {
+		t.Fatalf("latest-wins failed: idx=%v val=%v", a.obsIdx, a.obsVal)
+	}
+	sess.DropObservations()
+	if len(a.obsIdx) != 0 {
+		t.Fatalf("DropObservations left %v", a.obsIdx)
+	}
+}
+
+// TestLEOSessionMatchesEstimate: a cold LEO session fed the same
+// observations in one Update reproduces the one-shot Estimate exactly.
+func TestLEOSessionMatchesEstimate(t *testing.T) {
+	known := sessionKnown()
+	leo := NewLEO(known, core.Options{})
+	obsIdx, obsVal := []int{0, 2}, []float64{1.2, 3.4}
+	want, err := leo.Estimate(obsIdx, obsVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := leo.NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Update(context.Background(), obsIdx, obsVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("estimate[%d]: session %g != one-shot %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLEOSessionCancel: a canceled context aborts the session's fit with
+// core.ErrCanceled.
+func TestLEOSessionCancel(t *testing.T) {
+	sess, err := NewLEO(sessionKnown(), core.Options{}).NewSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Update(ctx, []int{0}, []float64{1}); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want core.ErrCanceled", err)
+	}
+}
+
+// TestNewLEOFromPrior: sessions over an explicitly shared prior behave like
+// sessions from the owning estimator.
+func TestNewLEOFromPrior(t *testing.T) {
+	prior, err := core.NewPrior(sessionKnown(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leo := NewLEOFromPrior(prior)
+	if leo.Prior() != prior {
+		t.Fatal("Prior() must expose the shared prior")
+	}
+	got, err := leo.Estimate([]int{1}, []float64{2.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewLEO(sessionKnown(), core.Options{}).Estimate([]int{1}, []float64{2.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("estimate[%d]: shared-prior %g != fresh %g", i, got[i], want[i])
+		}
+	}
+	if NewLEOFromPrior(nil).err == nil {
+		t.Fatal("NewLEOFromPrior(nil) must fail on use")
+	}
+}

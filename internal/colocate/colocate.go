@@ -17,10 +17,12 @@
 package colocate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"leo/internal/core"
 	"leo/internal/platform"
 )
 
@@ -50,6 +52,14 @@ var ErrInfeasible = errors.New("colocate: no feasible partition")
 // minimum-combined-power assignment meeting every tenant's rate. idlePower
 // is the machine's idle draw, counted once.
 func Plan(space platform.Space, tenants []Tenant, idlePower float64) (*Assignment, error) {
+	return PlanContext(context.Background(), space, tenants, idlePower)
+}
+
+// PlanContext is Plan under a caller-supplied context, checked once per
+// shared clock setting (the outer level of the enumeration): a canceled
+// search returns an error wrapping core.ErrCanceled instead of a partial
+// answer.
+func PlanContext(ctx context.Context, space platform.Space, tenants []Tenant, idlePower float64) (*Assignment, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,6 +89,9 @@ func Plan(space platform.Space, tenants []Tenant, idlePower float64) (*Assignmen
 
 	best := &Assignment{Power: math.Inf(1)}
 	for speed := 0; speed < space.Speeds; speed++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("colocate: plan canceled: %w: %w", core.ErrCanceled, err)
+		}
 		assign := make([]int, k)
 		rates := make([]float64, k)
 		var walk func(ti, remaining int, power float64) bool
@@ -134,6 +147,12 @@ type Verifier func(tenant, configIdx int) float64
 // round budget is spent (the co-location analogue of the runtime's
 // heartbeat feedback). The tenants' estimate vectors are not modified.
 func PlanVerified(space platform.Space, tenants []Tenant, verify Verifier, idlePower float64, rounds int) (*Assignment, error) {
+	return PlanVerifiedContext(context.Background(), space, tenants, verify, idlePower, rounds)
+}
+
+// PlanVerifiedContext is PlanVerified under a caller-supplied context,
+// consulted before each plan/probe round.
+func PlanVerifiedContext(ctx context.Context, space platform.Space, tenants []Tenant, verify Verifier, idlePower float64, rounds int) (*Assignment, error) {
 	if verify == nil {
 		return nil, fmt.Errorf("colocate: nil verifier")
 	}
@@ -149,7 +168,7 @@ func PlanVerified(space platform.Space, tenants []Tenant, verify Verifier, idleP
 	var a *Assignment
 	var err error
 	for round := 0; round < rounds; round++ {
-		a, err = Plan(space, work, idlePower)
+		a, err = PlanContext(ctx, space, work, idlePower)
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +186,7 @@ func PlanVerified(space platform.Space, tenants []Tenant, verify Verifier, idleP
 		}
 	}
 	// Final plan with everything learned so far.
-	return Plan(space, work, idlePower)
+	return PlanContext(ctx, space, work, idlePower)
 }
 
 // CombinedPower evaluates an assignment under true per-tenant power vectors

@@ -1,0 +1,120 @@
+package control
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"leo/internal/core"
+)
+
+// TestCancelCalibrateReturnsPromptly verifies that a canceled context aborts
+// CalibrateContext immediately with an error matching core.ErrCanceled (the
+// LEO session fit is the cancellation point) rather than completing the fit.
+func TestCancelCalibrateReturnsPromptly(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "LEO", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.CalibrateContext(ctx)
+	if err == nil {
+		t.Fatal("calibration under a canceled context must fail")
+	}
+	if !errors.Is(err, core.ErrCanceled) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not match core.ErrCanceled or context.Canceled", err)
+	}
+	if perf, _ := c.Estimates(); perf != nil {
+		t.Fatal("a canceled calibration must not publish estimates")
+	}
+}
+
+// TestCancelDoesNotDegrade verifies the external-shutdown contract: a parent
+// cancellation is not an estimator failure, so it must not burn an estimation
+// retry or walk the degradation ladder even when fallbacks are available.
+func TestCancelDoesNotDegrade(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "LEO", 1)
+	if err := c.AddFallbacks(Tier{Name: "race-to-idle"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.CalibrateContext(ctx); err == nil {
+		t.Fatal("calibration under a canceled context must fail")
+	}
+	rep := c.Report()
+	if rep.Fallbacks != 0 || rep.EstimationFailures != 0 {
+		t.Fatalf("parent cancellation walked the ladder: %s", rep.String())
+	}
+	if got := c.CurrentTier(); got != "LEO" {
+		t.Fatalf("tier changed to %q on parent cancellation", got)
+	}
+	// The same controller must calibrate cleanly once the pressure is gone.
+	if err := c.Calibrate(); err != nil {
+		t.Fatalf("post-cancellation calibration failed: %v", err)
+	}
+}
+
+// TestCancelExecuteJobMidWindow verifies the feedback loop consults the
+// context between steps: a job started under a canceled context aborts before
+// executing and reports the cancellation.
+func TestCancelExecuteJobMidWindow(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "LEO", 1)
+	if err := c.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	startW := r.mach.Work()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ExecuteJobContext(ctx, 0.4*r.maxRate()*10, 10); err == nil {
+		t.Fatal("job under a canceled context must fail")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if r.mach.Work() != startW {
+		t.Fatal("canceled job still performed work")
+	}
+}
+
+// TestCancelFitWatchdogDegrades verifies the opposite arm of the contract: a
+// fit canceled by the controller's own FitWatchdog (not the caller) IS an
+// estimation failure and walks the ladder down to a rung that can still
+// serve — here the terminal race-to-idle rung, which needs no fit at all.
+func TestCancelFitWatchdogDegrades(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "LEO", 1)
+	if err := c.AddFallbacks(Tier{Name: "race-to-idle"}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetResilience(Resilience{FitWatchdog: time.Nanosecond})
+	// The parent context stays live: only the watchdog deadline expires.
+	if err := c.CalibrateContext(context.Background()); err != nil {
+		t.Fatalf("calibration must succeed at the terminal rung, got %v", err)
+	}
+	rep := c.Report()
+	if rep.EstimationFailures == 0 {
+		t.Fatal("watchdog expiry did not count as an estimation failure")
+	}
+	if rep.Fallbacks == 0 {
+		t.Fatalf("watchdog expiry did not degrade the ladder: %s", rep.String())
+	}
+	if got := c.CurrentTier(); got != "race-to-idle" {
+		t.Fatalf("expected terminal rung, at %q", got)
+	}
+}
+
+// TestCancelFitWatchdogDisabled verifies a negative FitWatchdog disables the
+// deadline entirely: session-mode calibration completes unbounded.
+func TestCancelFitWatchdogDisabled(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "LEO", 1)
+	c.SetResilience(Resilience{FitWatchdog: -1})
+	if err := c.Calibrate(); err != nil {
+		t.Fatalf("calibration with watchdog disabled failed: %v", err)
+	}
+	if rep := c.Report(); rep.EstimationFailures != 0 {
+		t.Fatalf("unexpected estimation failures: %s", rep.String())
+	}
+}

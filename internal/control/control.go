@@ -8,6 +8,7 @@
 package control
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,19 @@ type Controller struct {
 	tiers []Tier // tiers[0] is the primary policy; Perf == nil ⇒ race-to-idle
 	tier  int    // current rung
 	res   Resilience
+
+	// Per-metric estimation sessions for the current tier. A session keeps its
+	// warm posterior across calibrations (LEO converges in far fewer EM
+	// iterations from the previous window's fit); observations are dropped on
+	// every replan because a replan means the phase may have changed. Sessions
+	// are lazily (re)opened whenever the tier changes.
+	perfSess  baseline.Session
+	powerSess baseline.Session
+	sessTier  int // tier the sessions belong to (-1: none opened yet)
+	// coldRecal pins calibration to the one-shot Estimate path, refitting from
+	// scratch each window. The figure experiments pin this to reproduce the
+	// paper's per-window cold fits exactly.
+	coldRecal bool
 
 	perfEst  []float64
 	powerEst []float64
@@ -74,14 +88,23 @@ func New(name string, mach *machine.Machine, estPerf, estPower baseline.Estimato
 		tierName = estPerf.Name()
 	}
 	return &Controller{
-		name:    name,
-		mach:    mach,
-		samples: samples,
-		rng:     rng,
-		tiers:   []Tier{{Name: tierName, Perf: estPerf, Power: estPower}},
-		res:     Resilience{}.withDefaults(),
+		name:     name,
+		mach:     mach,
+		samples:  samples,
+		rng:      rng,
+		tiers:    []Tier{{Name: tierName, Perf: estPerf, Power: estPower}},
+		res:      Resilience{}.withDefaults(),
+		sessTier: -1,
 	}, nil
 }
+
+// SetColdRecalibration selects between the two calibration modes. With cold
+// pinned (true) every calibration refits the estimator from scratch via its
+// one-shot Estimate — the pre-session behavior, bit-identical to the paper
+// reproduction figures. With cold off (the default) the controller keeps one
+// session per metric per tier and each calibration is an incremental Update
+// that warm-starts from the previous window's posterior.
+func (c *Controller) SetColdRecalibration(cold bool) { c.coldRecal = cold }
 
 // Name returns the controller's policy name.
 func (c *Controller) Name() string { return c.name }
@@ -104,12 +127,25 @@ func (c *Controller) Replans() int { return c.replans }
 // planner, and after MaxEstimationFailures consecutive failures the
 // controller degrades down its fallback ladder. Calibrate only returns an
 // error once the bottom rung has failed too.
-func (c *Controller) Calibrate() error {
+func (c *Controller) Calibrate() error { return c.CalibrateContext(context.Background()) }
+
+// CalibrateContext is Calibrate under a caller-supplied context. Cancellation
+// of ctx aborts an in-flight EM fit between iterations and is returned
+// immediately — an external shutdown is not an estimator failure, so it never
+// walks the degradation ladder. A fit that outlives Resilience.FitWatchdog,
+// by contrast, is canceled by the controller itself and does count against
+// the tier.
+func (c *Controller) CalibrateContext(ctx context.Context) error {
 	for {
-		err := c.calibrateTier()
+		err := c.calibrateTier(ctx)
 		if err == nil {
 			c.estFailStreak = 0
 			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller canceled, not the estimator misbehaving: surface the
+			// cancellation without burning a rung.
+			return err
 		}
 		c.stats.EstimationFailures++
 		c.estFailStreak++
@@ -123,7 +159,7 @@ func (c *Controller) Calibrate() error {
 }
 
 // calibrateTier runs one calibration attempt at the current tier.
-func (c *Controller) calibrateTier() error {
+func (c *Controller) calibrateTier(ctx context.Context) error {
 	if c.RaceToIdle() {
 		return nil
 	}
@@ -156,13 +192,9 @@ func (c *Controller) calibrateTier() error {
 	if len(obsIdx) < c.res.MinValidSamples {
 		return fmt.Errorf("control: only %d of %d calibration probes usable", len(obsIdx), len(mask))
 	}
-	perfEst, err := tier.Perf.Estimate(obsIdx, perfObs)
+	perfEst, powerEst, err := c.estimateTier(ctx, tier, obsIdx, perfObs, powerObs)
 	if err != nil {
-		return fmt.Errorf("control: performance estimation: %w", err)
-	}
-	powerEst, err := tier.Power.Estimate(obsIdx, powerObs)
-	if err != nil {
-		return fmt.Errorf("control: power estimation: %w", err)
+		return err
 	}
 	if err := checkEstimates(perfEst, powerEst, space.N()); err != nil {
 		return fmt.Errorf("control: %s estimates rejected: %w", tier.Name, err)
@@ -174,6 +206,69 @@ func (c *Controller) calibrateTier() error {
 	return nil
 }
 
+// estimateTier turns one window's probe readings into full estimate vectors,
+// via cold one-shot fits or the tier's warm per-metric sessions. In session
+// mode the fit runs under the FitWatchdog deadline: a hung or slow EM fit is
+// canceled mid-iteration and reported as an estimation failure, which feeds
+// the same degradation ladder as any other calibration error.
+func (c *Controller) estimateTier(ctx context.Context, tier Tier, obsIdx []int, perfObs, powerObs []float64) (perfEst, powerEst []float64, err error) {
+	if c.coldRecal {
+		perfEst, err = tier.Perf.Estimate(obsIdx, perfObs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("control: performance estimation: %w", err)
+		}
+		powerEst, err = tier.Power.Estimate(obsIdx, powerObs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("control: power estimation: %w", err)
+		}
+		return perfEst, powerEst, nil
+	}
+	perfSess, powerSess, err := c.tierSessions(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("control: opening estimation sessions: %w", err)
+	}
+	// A replan means the estimates are suspect and the phase may have changed:
+	// last window's observations are stale, but the posterior is still the
+	// best available starting point, so only the observations are dropped.
+	perfSess.DropObservations()
+	powerSess.DropObservations()
+	fitCtx := ctx
+	if c.res.FitWatchdog > 0 {
+		var cancel context.CancelFunc
+		fitCtx, cancel = context.WithTimeout(ctx, c.res.FitWatchdog)
+		defer cancel()
+	}
+	perfEst, err = perfSess.Update(fitCtx, obsIdx, perfObs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("control: performance estimation: %w", err)
+	}
+	powerEst, err = powerSess.Update(fitCtx, obsIdx, powerObs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("control: power estimation: %w", err)
+	}
+	return perfEst, powerEst, nil
+}
+
+// tierSessions returns the current tier's per-metric sessions, opening fresh
+// ones whenever the controller has changed rungs since they were created (a
+// demoted-then-promoted tier starts over rather than trusting a posterior
+// from before the failure).
+func (c *Controller) tierSessions(ctx context.Context) (perf, power baseline.Session, err error) {
+	if c.perfSess == nil || c.sessTier != c.tier {
+		tier := c.tiers[c.tier]
+		perfSess, err := tier.Perf.NewSession(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		powerSess, err := tier.Power.NewSession(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.perfSess, c.powerSess, c.sessTier = perfSess, powerSess, c.tier
+	}
+	return c.perfSess, c.powerSess, nil
+}
+
 // Estimates returns the controller's current performance and power estimates
 // (nil before the first Calibrate).
 func (c *Controller) Estimates() (perf, power []float64) {
@@ -183,12 +278,18 @@ func (c *Controller) Estimates() (perf, power []float64) {
 // Plan computes the minimal-energy schedule for w heartbeats within t
 // seconds from the current estimates (or the race-to-idle schedule).
 func (c *Controller) Plan(w, t float64) (*pareto.Plan, error) {
+	return c.PlanContext(context.Background(), w, t)
+}
+
+// PlanContext is Plan under a caller-supplied context, which bounds the
+// calibration Plan may trigger when no estimates exist yet.
+func (c *Controller) PlanContext(ctx context.Context, w, t float64) (*pareto.Plan, error) {
 	idle := c.mach.App().IdlePower
 	if c.RaceToIdle() {
 		return c.raceToIdlePlan(w, t)
 	}
 	if c.perfEst == nil {
-		if err := c.Calibrate(); err != nil {
+		if err := c.CalibrateContext(ctx); err != nil {
 			return nil, err
 		}
 		if c.RaceToIdle() {
@@ -310,14 +411,22 @@ type candidate struct {
 // error; the machine idles once the work completes. Energy is accounted
 // over the full window [0, t].
 func (c *Controller) ExecuteJob(w, t float64) (JobResult, error) {
+	return c.ExecuteJobContext(context.Background(), w, t)
+}
+
+// ExecuteJobContext is ExecuteJob under a caller-supplied context. The
+// context is consulted before planning and between feedback steps: a
+// cancellation mid-job abandons the window and returns ctx's error (wrapped),
+// leaving the machine idle-consistent up to the point reached.
+func (c *Controller) ExecuteJobContext(ctx context.Context, w, t float64) (JobResult, error) {
 	if w < 0 || t <= 0 {
 		return JobResult{}, fmt.Errorf("control: invalid job w=%g t=%g", w, t)
 	}
-	plan, err := c.Plan(w, t)
-	for err != nil && c.degrade() {
+	plan, err := c.PlanContext(ctx, w, t)
+	for err != nil && ctx.Err() == nil && c.degrade() {
 		// Planning failed at this tier (calibration exhausted its retries);
 		// walk down the ladder before giving up on the job.
-		plan, err = c.Plan(w, t)
+		plan, err = c.PlanContext(ctx, w, t)
 	}
 	if err != nil {
 		return JobResult{}, err
@@ -333,6 +442,9 @@ func (c *Controller) ExecuteJob(w, t float64) (JobResult, error) {
 	escalated := 0
 	maxSteps := int(t/feedbackStep) + 4*(len(cands)+len(ranking)) + 64
 	for step := 0; remainW > 1e-9 && remainT > 1e-12 && step < maxSteps; step++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return JobResult{}, fmt.Errorf("control: job canceled after %g of %g s: %w", t-remainT, t, cerr)
+		}
 		needed := remainW / remainT
 		// If every candidate has been measured and none can hold the pace,
 		// escalate: admit the next configuration from the descending

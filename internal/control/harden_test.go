@@ -1,6 +1,7 @@
 package control
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -24,6 +25,9 @@ type stubEstimator struct {
 func (s *stubEstimator) Name() string { return s.name }
 func (s *stubEstimator) Estimate(_ []int, _ []float64) ([]float64, error) {
 	return s.fn()
+}
+func (s *stubEstimator) NewSession(context.Context) (baseline.Session, error) {
+	return baseline.AdaptSession(s, 0), nil
 }
 
 func (r *rig) oracleTier(name string) Tier {

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -54,6 +55,13 @@ type PhasedResult struct {
 // when the workload changes; the controller only sees heartbeats and must
 // detect the change itself (except race-to-idle, which never replans).
 func (c *Controller) RunPhased(spec PhasedSpec) (*PhasedResult, error) {
+	return c.RunPhasedContext(context.Background(), spec)
+}
+
+// RunPhasedContext is RunPhased under a caller-supplied context, consulted
+// before every frame and threaded into each calibration and job so a shutdown
+// aborts the run within one feedback step.
+func (c *Controller) RunPhasedContext(ctx context.Context, spec PhasedSpec) (*PhasedResult, error) {
 	spec = spec.withDefaults()
 	if spec.FrameWork <= 0 || spec.FrameTime <= 0 {
 		return nil, fmt.Errorf("control: invalid phased spec %+v", spec)
@@ -63,7 +71,7 @@ func (c *Controller) RunPhased(spec PhasedSpec) (*PhasedResult, error) {
 		return nil, fmt.Errorf("control: app %s has no phases", app.Name)
 	}
 
-	if err := c.Calibrate(); err != nil {
+	if err := c.CalibrateContext(ctx); err != nil {
 		return nil, err
 	}
 	res := &PhasedResult{PhaseEnergy: make([]float64, app.NumPhases())}
@@ -78,13 +86,13 @@ func (c *Controller) RunPhased(spec PhasedSpec) (*PhasedResult, error) {
 		for f := 0; f < frames; f++ {
 			replanned := false
 			if deviations >= spec.ReplanAfter && !c.RaceToIdle() {
-				if err := c.Calibrate(); err != nil {
+				if err := c.CalibrateContext(ctx); err != nil {
 					return nil, err
 				}
 				deviations = 0
 				replanned = true
 			}
-			job, err := c.ExecuteJob(spec.FrameWork, spec.FrameTime)
+			job, err := c.ExecuteJobContext(ctx, spec.FrameWork, spec.FrameTime)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"leo/internal/baseline"
 	"leo/internal/machine"
@@ -44,6 +45,15 @@ type Resilience struct {
 	// tier is allowed before the controller degrades to the next rung.
 	// Default 2 (one retry with a fresh probe mask, then degrade).
 	MaxEstimationFailures int
+	// FitWatchdog bounds the wall-clock time one calibration's model fit may
+	// take in session mode. EM checks its context between iterations, so a fit
+	// that exceeds the deadline aborts within one iteration, counts as an
+	// estimation failure, and feeds the degradation ladder like any other
+	// calibration error — the estimation-side sibling of the heartbeat
+	// watchdog. Zero selects the default (30 s); negative disables the
+	// watchdog. Cold recalibration mode has no cancellation point and ignores
+	// it.
+	FitWatchdog time.Duration
 	// MinValidSamples is the minimum number of usable calibration probes;
 	// fewer (after discarding faulted readings) fails the calibration.
 	// Default 4.
@@ -72,6 +82,9 @@ func (r Resilience) withDefaults() Resilience {
 	}
 	if r.MaxEstimationFailures <= 0 {
 		r.MaxEstimationFailures = 2
+	}
+	if r.FitWatchdog == 0 {
+		r.FitWatchdog = 30 * time.Second
 	}
 	if r.MinValidSamples <= 0 {
 		r.MinValidSamples = 4
@@ -232,6 +245,9 @@ func (c *Controller) degrade() bool {
 	c.stats.Fallbacks++
 	c.perfEst, c.powerEst = nil, nil
 	c.obsIdx, c.obsPerf = nil, nil
+	// The failed tier's sessions die with it: a later promotion back up must
+	// not resume from a posterior fit just before the failure.
+	c.perfSess, c.powerSess, c.sessTier = nil, nil, -1
 	return true
 }
 

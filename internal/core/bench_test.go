@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -62,6 +63,83 @@ func BenchmarkEMFitLarge(b *testing.B) {
 	benchFit(b, platform.Paper(), 20, Options{})
 }
 
+// benchWindows prepares W calibration windows of observations for the
+// multi-window benchmarks: each window is a fresh random probe mask over the
+// same target, the recalibrate-every-window pattern of the controller.
+func benchWindows(b *testing.B, space platform.Space, windows, samples int) (rest *profile.Database, obsIdx [][]int, obsVal [][]float64) {
+	b.Helper()
+	db, err := profile.Collect(space, apps.Suite(), 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := db.AppIndex("kmeans")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rest, truth, _, err := db.LeaveOneOut(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	obsIdx = make([][]int, windows)
+	obsVal = make([][]float64, windows)
+	for w := 0; w < windows; w++ {
+		mask := profile.RandomMask(space.N(), samples, rng)
+		obs := profile.Observe(truth, mask, 0.01, rng)
+		obsIdx[w], obsVal[w] = obs.Indices, obs.Values
+	}
+	return rest, obsIdx, obsVal
+}
+
+const benchWindowCount = 8
+
+// BenchmarkMultiWindowCold refits from the offline prior on every window —
+// the pre-session controller behavior (and what SetColdRecalibration pins).
+func BenchmarkMultiWindowCold(b *testing.B) {
+	rest, obsIdx, obsVal := benchWindows(b, platform.Small(), benchWindowCount, 20)
+	prior, err := NewPrior(rest.Perf, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := range obsIdx {
+			if _, err := prior.Estimate(ctx, obsIdx[w], obsVal[w]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMultiWindowWarm serves the same windows through one Session: the
+// first fit is cold, every later window warm-starts from the previous
+// posterior under the WarmMaxIter cap. The headline contract tracked in
+// BENCH_em.json is warm ≥ 2× faster than BenchmarkMultiWindowCold.
+func BenchmarkMultiWindowWarm(b *testing.B) {
+	rest, obsIdx, obsVal := benchWindows(b, platform.Small(), benchWindowCount, 20)
+	prior, err := NewPrior(rest.Perf, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := prior.NewSession()
+		for w := range obsIdx {
+			s.ClearObservations()
+			for j, idx := range obsIdx[w] {
+				if err := s.Add(idx, obsVal[w][j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := s.Fit(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func BenchmarkEStepOnly(b *testing.B) {
 	space := platform.Small()
 	db, err := profile.Collect(space, apps.Suite(), 0, nil)
@@ -78,9 +156,10 @@ func BenchmarkEStepOnly(b *testing.B) {
 	obs := profile.Observe(truth, mask, 0.01, rng)
 	em := newEMState(rest.Perf, obs.Indices, obs.Values, Options{}.withDefaults())
 	em.init()
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := em.eStep(); err != nil {
+		if _, err := em.eStep(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}

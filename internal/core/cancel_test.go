@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leo/internal/apps"
+	"leo/internal/matrix"
+	"leo/internal/platform"
+	"leo/internal/profile"
+)
+
+func cancelFixture(t testing.TB) (*matrix.Matrix, []int, []float64) {
+	t.Helper()
+	space := platform.Small()
+	db, err := profile.Collect(space, apps.Suite(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := db.AppIndex("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, truth, _, err := db.LeaveOneOut(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	mask := profile.RandomMask(space.N(), 20, rng)
+	obs := profile.Observe(truth, mask, 0.01, rng)
+	return rest.Perf, obs.Indices, obs.Values
+}
+
+// TestCancelEstimatePreCanceled: a context that is already done must abort
+// the fit before any EM iteration, with an error that matches both
+// core.ErrCanceled and the context's own error.
+func TestCancelEstimatePreCanceled(t *testing.T) {
+	known, obsIdx, obsVal := cancelFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := EstimateContext(ctx, known, obsIdx, obsVal, Options{})
+	if res != nil {
+		t.Fatal("canceled fit must not return a Result")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to wrap context.Canceled", err)
+	}
+}
+
+// countdownCtx is a context whose Err flips to context.Canceled after its
+// Err method has been consulted n times — a deterministic stand-in for a
+// cancel racing the EM loop.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// TestCancelSessionMidFit proves the fit aborts within one EM iteration of
+// cancellation: the loop consults ctx.Err at the iteration boundary and in
+// each step, so allowing exactly the first iteration's checks to pass must
+// stop EM at the start of the second iteration — and the session must fall
+// back to a cold start rather than keep half-updated parameters.
+func TestCancelSessionMidFit(t *testing.T) {
+	known, obsIdx, obsVal := cancelFixture(t)
+	prior, err := NewPrior(known, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prior.NewSession()
+	for i, idx := range obsIdx {
+		if err := s.Add(idx, obsVal[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One iteration consults Err three times (loop guard, eStep, mStep);
+	// allow exactly those, so the second iteration's loop guard trips.
+	res, err := s.Fit(newCountdownCtx(3))
+	if res != nil || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("res=%v err=%v, want nil result and ErrCanceled", res, err)
+	}
+
+	// The canceled session must have dropped its partial posterior: the next
+	// fit starts cold and matches a one-shot Estimate bit for bit.
+	got, err := s.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Estimate(known, obsIdx, obsVal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Estimate {
+		if got.Estimate[i] != want.Estimate[i] {
+			t.Fatalf("estimate[%d] = %g after cancel+refit, want %g", i, got.Estimate[i], want.Estimate[i])
+		}
+	}
+}
+
+// TestCancelDeadline: an expired deadline surfaces as ErrCanceled wrapping
+// context.DeadlineExceeded, so callers can tell a timeout from a cancel.
+func TestCancelDeadline(t *testing.T) {
+	known, obsIdx, obsVal := cancelFixture(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := EstimateContext(ctx, known, obsIdx, obsVal, Options{})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}

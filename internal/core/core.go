@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,6 +62,14 @@ type Options struct {
 	// MaxIter bounds EM iterations. The paper reports convergence in 3–4
 	// iterations (§5.5); the default is 8.
 	MaxIter int
+	// WarmMaxIter bounds EM iterations for a warm-started Session.Fit — one
+	// continuing from the posterior of a previous fit. Warm fits start near
+	// the fixed point, so the default is 2: enough for new observations to
+	// propagate into the prediction. Deliberately small — every EM iteration
+	// keeps shrinking σ² past the point where the prediction stabilized, so
+	// running warm fits to the full MaxIter budget slowly overfits across
+	// windows instead of converging faster.
+	WarmMaxIter int
 	// Tol is the relative-change convergence threshold on the target
 	// prediction between iterations. Default 1e-3: on noise-free data σ²
 	// keeps creeping toward zero, dragging the prediction by ever-smaller
@@ -101,6 +110,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.MaxIter <= 0 {
 		o.MaxIter = 8
+	}
+	if o.WarmMaxIter <= 0 {
+		o.WarmMaxIter = 2
 	}
 	if o.Tol <= 0 {
 		o.Tol = 1e-3
@@ -144,7 +156,19 @@ type Result struct {
 // zero rows. obsIdx/obsVal are the target's online observations: values
 // measured at the given configuration indices (Ω in the paper). Duplicate
 // indices are rejected.
+//
+// Estimate is the one-shot convenience over the Prior/Session API: it builds
+// a Prior, loads the observations into a fresh Session, and fits cold. To
+// amortize the offline work across many fits — or to cancel one — use
+// NewPrior / Prior.NewSession / Session.Fit (or EstimateContext) directly.
 func Estimate(known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Options) (*Result, error) {
+	return EstimateContext(context.Background(), known, obsIdx, obsVal, opts)
+}
+
+// EstimateContext is Estimate with cancellation: the fit aborts between EM
+// iterations once ctx is done, returning an error wrapping ErrCanceled and
+// ctx.Err().
+func EstimateContext(ctx context.Context, known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	n := known.Cols
 	if n == 0 {
@@ -180,12 +204,17 @@ func Estimate(known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Options
 		}
 	}
 
-	em := newEMState(known, obsIdx, obsVal, opts)
-	res, err := em.run()
-	if err != nil && !opts.StrictConvergence && IsNotConverged(err) {
-		// Soft failure: the capped estimate in res is the usable product;
-		// Result.Converged already records the shortfall.
-		return res, nil
+	prior, err := NewPrior(known, opts)
+	if err != nil {
+		return nil, err
 	}
-	return res, err
+	s := prior.NewSession()
+	for i, idx := range obsIdx {
+		if err := s.Add(idx, obsVal[i]); err != nil {
+			return nil, err
+		}
+	}
+	// Session.Fit applies the same soft-convergence masking Estimate always
+	// had: non-convergence surfaces as an error only under StrictConvergence.
+	return s.Fit(ctx)
 }

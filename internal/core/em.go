@@ -1,36 +1,27 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"leo/internal/matrix"
-	"leo/internal/stats"
 )
 
-// emState carries the working set of one EM fit.
-type emState struct {
-	opts   Options
-	known  *matrix.Matrix // (M−1)×n fully observed applications
-	obsIdx []int
-	obsVal []float64
-	n      int // configurations
-	m      int // applications including the target
-
-	mu     []float64
-	sigma  *matrix.Matrix // Σ, n×n
-	sigma2 float64        // σ²
-
-	ws *emWorkspace
-}
-
 // emWorkspace owns every scratch buffer the E- and M-steps need, sized once
-// per fit. After the first iteration touches each buffer, eStep and mStep
+// per session. After the first iteration touches each buffer, eStep and mStep
 // perform zero heap allocations (verified by TestEMIterationAllocs); the only
 // exception is the goroutine fan-out inside the matrix kernels, which
 // allocates O(workers) when the operands are large enough to parallelize and
 // GOMAXPROCS > 1 — see DESIGN.md §7.
+//
+// Buffers that depend only on n and rows are allocated up front; the
+// observation-count-dependent ones (stride-k indexing) are sized by ensureObs
+// and resized exactly when k changes between fits.
 type emWorkspace struct {
+	n, rows int
+	kcap    int // current width of the k-dependent buffers (-1 = unsized)
+
 	chS *matrix.Cholesky // n×n factor of Σ
 	chA *matrix.Cholesky // n×n factor of Σ+σ²I
 	chK *matrix.Cholesky // k×k factor of the observation kernel
@@ -54,18 +45,17 @@ type emWorkspace struct {
 	e eResult // reused E-step output, fields point into the buffers above
 }
 
-func newEMWorkspace(n, rows, k int) *emWorkspace {
+func newEMWorkspace(n, rows int) *emWorkspace {
 	return &emWorkspace{
+		n:       n,
+		rows:    rows,
+		kcap:    -1,
 		chS:     matrix.NewCholeskyWorkspace(n),
 		chA:     matrix.NewCholeskyWorkspace(n),
-		chK:     matrix.NewCholeskyWorkspace(k),
 		a:       matrix.New(n, n),
 		cFull:   matrix.New(n, n),
 		cTarget: matrix.New(n, n),
 		sw:      matrix.New(n, n),
-		s:       matrix.New(n, k),
-		wT:      matrix.New(n, k),
-		kmat:    matrix.New(k, k),
 		rhsFull: matrix.New(rows, n),
 		zFull:   matrix.New(rows, n),
 		sinvMu:  make([]float64, n),
@@ -76,54 +66,68 @@ func newEMWorkspace(n, rows, k int) *emWorkspace {
 	}
 }
 
-func newEMState(known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Options) *emState {
-	return &emState{
-		opts:   opts,
-		known:  known,
-		obsIdx: obsIdx,
-		obsVal: obsVal,
-		n:      known.Cols,
-		m:      known.Rows + 1,
-		ws:     newEMWorkspace(known.Cols, known.Rows, len(obsIdx)),
+// ensureObs sizes the k-dependent buffers for exactly k observations. The
+// E-step indexes them with stride k, so they must match exactly, not merely
+// be large enough. Resizing happens at most once per Fit (never inside the
+// iteration loop), preserving the zero-allocation steady state.
+func (ws *emWorkspace) ensureObs(n, k int) {
+	if ws.kcap == k {
+		return
 	}
+	ws.kcap = k
+	ws.chK = matrix.NewCholeskyWorkspace(k)
+	ws.s = matrix.New(n, k)
+	ws.wT = matrix.New(n, k)
+	ws.kmat = matrix.New(k, k)
+}
+
+// newEMState builds a session preloaded with observations — the internal
+// equivalent of the old single-shot constructor, kept as the entry point for
+// the workspace tests and benchmarks. It panics on invalid input; exported
+// paths validate first.
+func newEMState(known *matrix.Matrix, obsIdx []int, obsVal []float64, opts Options) *Session {
+	p, err := NewPrior(known, opts)
+	if err != nil {
+		panic(err)
+	}
+	s := p.NewSession()
+	for i, idx := range obsIdx {
+		if err := s.Add(idx, obsVal[i]); err != nil {
+			panic(err)
+		}
+	}
+	return s
 }
 
 // init chooses the starting parameters: μ from the offline mean (§5.5
 // reports this improves accuracy), Σ from the offline sample covariance plus
-// identity, and σ² at a small fraction of the data's variance.
-func (em *emState) init() {
+// identity, and σ² at a small fraction of the data's variance. All three are
+// copied out of the prior, which precomputed them.
+func (em *Session) init() {
+	p := em.prior
 	switch {
 	case em.opts.InitMu != nil:
-		em.mu = matrix.CloneVec(em.opts.InitMu)
+		copy(em.mu, em.opts.InitMu)
 	case em.opts.ZeroInit || em.known.Rows == 0:
-		em.mu = matrix.Zeros(em.n)
-	default:
-		em.mu = stats.ColumnMeans(em.known)
-	}
-
-	em.sigma = matrix.Identity(em.n)
-	if em.known.Rows > 0 {
-		colMean := stats.ColumnMeans(em.known)
-		scale := 1 / float64(em.known.Rows)
-		for i := 0; i < em.known.Rows; i++ {
-			d := matrix.SubVec(em.known.RowView(i), colMean)
-			em.sigma.AddScaledOuter(scale, d, d)
+		for i := range em.mu {
+			em.mu[i] = 0
 		}
-		em.sigma.Symmetrize()
+	default:
+		copy(em.mu, p.colMean)
 	}
-
+	matrix.CloneInto(em.sigma, p.sigma0)
 	em.sigma2 = em.initialNoise()
+	em.freshSigma = p.chol0 != nil && !em.opts.NaiveEStep
+	em.ws.ensureObs(em.n, len(em.obsIdx))
 }
 
 // initialNoise picks a starting σ² proportional to the overall data scale.
 // With no data at all (no known rows, no observations) there is no scale to
 // measure, so it falls back to the σ² floor rather than dividing by zero.
-func (em *emState) initialNoise() float64 {
-	sum, count := 0.0, 0
-	for _, v := range em.known.Data {
-		sum += v * v
-		count++
-	}
+func (em *Session) initialNoise() float64 {
+	// The prior carries the database's running sum; continuing it with the
+	// observations reproduces the single-pass sum bit for bit.
+	sum, count := em.prior.sumSq, em.prior.count
 	for _, v := range em.obsVal {
 		sum += v * v
 		count++
@@ -147,10 +151,9 @@ func (em *emState) initialNoise() float64 {
 // iteration budget runs out first, it returns the capped Result together
 // with an *ErrNotConverged carrying the iteration count — a soft failure the
 // caller can distinguish from the hard numerical errors (which return a nil
-// Result).
-func (em *emState) run() (*Result, error) {
-	em.init()
-
+// Result). Cancellation is checked before every iteration and inside each
+// step, so a canceled context aborts within one EM iteration.
+func (em *Session) run(ctx context.Context, maxIter int) (*Result, error) {
 	var (
 		havePrev   bool
 		zM         []float64
@@ -158,14 +161,19 @@ func (em *emState) run() (*Result, error) {
 		iters      int
 		lastChange = math.Inf(1)
 	)
-	for iter := 0; iter < em.opts.MaxIter; iter++ {
+	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
 		iters = iter + 1
-		e, err := em.eStep()
+		e, err := em.eStep(ctx)
 		if err != nil {
 			return nil, err
 		}
 		zM = e.zTarget
-		em.mStep(e)
+		if err := em.mStep(ctx, e); err != nil {
+			return nil, err
+		}
 
 		if havePrev {
 			lastChange = relChange(em.ws.prev, zM)
@@ -180,7 +188,7 @@ func (em *emState) run() (*Result, error) {
 
 	// One final E-step so the returned prediction is conditioned on the
 	// final parameters.
-	e, err := em.eStep()
+	e, err := em.eStep(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -242,10 +250,13 @@ type eResult struct {
 //
 //	Ĉ_M = Σ − Σ_{:,Ω} (σ²I + Σ_{Ω,Ω})^{-1} Σ_{Ω,:}
 //
-// Everything runs in the fit's workspace: factorizations reuse their
+// Everything runs in the session's workspace: factorizations reuse their
 // Cholesky buffers, solves land in pre-sized matrices, and the per-app
 // posterior means are one batched GEMM instead of M−1 mat-vecs.
-func (em *emState) eStep() (*eResult, error) {
+func (em *Session) eStep(ctx context.Context) (*eResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
+	}
 	if em.opts.NaiveEStep {
 		return em.eStepNaive()
 	}
@@ -253,7 +264,12 @@ func (em *emState) eStep() (*eResult, error) {
 	out := &ws.e
 	*out = eResult{targetObs: len(em.obsIdx)}
 
-	if _, err := ws.chS.FactorizeJitter(em.sigma, 1e-10, 14); err != nil {
+	if em.freshSigma {
+		// Cold start: Σ is exactly the prior's Σ₀, whose factor was computed
+		// at NewPrior time — copy it instead of refactorizing.
+		ws.chS.CopyFrom(em.prior.chol0)
+		em.freshSigma = false
+	} else if _, err := ws.chS.FactorizeJitter(em.sigma, 1e-10, 14); err != nil {
 		return nil, fmt.Errorf("core: Σ not factorable: %w", err)
 	}
 	out.sinvMu = ws.chS.SolveVecInto(ws.sinvMu, em.mu)
@@ -326,7 +342,7 @@ func (em *emState) eStep() (*eResult, error) {
 // application. It exists to quantify the value of the shared-covariance
 // fast path; results are identical up to round-off. Unlike the fast path it
 // allocates freely — it is the ablation baseline, not a production path.
-func (em *emState) eStepNaive() (*eResult, error) {
+func (em *Session) eStepNaive() (*eResult, error) {
 	n := em.n
 	out := &eResult{targetObs: len(em.obsIdx)}
 
@@ -379,8 +395,12 @@ func (em *emState) eStepNaive() (*eResult, error) {
 // mStep applies Eq. (4): closed-form updates of μ, Σ and σ² given the
 // E-step posteriors. It writes μ and Σ in place — the E-step result it
 // consumes lives in separate workspace buffers, so nothing it reads can
-// alias what it writes.
-func (em *emState) mStep(e *eResult) {
+// alias what it writes. A canceled context aborts before any parameter is
+// touched, leaving the session consistent.
+func (em *Session) mStep(ctx context.Context, e *eResult) error {
+	if err := ctx.Err(); err != nil {
+		return canceled(err)
+	}
 	n, mf := em.n, float64(em.m)
 	rows := e.zFull.Rows
 
@@ -460,4 +480,5 @@ func (em *emState) mStep(e *eResult) {
 		}
 	}
 	em.sigma2 = sigma2New
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -136,10 +137,12 @@ func TestEMLikelihoodTrajectoryMostlyMonotone(t *testing.T) {
 			t.Fatalf("iteration %d: log-likelihood fell from %g to %g", iter, prev, ll)
 		}
 		prev = ll
-		e, err := em.eStep()
+		e, err := em.eStep(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		em.mStep(e)
+		if err := em.mStep(context.Background(), e); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"leo/internal/matrix"
+	"leo/internal/stats"
+)
+
+// ErrCanceled is returned (wrapped around the context's own error) when a fit
+// is aborted by context cancellation. Check with errors.Is(err, ErrCanceled);
+// errors.Is against context.Canceled / context.DeadlineExceeded also works,
+// so callers can distinguish a deadline from an explicit cancel.
+var ErrCanceled = errors.New("core: fit canceled")
+
+// canceled wraps the context's cause so both ErrCanceled and the original
+// context error survive errors.Is.
+func canceled(cause error) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// Prior is the offline half of the hierarchical model (§3's "big data"
+// learner): everything that depends only on the fully observed application
+// database, computed once and shared. It holds the column means, the initial
+// covariance Σ₀ = I + sample covariance, its Cholesky factor, and the running
+// sum of squares that seeds σ² — the state every cold EM fit would otherwise
+// recompute from scratch.
+//
+// A Prior is immutable after NewPrior returns and therefore safe for
+// concurrent use: any number of goroutines may call NewSession and run the
+// resulting sessions in parallel.
+type Prior struct {
+	opts  Options
+	known *matrix.Matrix // private clone of the (M−1)×n database
+	n     int
+
+	colMean []float64        // offline column means (nil when no rows)
+	sigma0  *matrix.Matrix   // initial Σ: identity + sample covariance
+	chol0   *matrix.Cholesky // factor of sigma0 (nil if not factorable)
+	sumSq   float64          // Σ v² over the database, in row-major order
+	count   int              // number of database entries
+}
+
+// NewPrior fits the offline portion of the model over the database: one fully
+// observed application per row ((M−1)×n, zero rows allowed). The matrix is
+// cloned, so later mutation of known does not affect the Prior. opts applies
+// to every session derived from this prior.
+func NewPrior(known *matrix.Matrix, opts Options) (*Prior, error) {
+	opts = opts.withDefaults()
+	if known == nil || known.Cols == 0 {
+		return nil, fmt.Errorf("core: zero-width data matrix")
+	}
+	n := known.Cols
+	if opts.InitMu != nil && len(opts.InitMu) != n {
+		return nil, fmt.Errorf("core: InitMu length %d != %d configurations", len(opts.InitMu), n)
+	}
+	for _, v := range known.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: non-finite offline datum %g", v)
+		}
+	}
+
+	p := &Prior{opts: opts, known: known.Clone(), n: n}
+	if p.known.Rows > 0 {
+		p.colMean = stats.ColumnMeans(p.known)
+	}
+	// Initial Σ exactly as the EM cold start defines it (§5.5): identity plus
+	// the offline sample covariance, symmetrized.
+	p.sigma0 = matrix.Identity(n)
+	if p.known.Rows > 0 {
+		scale := 1 / float64(p.known.Rows)
+		for i := 0; i < p.known.Rows; i++ {
+			d := matrix.SubVec(p.known.RowView(i), p.colMean)
+			p.sigma0.AddScaledOuter(scale, d, d)
+		}
+		p.sigma0.Symmetrize()
+	}
+	for _, v := range p.known.Data {
+		p.sumSq += v * v
+		p.count++
+	}
+	// Pre-factor Σ₀ so a cold session's first E-step can skip its
+	// factorization. A failure here is not fatal: the session falls back to
+	// factorizing (with jitter) itself.
+	ch := matrix.NewCholeskyWorkspace(n)
+	if _, err := ch.FactorizeJitter(p.sigma0, 1e-10, 14); err == nil {
+		p.chol0 = ch
+	}
+	return p, nil
+}
+
+// Configurations returns n, the width of the configuration space.
+func (p *Prior) Configurations() int { return p.n }
+
+// Applications returns the number of fully observed applications (M−1).
+func (p *Prior) Applications() int { return p.known.Rows }
+
+// Options returns the fit options every session derived from this prior uses
+// (with defaults applied).
+func (p *Prior) Options() Options { return p.opts }
+
+// Estimate runs one cold fit over this prior: the exact computation of the
+// package-level Estimate, minus rebuilding the offline model. Validation
+// matches Estimate too — mismatched lengths, duplicate or out-of-range
+// indices and non-finite values are rejected with the same errors.
+func (p *Prior) Estimate(ctx context.Context, obsIdx []int, obsVal []float64) (*Result, error) {
+	if len(obsIdx) != len(obsVal) {
+		return nil, fmt.Errorf("core: %d observation indices but %d values", len(obsIdx), len(obsVal))
+	}
+	if p.known.Rows == 0 && len(obsIdx) == 0 {
+		return nil, ErrNoData
+	}
+	seen := make(map[int]bool, len(obsIdx))
+	for _, idx := range obsIdx {
+		if idx < 0 || idx >= p.n {
+			return nil, fmt.Errorf("core: observation index %d out of range [0,%d)", idx, p.n)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("core: duplicate observation index %d", idx)
+		}
+		seen[idx] = true
+	}
+	for _, v := range obsVal {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: non-finite observation %g", v)
+		}
+	}
+	s := p.NewSession()
+	for i, idx := range obsIdx {
+		if err := s.Add(idx, obsVal[i]); err != nil {
+			return nil, err
+		}
+	}
+	return s.Fit(ctx)
+}
+
+// NewSession creates an independent fitting session over this prior. Sessions
+// are cheap relative to a fit (they allocate the EM workspace but compute
+// nothing) and are not safe for concurrent use with themselves — use one per
+// goroutine; the shared Prior is.
+func (p *Prior) NewSession() *Session {
+	n := p.n
+	return &Session{
+		prior:  p,
+		opts:   p.opts,
+		known:  p.known,
+		n:      n,
+		m:      p.known.Rows + 1,
+		mu:     make([]float64, n),
+		sigma:  matrix.New(n, n),
+		obsPos: make(map[int]int),
+		ws:     newEMWorkspace(n, p.known.Rows),
+	}
+}
+
+// Session is one target application's incremental fit against a shared Prior.
+// It accumulates online observations via Add, owns the EM workspace (so
+// repeated fits allocate nothing beyond the first), and warm-starts each Fit
+// from the posterior parameters of the previous one. The zero value is
+// unusable; obtain sessions from Prior.NewSession.
+type Session struct {
+	prior *Prior
+	opts  Options
+	known *matrix.Matrix // the prior's database (shared, read-only)
+	n     int            // configurations
+	m     int            // applications including the target
+
+	obsIdx []int
+	obsVal []float64
+	obsPos map[int]int // observation index -> position in obsIdx/obsVal
+
+	// Posterior parameters. Before the first fit (or after ForgetPosterior)
+	// they are seeded from the prior; afterwards they carry the previous
+	// fit's result, which is the warm start.
+	mu     []float64
+	sigma  *matrix.Matrix
+	sigma2 float64
+	warm   bool
+
+	// freshSigma marks that sigma is exactly the prior's Σ₀, so the first
+	// E-step may copy the pre-computed factor instead of refactorizing.
+	freshSigma bool
+
+	ws *emWorkspace
+}
+
+// Add records an observation of the target application: val measured at
+// configuration idx. Observing an index that already has a value replaces it
+// (latest wins) — the shape of a controller feeding one new measurement per
+// window.
+func (s *Session) Add(idx int, val float64) error {
+	if idx < 0 || idx >= s.n {
+		return fmt.Errorf("core: observation index %d out of range [0,%d)", idx, s.n)
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return fmt.Errorf("core: non-finite observation %g", val)
+	}
+	if pos, ok := s.obsPos[idx]; ok {
+		s.obsVal[pos] = val
+		return nil
+	}
+	s.obsPos[idx] = len(s.obsIdx)
+	s.obsIdx = append(s.obsIdx, idx)
+	s.obsVal = append(s.obsVal, val)
+	return nil
+}
+
+// Observations returns copies of the accumulated observation indices and
+// values, in insertion order.
+func (s *Session) Observations() ([]int, []float64) {
+	idx := make([]int, len(s.obsIdx))
+	val := make([]float64, len(s.obsVal))
+	copy(idx, s.obsIdx)
+	copy(val, s.obsVal)
+	return idx, val
+}
+
+// ClearObservations drops every accumulated observation but keeps the warm
+// posterior, so the next Fit still starts from the previous parameters.
+func (s *Session) ClearObservations() {
+	s.obsIdx = s.obsIdx[:0]
+	s.obsVal = s.obsVal[:0]
+	for k := range s.obsPos {
+		delete(s.obsPos, k)
+	}
+}
+
+// ForgetPosterior discards the warm start: the next Fit re-initializes from
+// the prior exactly as a cold Estimate call would. Observations are kept.
+func (s *Session) ForgetPosterior() { s.warm = false }
+
+// Reset returns the session to its initial state: no observations, cold
+// start.
+func (s *Session) Reset() {
+	s.ClearObservations()
+	s.ForgetPosterior()
+}
+
+// Fit runs EM over the prior's database plus the session's observations and
+// returns the target prediction. The first call (and any call after
+// ForgetPosterior) cold-starts from the prior; subsequent calls warm-start
+// from the previous posterior, which typically converges in fewer iterations.
+//
+// Cancellation is checked between EM iterations: on a canceled or expired
+// context Fit returns an error wrapping both ErrCanceled and ctx.Err(), and
+// the session reverts to a cold start (mid-iteration parameters are not kept).
+// Non-convergence at MaxIter is soft, exactly as in Estimate: the capped
+// Result is returned with Converged=false, and an *ErrNotConverged alongside
+// it only under Options.StrictConvergence.
+func (s *Session) Fit(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.known.Rows == 0 && len(s.obsIdx) == 0 {
+		return nil, ErrNoData
+	}
+	maxIter := s.opts.MaxIter
+	if s.warm {
+		// Incremental update: the parameters already sit near the fixed
+		// point, so a couple of iterations propagate the new observations.
+		maxIter = s.opts.WarmMaxIter
+	} else {
+		s.init()
+	}
+	s.ws.ensureObs(s.n, len(s.obsIdx))
+	res, err := s.run(ctx, maxIter)
+	if err != nil && !IsNotConverged(err) {
+		// Hard failure (numerical or canceled): the parameters may be
+		// mid-update, so the next fit must start cold.
+		s.warm = false
+		return nil, err
+	}
+	s.warm = true
+	if err != nil && !s.opts.StrictConvergence {
+		// Soft failure: the capped estimate in res is the usable product;
+		// Result.Converged already records the shortfall.
+		return res, nil
+	}
+	return res, err
+}

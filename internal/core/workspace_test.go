@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -43,12 +44,15 @@ func TestEMIterationAllocs(t *testing.T) {
 
 	// AllocsPerRun runs once before measuring, which warms every lazily
 	// touched buffer; after that the steady state must be allocation-free.
+	ctx := context.Background()
 	allocs := testing.AllocsPerRun(3, func() {
-		e, err := em.eStep()
+		e, err := em.eStep(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		em.mStep(e)
+		if err := em.mStep(ctx, e); err != nil {
+			t.Fatal(err)
+		}
 	})
 	if allocs != 0 {
 		t.Fatalf("EM iteration allocated %v times, want 0", allocs)
@@ -109,11 +113,11 @@ func TestEStepWorkspaceMatchesNaive(t *testing.T) {
 	naive := newEMState(rest.Perf, obs.Indices, obs.Values, Options{NaiveEStep: true}.withDefaults())
 	naive.init()
 
-	ef, err := fast.eStep()
+	ef, err := fast.eStep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	en, err := naive.eStep()
+	en, err := naive.eStep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

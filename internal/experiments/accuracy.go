@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -55,16 +56,20 @@ type AccuracyReport struct {
 // Fig05 reproduces Figure 5: performance-estimation accuracy — performance
 // "measured as speedup" per the figure caption — across all 25 benchmarks
 // (paper means: LEO 0.97, Online 0.87, Offline 0.68).
-func Fig05(env *Env) (*AccuracyReport, error) { return accuracyReport(env, "fig5", "speedup") }
+func Fig05(ctx context.Context, env *Env) (*AccuracyReport, error) {
+	return accuracyReport(ctx, env, "fig5", "speedup")
+}
 
 // Fig06 reproduces Figure 6: power-estimation accuracy across all 25
 // benchmarks (paper means: LEO 0.98, Online 0.85, Offline 0.89).
-func Fig06(env *Env) (*AccuracyReport, error) { return accuracyReport(env, "fig6", "power") }
+func Fig06(ctx context.Context, env *Env) (*AccuracyReport, error) {
+	return accuracyReport(ctx, env, "fig6", "power")
+}
 
 // accuracyReport evaluates every benchmark independently: each app is one
 // forEach task with its own RNG stream and its own output slots, so the
 // table is bit-identical at every worker count.
-func accuracyReport(env *Env, id, metric string) (*AccuracyReport, error) {
+func accuracyReport(ctx context.Context, env *Env, id, metric string) (*AccuracyReport, error) {
 	apps := env.DB.Apps
 	rep := &AccuracyReport{
 		id: id, Metric: metric,
@@ -74,7 +79,7 @@ func accuracyReport(env *Env, id, metric string) (*AccuracyReport, error) {
 		Offline: make([]float64, len(apps)),
 	}
 	n := env.Space.N()
-	err := env.forEach(len(apps), func(i int) error {
+	err := env.forEach(ctx, len(apps), func(i int) error {
 		setup, err := env.leaveOneOut(apps[i])
 		if err != nil {
 			return err
@@ -140,7 +145,7 @@ var Fig12Sizes = []int{0, 2, 5, 8, 11, 14, 17, 20, 25, 30, 40}
 
 // Fig12 reproduces Figure 12. trials overrides env.Trials when positive
 // (the sweep multiplies work by |sizes| × apps, so callers often reduce it).
-func Fig12(env *Env, sizes []int, trials int) (*SensitivityReport, error) {
+func Fig12(ctx context.Context, env *Env, sizes []int, trials int) (*SensitivityReport, error) {
 	if len(sizes) == 0 {
 		sizes = Fig12Sizes
 	}
@@ -160,7 +165,7 @@ func Fig12(env *Env, sizes []int, trials int) (*SensitivityReport, error) {
 	napps := len(env.DB.Apps)
 	type cell struct{ pl, po, wl, wo float64 }
 	cells := make([]cell, len(sizes)*napps)
-	err := env.forEach(len(cells), func(t int) error {
+	err := env.forEach(ctx, len(cells), func(t int) error {
 		ki, ai := t/napps, t%napps
 		setup, err := env.leaveOneOut(env.DB.Apps[ai])
 		if err != nil {

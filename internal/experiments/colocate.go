@@ -1,12 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"leo/internal/baseline"
 	"leo/internal/colocate"
-	"leo/internal/core"
 	"leo/internal/platform"
 	"leo/internal/profile"
 )
@@ -34,7 +33,7 @@ var colocatePairs = [][2]string{
 
 // ExtColocate runs the coordination comparison with each tenant demanding
 // 40% of its best half-machine rate.
-func ExtColocate(env *Env) (*ColocateReport, error) {
+func ExtColocate(ctx context.Context, env *Env) (*ColocateReport, error) {
 	rep := &ColocateReport{}
 	rng := env.Rng(88)
 	const idle = 87.0
@@ -51,11 +50,11 @@ func ExtColocate(env *Env) (*ColocateReport, error) {
 			mask := profile.RandomMask(env.Space.N(), env.Samples, rng)
 			perfObs := profile.Observe(setup.truePerf, mask, env.Noise, rng)
 			powerObs := profile.Observe(setup.truePower, mask, env.Noise, rng)
-			perfEst, err := baseline.NewLEO(setup.restPerf, core.Options{}).Estimate(perfObs.Indices, perfObs.Values)
+			perfEst, err := env.foldLEO(name, "perf", setup.restPerf).Estimate(perfObs.Indices, perfObs.Values)
 			if err != nil {
 				return nil, err
 			}
-			powerEst, err := baseline.NewLEO(setup.restPower, core.Options{}).Estimate(powerObs.Indices, powerObs.Values)
+			powerEst, err := env.foldLEO(name, "power", setup.restPower).Estimate(powerObs.Indices, powerObs.Values)
 			if err != nil {
 				return nil, err
 			}
@@ -70,7 +69,7 @@ func ExtColocate(env *Env) (*ColocateReport, error) {
 		verify := func(tenant, configIdx int) float64 {
 			return truthLocal[tenant].Perf[configIdx]
 		}
-		planned, err := colocate.PlanVerified(env.Space, est, verify, idle, 3)
+		planned, err := colocate.PlanVerifiedContext(ctx, env.Space, est, verify, idle, 3)
 		if err != nil {
 			return nil, fmt.Errorf("ext-colocate %v: %w", pair, err)
 		}
@@ -82,7 +81,7 @@ func ExtColocate(env *Env) (*ColocateReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		optimal, err := colocate.Plan(env.Space, truth, idle)
+		optimal, err := colocate.PlanContext(ctx, env.Space, truth, idle)
 		if err != nil {
 			return nil, err
 		}

@@ -2,13 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestExtColocateShape(t *testing.T) {
 	env := testEnv(t)
-	rep, err := ExtColocate(env)
+	rep, err := ExtColocate(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -8,7 +9,6 @@ import (
 	"leo/internal/apps"
 	"leo/internal/baseline"
 	"leo/internal/control"
-	"leo/internal/core"
 	"leo/internal/machine"
 	"leo/internal/stats"
 )
@@ -25,7 +25,7 @@ const JobDeadline = 10.0
 // sweep and returns Joules per (approach, utilization). Utilization u maps
 // to demanded work W = u · maxPerf · deadline, the paper's protocol of
 // sweeping W over [minPerformance, maxPerformance] (§6.4).
-func (e *Env) energySweep(appName string, utils []float64, stream int64) (map[string][]float64, error) {
+func (e *Env) energySweep(ctx context.Context, appName string, utils []float64, stream int64) (map[string][]float64, error) {
 	app, err := apps.ByName(appName)
 	if err != nil {
 		return nil, err
@@ -52,12 +52,12 @@ func (e *Env) energySweep(appName string, utils []float64, stream int64) (map[st
 		if err != nil {
 			return nil, err
 		}
-		if err := ctrl.Calibrate(); err != nil {
+		if err := ctrl.CalibrateContext(ctx); err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", appName, approach, err)
 		}
 		series := make([]float64, len(utils))
 		for ui, u := range utils {
-			job, err := ctrl.ExecuteJob(u*maxRate*JobDeadline, JobDeadline)
+			job, err := ctrl.ExecuteJobContext(ctx, u*maxRate*JobDeadline, JobDeadline)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s at %.0f%%: %w", appName, approach, u*100, err)
 			}
@@ -82,8 +82,8 @@ func (e *Env) newController(approach string, mach *machine.Machine, setup *looSe
 			return mach.App().PowerVector(mach.Space())
 		})
 	case "LEO":
-		estPerf = baseline.NewLEO(setup.restPerf, core.Options{})
-		estPower = baseline.NewLEO(setup.restPower, core.Options{})
+		estPerf = e.foldLEO(setup.app, "perf", setup.restPerf)
+		estPower = e.foldLEO(setup.app, "power", setup.restPower)
 	case "Online":
 		estPerf = baseline.NewOnline(e.Space)
 		estPower = baseline.NewOnline(e.Space)
@@ -100,7 +100,16 @@ func (e *Env) newController(approach string, mach *machine.Machine, setup *looSe
 	default:
 		return nil, fmt.Errorf("experiments: unknown approach %q", approach)
 	}
-	return control.New(approach, mach, estPerf, estPower, e.Samples, rng)
+	ctrl, err := control.New(approach, mach, estPerf, estPower, e.Samples, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Experiments recalibrate cold: each calibration is an independent fit
+	// from the offline prior, reproducing the paper's protocol (and keeping
+	// sweep output independent of calibration history). Warm sessions are the
+	// runtime default, exercised by the control tests and benchmarks.
+	ctrl.SetColdRecalibration(true)
+	return ctrl, nil
 }
 
 // utilizationPoints returns k utilization levels evenly covering (0, 1].
@@ -123,7 +132,7 @@ type EnergyCurvesReport struct {
 
 // Fig10 reproduces Figure 10. utilPoints <= 0 selects the paper's 100
 // utilization levels.
-func Fig10(env *Env, utilPoints int) (*EnergyCurvesReport, error) {
+func Fig10(ctx context.Context, env *Env, utilPoints int) (*EnergyCurvesReport, error) {
 	if utilPoints <= 0 {
 		utilPoints = 100
 	}
@@ -133,8 +142,8 @@ func Fig10(env *Env, utilPoints int) (*EnergyCurvesReport, error) {
 		Energy:       make(map[string]map[string][]float64),
 	}
 	series := make([]map[string][]float64, len(rep.Apps))
-	err := env.forEach(len(rep.Apps), func(i int) error {
-		s, err := env.energySweep(rep.Apps[i], rep.Utilizations, 100+int64(i))
+	err := env.forEach(ctx, len(rep.Apps), func(i int) error {
+		s, err := env.energySweep(ctx, rep.Apps[i], rep.Utilizations, 100+int64(i))
 		series[i] = s
 		return err
 	})
@@ -185,7 +194,7 @@ type EnergySummaryReport struct {
 }
 
 // Fig11 reproduces Figure 11. utilPoints <= 0 selects 100 levels.
-func Fig11(env *Env, utilPoints int) (*EnergySummaryReport, error) {
+func Fig11(ctx context.Context, env *Env, utilPoints int) (*EnergySummaryReport, error) {
 	if utilPoints <= 0 {
 		utilPoints = 100
 	}
@@ -197,8 +206,8 @@ func Fig11(env *Env, utilPoints int) (*EnergySummaryReport, error) {
 	// One task per app; normalization folds the per-app series in suite
 	// order afterwards, keeping the table independent of worker count.
 	allSeries := make([]map[string][]float64, len(env.DB.Apps))
-	err := env.forEach(len(env.DB.Apps), func(i int) error {
-		s, err := env.energySweep(env.DB.Apps[i], utils, 1100+int64(i))
+	err := env.forEach(ctx, len(env.DB.Apps), func(i int) error {
+		s, err := env.energySweep(ctx, env.DB.Apps[i], utils, 1100+int64(i))
 		allSeries[i] = s
 		return err
 	})

@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"leo/internal/apps"
 	"leo/internal/baseline"
-	"leo/internal/core"
 	"leo/internal/pareto"
 	"leo/internal/platform"
 	"leo/internal/profile"
@@ -37,7 +37,7 @@ type Fig01Report struct {
 // Fig01 reproduces Figure 1. It always runs on the cores-only space
 // regardless of env size, exactly as §2 describes, and observes 6 uniform
 // samples (5, 10, …, 30 cores).
-func Fig01(env *Env, utilPoints int) (*Fig01Report, error) {
+func Fig01(ctx context.Context, env *Env, utilPoints int) (*Fig01Report, error) {
 	if utilPoints <= 0 {
 		utilPoints = 100
 	}
@@ -53,6 +53,18 @@ func Fig01(env *Env, utilPoints int) (*Fig01Report, error) {
 	rest, truthPerf, truthPower, err := db.LeaveOneOut(target)
 	if err != nil {
 		return nil, err
+	}
+	// The cores-only space is its own environment (own database, own fold
+	// cache): the estimate panels and the energy sweep below share one Prior
+	// per metric through it.
+	coresEnv := &Env{
+		Size:    env.Size,
+		Space:   space,
+		DB:      db,
+		Samples: 6,
+		Trials:  env.Trials,
+		Noise:   env.Noise,
+		Seed:    env.Seed,
 	}
 	mask := profile.UniformMask(space.N(), 6)
 	rng := env.Rng(1)
@@ -82,25 +94,16 @@ func Fig01(env *Env, utilPoints int) (*Fig01Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.LEOPerf = estimate(truthPerf, baseline.NewLEO(rest.Perf, core.Options{}))
+	rep.LEOPerf = estimate(truthPerf, coresEnv.foldLEO("kmeans", "perf", rest.Perf))
 	rep.OnlinePerf = estimate(truthPerf, baseline.NewOnline(space))
 	rep.OfflinePerf = estimate(truthPerf, offPerf)
-	rep.LEOPower = estimate(truthPower, baseline.NewLEO(rest.Power, core.Options{}))
+	rep.LEOPower = estimate(truthPower, coresEnv.foldLEO("kmeans", "power", rest.Power))
 	rep.OnlinePower = estimate(truthPower, baseline.NewOnline(space))
 	rep.OfflinePower = estimate(truthPower, offPower)
 
 	// Energy sweep on the cores-only machine.
-	coresEnv := &Env{
-		Size:    env.Size,
-		Space:   space,
-		DB:      db,
-		Samples: 6,
-		Trials:  env.Trials,
-		Noise:   env.Noise,
-		Seed:    env.Seed,
-	}
 	rep.Utilizations = utilizationPoints(utilPoints)
-	series, err := coresEnv.energySweep("kmeans", rep.Utilizations, 7)
+	series, err := coresEnv.energySweep(ctx, "kmeans", rep.Utilizations, 7)
 	if err != nil {
 		return nil, err
 	}
@@ -161,16 +164,16 @@ type ExampleEstimatesReport struct {
 }
 
 // Fig07 reproduces Figure 7 (performance estimates).
-func Fig07(env *Env) (*ExampleEstimatesReport, error) {
-	return exampleEstimates(env, "fig7", "perf")
+func Fig07(ctx context.Context, env *Env) (*ExampleEstimatesReport, error) {
+	return exampleEstimates(ctx, env, "fig7", "perf")
 }
 
 // Fig08 reproduces Figure 8 (power estimates).
-func Fig08(env *Env) (*ExampleEstimatesReport, error) {
-	return exampleEstimates(env, "fig8", "power")
+func Fig08(ctx context.Context, env *Env) (*ExampleEstimatesReport, error) {
+	return exampleEstimates(ctx, env, "fig8", "power")
 }
 
-func exampleEstimates(env *Env, id, metric string) (*ExampleEstimatesReport, error) {
+func exampleEstimates(ctx context.Context, env *Env, id, metric string) (*ExampleEstimatesReport, error) {
 	rep := &ExampleEstimatesReport{
 		id:     id,
 		Metric: metric,
@@ -179,6 +182,9 @@ func exampleEstimates(env *Env, id, metric string) (*ExampleEstimatesReport, err
 	}
 	rng := env.Rng(int64(len(id)) * 7)
 	for _, app := range representativeApps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		setup, err := env.leaveOneOut(app)
 		if err != nil {
 			return nil, err
@@ -242,13 +248,16 @@ type ParetoReport struct {
 }
 
 // Fig09 reproduces Figure 9.
-func Fig09(env *Env) (*ParetoReport, error) {
+func Fig09(ctx context.Context, env *Env) (*ParetoReport, error) {
 	rep := &ParetoReport{
 		Hulls:     make(map[string]map[string][]pareto.Point),
 		Deviation: make(map[string]map[string]float64),
 	}
 	rng := env.Rng(9)
 	for _, app := range representativeApps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		setup, err := env.leaveOneOut(app)
 		if err != nil {
 			return nil, err
@@ -288,8 +297,8 @@ func estimateBoth(env *Env, setup *looSetup, approach string, perfObs, powerObs 
 	var perfEst, powerEst baseline.Estimator
 	switch approach {
 	case "LEO":
-		perfEst = baseline.NewLEO(setup.restPerf, core.Options{})
-		powerEst = baseline.NewLEO(setup.restPower, core.Options{})
+		perfEst = env.foldLEO(setup.app, "perf", setup.restPerf)
+		powerEst = env.foldLEO(setup.app, "power", setup.restPower)
 	case "Online":
 		perfEst = baseline.NewOnline(env.Space)
 		powerEst = baseline.NewOnline(env.Space)

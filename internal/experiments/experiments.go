@@ -1,46 +1,48 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"time"
 
-	"leo/internal/baseline"
 	"leo/internal/core"
 	"leo/internal/profile"
 )
 
-// Runner executes one experiment against an environment.
-type Runner func(*Env) (Report, error)
+// Runner executes one experiment against an environment. The context bounds
+// the run: canceling it aborts the sweep at the next task boundary (and, for
+// session-backed estimators, mid-fit) with an error wrapping core.ErrCanceled.
+type Runner func(context.Context, *Env) (Report, error)
 
 // registry maps experiment ids to runners. Parameterized drivers are bound
 // with their defaults; callers needing custom parameters use the typed
 // functions directly.
 var registry = map[string]Runner{
-	"fig1":   func(e *Env) (Report, error) { return Fig01(e, 0) },
-	"fig4":   func(e *Env) (Report, error) { return Fig04(e) },
-	"fig5":   func(e *Env) (Report, error) { return Fig05(e) },
-	"fig6":   func(e *Env) (Report, error) { return Fig06(e) },
-	"fig7":   func(e *Env) (Report, error) { return Fig07(e) },
-	"fig8":   func(e *Env) (Report, error) { return Fig08(e) },
-	"fig9":   func(e *Env) (Report, error) { return Fig09(e) },
-	"fig10":  func(e *Env) (Report, error) { return Fig10(e, 0) },
-	"fig11":  func(e *Env) (Report, error) { return Fig11(e, 0) },
-	"fig12":  func(e *Env) (Report, error) { return Fig12(e, nil, 0) },
-	"fig13":  func(e *Env) (Report, error) { return Fig13(e) },
-	"table1": func(e *Env) (Report, error) { return Table1(e) },
-	"overhead": func(e *Env) (Report, error) {
-		return Overhead(e, 3)
+	"fig1":   func(ctx context.Context, e *Env) (Report, error) { return Fig01(ctx, e, 0) },
+	"fig4":   func(ctx context.Context, e *Env) (Report, error) { return Fig04(ctx, e) },
+	"fig5":   func(ctx context.Context, e *Env) (Report, error) { return Fig05(ctx, e) },
+	"fig6":   func(ctx context.Context, e *Env) (Report, error) { return Fig06(ctx, e) },
+	"fig7":   func(ctx context.Context, e *Env) (Report, error) { return Fig07(ctx, e) },
+	"fig8":   func(ctx context.Context, e *Env) (Report, error) { return Fig08(ctx, e) },
+	"fig9":   func(ctx context.Context, e *Env) (Report, error) { return Fig09(ctx, e) },
+	"fig10":  func(ctx context.Context, e *Env) (Report, error) { return Fig10(ctx, e, 0) },
+	"fig11":  func(ctx context.Context, e *Env) (Report, error) { return Fig11(ctx, e, 0) },
+	"fig12":  func(ctx context.Context, e *Env) (Report, error) { return Fig12(ctx, e, nil, 0) },
+	"fig13":  func(ctx context.Context, e *Env) (Report, error) { return Fig13(ctx, e) },
+	"table1": func(ctx context.Context, e *Env) (Report, error) { return Table1(ctx, e) },
+	"overhead": func(ctx context.Context, e *Env) (Report, error) {
+		return Overhead(ctx, e, 3)
 	},
-	"ext-sampling": func(e *Env) (Report, error) {
-		return ExtSampling(e, nil, 0)
+	"ext-sampling": func(ctx context.Context, e *Env) (Report, error) {
+		return ExtSampling(ctx, e, nil, 0)
 	},
-	"ext-colocate": func(e *Env) (Report, error) {
-		return ExtColocate(e)
+	"ext-colocate": func(ctx context.Context, e *Env) (Report, error) {
+		return ExtColocate(ctx, e)
 	},
-	"ext-faults": func(e *Env) (Report, error) {
-		return ExtFaults(e, nil, 0)
+	"ext-faults": func(ctx context.Context, e *Env) (Report, error) {
+		return ExtFaults(ctx, e, nil, 0)
 	},
 }
 
@@ -54,13 +56,13 @@ func Names() []string {
 	return out
 }
 
-// Run executes the named experiment.
-func Run(name string, env *Env) (Report, error) {
+// Run executes the named experiment under ctx.
+func Run(ctx context.Context, name string, env *Env) (Report, error) {
 	r, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (available: %v)", name, Names())
 	}
-	return r(env)
+	return r(ctx, env)
 }
 
 // OverheadReport reproduces §6.7: the wall-clock cost of one LEO estimation
@@ -75,8 +77,10 @@ type OverheadReport struct {
 	PerMetricPair time.Duration // power + performance, the per-application cost
 }
 
-// Overhead times repeated LEO fits on the env's database.
-func Overhead(env *Env, repeats int) (*OverheadReport, error) {
+// Overhead times repeated LEO fits on the env's database. Each repeat builds
+// its estimators from scratch: the point is the full offline-plus-online cost
+// of one estimation, so the fold cache is deliberately bypassed.
+func Overhead(ctx context.Context, env *Env, repeats int) (*OverheadReport, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -91,10 +95,13 @@ func Overhead(env *Env, repeats int) (*OverheadReport, error) {
 
 	start := time.Now()
 	for i := 0; i < repeats; i++ {
-		if _, err := baseline.NewLEO(setup.restPerf, core.Options{}).Estimate(perfObs.Indices, perfObs.Values); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if _, err := baseline.NewLEO(setup.restPower, core.Options{}).Estimate(powerObs.Indices, powerObs.Values); err != nil {
+		if _, err := core.Estimate(setup.restPerf, perfObs.Indices, perfObs.Values, core.Options{}); err != nil {
+			return nil, err
+		}
+		if _, err := core.Estimate(setup.restPower, powerObs.Indices, powerObs.Values, core.Options{}); err != nil {
 			return nil, err
 		}
 	}

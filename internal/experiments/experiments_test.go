@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestNames(t *testing.T) {
 
 func TestRunUnknown(t *testing.T) {
 	env := testEnv(t)
-	if _, err := Run("fig99", env); err == nil {
+	if _, err := Run(context.Background(), "fig99", env); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
@@ -67,7 +68,7 @@ func TestRunUnknown(t *testing.T) {
 // LEO beats Online beats Offline on average, and LEO is near-perfect.
 func TestFig05Shape(t *testing.T) {
 	env := testEnv(t)
-	rep, err := Fig05(env)
+	rep, err := Fig05(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFig05Shape(t *testing.T) {
 // baselines still respectable (paper: 0.98 / 0.85 / 0.89).
 func TestFig06Shape(t *testing.T) {
 	env := testEnv(t)
-	rep, err := Fig06(env)
+	rep, err := Fig06(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestFig06Shape(t *testing.T) {
 
 func TestFig01Shape(t *testing.T) {
 	env := testEnv(t)
-	rep, err := Fig01(env, 20)
+	rep, err := Fig01(context.Background(), env, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,8 +150,8 @@ func TestFig01Shape(t *testing.T) {
 
 func TestFig07Fig08Shape(t *testing.T) {
 	env := testEnv(t)
-	for _, run := range []func(*Env) (*ExampleEstimatesReport, error){Fig07, Fig08} {
-		rep, err := run(env)
+	for _, run := range []func(context.Context, *Env) (*ExampleEstimatesReport, error){Fig07, Fig08} {
+		rep, err := run(context.Background(), env)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func TestFig07Fig08Shape(t *testing.T) {
 
 func TestFig09Shape(t *testing.T) {
 	env := testEnv(t)
-	rep, err := Fig09(env)
+	rep, err := Fig09(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestFig09Shape(t *testing.T) {
 
 func TestFig10Shape(t *testing.T) {
 	env := testEnv(t)
-	rep, err := Fig10(env, 20)
+	rep, err := Fig10(context.Background(), env, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestFig10Shape(t *testing.T) {
 
 func TestFig11Shape(t *testing.T) {
 	env := testEnv(t)
-	rep, err := Fig11(env, 10)
+	rep, err := Fig11(context.Background(), env, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestFig11Shape(t *testing.T) {
 func TestFig12Shape(t *testing.T) {
 	env := testEnv(t)
 	sizes := []int{0, 5, 11, 14, 20, 40}
-	rep, err := Fig12(env, sizes, 1)
+	rep, err := Fig12(context.Background(), env, sizes, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestFig12Shape(t *testing.T) {
 
 func TestFig13AndTable1Shape(t *testing.T) {
 	env := testEnv(t)
-	rep, err := Table1(env)
+	rep, err := Table1(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +374,7 @@ func TestFig13AndTable1Shape(t *testing.T) {
 
 func TestOverheadReport(t *testing.T) {
 	env := testEnv(t)
-	rep, err := Overhead(env, 1)
+	rep, err := Overhead(context.Background(), env, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func TestOverheadReport(t *testing.T) {
 func TestRegistrySmokeCheap(t *testing.T) {
 	env := testEnv(t)
 	for _, name := range []string{"fig7", "fig8", "fig9", "overhead"} {
-		rep, err := Run(name, env)
+		rep, err := Run(context.Background(), name, env)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -415,7 +416,7 @@ func TestRegistrySmokeCheap(t *testing.T) {
 func TestEnvDeterminism(t *testing.T) {
 	run := func() []float64 {
 		env := testEnv(t)
-		rep, err := Fig07(env)
+		rep, err := Fig07(context.Background(), env)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -89,7 +90,7 @@ func (e *Env) LadderController(appName string, mach *machine.Machine, rng *rand.
 // ExtFaults runs the fault-rate sweep. rates == nil selects
 // DefaultFaultRates; seed offsets the fault plans so repeated runs explore
 // different schedules while staying reproducible.
-func ExtFaults(env *Env, rates []float64, seed int64) (*FaultsReport, error) {
+func ExtFaults(ctx context.Context, env *Env, rates []float64, seed int64) (*FaultsReport, error) {
 	if rates == nil {
 		rates = DefaultFaultRates
 	}
@@ -103,7 +104,7 @@ func ExtFaults(env *Env, rates []float64, seed int64) (*FaultsReport, error) {
 	// energy sums carry identical bits at every worker count.
 	napps := len(env.DB.Apps)
 	cells := make([]FaultRateResult, len(rates)*napps)
-	err := env.forEach(len(cells), func(t int) error {
+	err := env.forEach(ctx, len(cells), func(t int) error {
 		ri, ai := t/napps, t%napps
 		rate, appName := rates[ri], env.DB.Apps[ai]
 		cell := &cells[t]
@@ -130,7 +131,7 @@ func ExtFaults(env *Env, rates []float64, seed int64) (*FaultsReport, error) {
 		if err != nil {
 			return err
 		}
-		if err := ctrl.Calibrate(); err != nil {
+		if err := ctrl.CalibrateContext(ctx); err != nil {
 			return fmt.Errorf("%s at rate %g: ladder bottomed out: %w", appName, rate, err)
 		}
 		maxRate := 0.0
@@ -140,7 +141,7 @@ func ExtFaults(env *Env, rates []float64, seed int64) (*FaultsReport, error) {
 			}
 		}
 		for _, u := range faultUtils {
-			job, err := ctrl.ExecuteJob(u*maxRate*JobDeadline, JobDeadline)
+			job, err := ctrl.ExecuteJobContext(ctx, u*maxRate*JobDeadline, JobDeadline)
 			if err != nil {
 				return fmt.Errorf("%s at rate %g util %g: %w", appName, rate, u, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -29,10 +30,10 @@ type CovarianceReport struct {
 // Fig04 fits the hierarchical model to the performance data of all
 // applications (a fully observed fit with a dummy empty target) and
 // summarizes the learned correlation structure.
-func Fig04(env *Env) (*CovarianceReport, error) {
+func Fig04(ctx context.Context, env *Env) (*CovarianceReport, error) {
 	// Fit with every application fully observed and an unobserved target;
 	// the fitted Σ is the population covariance.
-	res, err := core.Estimate(env.DB.Perf, nil, nil, core.Options{})
+	res, err := core.EstimateContext(ctx, env.DB.Perf, nil, nil, core.Options{})
 	if err != nil {
 		return nil, err
 	}

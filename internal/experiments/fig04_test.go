@@ -2,13 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestFig04CorrelationStructure(t *testing.T) {
 	env := testEnv(t)
-	rep, err := Fig04(env)
+	rep, err := Fig04(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,7 +34,7 @@ var phasedApproaches = []string{"Optimal", "LEO", "Offline", "Online"}
 // Fig13 reproduces Figure 13 / Table 1. The demand is set to 60% of
 // fluidanimate's peak phase-1 rate, a load both phases can meet (phase 2
 // with room to spare — the adaptation opportunity).
-func Fig13(env *Env) (*PhasedReport, error) {
+func Fig13(ctx context.Context, env *Env) (*PhasedReport, error) {
 	app, err := apps.ByName("fluidanimate")
 	if err != nil {
 		return nil, err
@@ -66,7 +67,7 @@ func Fig13(env *Env) (*PhasedReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := ctrl.RunPhased(spec)
+		res, err := ctrl.RunPhasedContext(ctx, spec)
 		if err != nil {
 			return nil, fmt.Errorf("fig13/%s: %w", approach, err)
 		}
@@ -115,8 +116,8 @@ type Table1Report struct {
 }
 
 // Table1 reproduces Table 1 (relative energy per phase).
-func Table1(env *Env) (*Table1Report, error) {
-	rep, err := Fig13(env)
+func Table1(ctx context.Context, env *Env) (*Table1Report, error) {
+	rep, err := Fig13(ctx, env)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"leo/internal/core"
 	"leo/internal/sampling"
 	"leo/internal/stats"
 )
@@ -25,7 +25,7 @@ var ExtSamplingBudgets = []int{3, 5, 8, 12, 20}
 
 // ExtSampling runs the sampling-policy comparison. trials applies to the
 // random policy (the others are deterministic); <= 0 selects 3.
-func ExtSampling(env *Env, budgets []int, trials int) (*SamplingReport, error) {
+func ExtSampling(ctx context.Context, env *Env, budgets []int, trials int) (*SamplingReport, error) {
 	if len(budgets) == 0 {
 		budgets = ExtSamplingBudgets
 	}
@@ -38,6 +38,9 @@ func ExtSampling(env *Env, budgets []int, trials int) (*SamplingReport, error) {
 	}
 	n := env.Space.N()
 	rng := env.Rng(77)
+	// One Active policy per app, reused across the whole budget sweep: its
+	// lazily fit offline prior (the fold's model) is paid for once.
+	actives := make(map[string]*sampling.Active, len(representativeApps))
 	for _, budget := range budgets {
 		if budget > n {
 			return nil, fmt.Errorf("experiments: budget %d exceeds %d configurations", budget, n)
@@ -50,18 +53,25 @@ func ExtSampling(env *Env, budgets []int, trials int) (*SamplingReport, error) {
 			}
 			truth := setup.truePerf
 			measure := sampling.TruthMeasure(truth, env.Noise, rng)
+			leoEst := env.foldLEO(app, "perf", setup.restPerf)
 			fit := func(obs []int, vals []float64) (float64, error) {
-				res, err := core.Estimate(setup.restPerf, obs, vals, core.Options{})
+				pred, err := leoEst.Estimate(obs, vals)
 				if err != nil {
 					return 0, err
 				}
-				return stats.Accuracy(res.Estimate, truth), nil
+				return stats.Accuracy(pred, truth), nil
+			}
+
+			active := actives[app]
+			if active == nil {
+				active = &sampling.Active{Known: setup.restPerf}
+				actives[app] = active
 			}
 
 			// Random: averaged over trials.
 			for trial := 0; trial < trials; trial++ {
 				p := &sampling.Random{Rng: rng}
-				obs, err := p.Collect(n, budget, measure)
+				obs, err := p.Collect(ctx, n, budget, measure)
 				if err != nil {
 					return nil, err
 				}
@@ -71,12 +81,19 @@ func ExtSampling(env *Env, budgets []int, trials int) (*SamplingReport, error) {
 				}
 				sums["random"] += acc / float64(trials)
 			}
-			// Uniform and active: deterministic given the measure.
-			for name, p := range map[string]sampling.Policy{
-				"uniform": sampling.Uniform{},
-				"active":  &sampling.Active{Known: setup.restPerf},
+			// Uniform and active: deterministic given the measure. The order
+			// is fixed because both policies draw probe noise from the shared
+			// rng — ranging over a map here made the uniform/active cells
+			// flicker across runs (Go randomizes map iteration).
+			for _, pol := range []struct {
+				name string
+				p    sampling.Policy
+			}{
+				{"uniform", sampling.Uniform{}},
+				{"active", active},
 			} {
-				obs, err := p.Collect(n, budget, measure)
+				name, p := pol.name, pol.p
+				obs, err := p.Collect(ctx, n, budget, measure)
 				if err != nil {
 					return nil, err
 				}

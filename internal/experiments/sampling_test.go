@@ -2,13 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestExtSamplingShape(t *testing.T) {
 	env := testEnv(t)
-	rep, err := ExtSampling(env, []int{4, 10}, 2)
+	rep, err := ExtSampling(context.Background(), env, []int{4, 10}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestExtSamplingShape(t *testing.T) {
 
 func TestExtSamplingBudgetValidation(t *testing.T) {
 	env := testEnv(t)
-	if _, err := ExtSampling(env, []int{env.Space.N() + 1}, 1); err == nil {
+	if _, err := ExtSampling(context.Background(), env, []int{env.Space.N() + 1}, 1); err == nil {
 		t.Fatal("budget beyond space must error")
 	}
 }
@@ -51,7 +52,7 @@ func TestExtSamplingViaRegistry(t *testing.T) {
 	// The registry default runs the full budget sweep; use a tiny env
 	// but verify the entry exists and returns the right report name.
 	env := testEnv(t)
-	rep, err := ExtSampling(env, []int{5}, 1)
+	rep, err := ExtSampling(context.Background(), env, []int{5}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -24,11 +25,11 @@ func workersEnv(t *testing.T, workers int) *Env {
 // parallel driver: the Fig. 5 table from a serial run and a 4-worker run
 // must match bit for bit (DeepEqual on float64 slices is exact equality).
 func TestAccuracyBitIdenticalAcrossWorkers(t *testing.T) {
-	serial, err := Fig05(workersEnv(t, 1))
+	serial, err := Fig05(context.Background(), workersEnv(t, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Fig05(workersEnv(t, 4))
+	parallel, err := Fig05(context.Background(), workersEnv(t, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +45,11 @@ func TestEnergyBitIdenticalAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("energy sweep is slow; run without -short")
 	}
-	serial, err := Fig11(workersEnv(t, 1), 4)
+	serial, err := Fig11(context.Background(), workersEnv(t, 1), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Fig11(workersEnv(t, 4), 4)
+	parallel, err := Fig11(context.Background(), workersEnv(t, 4), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +65,11 @@ func TestFaultsBitIdenticalAcrossWorkers(t *testing.T) {
 		t.Skip("fault sweep is slow; run without -short")
 	}
 	rates := []float64{0, 0.1}
-	serial, err := ExtFaults(workersEnv(t, 1), rates, 7)
+	serial, err := ExtFaults(context.Background(), workersEnv(t, 1), rates, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := ExtFaults(workersEnv(t, 4), rates, 7)
+	parallel, err := ExtFaults(context.Background(), workersEnv(t, 4), rates, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestFaultsBitIdenticalAcrossWorkers(t *testing.T) {
 func TestForEachErrorPropagation(t *testing.T) {
 	env := workersEnv(t, 4)
 	errs := map[int]string{2: "boom-2", 5: "boom-5"}
-	err := env.forEach(8, func(i int) error {
+	err := env.forEach(context.Background(), 8, func(i int) error {
 		if msg, ok := errs[i]; ok {
 			return errFor(msg)
 		}

@@ -3,7 +3,33 @@ package matrix
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// workerCap, when positive, bounds kernel fan-out below GOMAXPROCS. It scopes
+// a "-workers" style knob to the linear-algebra pool instead of resizing the
+// whole process's scheduler (which would throttle unrelated goroutines too).
+var workerCap atomic.Int32
+
+// SetMaxWorkers caps the number of goroutines the matrix kernels fan out
+// across. n <= 0 removes the cap (the default: all of GOMAXPROCS). The cap
+// changes wall-clock time only, never results — see the determinism contract
+// on parallelRange.
+func SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCap.Store(int32(n))
+}
+
+// kernelWorkers resolves the fan-out available to a kernel right now.
+func kernelWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if cap := int(workerCap.Load()); cap > 0 && cap < w {
+		w = cap
+	}
+	return w
+}
 
 // parallelMinWork is the flop count below which a kernel stays on the
 // calling goroutine. Spawning costs ~µs; a range this small finishes faster
@@ -18,7 +44,7 @@ const parallelMinWork = 1 << 17
 // heap, so keeping the literal inside the parallel branch is what makes the
 // serial path allocation-free.
 func useParallel(n, work int) bool {
-	return n > 1 && work >= parallelMinWork && runtime.GOMAXPROCS(0) > 1
+	return n > 1 && work >= parallelMinWork && kernelWorkers() > 1
 }
 
 // parallelRange splits [0, n) into contiguous ranges, one per worker, and
@@ -30,7 +56,7 @@ func useParallel(n, work int) bool {
 // element's indices, never on the partition. Worker count therefore changes
 // wall-clock time, not one bit of the result.
 func parallelRange(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := kernelWorkers()
 	if workers > n {
 		workers = n
 	}

@@ -161,6 +161,38 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if !back.Perf.Equal(db.Perf, 0) || !back.Power.Equal(db.Power, 0) {
 		t.Fatal("matrices differ after round trip")
 	}
+	// Application index ordering must survive: every leave-one-out split,
+	// fold cache key, and saved experiment references rows by position.
+	for i, name := range db.Apps {
+		if back.Apps[i] != name {
+			t.Fatalf("app %d renamed %q -> %q in round trip", i, name, back.Apps[i])
+		}
+		idx, err := back.AppIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("AppIndex(%q) = %d after round trip, want %d", name, idx, i)
+		}
+	}
+	// And a split on the loaded database must match one on the original
+	// bit-for-bit (the noisy values make silent row reordering detectable).
+	restA, truthA, _, err := db.LeaveOneOut(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restB, truthB, _, err := back.LeaveOneOut(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restA.Perf.Equal(restB.Perf, 0) {
+		t.Fatal("leave-one-out folds differ after round trip")
+	}
+	for i := range truthA {
+		if truthA[i] != truthB[i] {
+			t.Fatalf("truth row differs at %d after round trip", i)
+		}
+	}
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {

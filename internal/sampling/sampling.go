@@ -8,6 +8,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -26,8 +27,10 @@ type Policy interface {
 	// Name identifies the policy for reports.
 	Name() string
 	// Collect probes up to budget configurations of an n-configuration
-	// space via measure.
-	Collect(n, budget int, measure Measure) (profile.Observations, error)
+	// space via measure. ctx bounds the collection: policies that fit a
+	// model between probes (Active) abort mid-sweep on cancellation with an
+	// error wrapping core.ErrCanceled.
+	Collect(ctx context.Context, n, budget int, measure Measure) (profile.Observations, error)
 }
 
 // Random probes uniformly random distinct configurations (the paper's
@@ -40,7 +43,7 @@ type Random struct {
 func (r *Random) Name() string { return "random" }
 
 // Collect implements Policy.
-func (r *Random) Collect(n, budget int, measure Measure) (profile.Observations, error) {
+func (r *Random) Collect(_ context.Context, n, budget int, measure Measure) (profile.Observations, error) {
 	if err := checkBudget(n, budget); err != nil {
 		return profile.Observations{}, err
 	}
@@ -59,7 +62,7 @@ type Uniform struct{}
 func (Uniform) Name() string { return "uniform" }
 
 // Collect implements Policy.
-func (Uniform) Collect(n, budget int, measure Measure) (profile.Observations, error) {
+func (Uniform) Collect(_ context.Context, n, budget int, measure Measure) (profile.Observations, error) {
 	if err := checkBudget(n, budget); err != nil {
 		return profile.Observations{}, err
 	}
@@ -71,22 +74,36 @@ func (Uniform) Collect(n, budget int, measure Measure) (profile.Observations, er
 // variance under the hierarchical model, refitting after every probe. It
 // needs the offline database (the model's prior); Seed configurations are
 // probed first to anchor the fit (default: 2 uniform probes).
+//
+// The offline prior is fit once, on first use, and shared across every refit
+// of every Collect call — the greedy loop only pays for the per-probe EM
+// fits. An Active value is consequently not safe for concurrent use; give
+// each goroutine its own.
 type Active struct {
 	Known *matrix.Matrix // offline data for the metric being sampled
 	Opts  core.Options
 	Seed  int // initial uniform probes before the greedy loop (default 2)
+
+	prior *core.Prior // lazily fit over Known; Known must not change after
 }
 
 // Name implements Policy.
 func (a *Active) Name() string { return "active" }
 
 // Collect implements Policy.
-func (a *Active) Collect(n, budget int, measure Measure) (profile.Observations, error) {
+func (a *Active) Collect(ctx context.Context, n, budget int, measure Measure) (profile.Observations, error) {
 	if err := checkBudget(n, budget); err != nil {
 		return profile.Observations{}, err
 	}
 	if a.Known == nil || a.Known.Cols != n {
 		return profile.Observations{}, fmt.Errorf("sampling: active policy needs offline data with %d columns", n)
+	}
+	if a.prior == nil {
+		prior, err := core.NewPrior(a.Known, a.Opts)
+		if err != nil {
+			return profile.Observations{}, err
+		}
+		a.prior = prior
 	}
 	seed := a.Seed
 	if seed <= 0 {
@@ -101,7 +118,7 @@ func (a *Active) Collect(n, budget int, measure Measure) (profile.Observations, 
 		taken[idx] = true
 	}
 	for len(obs.Indices) < budget {
-		res, err := core.Estimate(a.Known, obs.Indices, obs.Values, a.Opts)
+		res, err := a.prior.Estimate(ctx, obs.Indices, obs.Values)
 		if err != nil {
 			return profile.Observations{}, err
 		}

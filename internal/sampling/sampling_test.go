@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestRandomPolicy(t *testing.T) {
 	if p.Name() != "random" {
 		t.Fatalf("Name = %q", p.Name())
 	}
-	obs, err := p.Collect(32, 10, countingMeasure(truth, &calls))
+	obs, err := p.Collect(context.Background(), 32, 10, countingMeasure(truth, &calls))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestRandomPolicy(t *testing.T) {
 
 func TestRandomPolicyNeedsRng(t *testing.T) {
 	p := &Random{}
-	if _, err := p.Collect(32, 5, func(int) float64 { return 0 }); err == nil {
+	if _, err := p.Collect(context.Background(), 32, 5, func(int) float64 { return 0 }); err == nil {
 		t.Fatal("nil rng must error")
 	}
 }
@@ -73,7 +74,7 @@ func TestRandomPolicyNeedsRng(t *testing.T) {
 func TestUniformPolicy(t *testing.T) {
 	_, truth := fixture(t)
 	calls := 0
-	obs, err := Uniform{}.Collect(32, 6, countingMeasure(truth, &calls))
+	obs, err := Uniform{}.Collect(context.Background(), 32, 6, countingMeasure(truth, &calls))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,10 +89,10 @@ func TestUniformPolicy(t *testing.T) {
 }
 
 func TestBudgetValidation(t *testing.T) {
-	if _, err := (Uniform{}).Collect(10, 11, func(int) float64 { return 0 }); err == nil {
+	if _, err := (Uniform{}).Collect(context.Background(), 10, 11, func(int) float64 { return 0 }); err == nil {
 		t.Fatal("budget > n must error")
 	}
-	if _, err := (Uniform{}).Collect(10, -1, func(int) float64 { return 0 }); err == nil {
+	if _, err := (Uniform{}).Collect(context.Background(), 10, -1, func(int) float64 { return 0 }); err == nil {
 		t.Fatal("negative budget must error")
 	}
 }
@@ -103,7 +104,7 @@ func TestActivePolicyCollects(t *testing.T) {
 	if p.Name() != "active" {
 		t.Fatalf("Name = %q", p.Name())
 	}
-	obs, err := p.Collect(32, 8, countingMeasure(truth, &calls))
+	obs, err := p.Collect(context.Background(), 32, 8, countingMeasure(truth, &calls))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestActivePolicyCollects(t *testing.T) {
 
 func TestActivePolicyValidation(t *testing.T) {
 	p := &Active{}
-	if _, err := p.Collect(32, 5, func(int) float64 { return 0 }); err == nil {
+	if _, err := p.Collect(context.Background(), 32, 5, func(int) float64 { return 0 }); err == nil {
 		t.Fatal("missing offline data must error")
 	}
 }
@@ -129,7 +130,7 @@ func TestActivePolicyValidation(t *testing.T) {
 func TestActivePolicyFullBudget(t *testing.T) {
 	known, truth := fixture(t)
 	p := &Active{Known: known}
-	obs, err := p.Collect(32, 32, TruthMeasure(truth, 0, nil))
+	obs, err := p.Collect(context.Background(), 32, 32, TruthMeasure(truth, 0, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestActiveBeatsRandomSampleEfficiency(t *testing.T) {
 		measure := TruthMeasure(truth, 0, nil)
 
 		active := &Active{Known: rest.Perf}
-		obsA, err := active.Collect(32, budget, measure)
+		obsA, err := active.Collect(context.Background(), 32, budget, measure)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func TestActiveBeatsRandomSampleEfficiency(t *testing.T) {
 		const draws = 4
 		for d := 0; d < draws; d++ {
 			rp := &Random{Rng: rng}
-			obsR, err := rp.Collect(32, budget, measure)
+			obsR, err := rp.Collect(context.Background(), 32, budget, measure)
 			if err != nil {
 				t.Fatal(err)
 			}

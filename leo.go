@@ -33,11 +33,30 @@
 //	pred, _ := est.Estimate(obs.Indices, obs.Values)
 //	fmt.Println(leo.Accuracy(pred, truthPerf))
 //
+// The offline model behind an estimator is a shared, immutable Prior; a
+// long-running service fits it once and serves each target application
+// through an incremental Session. Sessions accumulate observations across
+// control windows, warm-start every refit from the previous posterior, and
+// honor context cancellation mid-fit:
+//
+//	prior, _ := leo.NewModelPrior(rest.Perf, leo.ModelOptions{})
+//	est := leo.NewLEOEstimatorFromPrior(prior) // shares the offline fit
+//	sess, _ := est.NewSession(ctx)
+//	for window := 0; window < 10; window++ {
+//	    obs := nextProbes(window)
+//	    pred, err := sess.Update(ctx, obs.Indices, obs.Values)
+//	    if errors.Is(err, leo.ErrEstimationCanceled) {
+//	        return // shutdown: the fit aborted within one EM iteration
+//	    }
+//	    plan(pred)
+//	}
+//
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // experiment-by-experiment reproduction index.
 package leo
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -48,6 +67,7 @@ import (
 	"leo/internal/core"
 	"leo/internal/fault"
 	"leo/internal/machine"
+	"leo/internal/matrix"
 	"leo/internal/pareto"
 	"leo/internal/platform"
 	"leo/internal/profile"
@@ -160,6 +180,51 @@ func NewOracleEstimator(fn func() []float64) Estimator { return baseline.NewOrac
 func FitModel(known *Matrix, obsIdx []int, obsVal []float64, opts ModelOptions) (*ModelResult, error) {
 	return core.Estimate(known, obsIdx, obsVal, opts)
 }
+
+// FitModelContext is FitModel under a caller-supplied context: EM checks the
+// context between iterations and aborts with an error wrapping
+// ErrEstimationCanceled.
+func FitModelContext(ctx context.Context, known *Matrix, obsIdx []int, obsVal []float64, opts ModelOptions) (*ModelResult, error) {
+	return core.EstimateContext(ctx, known, obsIdx, obsVal, opts)
+}
+
+// Offline/online split types: the Prior is the expensive offline half of the
+// model (fit once per database, immutable, safe for concurrent use); Sessions
+// are the cheap online half (one per application lifetime, incremental
+// observations, warm-started EM).
+type (
+	// ModelPrior is the immutable offline model shared across sessions.
+	ModelPrior = core.Prior
+	// ModelSession is one incremental estimation session over a ModelPrior.
+	// Not safe for concurrent use; open one per goroutine.
+	ModelSession = core.Session
+	// EstimatorSession is the estimator-level session interface
+	// (Estimator.NewSession); trivial estimators adapt their one-shot
+	// Estimate, LEO carries a warm ModelSession.
+	EstimatorSession = baseline.Session
+)
+
+// ErrEstimationCanceled marks a fit aborted by context cancellation. Errors
+// wrap both it and the context's own error; check with errors.Is.
+var ErrEstimationCanceled = core.ErrCanceled
+
+// NewModelPrior fits the offline half of the model over a profile matrix.
+// The result serves any number of concurrent Estimate calls and Sessions.
+func NewModelPrior(known *Matrix, opts ModelOptions) (*ModelPrior, error) {
+	return core.NewPrior(known, opts)
+}
+
+// NewLEOEstimatorFromPrior builds a LEO estimator over an already-fit Prior,
+// sharing it instead of refitting the offline model (leave-one-out sweeps
+// build each fold's Prior once this way).
+func NewLEOEstimatorFromPrior(prior *ModelPrior) Estimator {
+	return baseline.NewLEOFromPrior(prior)
+}
+
+// SetKernelWorkers caps the goroutines the linear-algebra kernels fan out
+// across, without resizing the whole process's GOMAXPROCS. n <= 0 removes
+// the cap. Worker count changes wall-clock time only, never results.
+func SetKernelWorkers(n int) { matrix.SetMaxWorkers(n) }
 
 // Matrix is the dense matrix type used for profile data.
 type Matrix = matrixType
