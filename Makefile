@@ -21,10 +21,11 @@ check: build vet race bench-smoke
 
 # bench measures the perf-tracked benchmarks (the full-size EM fit and
 # Cholesky factorization, the §6.7 overhead fit, the allocation-free E-step,
-# and the warm-vs-cold multi-window recalibration pair) and records them in
+# the warm-vs-cold multi-window recalibration pair, and the metrics-on/off EM
+# iteration pair that pins the observability overhead) and records them in
 # BENCH_em.json so future PRs have a trajectory.
 bench:
-	$(GO) test -run=NONE -bench='BenchmarkLEOOverheadFull|BenchmarkEMFitLarge|BenchmarkCholesky1024|BenchmarkEStepOnly|BenchmarkEstimateSmall$$|BenchmarkCholesky512|BenchmarkMul512Parallel|BenchmarkMultiWindowCold|BenchmarkMultiWindowWarm' \
+	$(GO) test -run=NONE -bench='BenchmarkLEOOverheadFull|BenchmarkEMFitLarge|BenchmarkCholesky1024|BenchmarkEStepOnly|BenchmarkEstimateSmall$$|BenchmarkCholesky512|BenchmarkMul512Parallel|BenchmarkMultiWindowCold|BenchmarkMultiWindowWarm|BenchmarkEMIterationMetrics' \
 		-benchmem -timeout=60m . ./internal/core ./internal/matrix \
 		| $(GO) run ./cmd/benchjson -out BENCH_em.json
 

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"leo/internal/cli"
 	"leo/internal/core"
 	"leo/internal/experiments"
 )
@@ -43,7 +44,16 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 	)
+	obs := cli.RegisterObservability(flag.CommandLine, false)
 	flag.Parse()
+	sweepWorkers, err := cli.Workers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := obs.Start(); err != nil {
+		fatal(err)
+	}
+	defer obs.Close()
 
 	// Interrupts (and -timeout) cancel the run's context; every experiment
 	// driver aborts at its next task boundary or EM iteration instead of
@@ -77,8 +87,8 @@ func main() {
 	if *samples > 0 {
 		env.Samples = *samples
 	}
-	if *workers > 0 {
-		env.Workers = *workers
+	if sweepWorkers > 0 {
+		env.Workers = sweepWorkers
 	}
 
 	names := experiments.Names()

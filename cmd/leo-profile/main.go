@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"leo"
+	"leo/internal/cli"
 )
 
 func main() {
@@ -33,10 +34,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "cores the matrix kernels may use (default: all; results are identical at any value)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
+	obs := cli.RegisterObservability(flag.CommandLine, false)
 	flag.Parse()
+	kernelWorkers, err := cli.Workers(*workers)
+	if err != nil {
+		fatal(err)
+	}
 	// Scope -workers to the linear-algebra pool; resizing GOMAXPROCS would
 	// throttle the whole process, not just the kernels the flag describes.
-	leo.SetKernelWorkers(*workers)
+	leo.SetKernelWorkers(kernelWorkers)
+	if _, err := obs.Start(); err != nil {
+		fatal(err)
+	}
+	defer obs.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -17,6 +17,7 @@ import (
 
 	"leo/internal/baseline"
 	"leo/internal/machine"
+	"leo/internal/metrics"
 	"leo/internal/pareto"
 	"leo/internal/profile"
 )
@@ -63,6 +64,7 @@ type Controller struct {
 	cleanJobs     int          // consecutive fault-free jobs while degraded
 	deadConfigs   map[int]bool // configurations abandoned after actuation give-ups
 	stats         DegradationReport
+	events        *metrics.EventLog // optional decision log; nil disables emission
 }
 
 // DefaultSamples is the number of configurations probed per calibration,
@@ -148,6 +150,7 @@ func (c *Controller) CalibrateContext(ctx context.Context) error {
 			return err
 		}
 		c.stats.EstimationFailures++
+		mEstimationFailures.Inc()
 		c.estFailStreak++
 		if c.estFailStreak < c.res.MaxEstimationFailures {
 			continue // transient: retry with a fresh probe mask
@@ -183,6 +186,7 @@ func (c *Controller) calibrateTier(ctx context.Context) error {
 		// physically impossible.
 		if !validReading(p) || !validReading(q) {
 			c.stats.DroppedObservations++
+			mDroppedObservations.Inc()
 			continue
 		}
 		obsIdx = append(obsIdx, idx)
@@ -203,6 +207,10 @@ func (c *Controller) calibrateTier(ctx context.Context) error {
 	c.obsIdx, c.obsPerf = obsIdx, perfObs
 	c.measuredRates = nil
 	c.replans++
+	mReplans.Inc()
+	c.events.Emit("calibrate",
+		"controller", c.name, "tier", tier.Name,
+		"replan", c.replans, "probes", len(obsIdx))
 	return nil
 }
 
@@ -330,12 +338,14 @@ func (c *Controller) raceToIdlePlan(w, t float64) (*pareto.Plan, error) {
 	rate := c.mach.MeasurePerf(maxCfg)
 	for retry := 0; !validReading(rate) && retry < probeRetries; retry++ {
 		c.stats.DroppedObservations++
+		mDroppedObservations.Inc()
 		rate = c.mach.MeasurePerf(maxCfg)
 	}
 	idle := c.mach.App().IdlePower
 	power := c.mach.MeasurePower(maxCfg)
 	for retry := 0; !validReading(power) && retry < probeRetries; retry++ {
 		c.stats.DroppedObservations++
+		mDroppedObservations.Inc()
 		power = c.mach.MeasurePower(maxCfg)
 	}
 	if !validReading(power) {
@@ -471,6 +481,9 @@ func (c *Controller) ExecuteJobContext(ctx context.Context, w, t float64) (JobRe
 			// Retry budget exhausted: abandon this configuration (an
 			// offlined core behaves exactly like this) and re-pick.
 			c.stats.ActuationGiveUps++
+			mActuationGiveUps.Inc()
+			c.events.Emit("actuation_giveup",
+				"controller", c.name, "config", pick.index)
 			jobFaults++
 			c.markDead(pick.index)
 			cands = dropCandidate(cands, pick.index)
@@ -508,9 +521,14 @@ func (c *Controller) ExecuteJobContext(ctx context.Context, w, t float64) (JobRe
 			jobFaults++
 			if c.mach.BeatAge() >= c.res.WatchdogAge {
 				c.stats.WatchdogTrips++
+				mWatchdogTrips.Inc()
+				c.events.Emit("watchdog_trip",
+					"controller", c.name, "config", pick.index,
+					"beat_age", c.mach.BeatAge())
 				remainW -= pick.rate * dt
 			} else {
 				c.stats.DroppedObservations++
+				mDroppedObservations.Inc()
 			}
 			continue
 		}
@@ -542,6 +560,16 @@ func (c *Controller) ExecuteJobContext(ctx context.Context, w, t float64) (JobRe
 	if res.Duration > 0 {
 		res.AvgPower = res.Energy / res.Duration
 	}
+	mJobs.Inc()
+	tierJobs(res.Tier).Inc()
+	if !res.MetDeadline {
+		mDeadlineMisses.Inc()
+	}
+	c.events.Emit("job",
+		"controller", c.name, "tier", res.Tier,
+		"met_deadline", res.MetDeadline, "work", res.Work,
+		"energy", res.Energy, "duration", res.Duration,
+		"faults", jobFaults)
 	c.recordJob(tierIdx, jobFaults)
 	return res, nil
 }

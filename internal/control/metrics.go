@@ -1,0 +1,58 @@
+package control
+
+import (
+	"leo/internal/metrics"
+)
+
+// Control-loop observability. The numeric counters mirror (and outlive) the
+// per-controller DegradationReport: the report is one controller's run, the
+// registry aggregates every controller in the process. Per-tier series are
+// registered lazily the first time a rung is touched — registration allocates
+// once per (metric, tier), never on the recording path after that; all
+// recording sites sit on cold paths (calibrations, ladder walks, job
+// boundaries), far from the per-step feedback loop.
+var (
+	mReplans = metrics.NewCounter("leo_control_replans_total",
+		"successful calibrations (re-estimations of the full tradeoff space)")
+	mEstimationFailures = metrics.NewCounter("leo_control_estimation_failures_total",
+		"failed calibration attempts (unusable probes, estimator errors, rejected estimates)")
+	mFallbacks = metrics.NewCounter("leo_control_fallbacks_total",
+		"degradation-ladder demotions across all tiers")
+	mRecoveries = metrics.NewCounter("leo_control_recoveries_total",
+		"degradation-ladder promotions back up after clean jobs")
+	mActuationRetries = metrics.NewCounter("leo_control_actuation_retries_total",
+		"retried configuration changes")
+	mActuationGiveUps = metrics.NewCounter("leo_control_actuation_giveups_total",
+		"configurations abandoned after the actuation retry budget")
+	mWatchdogTrips = metrics.NewCounter("leo_control_watchdog_trips_total",
+		"feedback windows where the heartbeat sensor was declared stale")
+	mDroppedObservations = metrics.NewCounter("leo_control_dropped_observations_total",
+		"sensor readings discarded as unusable")
+	mJobs = metrics.NewCounter("leo_control_jobs_total",
+		"executed jobs across all controllers")
+	mDeadlineMisses = metrics.NewCounter("leo_control_deadline_misses_total",
+		"jobs that completed less than the demanded work by the deadline")
+)
+
+// tierTransitions returns the per-rung transition counter for a demotion or
+// promotion landing on tier `to`. Ladder walks are rare, so the registry
+// lookup (which allocates a key) is acceptable here.
+func tierTransitions(direction, to string) *metrics.Counter {
+	return metrics.NewCounter("leo_control_tier_transitions_total",
+		"degradation-ladder transitions by direction and destination rung",
+		metrics.Label{Key: "direction", Value: direction},
+		metrics.Label{Key: "tier", Value: to})
+}
+
+// tierJobs returns the per-rung job counter.
+func tierJobs(tier string) *metrics.Counter {
+	return metrics.NewCounter("leo_control_tier_jobs_total",
+		"executed jobs by serving degradation-ladder rung",
+		metrics.Label{Key: "tier", Value: tier})
+}
+
+// SetEventLog attaches a structured event sink recording the controller's
+// decisions (calibrations, ladder walks, watchdog trips, job completions) as
+// JSONL. A nil log — the default — disables event emission entirely; the
+// numeric metrics above are unaffected either way.
+func (c *Controller) SetEventLog(l *metrics.EventLog) { c.events = l }

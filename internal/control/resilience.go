@@ -239,10 +239,15 @@ func (c *Controller) degrade() bool {
 	if c.tier+1 >= len(c.tiers) {
 		return false
 	}
+	from := c.tiers[c.tier].Name
 	c.tier++
 	c.estFailStreak = 0
 	c.cleanJobs = 0
 	c.stats.Fallbacks++
+	mFallbacks.Inc()
+	tierTransitions("down", c.tiers[c.tier].Name).Inc()
+	c.events.Emit("degrade",
+		"controller", c.name, "from", from, "to", c.tiers[c.tier].Name)
 	c.perfEst, c.powerEst = nil, nil
 	c.obsIdx, c.obsPerf = nil, nil
 	// The failed tier's sessions die with it: a later promotion back up must
@@ -267,9 +272,14 @@ func (c *Controller) recordJob(tierIdx, jobFaults int) {
 	case c.tier > 0:
 		c.cleanJobs++
 		if c.cleanJobs >= c.res.RecoveryJobs {
+			from := c.tiers[c.tier].Name
 			c.tier--
 			c.cleanJobs = 0
 			c.stats.Recoveries++
+			mRecoveries.Inc()
+			tierTransitions("up", c.tiers[c.tier].Name).Inc()
+			c.events.Emit("recover",
+				"controller", c.name, "from", from, "to", c.tiers[c.tier].Name)
 			// Force a fresh calibration at the restored tier.
 			c.perfEst, c.powerEst = nil, nil
 		}
@@ -301,6 +311,7 @@ func (c *Controller) applyWithRetry(idx int, remainT *float64) error {
 			return err
 		}
 		c.stats.ActuationRetries++
+		mActuationRetries.Inc()
 		wait := backoff
 		if wait > *remainT {
 			wait = *remainT

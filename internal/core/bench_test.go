@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"leo/internal/apps"
+	"leo/internal/metrics"
 	"leo/internal/platform"
 	"leo/internal/profile"
 )
@@ -140,7 +141,10 @@ func BenchmarkMultiWindowWarm(b *testing.B) {
 	}
 }
 
-func BenchmarkEStepOnly(b *testing.B) {
+// eStepBenchState builds the initialized EM state the iteration benchmarks
+// step through.
+func eStepBenchState(b *testing.B) *Session {
+	b.Helper()
 	space := platform.Small()
 	db, err := profile.Collect(space, apps.Suite(), 0, nil)
 	if err != nil {
@@ -156,6 +160,11 @@ func BenchmarkEStepOnly(b *testing.B) {
 	obs := profile.Observe(truth, mask, 0.01, rng)
 	em := newEMState(rest.Perf, obs.Indices, obs.Values, Options{}.withDefaults())
 	em.init()
+	return em
+}
+
+func BenchmarkEStepOnly(b *testing.B) {
+	em := eStepBenchState(b)
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -164,3 +173,29 @@ func BenchmarkEStepOnly(b *testing.B) {
 		}
 	}
 }
+
+// benchEMIterationMetrics runs one full EM iteration (E-step + M-step) with
+// the metrics layer globally on or off. The On/Off pair is recorded in
+// BENCH_em.json so the observability overhead per iteration stays visible —
+// and stays in the noise: the instrumented paths cost two clock reads and a
+// few atomic adds per kernel call.
+func benchEMIterationMetrics(b *testing.B, enabled bool) {
+	em := eStepBenchState(b)
+	prev := metrics.Enabled()
+	metrics.SetEnabled(enabled)
+	defer metrics.SetEnabled(prev)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := em.eStep(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := em.mStep(ctx, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEMIterationMetricsOn(b *testing.B)  { benchEMIterationMetrics(b, true) }
+func BenchmarkEMIterationMetricsOff(b *testing.B) { benchEMIterationMetrics(b, false) }

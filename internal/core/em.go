@@ -192,6 +192,13 @@ func (em *Session) run(ctx context.Context, maxIter int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Observability: totals recorded once per fit, outside the iteration
+	// loop, with allocation-free counter/gauge operations.
+	mEMIterations.Add(uint64(iters))
+	mEMLastChange.Set(lastChange)
+	if !converged {
+		mEMUnconverged.Inc()
+	}
 	variance := make([]float64, em.n)
 	for i := range variance {
 		variance[i] = e.cTarget.At(i, i)

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"leo/internal/metrics"
+)
+
+// EM observability. Every metric here is recorded with pre-registered
+// counters/gauges whose operations are allocation-free, so the instrumented
+// loop keeps the zero-allocations-per-iteration contract pinned by
+// TestEMIterationAllocs. Counters are bumped once per fit (with the iteration
+// total), never inside the iteration loop.
+var (
+	mEMIterations = metrics.NewCounter("leo_core_em_iterations_total",
+		"EM iterations executed across all fits")
+	mEMFitsCold = metrics.NewCounter("leo_core_em_fits_total",
+		"completed EM fits by start mode", metrics.Label{Key: "mode", Value: "cold"})
+	mEMFitsWarm = metrics.NewCounter("leo_core_em_fits_total",
+		"completed EM fits by start mode", metrics.Label{Key: "mode", Value: "warm"})
+	mEMUnconverged = metrics.NewCounter("leo_core_em_unconverged_total",
+		"fits that exhausted their iteration budget before the tolerance")
+	mEMCanceled = metrics.NewCounter("leo_core_em_canceled_total",
+		"fits aborted by context cancellation")
+	mEMLastChange = metrics.NewGauge("leo_core_em_last_rel_change",
+		"relative change of the target prediction at the end of the most recent fit")
+)

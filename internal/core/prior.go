@@ -17,8 +17,10 @@ import (
 var ErrCanceled = errors.New("core: fit canceled")
 
 // canceled wraps the context's cause so both ErrCanceled and the original
-// context error survive errors.Is.
+// context error survive errors.Is. Each abort passes through here exactly
+// once, so it doubles as the cancellation counter's single hook.
 func canceled(cause error) error {
+	mEMCanceled.Inc()
 	return fmt.Errorf("%w: %w", ErrCanceled, cause)
 }
 
@@ -258,6 +260,7 @@ func (s *Session) Fit(ctx context.Context) (*Result, error) {
 		return nil, ErrNoData
 	}
 	maxIter := s.opts.MaxIter
+	warmStart := s.warm
 	if s.warm {
 		// Incremental update: the parameters already sit near the fixed
 		// point, so a couple of iterations propagate the new observations.
@@ -272,6 +275,11 @@ func (s *Session) Fit(ctx context.Context) (*Result, error) {
 		// mid-update, so the next fit must start cold.
 		s.warm = false
 		return nil, err
+	}
+	if warmStart {
+		mEMFitsWarm.Inc()
+	} else {
+		mEMFitsCold.Inc()
 	}
 	s.warm = true
 	if err != nil && !s.opts.StrictConvergence {

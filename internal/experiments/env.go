@@ -137,6 +137,7 @@ func (e *Env) workerCount() int {
 // points), and the cancellation error is returned unless an earlier task
 // failed outright.
 func (e *Env) forEach(ctx context.Context, n int, fn func(i int) error) error {
+	fn = timedTask(fn)
 	workers := e.workerCount()
 	if workers > n {
 		workers = n

@@ -62,7 +62,11 @@ func Run(ctx context.Context, name string, env *Env) (Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (available: %v)", name, Names())
 	}
-	return r(ctx, env)
+	mRuns.Inc()
+	start := time.Now()
+	rep, err := r(ctx, env)
+	experimentSeconds(name).Set(time.Since(start).Seconds())
+	return rep, err
 }
 
 // OverheadReport reproduces §6.7: the wall-clock cost of one LEO estimation

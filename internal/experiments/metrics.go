@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"time"
+
+	"leo/internal/metrics"
+)
+
+// Sweep observability: a wall-time histogram over individual sweep tasks
+// (typically one leave-one-out fold of one trial), plus per-experiment run
+// timing. Tasks range from milliseconds (small-space accuracy folds) to
+// minutes (full-space controller windows), hence the wide exponential
+// buckets: 1 ms · 4ⁿ up to ~260 s.
+var (
+	mTaskSeconds = metrics.NewHistogram("leo_experiments_task_seconds",
+		"wall time of one sweep task (one fold/trial of an experiment)",
+		metrics.ExponentialBuckets(0.001, 4, 10))
+	mRuns = metrics.NewCounter("leo_experiments_runs_total",
+		"experiment driver invocations")
+)
+
+// experimentSeconds returns the per-experiment run-time gauge, registered
+// lazily on first run of each experiment id.
+func experimentSeconds(name string) *metrics.Gauge {
+	return metrics.NewGauge("leo_experiments_last_run_seconds",
+		"wall time of the most recent run of each experiment",
+		metrics.Label{Key: "experiment", Value: name})
+}
+
+// timedTask wraps a forEach task body with the per-task histogram. With
+// metrics disabled the wrapper adds nothing but a boolean check.
+func timedTask(fn func(i int) error) func(i int) error {
+	return func(i int) error {
+		if !metrics.Enabled() {
+			return fn(i)
+		}
+		start := time.Now()
+		err := fn(i)
+		mTaskSeconds.Observe(time.Since(start).Seconds())
+		return err
+	}
+}

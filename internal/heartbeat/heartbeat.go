@@ -25,6 +25,7 @@ type Monitor struct {
 	windowSize int
 	total      int64
 	firstTime  float64
+	firstCount int64 // count of the very first batch (the start marker)
 	lastTime   float64
 	started    bool
 	reordered  int64
@@ -59,6 +60,7 @@ func (m *Monitor) Heartbeat(now float64, count int64) {
 	if !m.started {
 		m.started = true
 		m.firstTime = now
+		m.firstCount = count
 	}
 	m.lastTime = now
 	m.total += count
@@ -93,26 +95,14 @@ func (m *Monitor) Rate() float64 {
 }
 
 // LifetimeRate returns the rate over the whole observation span, or 0 before
-// the second beat.
+// the second beat. The first batch marks the start instant and is excluded
+// from the numerator; its count is kept in firstCount so the rate stays exact
+// after the sliding window has dropped the first beat record.
 func (m *Monitor) LifetimeRate() float64 {
 	if !m.started || m.lastTime <= m.firstTime {
 		return 0
 	}
-	// Exclude the first batch: it marks the start instant.
-	if len(m.window) == 0 {
-		return 0
-	}
-	return float64(m.total-firstCount(m)) / (m.lastTime - m.firstTime)
-}
-
-// firstCount returns the count of the very first beat if it is still known;
-// the monitor only needs it for LifetimeRate and approximates with the
-// oldest retained beat once the window has slid.
-func firstCount(m *Monitor) int64 {
-	if len(m.window) == 0 {
-		return 0
-	}
-	return m.window[0].count
+	return float64(m.total-m.firstCount) / (m.lastTime - m.firstTime)
 }
 
 // LastTime returns the timestamp of the most recent beat and whether any
@@ -131,6 +121,7 @@ func (m *Monitor) Reset() {
 	m.total = 0
 	m.started = false
 	m.firstTime = 0
+	m.firstCount = 0
 	m.lastTime = 0
 	m.reordered = 0
 }

@@ -71,6 +71,37 @@ func TestLifetimeRate(t *testing.T) {
 	}
 }
 
+// TestLifetimeRateAfterWindowSlides is the regression test for the exact
+// lifetime rate: the first batch (which only marks the start instant) must
+// stay excluded even after the sliding window has dropped its record. Before
+// the monitor stored the true first-batch count, the oldest *retained* beat
+// was subtracted instead, inflating the rate once the window overflowed.
+func TestLifetimeRateAfterWindowSlides(t *testing.T) {
+	m := NewMonitor(3)
+	// First batch is large (7 beats at t=0); everything after it is a steady
+	// 2 beats/s. With the window holding only the last 3 of 11 batches, the
+	// old approximation would have subtracted a count of 2 instead of 7.
+	m.Heartbeat(0, 7)
+	for i := 1; i <= 10; i++ {
+		m.Heartbeat(float64(i), 2)
+	}
+	if m.Window() != 3 {
+		t.Fatalf("window = %d, want 3 (test must overflow the window)", m.Window())
+	}
+	// Exact: (total − first batch) / span = (7 + 10·2 − 7) / 10 = 2.
+	if r := m.LifetimeRate(); math.Abs(r-2) > 1e-12 {
+		t.Fatalf("LifetimeRate after window slide = %g, want exactly 2", r)
+	}
+	// Reset must clear the remembered first batch too.
+	m.Reset()
+	m.Heartbeat(0, 100)
+	m.Heartbeat(1, 4)
+	m.Heartbeat(2, 4)
+	if r := m.LifetimeRate(); math.Abs(r-4) > 1e-12 {
+		t.Fatalf("LifetimeRate after Reset = %g, want 4", r)
+	}
+}
+
 func TestBatchCounts(t *testing.T) {
 	m := NewMonitor(10)
 	m.Heartbeat(0, 5)

@@ -63,6 +63,8 @@ func (c *Cholesky) factorize(a *Matrix, shift float64) error {
 	if a.Rows != c.n || a.Cols != c.n {
 		panic(fmt.Sprintf("matrix: Factorize got %dx%d for workspace size %d", a.Rows, a.Cols, c.n))
 	}
+	t := kernelClock()
+	defer kernelDone(t, mCholCalls, mCholNs)
 	n, data := c.n, c.l.Data
 	copy(data, a.Data)
 	if shift != 0 {
@@ -320,6 +322,8 @@ func (c *Cholesky) SolveVecInto(dst, b []float64) []float64 {
 	if len(dst) != c.n {
 		panic(fmt.Sprintf("matrix: SolveVecInto dst length %d != size %d", len(dst), c.n))
 	}
+	t := kernelClock()
+	defer kernelDone(t, mSolveCalls, mSolveNs)
 	copy(dst, b)
 	c.solveInPlace(dst)
 	return dst
@@ -376,6 +380,8 @@ func (c *Cholesky) SolveTInto(dst, b *Matrix) *Matrix {
 	if dst.Rows != b.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("matrix: SolveTInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, b.Rows, b.Cols))
 	}
+	t := kernelClock()
+	defer kernelDone(t, mSolveCalls, mSolveNs)
 	if useParallel(b.Rows, b.Rows*c.n*c.n) {
 		parallelRange(b.Rows, func(lo, hi int) {
 			c.solveTRange(dst, b, lo, hi)

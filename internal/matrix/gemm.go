@@ -91,7 +91,11 @@ func MulTransBInto(dst, a, b *Matrix) *Matrix {
 }
 
 // mulTransB computes dst = a * btᵀ with bt already in transposed layout.
+// Every GEMM entry point funnels through here, so this is where the kernel
+// call/nanosecond metrics are recorded.
 func mulTransB(dst, a, bt *Matrix) {
+	t := kernelClock()
+	defer kernelDone(t, mGemmCalls, mGemmNs)
 	mulrows, p, k := a.Rows, bt.Rows, a.Cols
 	if useParallel(mulrows, mulrows*p*k) {
 		parallelRange(mulrows, func(lo, hi int) {

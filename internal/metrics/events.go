@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// EventLog is a structured JSONL event sink: one JSON object per line,
+// carrying a monotonic sequence number, a wall-clock timestamp, the event
+// name and free-form fields. It records controller decisions (calibrations,
+// ladder walks, watchdog trips) for post-mortem analysis — the qualitative
+// counterpart of the numeric registry.
+//
+// An EventLog is safe for concurrent use. A nil *EventLog is a valid no-op
+// sink, so instrumented code calls Emit unconditionally.
+type EventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer
+	seq uint64
+	now func() time.Time
+}
+
+// NewEventLog writes events to w. If w also implements io.Closer, Close
+// closes it.
+func NewEventLog(w io.Writer) *EventLog {
+	l := &EventLog{w: w, now: time.Now}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
+}
+
+// OpenEventLog creates (or truncates) the JSONL file at path.
+func OpenEventLog(path string) (*EventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: event log: %w", err)
+	}
+	return NewEventLog(f), nil
+}
+
+// event is the wire format of one line.
+type event struct {
+	Seq    uint64         `json:"seq"`
+	Time   string         `json:"ts"`
+	Event  string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Emit writes one event with alternating key/value field pairs:
+//
+//	log.Emit("degrade", "from", "LEO", "to", "Online")
+//
+// A trailing key without a value is recorded with a nil value. Emit on a nil
+// log is a no-op. Marshal failures are silently dropped — an event log must
+// never take down the control loop it observes.
+func (l *EventLog) Emit(name string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var fields map[string]any
+	if len(kv) > 0 {
+		fields = make(map[string]any, (len(kv)+1)/2)
+		for i := 0; i < len(kv); i += 2 {
+			key, ok := kv[i].(string)
+			if !ok {
+				key = fmt.Sprint(kv[i])
+			}
+			if i+1 < len(kv) {
+				fields[key] = kv[i+1]
+			} else {
+				fields[key] = nil
+			}
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	line, err := json.Marshal(event{
+		Seq:    l.seq,
+		Time:   l.now().UTC().Format(time.RFC3339Nano),
+		Event:  name,
+		Fields: fields,
+	})
+	if err != nil {
+		return
+	}
+	l.w.Write(append(line, '\n'))
+}
+
+// Close flushes nothing (writes are unbuffered) and closes the underlying
+// file when the log owns one. Safe on nil.
+func (l *EventLog) Close() error {
+	if l == nil || l.c == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Close()
+}

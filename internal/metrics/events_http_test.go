@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.now = func() time.Time { return time.Unix(1700000000, 0) }
+	l.Emit("calibrate", "tier", "LEO", "replans", 3)
+	l.Emit("degrade", "from", "LEO", "to", "Online")
+	l.Emit("bare")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var e event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not JSON: %v (%q)", i, err, line)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("line %d seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	var first event
+	json.Unmarshal([]byte(lines[0]), &first)
+	if first.Event != "calibrate" || first.Fields["tier"] != "LEO" || first.Fields["replans"] != float64(3) {
+		t.Fatalf("first event = %+v", first)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit("anything", "k", "v") // must not panic
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("leo_test_http_total", "").Add(9)
+	srv := httptest.NewServer(NewDebugMux(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "leo_test_http_total 9") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (len %d)", code, len(body))
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	r := NewRegistry()
+	addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over Serve = %d", resp.StatusCode)
+	}
+}

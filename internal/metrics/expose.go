@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue applies the Prometheus text-format escaping rules for
+// label values: backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a float the way the exposition format expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// writeLabels renders {k="v",...} including the extra label (used for the
+// histogram "le" label) when its key is non-empty.
+func writeLabels(w *bufio.Writer, labels []Label, extraKey, extraVal string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l.Key)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabelValue(l.Value))
+		w.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraKey)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabelValue(extraVal))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE pair per metric family in
+// sorted name order, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, e := range r.snapshotEntries() {
+		if e.name != lastFamily {
+			lastFamily = e.name
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.name, strings.ReplaceAll(e.help, "\n", " "))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		}
+		switch e.kind {
+		case kindCounter:
+			bw.WriteString(e.name)
+			writeLabels(bw, e.labels, "", "")
+			fmt.Fprintf(bw, " %d\n", e.counter.Value())
+		case kindGauge:
+			bw.WriteString(e.name)
+			writeLabels(bw, e.labels, "", "")
+			fmt.Fprintf(bw, " %s\n", formatValue(e.gauge.Value()))
+		case kindHistogram:
+			bounds, cum := e.hist.Buckets()
+			for i, b := range bounds {
+				bw.WriteString(e.name)
+				bw.WriteString("_bucket")
+				writeLabels(bw, e.labels, "le", formatValue(b))
+				fmt.Fprintf(bw, " %d\n", cum[i])
+			}
+			bw.WriteString(e.name)
+			bw.WriteString("_sum")
+			writeLabels(bw, e.labels, "", "")
+			fmt.Fprintf(bw, " %s\n", formatValue(e.hist.Sum()))
+			bw.WriteString(e.name)
+			bw.WriteString("_count")
+			writeLabels(bw, e.labels, "", "")
+			fmt.Fprintf(bw, " %d\n", e.hist.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// SnapshotMetric is one metric instance in a Snapshot.
+type SnapshotMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Type   string            `json:"type"`
+
+	// Counter / gauge payloads.
+	Count *uint64  `json:"count,omitempty"`
+	Value *float64 `json:"value,omitempty"`
+
+	// Histogram payload: cumulative bucket counts by upper bound, plus the
+	// running sum and total observation count.
+	Buckets []SnapshotBucket `json:"buckets,omitempty"`
+	Sum     *float64         `json:"sum,omitempty"`
+	Total   *uint64          `json:"total,omitempty"`
+}
+
+// SnapshotBucket is one cumulative histogram bucket; Le is the upper bound
+// rendered as a string so +Inf survives JSON.
+type SnapshotBucket struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot returns a point-in-time copy of every registered metric, in the
+// same stable order as the Prometheus exposition.
+func (r *Registry) Snapshot() []SnapshotMetric {
+	entries := r.snapshotEntries()
+	out := make([]SnapshotMetric, 0, len(entries))
+	for _, e := range entries {
+		m := SnapshotMetric{Name: e.name, Type: e.kind.String()}
+		if len(e.labels) > 0 {
+			m.Labels = make(map[string]string, len(e.labels))
+			for _, l := range e.labels {
+				m.Labels[l.Key] = l.Value
+			}
+		}
+		switch e.kind {
+		case kindCounter:
+			v := e.counter.Value()
+			m.Count = &v
+		case kindGauge:
+			v := e.gauge.Value()
+			m.Value = &v
+		case kindHistogram:
+			bounds, cum := e.hist.Buckets()
+			m.Buckets = make([]SnapshotBucket, len(bounds))
+			for i, b := range bounds {
+				m.Buckets[i] = SnapshotBucket{Le: formatValue(b), Count: cum[i]}
+			}
+			s := e.hist.Sum()
+			t := e.hist.Count()
+			m.Sum = &s
+			m.Total = &t
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as indented JSON — the -metrics-dump format.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the debug HTTP handler every binary serves under
+// -metrics-addr:
+//
+//	/metrics  — Prometheus text exposition of the registry
+//	/healthz  — liveness: 200 "ok"
+//	/debug/pprof/... — the standard Go profiling endpoints
+//
+// The pprof handlers are registered explicitly so binaries never depend on
+// the net/http/pprof side effects against http.DefaultServeMux.
+func NewDebugMux(r *Registry) *http.ServeMux {
+	if r == nil {
+		r = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr in a background goroutine, serving
+// NewDebugMux(r). It returns the bound address (useful with a ":0" addr) once
+// the listener is up, or an error if the address cannot be bound. The server
+// lives for the remainder of the process; binaries treat it as observe-only
+// infrastructure and never shut it down explicitly.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewDebugMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

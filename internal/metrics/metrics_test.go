@@ -1,0 +1,366 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("leo_test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("leo_test_level", "level")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	// Same identity returns the same instance.
+	if r.NewCounter("leo_test_ops_total", "ops") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	// Same name, different labels: a distinct instance.
+	c2 := r.NewCounter("leo_test_ops_total", "ops", Label{"kind", "x"})
+	if c2 == c {
+		t.Fatal("labelled registration aliased the unlabelled counter")
+	}
+}
+
+func TestRegistryRejectsKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("leo_test_conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.NewGauge("leo_test_conflict", "")
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "a{b}"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.NewCounter(bad, "")
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("leo_test_latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	bounds, cum := h.Buckets()
+	wantBounds := []float64{0.1, 1, 10, math.Inf(1)}
+	wantCum := []uint64{1, 3, 4, 5}
+	for i := range wantBounds {
+		if bounds[i] != wantBounds[i] || cum[i] != wantCum[i] {
+			t.Fatalf("bucket %d = (%g, %d), want (%g, %d)", i, bounds[i], cum[i], wantBounds[i], wantCum[i])
+		}
+	}
+	// An observation exactly on a bound lands in that bucket (le semantics).
+	h.Observe(0.1)
+	_, cum = h.Buckets()
+	if cum[0] != 2 {
+		t.Fatalf("le=0.1 bucket = %d after observing 0.1, want 2", cum[0])
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMetricOpsAllocs pins the hot-path contract: recording into an already
+// registered metric performs zero heap allocations, so instrumented loops
+// (the EM iteration above all) keep their own zero-allocation guarantees.
+func TestMetricOpsAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("leo_test_allocs_total", "")
+	g := r.NewGauge("leo_test_allocs_level", "")
+	h := r.NewHistogram("leo_test_allocs_seconds", "", ExponentialBuckets(1e-6, 10, 8))
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.25)
+		g.Add(0.5)
+		h.Observe(0.37)
+	}); allocs != 0 {
+		t.Fatalf("metric ops allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.NewCounter("leo_test_disabled_total", "")
+	h := r.NewHistogram("leo_test_disabled_seconds", "", []float64{1})
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(0.5)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatal("disabled metrics still recorded samples")
+	}
+	SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled counter did not record")
+	}
+}
+
+// TestConcurrentAccess hammers one registry from concurrent writers while
+// readers scrape, under -race. Values are checked exactly: counters are
+// atomic, so no increments may be lost.
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("leo_test_race_total", "")
+	g := r.NewGauge("leo_test_race_level", "")
+	h := r.NewHistogram("leo_test_race_seconds", "", ExponentialBuckets(0.001, 10, 6))
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%7) * 0.01)
+				// Concurrent registration of the same and new identities.
+				r.NewCounter("leo_test_race_total", "")
+				r.NewCounter("leo_test_race_lane_total", "", Label{"lane", strconv.Itoa(w)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// parseExposition is a minimal Prometheus text-format parser: it returns
+// sample name -> label string -> value and fails the test on malformed lines.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		var val float64
+		switch valStr {
+		case "+Inf":
+			val = math.Inf(1)
+		case "-Inf":
+			val = math.Inf(-1)
+		default:
+			var err error
+			val, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unbalanced label braces in %q", line)
+			}
+			// Label values must be quoted and any embedded quotes escaped.
+			inner := key[i+1 : len(key)-1]
+			if !labelsWellFormed(inner) {
+				t.Fatalf("malformed label section %q in %q", inner, line)
+			}
+		}
+		if _, dup := out[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		out[key] = val
+	}
+	return out
+}
+
+// labelsWellFormed walks a k="v",k="v" label body honoring \" escapes.
+func labelsWellFormed(s string) bool {
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return false
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return false
+		}
+		i++
+		for {
+			if i >= len(s) {
+				return false
+			}
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			if s[i] == '\n' {
+				return false
+			}
+			i++
+		}
+		i++ // closing quote
+		if i == len(s) {
+			return true
+		}
+		if s[i] != ',' {
+			return false
+		}
+		i++
+	}
+	return false
+}
+
+// TestPrometheusExposition renders a registry with tricky label values and
+// asserts the output parses, labels are escaped, and histogram buckets are
+// cumulative and monotonically non-decreasing up to the +Inf bucket.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("leo_test_expo_total", "with newline\nin help",
+		Label{"path", `C:\tmp`}, Label{"quote", `say "hi"`}, Label{"nl", "a\nb"})
+	c.Add(7)
+	g := r.NewGauge("leo_test_expo_level", "")
+	g.Set(-3.5)
+	h := r.NewHistogram("leo_test_expo_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, 0.05} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples := parseExposition(t, text)
+
+	// Escaped label values survive round-trip intact.
+	want := `leo_test_expo_total{nl="a\nb",path="C:\\tmp",quote="say \"hi\""}`
+	if got, ok := samples[want]; !ok || got != 7 {
+		t.Fatalf("escaped counter sample missing or wrong: %v (text:\n%s)", samples, text)
+	}
+	if samples["leo_test_expo_level"] != -3.5 {
+		t.Fatalf("gauge sample = %g, want -3.5", samples["leo_test_expo_level"])
+	}
+
+	// Histogram: cumulative monotone buckets, +Inf == count.
+	les := []string{"0.01", "0.1", "1", "+Inf"}
+	prev := uint64(0)
+	for _, le := range les {
+		key := `leo_test_expo_seconds_bucket{le="` + le + `"}`
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if uint64(v) < prev {
+			t.Fatalf("bucket le=%s count %v < previous %d (not cumulative)", le, v, prev)
+		}
+		prev = uint64(v)
+	}
+	if count := samples["leo_test_expo_seconds_count"]; count != 5 || prev != 5 {
+		t.Fatalf("count = %g, +Inf bucket = %d, want both 5", count, prev)
+	}
+	if sum := samples["leo_test_expo_seconds_sum"]; math.Abs(sum-5.605) > 1e-12 {
+		t.Fatalf("sum = %g, want 5.605", sum)
+	}
+
+	// Every family has a TYPE line before its samples.
+	for _, family := range []string{"leo_test_expo_total", "leo_test_expo_level", "leo_test_expo_seconds"} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Fatalf("missing TYPE line for %s", family)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("leo_test_snap_total", "").Add(3)
+	h := r.NewHistogram("leo_test_snap_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap []SnapshotMetric
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d metrics, want 2", len(snap))
+	}
+	byName := map[string]SnapshotMetric{}
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	if c := byName["leo_test_snap_total"]; c.Count == nil || *c.Count != 3 {
+		t.Fatalf("counter snapshot = %+v", c)
+	}
+	hs := byName["leo_test_snap_seconds"]
+	if hs.Total == nil || *hs.Total != 2 || len(hs.Buckets) != 2 || hs.Buckets[1].Le != "+Inf" {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+}

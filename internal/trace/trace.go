@@ -22,19 +22,34 @@ type Point struct {
 // Trace is a sequence of contiguous utilization intervals.
 type Trace []Point
 
-// TotalDuration returns the trace's length in seconds.
+// TotalDuration returns the trace's length in seconds: the maximum end time
+// (Start + Duration) over all points. For a Validate-clean trace that is the
+// last point's end, but hand-built traces with gaps, overlaps, or a trailing
+// zero-duration marker are measured correctly too. Points whose duration is
+// NaN or negative contribute only their start time.
 func (tr Trace) TotalDuration() float64 {
-	if len(tr) == 0 {
-		return 0
+	end := 0.0
+	for _, p := range tr {
+		e := p.Start
+		if p.Duration > 0 { // false for NaN and negatives
+			e += p.Duration
+		}
+		if e > end {
+			end = e
+		}
 	}
-	last := tr[len(tr)-1]
-	return last.Start + last.Duration
+	return end
 }
 
-// MeanUtilization returns the duration-weighted mean demand.
+// MeanUtilization returns the duration-weighted mean demand. Points that
+// carry no weight — zero, negative, or NaN duration — are skipped, so a
+// degenerate trace yields 0 rather than NaN.
 func (tr Trace) MeanUtilization() float64 {
 	total, weighted := 0.0, 0.0
 	for _, p := range tr {
+		if !(p.Duration > 0) { // skip NaN and non-positive durations
+			continue
+		}
 		total += p.Duration
 		weighted += p.Utilization * p.Duration
 	}

@@ -216,6 +216,56 @@ func TestEmptyTrace(t *testing.T) {
 	}
 }
 
+// TestDegenerateTraces pins TotalDuration and MeanUtilization on traces that
+// fail Validate — gaps, overlaps, zero/negative/NaN durations — which crop up
+// in hand-built fixtures and partially constructed schedules. Neither
+// accessor may return NaN, and duration must be the true maximum end time.
+func TestDegenerateTraces(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct {
+		name     string
+		tr       Trace
+		wantDur  float64
+		wantMean float64
+	}{
+		{name: "empty", tr: Trace{}, wantDur: 0, wantMean: 0},
+		{name: "single", tr: Trace{{0, 4, 0.5}}, wantDur: 4, wantMean: 0.5},
+		{name: "gap", tr: Trace{{0, 1, 0.2}, {5, 1, 0.8}}, wantDur: 6, wantMean: 0.5},
+		{
+			name: "out-of-order ends",
+			// The second point ends before the first: the max end wins, not
+			// the last element's end.
+			tr:      Trace{{0, 10, 0.1}, {2, 1, 0.9}},
+			wantDur: 10, wantMean: (10*0.1 + 1*0.9) / 11,
+		},
+		{
+			name:    "trailing zero-duration marker",
+			tr:      Trace{{0, 2, 0.5}, {2, 0, 1}},
+			wantDur: 2, wantMean: 0.5,
+		},
+		{name: "all zero durations", tr: Trace{{0, 0, 1}, {0, 0, 1}}, wantDur: 0, wantMean: 0},
+		{
+			name:    "NaN duration skipped",
+			tr:      Trace{{0, nan, 1}, {1, 2, 0.25}},
+			wantDur: 3, wantMean: 0.25,
+		},
+		{
+			name:    "negative duration skipped",
+			tr:      Trace{{0, -5, 1}, {0, 4, 0.75}},
+			wantDur: 4, wantMean: 0.75,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if d := tc.tr.TotalDuration(); math.IsNaN(d) || math.Abs(d-tc.wantDur) > 1e-12 {
+				t.Errorf("TotalDuration = %g, want %g", d, tc.wantDur)
+			}
+			if u := tc.tr.MeanUtilization(); math.IsNaN(u) || math.Abs(u-tc.wantMean) > 1e-12 {
+				t.Errorf("MeanUtilization = %g, want %g", u, tc.wantMean)
+			}
+		})
+	}
+}
+
 func TestGeneratorsAlwaysValidProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
