@@ -20,12 +20,13 @@ race:
 check: build vet race bench-smoke
 
 # bench measures the perf-tracked benchmarks (the full-size EM fit and
-# Cholesky factorization, the §6.7 overhead fit, the allocation-free E-step,
+# Cholesky factorization, the symmetric-inverse and SYRK kernels behind the
+# symmetry-aware E-step, the §6.7 overhead fit, the allocation-free E-step,
 # the warm-vs-cold multi-window recalibration pair, and the metrics-on/off EM
 # iteration pair that pins the observability overhead) and records them in
 # BENCH_em.json so future PRs have a trajectory.
 bench:
-	$(GO) test -run=NONE -bench='BenchmarkLEOOverheadFull|BenchmarkEMFitLarge|BenchmarkCholesky1024|BenchmarkEStepOnly|BenchmarkEstimateSmall$$|BenchmarkCholesky512|BenchmarkMul512Parallel|BenchmarkMultiWindowCold|BenchmarkMultiWindowWarm|BenchmarkEMIterationMetrics' \
+	$(GO) test -run=NONE -bench='BenchmarkLEOOverheadFull|BenchmarkEMFitLarge|BenchmarkCholesky1024|BenchmarkCholeskyInverseInto1024|BenchmarkSyrkWoodbury1024x25|BenchmarkEStepOnly|BenchmarkEstimateSmall$$|BenchmarkCholesky512|BenchmarkMul512Parallel|BenchmarkMultiWindowCold|BenchmarkMultiWindowWarm|BenchmarkEMIterationMetrics' \
 		-benchmem -timeout=60m . ./internal/core ./internal/matrix \
 		| $(GO) run ./cmd/benchjson -out BENCH_em.json
 

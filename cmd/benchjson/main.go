@@ -40,32 +40,46 @@ type result struct {
 }
 
 type record struct {
-	GoOS       string             `json:"goos"`
-	GoArch     string             `json:"goarch"`
-	NumCPU     int                `json:"num_cpu"`
-	Headline   map[string]float64 `json:"headline"`
-	Benchmarks []result           `json:"benchmarks"`
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	NumCPU int    `json:"num_cpu"`
+	// GoMaxProcs is the scheduler width the run was measured under
+	// (benchjson inherits the same GOMAXPROCS environment as the piped
+	// `go test` run). The perf-tracked numbers are recorded at
+	// GOMAXPROCS=1 so trajectories compare single-core work, not fan-out.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// MatrixWorkers echoes the matrix-kernel worker cap the run used
+	// (-matrix-workers; 0 = uncapped, all of GOMAXPROCS).
+	MatrixWorkers int                `json:"matrix_workers"`
+	Headline      map[string]float64 `json:"headline"`
+	Benchmarks    []result           `json:"benchmarks"`
 }
 
 // headlineKeys maps benchmark names to the headline metric they feed.
 var headlineKeys = map[string]struct{ key, field string }{
-	"BenchmarkEMFitLarge":      {"em_fit_large_ms", "ns"},
-	"BenchmarkLEOOverheadFull": {"leo_overhead_full_ms", "ns"},
-	"BenchmarkCholesky1024":    {"cholesky_1024_ms", "ns"},
-	"BenchmarkEStepOnly":       {"estep_allocs_per_op", "allocs"},
-	"BenchmarkMultiWindowCold": {"multi_window_cold_ms", "ns"},
-	"BenchmarkMultiWindowWarm": {"multi_window_warm_ms", "ns"},
+	"BenchmarkEMFitLarge":              {"em_fit_large_ms", "ns"},
+	"BenchmarkLEOOverheadFull":         {"leo_overhead_full_ms", "ns"},
+	"BenchmarkCholesky1024":            {"cholesky_1024_ms", "ns"},
+	"BenchmarkCholeskyInverseInto1024": {"cholesky_inverse_1024_ms", "ns"},
+	"BenchmarkSyrkWoodbury1024x25":     {"syrk_woodbury_1024_ms", "ns"},
+	"BenchmarkEStepOnly":               {"estep_allocs_per_op", "allocs"},
+	"BenchmarkMultiWindowCold":         {"multi_window_cold_ms", "ns"},
+	"BenchmarkMultiWindowWarm":         {"multi_window_warm_ms", "ns"},
 }
 
 func main() {
 	out := flag.String("out", "BENCH_em.json", "output path for the JSON record")
+	matrixWorkers := flag.Int("matrix-workers", 0,
+		"matrix-kernel worker cap the benchmarked run used (0 = uncapped), echoed into the record")
 	flag.Parse()
 
 	rec := record{
-		GoOS:     runtime.GOOS,
-		GoArch:   runtime.GOARCH,
-		NumCPU:   runtime.NumCPU(),
-		Headline: map[string]float64{},
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		MatrixWorkers: *matrixWorkers,
+		Headline:      map[string]float64{},
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -31,15 +31,17 @@ type emWorkspace struct {
 	cTarget *matrix.Matrix // n×n: target posterior covariance
 	sw      *matrix.Matrix // n×n: S K⁻¹ Sᵀ
 	s       *matrix.Matrix // n×k: Σ[:,Ω]
-	wT      *matrix.Matrix // n×k: S K⁻¹
+	wT      *matrix.Matrix // n×k: S K⁻¹ (exact path) or S L_K⁻ᵀ (fast path)
 	kmat    *matrix.Matrix // k×k: σ²I + Σ[Ω,Ω]
 	rhsFull *matrix.Matrix // rows×n: E-step right-hand sides
 	zFull   *matrix.Matrix // rows×n: posterior means, fully observed apps
+	dev     *matrix.Matrix // n×(rows+1): one centered mean per column (M-step)
 
-	sinvMu  []float64 // Σ⁻¹μ
+	sinvMu  []float64 // Σ⁻¹μ (exact path only)
 	rhs     []float64 // target right-hand side
 	zTarget []float64 // target posterior mean
-	d       []float64 // centered-difference scratch (M-step)
+	tObs    []float64 // k: observed-coordinate residual / K⁻¹ solve scratch
+	d       []float64 // centered-difference scratch (M-step, exact path)
 	prev    []float64 // previous estimate (convergence check)
 
 	e eResult // reused E-step output, fields point into the buffers above
@@ -52,12 +54,17 @@ func newEMWorkspace(n, rows int) *emWorkspace {
 		kcap:    -1,
 		chS:     matrix.NewCholeskyWorkspace(n),
 		chA:     matrix.NewCholeskyWorkspace(n),
+		chK:     matrix.NewCholeskyWorkspace(0),
 		a:       matrix.New(n, n),
 		cFull:   matrix.New(n, n),
 		cTarget: matrix.New(n, n),
 		sw:      matrix.New(n, n),
+		s:       matrix.New(n, 0),
+		wT:      matrix.New(n, 0),
+		kmat:    matrix.New(0, 0),
 		rhsFull: matrix.New(rows, n),
 		zFull:   matrix.New(rows, n),
+		dev:     matrix.New(n, rows+1),
 		sinvMu:  make([]float64, n),
 		rhs:     make([]float64, n),
 		zTarget: make([]float64, n),
@@ -68,17 +75,24 @@ func newEMWorkspace(n, rows int) *emWorkspace {
 
 // ensureObs sizes the k-dependent buffers for exactly k observations. The
 // E-step indexes them with stride k, so they must match exactly, not merely
-// be large enough. Resizing happens at most once per Fit (never inside the
-// iteration loop), preserving the zero-allocation steady state.
+// be large enough. The buffers are grow-only: each keeps its high-water
+// backing storage and is re-sliced to exactly k, so once a session has seen
+// its largest observation count, moving between previously seen counts
+// allocates nothing — a session whose window oscillates between two sizes
+// no longer thrashes the allocator on every Fit.
 func (ws *emWorkspace) ensureObs(n, k int) {
 	if ws.kcap == k {
 		return
 	}
 	ws.kcap = k
-	ws.chK = matrix.NewCholeskyWorkspace(k)
-	ws.s = matrix.New(n, k)
-	ws.wT = matrix.New(n, k)
-	ws.kmat = matrix.New(k, k)
+	ws.chK.Resize(k)
+	ws.s.Reshape(n, k)
+	ws.wT.Reshape(n, k)
+	ws.kmat.Reshape(k, k)
+	if cap(ws.tObs) < k {
+		ws.tObs = make([]float64, k)
+	}
+	ws.tObs = ws.tObs[:k]
 }
 
 // newEMState builds a session preloaded with observations — the internal
@@ -249,7 +263,7 @@ type eResult struct {
 // For a fully observed application (L_i = 1 everywhere) the posterior
 // covariance is the same for all i:
 //
-//	Ĉ = (I/σ² + Σ^{-1})^{-1} = σ² · Σ (Σ + σ²I)^{-1},
+//	Ĉ = (I/σ² + Σ^{-1})^{-1} = σ² · Σ (Σ + σ²I)^{-1} = σ²(I − σ²(Σ+σ²I)^{-1}),
 //
 // so it is computed once and shared — the key optimization ablated by
 // Options.NaiveEStep. The target application's posterior uses the Woodbury
@@ -257,9 +271,12 @@ type eResult struct {
 //
 //	Ĉ_M = Σ − Σ_{:,Ω} (σ²I + Σ_{Ω,Ω})^{-1} Σ_{Ω,:}
 //
-// Everything runs in the session's workspace: factorizations reuse their
-// Cholesky buffers, solves land in pre-sized matrices, and the per-app
-// posterior means are one batched GEMM instead of M−1 mat-vecs.
+// The default path (eStepFast) exploits the symmetry of every posterior:
+// the shared covariance comes from the DPOTRI-style symmetric inverse (the
+// rightmost identity above), and the Woodbury correction is assembled as a
+// symmetric rank-k product — roughly a third of the exact path's flops.
+// Options.ExactEStep selects the pre-symmetry-aware evaluation, and
+// Options.NaiveEStep the one-factorization-per-application literal form.
 func (em *Session) eStep(ctx context.Context) (*eResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, canceled(err)
@@ -267,6 +284,107 @@ func (em *Session) eStep(ctx context.Context) (*eResult, error) {
 	if em.opts.NaiveEStep {
 		return em.eStepNaive()
 	}
+	if em.opts.ExactEStep {
+		return em.eStepExact()
+	}
+	return em.eStepFast()
+}
+
+// eStepFast is the production E-step. Beyond sharing the fully observed
+// posterior, it does only the symmetric half of the work:
+//
+//   - Ĉ = σ²(I − σ²(Σ+σ²I)⁻¹) via Cholesky.InverseInto — ~2n³/3 flops where
+//     the exact path's n-right-hand-side solve costs 2n³ — and never
+//     factorizes Σ itself (the GP-form means below don't need Σ⁻¹μ).
+//   - ẑ_i = μ + Ĉ(y_i−μ)/σ², algebraically equal to Ĉ(y_i/σ² + Σ⁻¹μ)
+//     because Ĉ(I/σ² + Σ⁻¹) = I.
+//   - The Woodbury correction S K⁻¹ Sᵀ = VᵀV with Vᵀ = S L_K⁻ᵀ: one
+//     half-flop forward solve plus one symmetric rank-k product, and
+//     ẑ_M = μ + S K⁻¹(y_Ω − μ_Ω) reuses the same factor.
+//
+// Every matrix it produces is exactly symmetric by construction (the
+// symmetric kernels mirror bits), so the exact path's Symmetrize passes
+// disappear. Everything runs in the session's workspace; after the first
+// iteration it allocates nothing.
+func (em *Session) eStepFast() (*eResult, error) {
+	n, ws := em.n, em.ws
+	out := &ws.e
+	*out = eResult{targetObs: len(em.obsIdx)}
+	s2 := em.sigma2
+
+	// Shared covariance and means for the fully observed applications.
+	if em.known.Rows > 0 {
+		matrix.CloneInto(ws.a, em.sigma).AddDiagonal(s2)
+		if err := ws.chA.Factorize(ws.a); err != nil {
+			return nil, fmt.Errorf("core: Σ+σ²I not factorable: %w", err)
+		}
+		ws.chA.InverseInto(ws.cFull)
+		out.cFull = ws.cFull.ScaleInPlace(-s2 * s2).AddDiagonal(s2)
+
+		inv := 1 / s2
+		for i := 0; i < em.known.Rows; i++ {
+			row := em.known.RowView(i)
+			rhs := ws.rhsFull.RowView(i)
+			for j := range rhs {
+				rhs[j] = (row[j] - em.mu[j]) * inv
+			}
+		}
+		// ẑ_i = μ + Ĉ rhs_i for every app at once; Ĉ is symmetric so the
+		// transposed-B kernel applies it directly.
+		matrix.MulTransBInto(ws.zFull, ws.rhsFull, out.cFull)
+		for i := 0; i < em.known.Rows; i++ {
+			matrix.AxpyInPlace(1, em.mu, ws.zFull.RowView(i))
+		}
+	}
+	out.zFull = ws.zFull
+
+	// Target application via Woodbury on the observed coordinates.
+	k := len(em.obsIdx)
+	if k == 0 {
+		out.cTarget = matrix.CloneInto(ws.cTarget, em.sigma)
+		copy(ws.zTarget, em.mu)
+		out.zTarget = ws.zTarget
+		return out, nil
+	}
+	// S = Σ[:, Ω] (n×k), K = σ²I_k + Σ[Ω, Ω].
+	for col, idx := range em.obsIdx {
+		for r := 0; r < n; r++ {
+			ws.s.Data[r*k+col] = em.sigma.Data[r*n+idx]
+		}
+	}
+	for a, ia := range em.obsIdx {
+		for b, ib := range em.obsIdx {
+			ws.kmat.Data[a*k+b] = em.sigma.Data[ia*n+ib]
+		}
+	}
+	ws.kmat.AddDiagonal(s2)
+	if _, err := ws.chK.FactorizeJitter(ws.kmat, 1e-10, 14); err != nil {
+		return nil, fmt.Errorf("core: observation kernel not factorable: %w", err)
+	}
+	// Row r of wT is L_K⁻¹ S[r,:], i.e. wT = S L_K⁻ᵀ, so the Woodbury
+	// correction S K⁻¹ Sᵀ = wT·wTᵀ lands as one symmetric rank-k product —
+	// exactly symmetric, like Σ, so their difference needs no Symmetrize.
+	ws.chK.ForwardSolveTInto(ws.wT, ws.s)
+	matrix.SyrkInto(ws.sw, 1, ws.wT)
+	out.cTarget = matrix.SubInto(ws.cTarget, em.sigma, ws.sw)
+
+	// GP-form posterior mean: ẑ_M = μ + S K⁻¹ (y_Ω − μ_Ω).
+	for i, idx := range em.obsIdx {
+		ws.tObs[i] = em.obsVal[i] - em.mu[idx]
+	}
+	ws.chK.SolveVecInto(ws.tObs, ws.tObs)
+	matrix.MulVecInto(ws.zTarget, ws.s, ws.tObs)
+	matrix.AxpyInPlace(1, em.mu, ws.zTarget)
+	out.zTarget = ws.zTarget
+	return out, nil
+}
+
+// eStepExact is the pre-symmetry-aware evaluation of Eq. (3), selected by
+// Options.ExactEStep: the shared covariance through a full n-right-hand-side
+// triangular solve, posterior means through Σ⁻¹μ, and explicit Symmetrize
+// passes. Same math as eStepFast to round-off; kept as an ablation and as
+// the oracle the fast path is property-tested against.
+func (em *Session) eStepExact() (*eResult, error) {
 	n, ws := em.n, em.ws
 	out := &ws.e
 	*out = eResult{targetObs: len(em.obsIdx)}
@@ -404,11 +522,18 @@ func (em *Session) eStepNaive() (*eResult, error) {
 // consumes lives in separate workspace buffers, so nothing it reads can
 // alias what it writes. A canceled context aborts before any parameter is
 // touched, leaving the session consistent.
+//
+// The Σ and σ² updates have a fast and an exact form. The fast form batches
+// the M+1 centered outer products into one symmetric rank-(M+1) kernel and
+// hoists the shared trace out of the σ² accumulation; it preserves exact
+// symmetry end to end, so the final Symmetrize disappears. The exact form
+// (Options.ExactEStep or NaiveEStep) reproduces the pre-symmetry-aware
+// reduction orders bit for bit.
 func (em *Session) mStep(ctx context.Context, e *eResult) error {
 	if err := ctx.Err(); err != nil {
 		return canceled(err)
 	}
-	n, mf := em.n, float64(em.m)
+	mf := float64(em.m)
 	rows := e.zFull.Rows
 
 	// μ = (Σ_i ẑ_i) / (M + π).
@@ -436,18 +561,37 @@ func (em *Session) mStep(ctx context.Context, e *eResult) error {
 	} else {
 		copy(sigma.Data, e.cTarget.Data)
 	}
-	d := em.ws.d
-	for i := 0; i < rows; i++ {
-		z := e.zFull.RowView(i)
+	exact := em.opts.ExactEStep || em.opts.NaiveEStep
+	if exact {
+		d := em.ws.d
+		for i := 0; i < rows; i++ {
+			z := e.zFull.RowView(i)
+			for j := range d {
+				d[j] = z[j] - mu[j]
+			}
+			matrix.OuterAccumInto(sigma, 1, d, d)
+		}
 		for j := range d {
-			d[j] = z[j] - mu[j]
+			d[j] = e.zTarget[j] - mu[j]
 		}
 		matrix.OuterAccumInto(sigma, 1, d, d)
+	} else {
+		// One batched symmetric rank-(M+1) update over the centered means
+		// (one per column of dev, so Σ += dev·devᵀ) replaces M+1
+		// full-square rank-1 passes.
+		dev, w := em.ws.dev, rows+1
+		n := em.n
+		for i := 0; i < rows; i++ {
+			z := e.zFull.RowView(i)
+			for j := 0; j < n; j++ {
+				dev.Data[j*w+i] = z[j] - mu[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			dev.Data[j*w+rows] = e.zTarget[j] - mu[j]
+		}
+		matrix.SyrkAccumInto(sigma, 1, dev)
 	}
-	for j := range d {
-		d[j] = e.zTarget[j] - mu[j]
-	}
-	matrix.OuterAccumInto(sigma, 1, d, d)
 
 	norm := 1 / (mf + 1)
 	if em.opts.StrictPaperSigma {
@@ -459,16 +603,37 @@ func (em *Session) mStep(ctx context.Context, e *eResult) error {
 		sigma.AddDiagonal(1) // Ψ = I
 		sigma.ScaleInPlace(norm)
 	}
-	sigma.Symmetrize()
+	if exact {
+		// The rank-1 updates above round asymmetrically; the fast path's
+		// symmetric kernels make this pass unnecessary.
+		sigma.Symmetrize()
+	}
 
-	// σ² = Σ_i tr(diag(L_i)(Ĉ_i + (ẑ_i−y_i)(ẑ_i−y_i)')) / ‖L‖²_F.
+	em.sigma2 = em.mStepSigma2(e, rows, exact)
+	return nil
+}
+
+// mStepSigma2 evaluates the Eq. (4) noise update
+//
+//	σ² = Σ_i tr(diag(L_i)(Ĉ_i + (ẑ_i−y_i)(ẑ_i−y_i)')) / ‖L‖²_F.
+//
+// Every fully observed application contributes the same tr(Ĉ) term; the
+// fast form accumulates it once as tr(Ĉ)·(M−1) instead of re-adding it per
+// application, while the exact form keeps the historical order.
+func (em *Session) mStepSigma2(e *eResult, rows int, exact bool) float64 {
+	n := em.n
 	num := 0.0
 	if rows > 0 {
 		trFull := e.cFull.Trace()
+		if !exact {
+			num = trFull * float64(rows)
+		}
 		for i := 0; i < rows; i++ {
 			row := em.known.RowView(i)
 			z := e.zFull.RowView(i)
-			num += trFull
+			if exact {
+				num += trFull
+			}
 			for j := 0; j < n; j++ {
 				d := z[j] - row[j]
 				num += d * d
@@ -480,12 +645,11 @@ func (em *Session) mStep(ctx context.Context, e *eResult) error {
 		num += e.cTarget.At(idx, idx) + d*d
 	}
 	den := float64(rows*n + len(em.obsIdx))
-	sigma2New := em.opts.SigmaFloor
+	sigma2 := em.opts.SigmaFloor
 	if den > 0 {
-		if s := num / den; s > sigma2New {
-			sigma2New = s
+		if s := num / den; s > sigma2 {
+			sigma2 = s
 		}
 	}
-	em.sigma2 = sigma2New
-	return nil
+	return sigma2
 }

@@ -93,6 +93,39 @@ func BenchmarkCholeskyInverse128(b *testing.B) {
 	}
 }
 
+// BenchmarkCholeskyInverseInto1024 times the DPOTRI-style symmetric inverse
+// at the paper's full configuration-space size — the kernel that replaces the
+// n-RHS triangular solve in the symmetry-aware E-step, at roughly a third of
+// its flops.
+func BenchmarkCholeskyInverseInto1024(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-size inverse skipped in -short mode")
+	}
+	a := benchSPD(1024)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := New(1024, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.InverseInto(dst)
+	}
+}
+
+// BenchmarkSyrkWoodbury1024x25 times the SYRK shape the Woodbury correction
+// hits every E-step: V is k×n with k observed configurations (25 here, the
+// sampling budget scale), and S K⁻¹ Sᵀ = VᵀV lands as one n×n rank-k SYRK.
+func BenchmarkSyrkWoodbury1024x25(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomMatrix(rng, 1024, 25)
+	dst := New(1024, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SyrkInto(dst, 1, a)
+	}
+}
+
 func BenchmarkQRLeastSquares(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	a := randomMatrix(rng, 200, 15)

@@ -24,6 +24,12 @@ const cholTile = 64
 type Cholesky struct {
 	n int
 	l *Matrix // lower triangular, upper part zeroed
+
+	// inv is InverseInto's scratch for L⁻¹ (row j holds column j, so both
+	// phases stream contiguously). Allocated on first use, reused after —
+	// a steady-state loop calling InverseInto every iteration allocates
+	// nothing.
+	inv *Matrix
 }
 
 // NewCholeskyWorkspace returns an unfactored Cholesky with storage for n×n
@@ -305,6 +311,25 @@ func (c *Cholesky) CopyFrom(src *Cholesky) {
 // Size returns the dimension of the factored matrix.
 func (c *Cholesky) Size() int { return c.n }
 
+// Resize re-sizes the workspace for n×n systems, reusing the backing
+// storage whenever it is large enough (grow-only). Once a workspace has
+// seen its largest size, alternating between previously seen sizes
+// allocates nothing. The factor contents after Resize are undefined until
+// the next Factorize.
+func (c *Cholesky) Resize(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("matrix: negative Cholesky size %d", n))
+	}
+	if n == c.n {
+		return
+	}
+	c.n = n
+	c.l.Reshape(n, n)
+	if c.inv != nil {
+		c.inv.Reshape(n, n)
+	}
+}
+
 // L returns a copy of the lower-triangular factor.
 func (c *Cholesky) L() *Matrix { return c.l.Clone() }
 
@@ -400,11 +425,142 @@ func (c *Cholesky) solveTRange(dst, b *Matrix, lo, hi int) {
 	}
 }
 
+// ForwardSolveTInto half-solves: it writes L⁻¹bᵢ into row i of dst, where bᵢ
+// is row i of b — the forward substitution of the full solve only, half its
+// flops. Callers use it to factor symmetric products: with V = L⁻¹Bᵀ (i.e.
+// dst = Vᵀ) the correction B A⁻¹ Bᵀ equals VᵀV — a SYRK, exactly symmetric
+// by construction — instead of a full solve followed by a general (and only
+// approximately symmetric) GEMM. b.Cols must equal the system size; dst must
+// share b's shape and may be b itself. Rows solve independently in parallel.
+func (c *Cholesky) ForwardSolveTInto(dst, b *Matrix) *Matrix {
+	if b.Cols != c.n {
+		panic(fmt.Sprintf("matrix: ForwardSolveTInto cols %d != size %d", b.Cols, c.n))
+	}
+	if dst.Rows != b.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: ForwardSolveTInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, b.Rows, b.Cols))
+	}
+	t := kernelClock()
+	defer kernelDone(t, mSolveCalls, mSolveNs)
+	if useParallel(b.Rows, b.Rows*c.n*c.n/2) {
+		parallelRange(b.Rows, func(lo, hi int) {
+			c.forwardSolveTRange(dst, b, lo, hi)
+		})
+		return dst
+	}
+	c.forwardSolveTRange(dst, b, 0, b.Rows)
+	return dst
+}
+
+func (c *Cholesky) forwardSolveTRange(dst, b *Matrix, lo, hi int) {
+	n, data := c.n, c.l.Data
+	for i := lo; i < hi; i++ {
+		x := dst.RowView(i)
+		copy(x, b.RowView(i))
+		for j := 0; j < n; j++ {
+			s := x[j]
+			row := data[j*n : j*n+j]
+			for k, v := range row {
+				s -= v * x[k]
+			}
+			x[j] = s / data[j*n+j]
+		}
+	}
+}
+
 // Inverse returns A^{-1} where A = L L'. The result is symmetrized to remove
-// round-off asymmetry.
+// round-off asymmetry. It allocates; steady-state loops use InverseInto.
 func (c *Cholesky) Inverse() *Matrix {
 	inv := c.Solve(Identity(c.n))
 	return inv.Symmetrize()
+}
+
+// InverseInto writes A⁻¹ = L⁻ᵀL⁻¹ into dst and returns dst — the
+// DPOTRI-style path: invert the triangular factor, then form the product of
+// the halves, touching only the lower triangle and mirroring it. Each phase
+// costs ~n³/3 flops, so the whole inverse is ~n³/1.5 — against the 2n³ of
+// substituting n identity right-hand sides through SolveTInto — and the
+// result is exactly symmetric by construction (the mirror copies bits).
+// dst must be n×n; the L⁻¹ scratch is allocated on first use and reused.
+func (c *Cholesky) InverseInto(dst *Matrix) *Matrix {
+	n := c.n
+	if dst.Rows != n || dst.Cols != n {
+		panic(fmt.Sprintf("matrix: InverseInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, n, n))
+	}
+	t := kernelClock()
+	defer kernelDone(t, mInverseCalls, mInverseNs)
+	if c.inv == nil {
+		c.inv = New(n, n)
+	}
+	// Phase 1: W = L⁻¹, stored transposed — row j of c.inv holds column j of
+	// L⁻¹, so the forward substitution below and the dots of phase 2 both
+	// stream contiguously. Columns are independent forward solves of
+	// L x = e_j; column j only has entries at indices ≥ j and costs
+	// ~(n−j)²/2 flops, hence the weighted partition.
+	if useParallel(n, n*n*n/3) {
+		parallelRangeWeighted(n, func(j int) float64 { d := float64(n - j); return d * d },
+			func(lo, hi int) { c.triInverseCols(lo, hi) })
+	} else {
+		c.triInverseCols(0, n)
+	}
+	// Phase 2: A⁻¹[i][j] = Σ_{k≥i} W[k][i]·W[k][j] for i ≥ j — a dot of the
+	// tails of w's rows i and j, both starting at index i. Row i of the
+	// lower triangle carries i+1 dots of length n−i.
+	if useParallel(n, n*n*n/3) {
+		parallelRangeWeighted(n, func(i int) float64 { return float64(i+1) * float64(n-i) },
+			func(lo, hi int) { c.invProductRows(dst, lo, hi) })
+	} else {
+		c.invProductRows(dst, 0, n)
+	}
+	mirrorLower(dst)
+	return dst
+}
+
+// triInverseCols fills rows [jlo, jhi) of the transposed triangular inverse
+// scratch: row j gets column j of L⁻¹.
+func (c *Cholesky) triInverseCols(jlo, jhi int) {
+	n, data := c.n, c.l.Data
+	for j := jlo; j < jhi; j++ {
+		wrow := c.inv.Data[j*n : (j+1)*n]
+		wrow[j] = 1 / data[j*n+j]
+		for i := j + 1; i < n; i++ {
+			lrow := data[i*n+j : i*n+i]
+			s := 0.0
+			for t, v := range lrow {
+				s -= v * wrow[j+t]
+			}
+			wrow[i] = s / data[i*n+i]
+		}
+	}
+}
+
+// invProductRows fills rows [ilo, ihi) of dst's lower triangle with the
+// tail dots of phase 2. Columns advance in blocks of four independent
+// accumulator chains (as in the SYRK kernel) with a scalar remainder; both
+// paths reduce t ascending, so the bits never depend on the partition.
+func (c *Cholesky) invProductRows(dst *Matrix, ilo, ihi int) {
+	n := c.n
+	for i := ilo; i < ihi; i++ {
+		wi := c.inv.Data[i*n+i : (i+1)*n]
+		drow := dst.Data[i*n : i*n+i+1]
+		j := 0
+		for ; j+4 <= i+1; j += 4 {
+			w0 := c.inv.Data[j*n+i : (j+1)*n][:len(wi)]
+			w1 := c.inv.Data[(j+1)*n+i : (j+2)*n][:len(wi)]
+			w2 := c.inv.Data[(j+2)*n+i : (j+3)*n][:len(wi)]
+			w3 := c.inv.Data[(j+3)*n+i : (j+4)*n][:len(wi)]
+			var s0, s1, s2, s3 float64
+			for t, v := range wi {
+				s0 += v * w0[t]
+				s1 += v * w1[t]
+				s2 += v * w2[t]
+				s3 += v * w3[t]
+			}
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+		}
+		for ; j <= i; j++ {
+			drow[j] = dotUnchecked(wi, c.inv.Data[j*n+i:(j+1)*n])
+		}
+	}
 }
 
 // LogDet returns log(det(A)) = 2 * sum(log(diag(L))).

@@ -130,6 +130,23 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 	copy(m.Data, src.Data)
 }
 
+// Reshape re-sizes m to rows×cols in place, reusing the backing array when
+// it has capacity (grow-only storage: only growth past the high-water mark
+// allocates). The element contents after Reshape are unspecified — callers
+// are expected to overwrite them fully. Returns m.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
+	}
+	if need := rows * cols; cap(m.Data) < need {
+		m.Data = make([]float64, need)
+	} else {
+		m.Data = m.Data[:need]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
 // Transpose returns a new matrix that is the transpose of m.
 func (m *Matrix) Transpose() *Matrix {
 	out := New(m.Cols, m.Rows)

@@ -31,6 +31,14 @@ var (
 		"batched/vector triangular-solve invocations against a Cholesky factor")
 	mSolveNs = metrics.NewCounter("leo_matrix_solve_ns_total",
 		"cumulative nanoseconds inside the triangular solves")
+	mSyrkCalls = metrics.NewCounter("leo_matrix_syrk_calls_total",
+		"symmetric rank-k (A·Aᵀ) kernel invocations")
+	mSyrkNs = metrics.NewCounter("leo_matrix_syrk_ns_total",
+		"cumulative nanoseconds inside the SYRK kernel")
+	mInverseCalls = metrics.NewCounter("leo_matrix_inverse_calls_total",
+		"DPOTRI-style symmetric inverse invocations against a Cholesky factor")
+	mInverseNs = metrics.NewCounter("leo_matrix_inverse_ns_total",
+		"cumulative nanoseconds inside the symmetric inverse kernel")
 )
 
 // kernelClock returns the kernel start time, or the zero Time when metrics

@@ -56,6 +56,9 @@ func useParallel(n, work int) bool {
 // element's indices, never on the partition. Worker count therefore changes
 // wall-clock time, not one bit of the result.
 func parallelRange(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
 	workers := kernelWorkers()
 	if workers > n {
 		workers = n
@@ -72,6 +75,53 @@ func parallelRange(n int, fn func(lo, hi int)) {
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelRangeWeighted splits [0, n) into contiguous ranges of roughly
+// equal total weight — weight(i) is the relative cost of index i — and runs
+// fn on each concurrently. The triangular kernels (SYRK, the DPOTRI-style
+// inverse) use it so the worker holding the wide rows does not straggle
+// behind the worker holding the narrow ones, which an even split by row
+// count would force. The determinism contract of parallelRange applies
+// unchanged: the partition never influences any output element.
+func parallelRangeWeighted(n int, weight func(i int) float64, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := kernelWorkers()
+	if workers > n {
+		workers = n
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	if total <= 0 {
+		parallelRange(n, fn)
+		return
+	}
+	var wg sync.WaitGroup
+	lo, cum, next := 0, 0.0, 1
+	for i := 0; i < n; i++ {
+		cum += weight(i)
+		// Close the current range once it holds its proportional share of
+		// the total weight; the last range always closes at n.
+		if cum < total*float64(next)/float64(workers) && i != n-1 {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, i+1)
+		lo = i + 1
+		// Skip every threshold the range just closed already passed, so a
+		// single oversized weight cannot shatter the remainder into
+		// one-index ranges.
+		for next++; float64(next)*total/float64(workers) <= cum; next++ {
+		}
 	}
 	wg.Wait()
 }

@@ -1,0 +1,104 @@
+package matrix
+
+import "fmt"
+
+// Symmetric rank-k kernels. A Gram product A·Aᵀ is symmetric by definition,
+// so these kernels compute only the lower triangle — one dot product per
+// element (i, j≤i), half the flops of a general GEMM — and mirror it into
+// the upper triangle. The mirror copies bits, so the result is exactly
+// symmetric by construction; no Symmetrize averaging is needed afterwards.
+// Rows fan out across goroutines with a weighted partition (row i carries
+// i+1 dot products), and each element's reduction order is fixed by its
+// indices, so results are bit-identical at every worker count.
+
+// SyrkInto computes dst = α·a·aᵀ and returns dst. a is m×k, dst is m×m and
+// must not alias a.
+func SyrkInto(dst *Matrix, alpha float64, a *Matrix) *Matrix {
+	return syrk(dst, alpha, a, false)
+}
+
+// SyrkAccumInto accumulates dst += α·a·aᵀ and returns dst. dst must be
+// exactly symmetric on entry: only its lower triangle accumulates, and the
+// mirror then overwrites the upper triangle with the lower. It replaces a
+// sequence of m rank-1 OuterAccumInto calls with one batched rank-m update.
+func SyrkAccumInto(dst *Matrix, alpha float64, a *Matrix) *Matrix {
+	return syrk(dst, alpha, a, true)
+}
+
+func syrk(dst *Matrix, alpha float64, a *Matrix, accum bool) *Matrix {
+	m, k := a.Rows, a.Cols
+	if dst.Rows != m || dst.Cols != m {
+		panic(fmt.Sprintf("matrix: Syrk dst %dx%d, want %dx%d", dst.Rows, dst.Cols, m, m))
+	}
+	if dst == a {
+		panic("matrix: Syrk dst must not alias the operand")
+	}
+	t := kernelClock()
+	defer kernelDone(t, mSyrkCalls, mSyrkNs)
+	if useParallel(m, m*m/2*k) {
+		parallelRangeWeighted(m, func(i int) float64 { return float64(i + 1) },
+			func(lo, hi int) { syrkRange(dst, alpha, a, accum, lo, hi) })
+	} else {
+		syrkRange(dst, alpha, a, accum, 0, m)
+	}
+	mirrorLower(dst)
+	return dst
+}
+
+// syrkRange fills rows [lo, hi) of dst's lower triangle. Columns advance in
+// blocks of four — four independent accumulator chains hide the FP-add
+// latency a single running dot would serialize on — with a scalar remainder
+// up to the diagonal. Both paths accumulate t ascending into a private
+// accumulator, so an element's bits never depend on which path computed it.
+func syrkRange(dst *Matrix, alpha float64, a *Matrix, accum bool, lo, hi int) {
+	k, n := a.Cols, dst.Cols
+	for i := lo; i < hi; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*n : i*n+i+1]
+		j := 0
+		for ; j+4 <= i+1; j += 4 {
+			a0 := a.Data[j*k : (j+1)*k][:len(ai)]
+			a1 := a.Data[(j+1)*k : (j+2)*k][:len(ai)]
+			a2 := a.Data[(j+2)*k : (j+3)*k][:len(ai)]
+			a3 := a.Data[(j+3)*k : (j+4)*k][:len(ai)]
+			var s0, s1, s2, s3 float64
+			for t, v := range ai {
+				s0 += v * a0[t]
+				s1 += v * a1[t]
+				s2 += v * a2[t]
+				s3 += v * a3[t]
+			}
+			if accum {
+				drow[j] += alpha * s0
+				drow[j+1] += alpha * s1
+				drow[j+2] += alpha * s2
+				drow[j+3] += alpha * s3
+			} else {
+				drow[j] = alpha * s0
+				drow[j+1] = alpha * s1
+				drow[j+2] = alpha * s2
+				drow[j+3] = alpha * s3
+			}
+		}
+		for ; j <= i; j++ {
+			v := alpha * dotUnchecked(ai, a.Data[j*k:(j+1)*k])
+			if accum {
+				drow[j] += v
+			} else {
+				drow[j] = v
+			}
+		}
+	}
+}
+
+// mirrorLower copies the strictly lower triangle into the upper one, making
+// the matrix exactly symmetric bit for bit.
+func mirrorLower(m *Matrix) {
+	n := m.Rows
+	for r := 1; r < n; r++ {
+		row := m.Data[r*n : r*n+r]
+		for c, v := range row {
+			m.Data[c*n+r] = v
+		}
+	}
+}
