@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check faults bench bench-smoke
+.PHONY: build vet test race check faults bench bench-smoke restart-smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,16 @@ race:
 	$(GO) test -race ./...
 
 # check is the PR gate: everything builds, vet is clean, the full test suite
-# passes under the race detector, and every benchmark still compiles and
-# single-steps.
-check: build vet race bench-smoke
+# passes under the race detector, every benchmark still compiles and
+# single-steps, and the crash-safety contract holds against the real binary.
+check: build vet race bench-smoke restart-smoke
+
+# restart-smoke kills the leo-runtime binary between calibration windows,
+# restarts it from its state directory, corrupts the snapshot and tears the
+# journal, and requires the recovered energy plan to match an uninterrupted
+# run's to round-off.
+restart-smoke:
+	$(GO) test -run='^TestCrashRestartChaos$$' -count=1 .
 
 # bench measures the perf-tracked benchmarks (the full-size EM fit and
 # Cholesky factorization, the symmetric-inverse and SYRK kernels behind the

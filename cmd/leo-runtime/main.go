@@ -17,6 +17,12 @@
 // at the given per-event probability; the LEO controller then runs with its
 // full degradation ladder (LEO → Online → Offline → race-to-idle) and each
 // run prints the injected-fault counts and a degradation report.
+//
+// With -state-dir the binary instead runs the crash-safe LEO service mode:
+// recover estimation state from the directory (snapshot + journal replay),
+// calibrate until -windows windows are journaled, print the resulting energy
+// plan at full precision, and snapshot on exit — including on SIGTERM.
+// -crash-after-windows simulates a SIGKILL between windows for chaos tests.
 package main
 
 import (
@@ -45,6 +51,10 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 		workers   = flag.Int("workers", 0, "cores the matrix kernels may use (default: all; results are identical at any value)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+
+		stateDir   = flag.String("state-dir", "", "directory for crash-safe estimation state (switches to LEO-only service mode: recover, calibrate -windows windows, plan, snapshot)")
+		windows    = flag.Int("windows", 5, "calibration windows to complete in -state-dir mode (already-journaled windows count)")
+		crashAfter = flag.Int("crash-after-windows", 0, "chaos knob: exit(137) without snapshotting after this many windows journaled by this process (0 disables)")
 	)
 	obs := cli.RegisterObservability(flag.CommandLine, true)
 	flag.Parse()
@@ -101,6 +111,91 @@ func main() {
 		if v > maxRate {
 			maxRate = v
 		}
+	}
+
+	// -state-dir switches to crash-safe service mode: the LEO approach only,
+	// driven window by window. Each window's probe and measurement-noise
+	// streams are reseeded from (seed, journaled-window index), so a process
+	// restarted from the state directory replays journaled windows bit-
+	// exactly and re-probes any missing ones with the very draws the original
+	// process would have made — the recovery-equivalence contract the chaos
+	// tests assert on the printed plan.
+	if *stateDir != "" {
+		if *windows < 1 {
+			fatal(fmt.Errorf("windows %d < 1", *windows))
+		}
+		machRng := rand.New(rand.NewSource(0))
+		ctrlRng := rand.New(rand.NewSource(0))
+		mach, err := leo.NewMachine(space, app, *noise, machRng)
+		if err != nil {
+			fatal(err)
+		}
+		ctrl, err := leo.NewController("LEO", mach,
+			leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{}),
+			leo.NewLEOEstimator(rest.Power, leo.ModelOptions{}),
+			0, ctrlRng)
+		if err != nil {
+			fatal(err)
+		}
+		ctrl.SetEventLog(obs.Events())
+		store, err := leo.OpenStateStore(*stateDir)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := ctrl.AttachStateStore(ctx, store)
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Resumed {
+			fmt.Printf("recovery: resumed snapshot_seq=%d restored=%d replayed=%d rung=%d\n",
+				rep.SnapshotSeq, rep.RestoredSessions, rep.ReplayedWindows, rep.Rung)
+		} else {
+			fmt.Println("recovery: cold start")
+		}
+		if rep.Discarded != "" {
+			fmt.Printf("recovery: discarded: %s\n", rep.Discarded)
+		}
+		snapshotAndExit := func(code int) {
+			if err := ctrl.SnapshotState(); err != nil {
+				fmt.Fprintln(os.Stderr, "leo-runtime: snapshot:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			store.Close()
+			os.Exit(code)
+		}
+		mine := 0
+		for journaled := int(store.LastSeq()); journaled < *windows; journaled = int(store.LastSeq()) {
+			machRng.Seed(*seed + int64(journaled)*1000003 + 1)
+			ctrlRng.Seed(*seed + int64(journaled)*1000003 + 2)
+			if err := ctrl.CalibrateContext(ctx); err != nil {
+				if ctx.Err() != nil {
+					// SIGTERM/SIGINT/timeout: persist what we have so the
+					// next start resumes instead of re-probing.
+					fmt.Fprintf(os.Stderr, "leo-runtime: interrupted (%v); snapshotting\n", context.Cause(ctx))
+					snapshotAndExit(130)
+				}
+				fatal(err)
+			}
+			mine++
+			fmt.Printf("window %d/%d\n", int(store.LastSeq()), *windows)
+			if *crashAfter > 0 && mine == *crashAfter {
+				// Simulated SIGKILL (fault.KillBetweenWindows): no snapshot,
+				// no close — recovery gets only the journal.
+				fmt.Printf("crash: simulated kill after %d windows (%s)\n", mine, leo.KillBetweenWindows)
+				os.Exit(137)
+			}
+		}
+		plan, err := ctrl.PlanContext(ctx, *util*maxRate**deadline, *deadline)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan: energy=%.17g rate=%.17g idle=%.17g\n", plan.Energy, plan.Rate, plan.IdleTime)
+		for _, a := range plan.Allocations {
+			fmt.Printf("plan: config=%d time=%.17g\n", a.Index, a.Time)
+		}
+		snapshotAndExit(0)
 	}
 
 	run := func(name string, estPerf, estPower leo.Estimator, stream int64) {

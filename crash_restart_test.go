@@ -1,0 +1,187 @@
+package leo_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"leo"
+)
+
+// The chaos restart suite kills the real leo-runtime binary at a
+// deterministic random point between calibration windows, restarts it from
+// its state directory, and requires the recovered run's energy plan to match
+// an uninterrupted run's to round-off — then repeats with the snapshot
+// bit-flipped and the journal torn, which recovery must absorb without
+// crashing.
+
+// planLine is one parsed "plan:" output line: its config indices (-1 for the
+// summary line) and numeric fields.
+type planLine struct {
+	config int
+	vals   []float64
+}
+
+// runtimeBin builds cmd/leo-runtime once per test run.
+func runtimeBin(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "leo-runtime")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/leo-runtime")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building leo-runtime: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runRuntime executes the binary in state-dir mode and returns its stdout
+// and exit code.
+func runRuntime(t *testing.T, bin, dir string, windows, crashAfter int) (string, int) {
+	t.Helper()
+	args := []string{"-state-dir", dir, "-windows", strconv.Itoa(windows)}
+	if crashAfter > 0 {
+		args = append(args, "-crash-after-windows", strconv.Itoa(crashAfter))
+	}
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.Output()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+func parsePlan(t *testing.T, out string) []planLine {
+	t.Helper()
+	var plan []planLine
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "plan:") {
+			continue
+		}
+		pl := planLine{config: -1}
+		for _, field := range strings.Fields(line)[1:] {
+			k, v, ok := strings.Cut(field, "=")
+			if !ok {
+				t.Fatalf("malformed plan field %q in %q", field, line)
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", field, err)
+			}
+			if k == "config" {
+				pl.config = int(f)
+				continue
+			}
+			pl.vals = append(pl.vals, f)
+		}
+		plan = append(plan, pl)
+	}
+	if len(plan) == 0 {
+		t.Fatalf("no plan lines in output:\n%s", out)
+	}
+	return plan
+}
+
+// plansEqual requires identical structure and every numeric field within
+// 1e-10 (relative for large magnitudes).
+func plansEqual(got, want []planLine) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d plan lines, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.config != w.config || len(g.vals) != len(w.vals) {
+			return fmt.Errorf("line %d shape: %+v != %+v", i, g, w)
+		}
+		for j := range w.vals {
+			tol := 1e-10 * math.Max(1, math.Abs(w.vals[j]))
+			if math.Abs(g.vals[j]-w.vals[j]) > tol {
+				return fmt.Errorf("line %d field %d: %g != %g", i, j, g.vals[j], w.vals[j])
+			}
+		}
+	}
+	return nil
+}
+
+func TestCrashRestartChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and repeatedly restarts the leo-runtime binary")
+	}
+	bin := runtimeBin(t)
+	const windows = 4
+
+	// Uninterrupted reference run.
+	refOut, code := runRuntime(t, bin, t.TempDir(), windows, 0)
+	if code != 0 {
+		t.Fatalf("reference run exited %d:\n%s", code, refOut)
+	}
+	want := parsePlan(t, refOut)
+
+	// Kill between windows at a deterministic random point, then restart.
+	crashAt := leo.CrashPoint(99, windows-1)
+	dir := t.TempDir()
+	out, code := runRuntime(t, bin, dir, windows, crashAt)
+	if code != 137 {
+		t.Fatalf("crash run exited %d, want 137:\n%s", code, out)
+	}
+	if !strings.Contains(out, "crash: simulated kill") {
+		t.Fatalf("crash run did not report the kill:\n%s", out)
+	}
+	out, code = runRuntime(t, bin, dir, windows, 0)
+	if code != 0 {
+		t.Fatalf("restart exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("replayed=%d", crashAt)) {
+		t.Fatalf("restart did not replay %d journaled windows:\n%s", crashAt, out)
+	}
+	if err := plansEqual(parsePlan(t, out), want); err != nil {
+		t.Fatalf("recovered plan diverged from uninterrupted run: %v", err)
+	}
+
+	// Flip one bit of the completed run's snapshot: recovery must not crash,
+	// must report the damage, and must reach the same plan (here via journal
+	// replay — this directory has a single snapshot generation).
+	if err := leo.FlipBit(filepath.Join(dir, "snapshot.bin"), 5); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runRuntime(t, bin, dir, windows, 0)
+	if code != 0 {
+		t.Fatalf("bit-flip recovery exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "discarded") {
+		t.Fatalf("damaged snapshot not reported:\n%s", out)
+	}
+	if err := plansEqual(parsePlan(t, out), want); err != nil {
+		t.Fatalf("plan diverged after snapshot corruption: %v", err)
+	}
+
+	// Tear the journal mid-record: the store keeps the clean prefix, the
+	// intact snapshot covers the lost tail, and the plan is unchanged.
+	fi, err := os.Stat(filepath.Join(dir, "journal.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leo.TruncateTail(filepath.Join(dir, "journal.bin"), 0.6); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runRuntime(t, bin, dir, windows, 0)
+	if code != 0 {
+		t.Fatalf("torn-journal recovery exited %d:\n%s", code, out)
+	}
+	if err := plansEqual(parsePlan(t, out), want); err != nil {
+		t.Fatalf("plan diverged after journal truncation: %v", err)
+	}
+	if fi2, err := os.Stat(filepath.Join(dir, "journal.bin")); err != nil {
+		t.Fatal(err)
+	} else if fi2.Size() >= fi.Size() {
+		t.Fatalf("journal was not truncated (%d >= %d bytes)", fi2.Size(), fi.Size())
+	}
+}

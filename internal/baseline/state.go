@@ -1,0 +1,38 @@
+package baseline
+
+import "leo/internal/core"
+
+// StateCarrier is the optional Session capability behind crash-safe state:
+// a session that can export its restorable state and re-import it later.
+// Only LEO's true incremental session implements it — the adapted baselines
+// rebuild their (trivial) state from replayed observations, and the
+// controller's snapshot layer skips sessions that do not carry state.
+type StateCarrier interface {
+	// SessionState captures the restorable state as a deep copy.
+	SessionState() *core.SessionState
+	// RestoreSessionState replaces the session's state with a previously
+	// captured one; on error the session is unchanged.
+	RestoreSessionState(*core.SessionState) error
+	// StateDigest fingerprints the model the state is only valid against
+	// (for LEO, the prior's database and options — see core.Prior.Digest).
+	// Restoring state captured under a different digest silently poisons
+	// the warm start, so persistence layers must refuse the mismatch.
+	StateDigest() uint64
+}
+
+// HealthReporter is the optional Session capability exposing the numerical-
+// health account of the underlying fit — watchdog trips, exact-path rescues,
+// and the accumulated Cholesky jitter that marks a chronically
+// ill-conditioned covariance. The controller polls it after each Update to
+// feed its degradation ladder.
+type HealthReporter interface {
+	Health() core.Health
+}
+
+func (ls *leoSession) SessionState() *core.SessionState { return ls.s.State() }
+
+func (ls *leoSession) RestoreSessionState(st *core.SessionState) error { return ls.s.Restore(st) }
+
+func (ls *leoSession) StateDigest() uint64 { return ls.s.PriorDigest() }
+
+func (ls *leoSession) Health() core.Health { return ls.s.Health() }

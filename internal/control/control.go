@@ -19,6 +19,7 @@ import (
 	"leo/internal/machine"
 	"leo/internal/metrics"
 	"leo/internal/pareto"
+	"leo/internal/persist"
 	"leo/internal/profile"
 )
 
@@ -65,6 +66,11 @@ type Controller struct {
 	deadConfigs   map[int]bool // configurations abandoned after actuation give-ups
 	stats         DegradationReport
 	events        *metrics.EventLog // optional decision log; nil disables emission
+
+	// store, when attached, makes the estimation state crash-safe: every
+	// successful calibration is journaled, and SnapshotState persists the
+	// warm posterior. See AttachStateStore.
+	store *persist.Store
 }
 
 // DefaultSamples is the number of configurations probed per calibration,
@@ -203,6 +209,11 @@ func (c *Controller) calibrateTier(ctx context.Context) error {
 	if err := checkEstimates(perfEst, powerEst, space.N()); err != nil {
 		return fmt.Errorf("control: %s estimates rejected: %w", tier.Name, err)
 	}
+	// Journal the accepted window before its estimates take effect: once a
+	// caller can observe this calibration, a restart must reproduce it.
+	if err := c.journalWindow(obsIdx, perfObs, powerObs); err != nil {
+		return fmt.Errorf("control: journaling calibration window: %w", err)
+	}
 	c.perfEst, c.powerEst = sanitizeEstimates(perfEst, powerEst)
 	c.obsIdx, c.obsPerf = obsIdx, perfObs
 	c.measuredRates = nil
@@ -254,7 +265,40 @@ func (c *Controller) estimateTier(ctx context.Context, tier Tier, obsIdx []int, 
 	if err != nil {
 		return nil, nil, fmt.Errorf("control: power estimation: %w", err)
 	}
+	if err := c.checkJitterBudget(perfSess, "performance"); err != nil {
+		return nil, nil, err
+	}
+	if err := c.checkJitterBudget(powerSess, "power"); err != nil {
+		return nil, nil, err
+	}
 	return perfEst, powerEst, nil
+}
+
+// checkJitterBudget surfaces a session whose fits keep needing Cholesky
+// jitter shifts: a chronically ill-conditioned Σ degrades numerically long
+// before it fails to factorize outright. Crossing Resilience.JitterBudget is
+// reported as an estimation failure, which feeds the same retry-then-degrade
+// ladder as any other calibration error (the degrade discards the session,
+// so the budget resets with the fresh one).
+func (c *Controller) checkJitterBudget(sess baseline.Session, metric string) error {
+	if c.res.JitterBudget < 0 {
+		return nil
+	}
+	hr, ok := sess.(baseline.HealthReporter)
+	if !ok {
+		return nil
+	}
+	h := hr.Health()
+	if h.JitterShift <= c.res.JitterBudget {
+		return nil
+	}
+	c.stats.JitterTrips++
+	mJitterTrips.Inc()
+	c.events.Emit("jitter_budget",
+		"controller", c.name, "metric", metric,
+		"shift", h.JitterShift, "events", h.JitterEvents)
+	return fmt.Errorf("control: %s session accumulated jitter shift %.3g beyond budget %.3g (%d shifted factorizations)",
+		metric, h.JitterShift, c.res.JitterBudget, h.JitterEvents)
 }
 
 // tierSessions returns the current tier's per-metric sessions, opening fresh

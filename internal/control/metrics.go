@@ -32,6 +32,12 @@ var (
 		"executed jobs across all controllers")
 	mDeadlineMisses = metrics.NewCounter("leo_control_deadline_misses_total",
 		"jobs that completed less than the demanded work by the deadline")
+	mStateRestores = metrics.NewCounter("leo_control_state_restores_total",
+		"controller starts that resumed estimation state from a snapshot and/or journal replay")
+	mReplayedWindows = metrics.NewCounter("leo_control_replayed_windows_total",
+		"journal records re-applied to estimation sessions during recovery")
+	mJitterTrips = metrics.NewCounter("leo_control_jitter_trips_total",
+		"estimation sessions abandoned for exceeding the cumulative Cholesky jitter budget")
 )
 
 // tierTransitions returns the per-rung transition counter for a demotion or

@@ -1,0 +1,257 @@
+package control
+
+import (
+	"context"
+	"fmt"
+
+	"leo/internal/baseline"
+	"leo/internal/persist"
+)
+
+// RecoveryReport describes what AttachStateStore reconstructed from disk.
+type RecoveryReport struct {
+	// Resumed is true when any state was recovered at all; false means a
+	// cold start (empty or unusable state directory).
+	Resumed bool
+	// SnapshotSeq is the sequence number of the snapshot restored (0 when
+	// recovery ran on journal replay alone).
+	SnapshotSeq uint64
+	// RestoredSessions counts estimation sessions whose posterior/observation
+	// state came out of the snapshot.
+	RestoredSessions int
+	// ReplayedWindows counts journal records re-applied on top.
+	ReplayedWindows int
+	// Rung is the degradation-ladder index the controller resumed at.
+	Rung int
+	// Discarded carries the reason recovered state was thrown away (digest
+	// mismatch, missing capability, damaged snapshot) when partial; empty
+	// otherwise. A discard is not an error: the controller falls back to the
+	// affected state's cold path.
+	Discarded string
+}
+
+// AttachStateStore wires a persist.Store into the controller: recovery now,
+// journaling from now on.
+//
+// Recovery loads the newest intact snapshot (the store itself falls back to
+// the previous generation when the current is damaged), restores each
+// session whose prior digest matches, resumes the snapshot's ladder rung,
+// and replays the journal's later windows through the exact per-window
+// update sequence live calibration uses — so the recovered posterior is
+// bit-identical to one that never crashed. A snapshot fitted against a
+// different prior (changed database or options) is discarded whole rather
+// than half-applied.
+//
+// Journaling: every subsequent successful calibration appends its accepted
+// probe set to the store's write-ahead journal before the new estimates are
+// used, so a crash at any instant loses at most the window in flight.
+//
+// The store must be attached before the first Calibrate, and only to a
+// session-mode controller (cold recalibration rebuilds everything from the
+// last window alone and carries no state worth persisting).
+func (c *Controller) AttachStateStore(ctx context.Context, store *persist.Store) (*RecoveryReport, error) {
+	if store == nil {
+		return nil, fmt.Errorf("control: nil state store")
+	}
+	if c.coldRecal {
+		return nil, fmt.Errorf("control: state persistence requires session mode (cold recalibration carries no state)")
+	}
+	if c.store != nil {
+		return nil, fmt.Errorf("control: state store already attached")
+	}
+	c.store = store
+	rep := &RecoveryReport{Rung: c.tier}
+
+	snap, err := store.LoadSnapshot()
+	if err != nil {
+		// Both generations unusable: recover what the journal alone offers.
+		rep.Discarded = err.Error()
+		snap = nil
+	}
+	afterSeq := uint64(0)
+	if snap != nil {
+		if snap.Rung < 0 || snap.Rung >= len(c.tiers) {
+			rep.Discarded = fmt.Sprintf("snapshot rung %d outside ladder of %d", snap.Rung, len(c.tiers))
+			snap = nil
+		}
+	}
+	if snap != nil {
+		origTier := c.tier
+		if err := c.restoreSnapshot(ctx, snap, rep); err != nil {
+			// Digest mismatch or a session that cannot carry state: drop the
+			// whole snapshot — never resume half a posterior — and fall
+			// through to journal replay from zero on fresh sessions.
+			rep.Discarded = err.Error()
+			rep.RestoredSessions = 0
+			c.tier = origTier
+			c.perfSess, c.powerSess, c.sessTier = nil, nil, -1
+		} else {
+			afterSeq = snap.Seq
+			rep.SnapshotSeq = snap.Seq
+			rep.Resumed = true
+		}
+	}
+
+	recs, err := store.Replay(afterSeq)
+	if err != nil {
+		return nil, fmt.Errorf("control: reading journal: %w", err)
+	}
+	for _, rec := range recs {
+		if err := c.replayWindow(ctx, rec); err != nil {
+			return nil, fmt.Errorf("control: replaying window %d: %w", rec.Seq, err)
+		}
+		rep.ReplayedWindows++
+		rep.Resumed = true
+	}
+	rep.Rung = c.tier
+	if rep.Resumed {
+		c.stats.Restores++
+		c.stats.ReplayedWindows += rep.ReplayedWindows
+		mStateRestores.Inc()
+		mReplayedWindows.Add(uint64(rep.ReplayedWindows))
+		c.events.Emit("restore",
+			"controller", c.name, "snapshot_seq", rep.SnapshotSeq,
+			"replayed", rep.ReplayedWindows, "tier", c.tiers[c.tier].Name)
+	}
+	return rep, nil
+}
+
+// restoreSnapshot resumes the snapshot's rung and loads each entry into the
+// matching session. All-or-nothing: the first mismatch aborts, and the
+// caller discards everything.
+func (c *Controller) restoreSnapshot(ctx context.Context, snap *persist.Snapshot, rep *RecoveryReport) error {
+	c.tier = snap.Rung
+	c.perfSess, c.powerSess, c.sessTier = nil, nil, -1
+	if c.RaceToIdle() {
+		return nil // terminal rung: nothing to restore
+	}
+	perfSess, powerSess, err := c.tierSessions(ctx)
+	if err != nil {
+		return fmt.Errorf("opening sessions for restore: %w", err)
+	}
+	for _, entry := range snap.Sessions {
+		var sess baseline.Session
+		switch entry.Name {
+		case "perf":
+			sess = perfSess
+		case "power":
+			sess = powerSess
+		default:
+			return fmt.Errorf("snapshot names unknown session %q", entry.Name)
+		}
+		carrier, ok := sess.(baseline.StateCarrier)
+		if !ok {
+			return fmt.Errorf("%s session (%s) cannot carry state", entry.Name, sess.Name())
+		}
+		if got := carrier.StateDigest(); got != entry.Digest {
+			return fmt.Errorf("%s session prior digest %016x does not match snapshot %016x (database or options changed)",
+				entry.Name, got, entry.Digest)
+		}
+		if err := carrier.RestoreSessionState(entry.State); err != nil {
+			return fmt.Errorf("restoring %s session: %w", entry.Name, err)
+		}
+		rep.RestoredSessions++
+	}
+	if cs := snap.Controller; cs != nil {
+		n := c.mach.Space().N()
+		if len(cs.Perf) != n || len(cs.Power) != n {
+			return fmt.Errorf("snapshot estimates cover %d/%d configurations, space has %d",
+				len(cs.Perf), len(cs.Power), n)
+		}
+		// Assigned last so a mismatch above leaves nothing half-restored; the
+		// vectors were sanitized before the snapshot captured them.
+		c.perfEst, c.powerEst = cs.Perf, cs.Power
+		c.obsIdx, c.obsPerf = cs.ObsIdx, cs.ObsPerf
+		c.measuredRates = nil
+	}
+	return nil
+}
+
+// replayWindow re-applies one journaled calibration window, mirroring
+// estimateTier's session path exactly: the recorded readings already passed
+// the live run's validReading filter, so drop-then-update reproduces the
+// estimator state — and the resulting estimates — bit for bit.
+func (c *Controller) replayWindow(ctx context.Context, rec *persist.WindowRecord) error {
+	if rec.Rung < 0 || rec.Rung >= len(c.tiers) {
+		return fmt.Errorf("rung %d outside ladder of %d", rec.Rung, len(c.tiers))
+	}
+	if rec.Rung != c.tier {
+		// The crashed run changed rungs between this record and the previous
+		// state; move there with fresh sessions, as the ladder walk did.
+		c.tier = rec.Rung
+		c.perfSess, c.powerSess, c.sessTier = nil, nil, -1
+	}
+	if c.RaceToIdle() {
+		return nil
+	}
+	perfEst, powerEst, err := c.estimateTier(ctx, c.tiers[c.tier], rec.ObsIdx, rec.Perf, rec.Power)
+	if err != nil {
+		return err
+	}
+	if err := checkEstimates(perfEst, powerEst, c.mach.Space().N()); err != nil {
+		return err
+	}
+	c.perfEst, c.powerEst = sanitizeEstimates(perfEst, powerEst)
+	c.obsIdx, c.obsPerf = rec.ObsIdx, rec.Perf
+	c.measuredRates = nil
+	c.replans++
+	return nil
+}
+
+// journalWindow durably records one successful calibration before its
+// estimates take effect. Failure to persist is surfaced as a calibration
+// error: an unjournaled window would silently vanish from a recovery,
+// breaking the bit-identical-resume contract.
+func (c *Controller) journalWindow(obsIdx []int, perfObs, powerObs []float64) error {
+	if c.store == nil || c.coldRecal {
+		return nil
+	}
+	return c.store.Append(&persist.WindowRecord{
+		Seq:    c.store.LastSeq() + 1,
+		Rung:   c.tier,
+		ObsIdx: obsIdx,
+		Perf:   perfObs,
+		Power:  powerObs,
+	})
+}
+
+// SnapshotState atomically persists the controller's current estimation
+// state to the attached store: the ladder rung plus each current-tier
+// session that can carry state. Call it on shutdown (and optionally at
+// checkpoints); the journal keeps per-window durability in between, so a
+// missed snapshot costs replay time, never correctness.
+func (c *Controller) SnapshotState() error {
+	if c.store == nil {
+		return fmt.Errorf("control: no state store attached")
+	}
+	snap := &persist.Snapshot{Seq: c.store.LastSeq(), Rung: c.tier}
+	if c.perfEst != nil {
+		// The planner-facing estimates travel with the sessions: a recovery
+		// whose journal lost the windows this snapshot covers can still plan
+		// immediately instead of forcing a fresh calibration.
+		snap.Controller = &persist.ControllerState{
+			Perf:    c.perfEst,
+			Power:   c.powerEst,
+			ObsIdx:  c.obsIdx,
+			ObsPerf: c.obsPerf,
+		}
+	}
+	for _, s := range []struct {
+		name string
+		sess baseline.Session
+	}{{"perf", c.perfSess}, {"power", c.powerSess}} {
+		if s.sess == nil {
+			continue
+		}
+		carrier, ok := s.sess.(baseline.StateCarrier)
+		if !ok {
+			continue // adapted baseline: journal replay alone rebuilds it
+		}
+		snap.Sessions = append(snap.Sessions, persist.SessionEntry{
+			Name:   s.name,
+			Digest: carrier.StateDigest(),
+			State:  carrier.SessionState(),
+		})
+	}
+	return c.store.WriteSnapshot(snap)
+}

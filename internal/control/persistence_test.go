@@ -1,0 +1,372 @@
+package control
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"leo/internal/baseline"
+	"leo/internal/core"
+	"leo/internal/persist"
+)
+
+// TestValidReadingTable is the satellite audit of validReading: ±Inf, NaN,
+// zero, negatives, and — the subtle class — subnormals must all be rejected;
+// every normal positive float must pass.
+func TestValidReadingTable(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+		want bool
+	}{
+		{"typical rate", 3.5, true},
+		{"large power", 1e6, true},
+		{"tiny but normal", 0x1p-1022, true},
+		{"one ulp above normal floor", math.Nextafter(0x1p-1022, 1), true},
+		{"max float", math.MaxFloat64, true},
+		{"zero", 0, false},
+		{"negative zero", math.Copysign(0, -1), false},
+		{"negative", -1.5, false},
+		{"NaN", math.NaN(), false},
+		{"+Inf", math.Inf(1), false},
+		{"-Inf", math.Inf(-1), false},
+		{"largest subnormal", math.Nextafter(0x1p-1022, 0), false},
+		{"smallest subnormal", math.SmallestNonzeroFloat64, false},
+		{"negative subnormal", -math.SmallestNonzeroFloat64, false},
+	}
+	for _, tc := range cases {
+		if got := validReading(tc.v); got != tc.want {
+			t.Errorf("validReading(%s = %g) = %v, want %v", tc.name, tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestSanitizeEstimatesTable pins sanitizeEstimates element by element: bad
+// perf entries become 0 (skipped by the planner), bad power entries become
+// +Inf (last resort), valid vectors are returned without copying, and a
+// pre-suppressed perf 0 is left alone.
+func TestSanitizeEstimatesTable(t *testing.T) {
+	sub := math.SmallestNonzeroFloat64
+	perf := []float64{2.5, math.NaN(), 0, math.Inf(1), sub, 4}
+	power := []float64{10, 20, math.Inf(-1), 30, sub, math.NaN()}
+	wantPerf := []float64{2.5, 0, 0, 0, 0, 4}
+	wantPower := []float64{10, 20, math.Inf(1), 30, math.Inf(1), math.Inf(1)}
+
+	gotPerf, gotPower := sanitizeEstimates(perf, power)
+	for i := range wantPerf {
+		if gotPerf[i] != wantPerf[i] {
+			t.Errorf("perf[%d] = %g, want %g", i, gotPerf[i], wantPerf[i])
+		}
+		if gotPower[i] != wantPower[i] {
+			t.Errorf("power[%d] = %g, want %g", i, gotPower[i], wantPower[i])
+		}
+	}
+	// The originals are never mutated.
+	if !math.IsNaN(perf[1]) || power[4] != sub {
+		t.Fatal("sanitizeEstimates mutated its inputs")
+	}
+
+	// Fully valid vectors come back as the same slices, not copies.
+	cleanPerf := []float64{1, 2}
+	cleanPower := []float64{3, 4}
+	outPerf, outPower := sanitizeEstimates(cleanPerf, cleanPower)
+	if &outPerf[0] != &cleanPerf[0] || &outPower[0] != &cleanPower[0] {
+		t.Fatal("valid vectors were needlessly copied")
+	}
+	// A perf entry already suppressed to 0 stays 0 without forcing a copy.
+	zeroPerf := []float64{1, 0}
+	outPerf, _ = sanitizeEstimates(zeroPerf, []float64{3, 4})
+	if &outPerf[0] != &zeroPerf[0] {
+		t.Fatal("pre-suppressed perf 0 forced a copy")
+	}
+}
+
+// calibratedController returns a session-mode LEO controller with an
+// attached store that has completed `windows` calibrations.
+func calibratedController(t *testing.T, r *rig, seed int64, dir string, windows int) *Controller {
+	t.Helper()
+	c := r.controller(t, "LEO", seed)
+	if dir != "" {
+		store, err := persist.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AttachStateStore(context.Background(), store); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < windows; i++ {
+		if err := c.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestRecoveryMatchesUninterrupted is the heart of the crash-safety
+// contract: a controller that journaled W windows, died, and was recovered
+// from disk holds exactly the estimates of a controller that ran the same W
+// windows without interruption.
+func TestRecoveryMatchesUninterrupted(t *testing.T) {
+	const windows = 3
+	dir := t.TempDir()
+
+	// The "crashed" run: journaled, never snapshotted (hard kill).
+	rCrash := newRig(t, "kmeans", 0.01)
+	crashed := calibratedController(t, rCrash, 11, dir, windows)
+	wantPerf, wantPower := crashed.Estimates()
+	crashed.store.Close()
+
+	// Recovery into a fresh controller over an identical rig. The probe rng
+	// is irrelevant during replay (readings come from the journal), but an
+	// identical seed keeps the comparison honest.
+	rRec := newRig(t, "kmeans", 0.01)
+	rec := rRec.controller(t, "LEO", 11)
+	store, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rep, err := rec.AttachStateStore(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resumed || rep.ReplayedWindows != windows || rep.SnapshotSeq != 0 {
+		t.Fatalf("unexpected recovery: %+v", rep)
+	}
+	gotPerf, gotPower := rec.Estimates()
+	if gotPerf == nil {
+		t.Fatal("no estimates after recovery")
+	}
+	for i := range wantPerf {
+		if gotPerf[i] != wantPerf[i] || gotPower[i] != wantPower[i] {
+			t.Fatalf("estimate[%d] diverged after recovery: (%g,%g) != (%g,%g)",
+				i, gotPerf[i], gotPower[i], wantPerf[i], wantPower[i])
+		}
+	}
+	if rec.Replans() != windows {
+		t.Fatalf("replans = %d, want %d", rec.Replans(), windows)
+	}
+	if got := rec.Report(); got.Restores != 1 || got.ReplayedWindows != windows {
+		t.Fatalf("report: %+v", got)
+	}
+}
+
+// TestRecoveryFromSnapshotPlusJournal: snapshot at window 2, journal through
+// window 4, crash. Recovery restores the snapshot and replays only windows
+// 3–4, landing on the uninterrupted run's estimates.
+func TestRecoveryFromSnapshotPlusJournal(t *testing.T) {
+	dir := t.TempDir()
+	rCrash := newRig(t, "kmeans", 0.01)
+	crashed := calibratedController(t, rCrash, 23, dir, 2)
+	if err := crashed.SnapshotState(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := crashed.Calibrate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantPerf, wantPower := crashed.Estimates()
+	crashed.store.Close()
+
+	rRec := newRig(t, "kmeans", 0.01)
+	rec := rRec.controller(t, "LEO", 23)
+	store, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rep, err := rec.AttachStateStore(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SnapshotSeq != 2 || rep.ReplayedWindows != 2 || rep.RestoredSessions != 2 {
+		t.Fatalf("unexpected recovery: %+v", rep)
+	}
+	gotPerf, gotPower := rec.Estimates()
+	for i := range wantPerf {
+		if gotPerf[i] != wantPerf[i] || gotPower[i] != wantPower[i] {
+			t.Fatalf("estimate[%d] diverged: (%g,%g) != (%g,%g)",
+				i, gotPerf[i], gotPower[i], wantPerf[i], wantPower[i])
+		}
+	}
+}
+
+// TestRecoveryCorruptSnapshotFallsBack: a bit-flipped current snapshot must
+// not crash recovery — the previous generation plus journal replay covers
+// it, and the fallback is visible in the persist metrics (tested at the
+// store layer; here we assert the recovered estimates still match).
+func TestRecoveryCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	rCrash := newRig(t, "kmeans", 0.01)
+	crashed := calibratedController(t, rCrash, 31, dir, 1)
+	if err := crashed.SnapshotState(); err != nil {
+		t.Fatal(err)
+	}
+	if err := crashed.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := crashed.SnapshotState(); err != nil {
+		t.Fatal(err)
+	}
+	if err := crashed.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	wantPerf, wantPower := crashed.Estimates()
+	crashed.store.Close()
+
+	// Corrupt the current snapshot (seq 2); recovery must fall back to the
+	// previous generation (seq 1) and replay windows 2–3 from the journal.
+	cur := filepath.Join(dir, "snapshot.bin")
+	b, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0x20
+	if err := os.WriteFile(cur, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rRec := newRig(t, "kmeans", 0.01)
+	rec := rRec.controller(t, "LEO", 31)
+	store, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rep, err := rec.AttachStateStore(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SnapshotSeq != 1 || rep.ReplayedWindows != 2 {
+		t.Fatalf("fallback recovery: %+v", rep)
+	}
+	gotPerf, gotPower := rec.Estimates()
+	for i := range wantPerf {
+		if gotPerf[i] != wantPerf[i] || gotPower[i] != wantPower[i] {
+			t.Fatalf("estimate[%d] diverged after fallback: (%g,%g) != (%g,%g)",
+				i, gotPerf[i], gotPower[i], wantPerf[i], wantPower[i])
+		}
+	}
+}
+
+// TestRecoveryDigestMismatchDiscards: a snapshot captured against a
+// different prior (here: a different application's database) is discarded
+// whole; recovery degrades to journal replay on fresh sessions and reports
+// the discard.
+func TestRecoveryDigestMismatchDiscards(t *testing.T) {
+	dir := t.TempDir()
+	rA := newRig(t, "kmeans", 0.01)
+	a := calibratedController(t, rA, 41, dir, 1)
+	if err := a.SnapshotState(); err != nil {
+		t.Fatal(err)
+	}
+	a.store.Close()
+
+	// Recover with an estimator built from a different target application:
+	// the offline database differs, so the prior digest differs.
+	rB := newRig(t, "x264", 0.01)
+	b := rB.controller(t, "LEO", 41)
+	store, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rep, err := b.AttachStateStore(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Discarded == "" {
+		t.Fatal("digest mismatch not reported")
+	}
+	if rep.RestoredSessions != 0 {
+		t.Fatalf("mismatched snapshot partially restored: %+v", rep)
+	}
+	// The journaled window still replays (observations are prior-agnostic).
+	if rep.ReplayedWindows != 1 {
+		t.Fatalf("journal not replayed after discard: %+v", rep)
+	}
+}
+
+// TestAttachStateStoreRejections: nil store, cold-recalibration mode, and
+// double attachment are caller errors.
+func TestAttachStateStoreRejections(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "LEO", 1)
+	if _, err := c.AttachStateStore(context.Background(), nil); err == nil {
+		t.Fatal("nil store accepted")
+	}
+	cold := r.controller(t, "LEO", 1)
+	cold.SetColdRecalibration(true)
+	store, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := cold.AttachStateStore(context.Background(), store); err == nil {
+		t.Fatal("cold-recalibration controller accepted a store")
+	}
+	if _, err := c.AttachStateStore(context.Background(), store); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AttachStateStore(context.Background(), store); err == nil {
+		t.Fatal("double attach accepted")
+	}
+	if err := c.SnapshotState(); err != nil {
+		t.Fatal(err)
+	}
+	none := r.controller(t, "LEO", 1)
+	if err := none.SnapshotState(); err == nil {
+		t.Fatal("SnapshotState without a store accepted")
+	}
+}
+
+// stubHealthSession reports a fixed Health without being a real estimator —
+// the jitter shift at which an engineered ill-conditioned Σ trips depends on
+// round-off, so the budget check is exercised directly instead.
+type stubHealthSession struct {
+	baseline.Session
+	health core.Health
+}
+
+func (s *stubHealthSession) Health() core.Health { return s.health }
+
+// TestJitterBudgetCheck pins the controller-side budget decision: shift
+// beyond budget trips (counted in the report and surfaced as an estimation
+// failure), shift within budget passes, a negative budget disables the check
+// entirely, and sessions that cannot report health are left alone.
+func TestJitterBudgetCheck(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "LEO", 1)
+	sess := &stubHealthSession{health: core.Health{JitterEvents: 4, JitterShift: 1e-3}}
+
+	// Default budget is 1e-6: a 1e-3 cumulative shift trips.
+	if err := c.checkJitterBudget(sess, "performance"); err == nil {
+		t.Fatal("shift beyond budget did not trip")
+	}
+	if got := c.Report().JitterTrips; got != 1 {
+		t.Fatalf("JitterTrips = %d, want 1", got)
+	}
+	// Budget above the accumulated shift: clean.
+	c.SetResilience(Resilience{JitterBudget: 1})
+	if err := c.checkJitterBudget(sess, "performance"); err != nil {
+		t.Fatalf("shift within budget tripped: %v", err)
+	}
+	// Negative budget disables the check regardless of shift.
+	c.SetResilience(Resilience{JitterBudget: -1})
+	if err := c.checkJitterBudget(sess, "performance"); err != nil {
+		t.Fatalf("disabled budget tripped: %v", err)
+	}
+	// A session without health reporting is never tripped.
+	c.SetResilience(Resilience{})
+	plain := baseline.AdaptSession(baseline.NewExhaustive(r.truePerf), 0)
+	if err := c.checkJitterBudget(plain, "performance"); err != nil {
+		t.Fatalf("health-blind session tripped: %v", err)
+	}
+	if got := c.Report().JitterTrips; got != 1 {
+		t.Fatalf("JitterTrips = %d after clean checks, want 1", got)
+	}
+}

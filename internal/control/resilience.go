@@ -65,6 +65,14 @@ type Resilience struct {
 	// RecoveryJobs is how many consecutive fault-free jobs a degraded
 	// controller waits before promoting back up a rung. Default 5.
 	RecoveryJobs int
+	// JitterBudget bounds the cumulative Cholesky jitter shift a tier's
+	// estimation sessions may accumulate (see core.Health.JitterShift). A
+	// chronically ill-conditioned Σ needs ever-larger identity shifts to stay
+	// factorable long before it fails outright; crossing the budget counts
+	// as an estimation failure and feeds the degradation ladder. Zero
+	// selects the default (1e-6 — four decades above the ladder's starting
+	// shift, untouched by healthy fits); negative disables the check.
+	JitterBudget float64
 }
 
 func (r Resilience) withDefaults() Resilience {
@@ -94,6 +102,9 @@ func (r Resilience) withDefaults() Resilience {
 	}
 	if r.RecoveryJobs <= 0 {
 		r.RecoveryJobs = 5
+	}
+	if r.JitterBudget == 0 {
+		r.JitterBudget = 1e-6
 	}
 	return r
 }
@@ -147,6 +158,14 @@ type DegradationReport struct {
 	// EstimationFailures counts failed calibration attempts (invalid probe
 	// sets, estimator errors, rejected estimate vectors).
 	EstimationFailures int64
+	// Restores counts state recoveries: controller starts that resumed from
+	// a persisted snapshot and/or journal replay instead of cold.
+	Restores int
+	// ReplayedWindows counts journal records re-applied during recovery.
+	ReplayedWindows int
+	// JitterTrips counts estimation sessions abandoned because their
+	// cumulative Cholesky jitter shift crossed Resilience.JitterBudget.
+	JitterTrips int64
 }
 
 // Degraded reports whether the controller ever left its primary tier.
@@ -169,6 +188,14 @@ func (r DegradationReport) String() string {
 	out += fmt.Sprintf("] fallbacks=%d recoveries=%d retries=%d giveups=%d watchdog=%d dropped=%d estfail=%d",
 		r.Fallbacks, r.Recoveries, r.ActuationRetries, r.ActuationGiveUps,
 		r.WatchdogTrips, r.DroppedObservations, r.EstimationFailures)
+	// Crash-recovery and numerical-health accounting appears only when it
+	// engaged, keeping the line stable for runs without a state store.
+	if r.Restores > 0 || r.ReplayedWindows > 0 {
+		out += fmt.Sprintf(" restores=%d replayed=%d", r.Restores, r.ReplayedWindows)
+	}
+	if r.JitterTrips > 0 {
+		out += fmt.Sprintf(" jittertrips=%d", r.JitterTrips)
+	}
 	return out
 }
 
@@ -183,11 +210,17 @@ func (c *Controller) Report() DegradationReport {
 }
 
 // validReading reports whether a sensor reading is physically plausible:
-// finite and strictly positive. NaN meter dropouts, lost heartbeat batches
-// (rate 0) and sign-corrupted samples all fail.
+// finite, strictly positive, and no smaller than the smallest normal float.
+// NaN meter dropouts, ±Inf, lost heartbeat batches (rate 0) and
+// sign-corrupted samples all fail; so do subnormals (< 2^-1022), which are
+// indistinguishable from a zeroed register and whose reciprocal — taken all
+// over the planner — overflows to +Inf.
 func validReading(v float64) bool {
-	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= minNormalReading
 }
+
+// minNormalReading is the smallest positive normal float64, 2^-1022.
+const minNormalReading = 0x1p-1022
 
 // checkEstimates guards the planner against poisoned estimator output
 // (NaN/Inf vectors must never reach internal/pareto as the only option): the

@@ -105,6 +105,22 @@ type Options struct {
 	// default places them inside, which matches the standard NIW MAP update
 	// the equation is derived from.
 	StrictPaperSigma bool
+	// DisableHealthChecks turns off the per-iteration numerical-health
+	// watchdogs (the non-finite posterior scan, the log-likelihood
+	// regression detector, and the automatic exact-path fallback they
+	// drive). The watchdogs observe the fit without changing any of its
+	// floating-point results, so this exists for overhead measurement, not
+	// correctness.
+	DisableHealthChecks bool
+	// HealthLLDrop tunes the log-likelihood regression watchdog: the fit is
+	// declared numerically unhealthy when the observed-data log-likelihood
+	// falls between successive EM iterations by more than
+	// HealthLLDrop·(1+|previous value|). EM ascends the NIW-penalized
+	// objective, so small decreases of the unpenalized likelihood are
+	// legitimate; the default 0.5 only fires on collapse-scale drops. Zero
+	// selects the default; negative disables the regression detector while
+	// keeping the non-finite scans.
+	HealthLLDrop float64
 	// StrictConvergence makes Estimate surface an *ErrNotConverged (together
 	// with the capped Result) when EM hits MaxIter before stabilizing. By
 	// default non-convergence is reported only through Result.Converged —
@@ -129,6 +145,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SigmaFloor <= 0 {
 		o.SigmaFloor = 1e-9
+	}
+	if o.HealthLLDrop == 0 {
+		o.HealthLLDrop = 0.5
 	}
 	return o
 }

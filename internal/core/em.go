@@ -43,6 +43,15 @@ type emWorkspace struct {
 	tObs    []float64 // k: observed-coordinate residual / K⁻¹ solve scratch
 	d       []float64 // centered-difference scratch (M-step, exact path)
 	prev    []float64 // previous estimate (convergence check)
+	hd      []float64 // health watchdog: log-likelihood residual scratch
+	hs      []float64 // health watchdog: log-likelihood solve scratch
+
+	// Start-parameter backup for the watchdog's exact-path fallback: the
+	// retry must restart from the same μ/Σ/σ² the diverged attempt did.
+	muBak     []float64
+	sigmaBak  *matrix.Matrix
+	sigma2Bak float64
+	freshBak  bool
 
 	e eResult // reused E-step output, fields point into the buffers above
 }
@@ -70,7 +79,29 @@ func newEMWorkspace(n, rows int) *emWorkspace {
 		zTarget: make([]float64, n),
 		d:       make([]float64, n),
 		prev:    make([]float64, n),
+		hd:      make([]float64, n),
+		hs:      make([]float64, n),
+		muBak:   make([]float64, n),
+		sigmaBak: matrix.New(n, n),
 	}
+}
+
+// saveStart backs up the parameters a fit is about to start from, so a
+// watchdog-tripped attempt can be re-run on the exact path from the same
+// point.
+func (ws *emWorkspace) saveStart(s *Session) {
+	copy(ws.muBak, s.mu)
+	matrix.CloneInto(ws.sigmaBak, s.sigma)
+	ws.sigma2Bak = s.sigma2
+	ws.freshBak = s.freshSigma
+}
+
+// restoreStart undoes whatever a diverged attempt left in the parameters.
+func (ws *emWorkspace) restoreStart(s *Session) {
+	copy(s.mu, ws.muBak)
+	matrix.CloneInto(s.sigma, ws.sigmaBak)
+	s.sigma2 = ws.sigma2Bak
+	s.freshSigma = ws.freshBak
 }
 
 // ensureObs sizes the k-dependent buffers for exactly k observations. The
@@ -174,19 +205,36 @@ func (em *Session) run(ctx context.Context, maxIter int) (*Result, error) {
 		converged  bool
 		iters      int
 		lastChange = math.Inf(1)
+		prevLL     float64
+		haveLL     bool
 	)
+	health := !em.opts.DisableHealthChecks
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, canceled(err)
+		}
+		if healthTestHook != nil {
+			healthTestHook(em, iter)
 		}
 		iters = iter + 1
 		e, err := em.eStep(ctx)
 		if err != nil {
 			return nil, err
 		}
+		if health && e.llValid {
+			if err := em.checkLL(e.ll, prevLL, haveLL, iter); err != nil {
+				return nil, err
+			}
+			prevLL, haveLL = e.ll, true
+		}
 		zM = e.zTarget
 		if err := em.mStep(ctx, e); err != nil {
 			return nil, err
+		}
+		if health {
+			if err := em.scanPosterior(e, iter); err != nil {
+				return nil, err
+			}
 		}
 
 		if havePrev {
@@ -205,6 +253,16 @@ func (em *Session) run(ctx context.Context, maxIter int) (*Result, error) {
 	e, err := em.eStep(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if health {
+		if e.llValid {
+			if err := em.checkLL(e.ll, prevLL, haveLL, iters); err != nil {
+				return nil, err
+			}
+		}
+		if err := em.scanPosterior(e, iters); err != nil {
+			return nil, err
+		}
 	}
 	// Observability: totals recorded once per fit, outside the iteration
 	// loop, with allocation-free counter/gauge operations.
@@ -256,6 +314,13 @@ type eResult struct {
 	cTarget   *matrix.Matrix // posterior covariance of the target app
 	sinvMu    []float64      // Σ^{-1} μ, reused by both branches
 	targetObs int
+
+	// ll is the observed-data log-likelihood of the parameters this E-step
+	// evaluated (same quantity as LogLikelihood, computed from the factors
+	// already in hand) — the regression watchdog's input. llValid is false
+	// when the path does not compute it (naive ablation, health checks off).
+	ll      float64
+	llValid bool
 }
 
 // eStep evaluates Eq. (3) for every application.
@@ -284,10 +349,40 @@ func (em *Session) eStep(ctx context.Context) (*eResult, error) {
 	if em.opts.NaiveEStep {
 		return em.eStepNaive()
 	}
-	if em.opts.ExactEStep {
+	if em.opts.ExactEStep || em.fallbackExact {
 		return em.eStepExact()
 	}
 	return em.eStepFast()
+}
+
+// ln2pi is the Gaussian normalization constant log(2π).
+var ln2pi = math.Log(2 * math.Pi)
+
+// llRows accumulates the fully observed applications' share of the
+// observed-data log-likelihood: each row contributes −½(quadᵢ + log|A| +
+// n·log 2π) with A = Σ+σ²I, whose factor must already sit in ws.chA. It runs
+// entirely in the hd/hs scratch vectors — zero allocations.
+func (em *Session) llRows() float64 {
+	ws, n := em.ws, em.n
+	logDet := ws.chA.LogDet()
+	total := 0.0
+	for i := 0; i < em.known.Rows; i++ {
+		row := em.known.RowView(i)
+		for j := 0; j < n; j++ {
+			ws.hd[j] = row[j] - em.mu[j]
+		}
+		ws.chA.SolveVecInto(ws.hs, ws.hd)
+		total += -0.5 * (matrix.Dot(ws.hd, ws.hs) + logDet + float64(n)*ln2pi)
+	}
+	return total
+}
+
+// llTarget is the target application's share: −½(quad + log|K| + k·log 2π)
+// with K = σ²I + Σ[Ω,Ω]. diff must hold y_Ω − μ_Ω and solved K⁻¹(y_Ω − μ_Ω);
+// both are already produced by the E-step's Woodbury work.
+func (em *Session) llTarget(diff, solved []float64) float64 {
+	k := len(diff)
+	return -0.5 * (matrix.Dot(diff, solved) + em.ws.chK.LogDet() + float64(k)*ln2pi)
 }
 
 // eStepFast is the production E-step. Beyond sharing the fully observed
@@ -335,6 +430,12 @@ func (em *Session) eStepFast() (*eResult, error) {
 		for i := 0; i < em.known.Rows; i++ {
 			matrix.AxpyInPlace(1, em.mu, ws.zFull.RowView(i))
 		}
+		if !em.opts.DisableHealthChecks {
+			// chA still holds the factor of Σ+σ²I (InverseInto leaves it
+			// intact), which is exactly the marginal the likelihood needs.
+			out.ll += em.llRows()
+			out.llValid = true
+		}
 	}
 	out.zFull = ws.zFull
 
@@ -358,9 +459,11 @@ func (em *Session) eStepFast() (*eResult, error) {
 		}
 	}
 	ws.kmat.AddDiagonal(s2)
-	if _, err := ws.chK.FactorizeJitter(ws.kmat, 1e-10, 14); err != nil {
+	applied, err := ws.chK.FactorizeJitter(ws.kmat, matrix.DefaultJitter, matrix.DefaultJitterTries)
+	if err != nil {
 		return nil, fmt.Errorf("core: observation kernel not factorable: %w", err)
 	}
+	em.noteJitter(applied)
 	// Row r of wT is L_K⁻¹ S[r,:], i.e. wT = S L_K⁻ᵀ, so the Woodbury
 	// correction S K⁻¹ Sᵀ = wT·wTᵀ lands as one symmetric rank-k product —
 	// exactly symmetric, like Σ, so their difference needs no Symmetrize.
@@ -372,7 +475,17 @@ func (em *Session) eStepFast() (*eResult, error) {
 	for i, idx := range em.obsIdx {
 		ws.tObs[i] = em.obsVal[i] - em.mu[idx]
 	}
+	health := !em.opts.DisableHealthChecks
+	if health {
+		copy(ws.hd[:k], ws.tObs)
+	}
 	ws.chK.SolveVecInto(ws.tObs, ws.tObs)
+	if health {
+		// The solved residual K⁻¹(y_Ω − μ_Ω) is the likelihood's quadratic
+		// term — the watchdog's input comes free with the Woodbury work.
+		out.ll += em.llTarget(ws.hd[:k], ws.tObs)
+		out.llValid = true
+	}
 	matrix.MulVecInto(ws.zTarget, ws.s, ws.tObs)
 	matrix.AxpyInPlace(1, em.mu, ws.zTarget)
 	out.zTarget = ws.zTarget
@@ -394,8 +507,12 @@ func (em *Session) eStepExact() (*eResult, error) {
 		// at NewPrior time — copy it instead of refactorizing.
 		ws.chS.CopyFrom(em.prior.chol0)
 		em.freshSigma = false
-	} else if _, err := ws.chS.FactorizeJitter(em.sigma, 1e-10, 14); err != nil {
-		return nil, fmt.Errorf("core: Σ not factorable: %w", err)
+	} else {
+		applied, err := ws.chS.FactorizeJitter(em.sigma, matrix.DefaultJitter, matrix.DefaultJitterTries)
+		if err != nil {
+			return nil, fmt.Errorf("core: Σ not factorable: %w", err)
+		}
+		em.noteJitter(applied)
 	}
 	out.sinvMu = ws.chS.SolveVecInto(ws.sinvMu, em.mu)
 
@@ -421,6 +538,10 @@ func (em *Session) eStepExact() (*eResult, error) {
 		// ẑ_i = Ĉ rhs_i for every app at once; Ĉ is symmetric so the
 		// transposed-B kernel applies it directly.
 		out.zFull = matrix.MulTransBInto(ws.zFull, ws.rhsFull, out.cFull)
+		if !em.opts.DisableHealthChecks {
+			out.ll += em.llRows()
+			out.llValid = true
+		}
 	} else {
 		out.zFull = ws.zFull // 0×n
 	}
@@ -445,14 +566,24 @@ func (em *Session) eStepExact() (*eResult, error) {
 		}
 	}
 	ws.kmat.AddDiagonal(em.sigma2)
-	if _, err := ws.chK.FactorizeJitter(ws.kmat, 1e-10, 14); err != nil {
+	applied, err := ws.chK.FactorizeJitter(ws.kmat, matrix.DefaultJitter, matrix.DefaultJitterTries)
+	if err != nil {
 		return nil, fmt.Errorf("core: observation kernel not factorable: %w", err)
 	}
+	em.noteJitter(applied)
 	// Each row of S is one right-hand side: wT = S K⁻¹ (n×k), and the
 	// Woodbury correction S K⁻¹ Sᵀ is then a single transposed-B GEMM.
 	ws.chK.SolveTInto(ws.wT, ws.s)
 	matrix.MulTransBInto(ws.sw, ws.wT, ws.s)
 	out.cTarget = matrix.SubInto(ws.cTarget, em.sigma, ws.sw).Symmetrize()
+	if !em.opts.DisableHealthChecks {
+		for i, idx := range em.obsIdx {
+			ws.hd[i] = em.obsVal[i] - em.mu[idx]
+		}
+		ws.chK.SolveVecInto(ws.hs[:k], ws.hd[:k])
+		out.ll += em.llTarget(ws.hd[:k], ws.hs[:k])
+		out.llValid = true
+	}
 
 	copy(ws.rhs, out.sinvMu)
 	inv := 1 / em.sigma2
@@ -471,10 +602,11 @@ func (em *Session) eStepNaive() (*eResult, error) {
 	n := em.n
 	out := &eResult{targetObs: len(em.obsIdx)}
 
-	chS, _, err := matrix.NewCholeskyJitter(em.sigma, 1e-10, 14)
+	chS, applied, err := matrix.NewCholeskyJitter(em.sigma, matrix.DefaultJitter, matrix.DefaultJitterTries)
 	if err != nil {
 		return nil, fmt.Errorf("core: Σ not factorable: %w", err)
 	}
+	em.noteJitter(applied)
 	sigmaInv := chS.Inverse()
 	out.sinvMu = sigmaInv.MulVec(em.mu)
 	inv := 1 / em.sigma2
@@ -484,10 +616,11 @@ func (em *Session) eStepNaive() (*eResult, error) {
 		for _, idx := range mask {
 			a.Set(idx, idx, a.At(idx, idx)+inv)
 		}
-		chA, _, err := matrix.NewCholeskyJitter(a, 1e-10, 14)
+		chA, appliedA, err := matrix.NewCholeskyJitter(a, matrix.DefaultJitter, matrix.DefaultJitterTries)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: naive posterior not factorable: %w", err)
 		}
+		em.noteJitter(appliedA)
 		c := chA.Inverse()
 		rhs := matrix.CloneVec(out.sinvMu)
 		for i, idx := range mask {
@@ -561,7 +694,7 @@ func (em *Session) mStep(ctx context.Context, e *eResult) error {
 	} else {
 		copy(sigma.Data, e.cTarget.Data)
 	}
-	exact := em.opts.ExactEStep || em.opts.NaiveEStep
+	exact := em.opts.ExactEStep || em.opts.NaiveEStep || em.fallbackExact
 	if exact {
 		d := em.ws.d
 		for i := 0; i < rows; i++ {

@@ -27,7 +27,7 @@ func LogLikelihood(known *matrix.Matrix, obsIdx []int, obsVal []float64, mu []fl
 
 	if known.Rows > 0 {
 		marg := sigma.Clone().AddDiagonal(noise * noise)
-		ch, _, err := matrix.NewCholeskyJitter(marg, 1e-10, 14)
+		ch, _, err := matrix.NewCholeskyJitter(marg, matrix.DefaultJitter, matrix.DefaultJitterTries)
 		if err != nil {
 			return 0, fmt.Errorf("core: marginal covariance not factorable: %w", err)
 		}
@@ -52,7 +52,7 @@ func LogLikelihood(known *matrix.Matrix, obsIdx []int, obsVal []float64, mu []fl
 			}
 		}
 		sub.AddDiagonal(noise * noise)
-		ch, _, err := matrix.NewCholeskyJitter(sub, 1e-10, 14)
+		ch, _, err := matrix.NewCholeskyJitter(sub, matrix.DefaultJitter, matrix.DefaultJitterTries)
 		if err != nil {
 			return 0, fmt.Errorf("core: observed covariance not factorable: %w", err)
 		}

@@ -22,4 +22,19 @@ var (
 		"fits aborted by context cancellation")
 	mEMLastChange = metrics.NewGauge("leo_core_em_last_rel_change",
 		"relative change of the target prediction at the end of the most recent fit")
+
+	// Numerical-health watchdogs (DESIGN.md §11). Trip counters are bumped on
+	// the (rare) trip paths; the jitter pair is bumped per shifted
+	// factorization — all with allocation-free operations, so the iteration
+	// loop's zero-allocation contract holds with the watchdogs enabled.
+	mHealthNonFinite = metrics.NewCounter("leo_core_health_nonfinite_total",
+		"EM iterations aborted by the non-finite posterior/log-likelihood scan")
+	mHealthLLRegressions = metrics.NewCounter("leo_core_health_ll_regressions_total",
+		"EM fits aborted by the log-likelihood regression detector")
+	mHealthFallbacks = metrics.NewCounter("leo_core_health_fallbacks_total",
+		"fits re-run on the exact E-step after a fast-path watchdog trip")
+	mJitterEvents = metrics.NewCounter("leo_core_jitter_events_total",
+		"covariance factorizations that needed a nonzero jitter-ladder shift")
+	mJitterShift = metrics.NewGauge("leo_core_jitter_shift_sum",
+		"accumulated identity shift applied by the Cholesky jitter ladder")
 )

@@ -88,7 +88,7 @@ func NewPrior(known *matrix.Matrix, opts Options) (*Prior, error) {
 	// factorization. A failure here is not fatal: the session falls back to
 	// factorizing (with jitter) itself.
 	ch := matrix.NewCholeskyWorkspace(n)
-	if _, err := ch.FactorizeJitter(p.sigma0, 1e-10, 14); err == nil {
+	if _, err := ch.FactorizeJitter(p.sigma0, matrix.DefaultJitter, matrix.DefaultJitterTries); err == nil {
 		p.chol0 = ch
 	}
 	return p, nil
@@ -186,6 +186,12 @@ type Session struct {
 	// E-step may copy the pre-computed factor instead of refactorizing.
 	freshSigma bool
 
+	// fallbackExact forces the exact E-step for the remainder of the current
+	// Fit: set (once, by Fit itself) when a numerical-health watchdog trips
+	// on the fast path, cleared when the fit ends.
+	fallbackExact bool
+	health        Health
+
 	ws *emWorkspace
 }
 
@@ -269,7 +275,22 @@ func (s *Session) Fit(ctx context.Context) (*Result, error) {
 		s.init()
 	}
 	s.ws.ensureObs(s.n, len(s.obsIdx))
+	// The watchdogs can rescue a diverged fast-path fit by re-running it on
+	// the exact E-step, but only from the exact parameters this fit started
+	// with — back them up before the first attempt can corrupt them.
+	canFallback := !s.opts.DisableHealthChecks && !s.opts.ExactEStep && !s.opts.NaiveEStep
+	if canFallback {
+		s.ws.saveStart(s)
+	}
 	res, err := s.run(ctx, maxIter)
+	if canFallback && IsNumericalHealth(err) {
+		s.health.Fallbacks++
+		mHealthFallbacks.Inc()
+		s.ws.restoreStart(s)
+		s.fallbackExact = true
+		res, err = s.run(ctx, maxIter)
+		s.fallbackExact = false
+	}
 	if err != nil && !IsNotConverged(err) {
 		// Hard failure (numerical or canceled): the parameters may be
 		// mid-update, so the next fit must start cold.

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"leo/internal/matrix"
+)
+
+// SessionState is the serializable snapshot of a Session: the accumulated
+// observations plus — when the session is warm — the posterior parameters
+// the next Fit would warm-start from. Everything else a Session carries
+// (workspaces, Cholesky factors, the prior itself) is deterministically
+// rebuilt, so it is deliberately elided: a restored session's next Fit is
+// bit-identical to the original's because the EM recurrence depends only on
+// (prior, μ, Σ, σ², observations).
+type SessionState struct {
+	// Warm reports whether Mu/Sigma/Sigma2 carry a posterior. When false
+	// they are nil/zero and the restored session cold-starts from the prior.
+	Warm   bool
+	Mu     []float64
+	Sigma  *matrix.Matrix
+	Sigma2 float64
+	// ObsIdx/ObsVal are the session's observations in insertion order.
+	ObsIdx []int
+	ObsVal []float64
+}
+
+// State captures the session's restorable state as a deep copy: later
+// mutation of the session (or the returned state) affects neither.
+func (s *Session) State() *SessionState {
+	st := &SessionState{Warm: s.warm}
+	st.ObsIdx, st.ObsVal = s.Observations()
+	if s.warm {
+		st.Mu = matrix.CloneVec(s.mu)
+		st.Sigma = s.sigma.Clone()
+		st.Sigma2 = s.sigma2
+	}
+	return st
+}
+
+// Restore replaces the session's observations and warm-start parameters with
+// st, validating shapes and finiteness first — persisted state passes a
+// checksum before it gets here, but a checksum only proves the bytes are the
+// ones written, not that they describe a usable model. On any validation
+// error the session is left unchanged. A successful restore makes the next
+// Fit bit-identical to what the captured session's next Fit would have been.
+func (s *Session) Restore(st *SessionState) error {
+	if st == nil {
+		return fmt.Errorf("core: nil session state")
+	}
+	if len(st.ObsIdx) != len(st.ObsVal) {
+		return fmt.Errorf("core: state has %d observation indices but %d values", len(st.ObsIdx), len(st.ObsVal))
+	}
+	for i, idx := range st.ObsIdx {
+		if idx < 0 || idx >= s.n {
+			return fmt.Errorf("core: state observation index %d out of range [0,%d)", idx, s.n)
+		}
+		if v := st.ObsVal[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: non-finite state observation %g", v)
+		}
+	}
+	if st.Warm {
+		if len(st.Mu) != s.n {
+			return fmt.Errorf("core: state μ length %d != %d configurations", len(st.Mu), s.n)
+		}
+		if st.Sigma == nil || st.Sigma.Rows != s.n || st.Sigma.Cols != s.n {
+			return fmt.Errorf("core: state Σ shape does not match %d configurations", s.n)
+		}
+		if !finiteVec(st.Mu) || !finiteVec(st.Sigma.Data) {
+			return fmt.Errorf("core: non-finite state posterior")
+		}
+		if math.IsNaN(st.Sigma2) || math.IsInf(st.Sigma2, 0) || st.Sigma2 <= 0 {
+			return fmt.Errorf("core: state noise variance %g not positive", st.Sigma2)
+		}
+	}
+	s.Reset()
+	for i, idx := range st.ObsIdx {
+		if err := s.Add(idx, st.ObsVal[i]); err != nil {
+			return err
+		}
+	}
+	if st.Warm {
+		copy(s.mu, st.Mu)
+		matrix.CloneInto(s.sigma, st.Sigma)
+		s.sigma2 = st.Sigma2
+		s.warm = true
+		// The restored Σ is the fitted posterior, not the prior's Σ₀, so the
+		// precomputed cold-start factor must not be reused.
+		s.freshSigma = false
+	}
+	return nil
+}
+
+// PriorDigest returns the digest of the prior this session was opened from;
+// see Prior.Digest.
+func (s *Session) PriorDigest() uint64 { return s.prior.Digest() }
+
+// PriorState is the serializable identity of a Prior: the offline database
+// and the options. Everything the Prior precomputes (column means, Σ₀ and
+// its factor, the running sum of squares) is a pure function of these two.
+type PriorState struct {
+	Known *matrix.Matrix
+	Opts  Options
+}
+
+// State captures the prior's rebuildable identity (deep copy).
+func (p *Prior) State() *PriorState {
+	return &PriorState{Known: p.known.Clone(), Opts: p.opts}
+}
+
+// RestorePrior rebuilds a Prior from captured state; the result is
+// functionally identical to the original (same digest, same sessions).
+func RestorePrior(st *PriorState) (*Prior, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil prior state")
+	}
+	return NewPrior(st.Known, st.Opts)
+}
+
+// Digest fingerprints the prior: the database's shape and exact bits plus
+// every option that affects a fit, folded through FNV-1a. Persisted session
+// state records it so a snapshot taken against one prior is never restored
+// into a session derived from a different one (a changed database or option
+// set would silently poison the warm start).
+func (p *Prior) Digest() uint64 {
+	h := fnvOffset
+	h = fnvU64(h, 0x4c454f5052494f52) // "LEOPRIOR"
+	h = fnvU64(h, uint64(p.known.Rows))
+	h = fnvU64(h, uint64(p.known.Cols))
+	for _, v := range p.known.Data {
+		h = fnvU64(h, math.Float64bits(v))
+	}
+	o := p.opts
+	h = fnvU64(h, uint64(o.MaxIter))
+	h = fnvU64(h, uint64(o.WarmMaxIter))
+	h = fnvU64(h, math.Float64bits(o.Tol))
+	h = fnvU64(h, math.Float64bits(o.Pi))
+	h = fnvU64(h, math.Float64bits(o.SigmaFloor))
+	h = fnvU64(h, math.Float64bits(o.HealthLLDrop))
+	h = fnvU64(h, packBools(o.ZeroInit, o.NaiveEStep, o.ExactEStep,
+		o.StrictPaperSigma, o.StrictConvergence, o.DisableHealthChecks, o.InitMu != nil))
+	for _, v := range o.InitMu {
+		h = fnvU64(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// FNV-1a, 64-bit, folded one uint64 (8 bytes, little-endian order) at a time.
+const (
+	fnvOffset uint64 = 0xcbf29ce484222325
+	fnvPrime  uint64 = 0x100000001b3
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func packBools(bs ...bool) uint64 {
+	var v uint64
+	for i, b := range bs {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"leo/internal/matrix"
+)
+
+// fitEqual compares two results bit for bit.
+func fitEqual(t *testing.T, got, want *Result, label string) {
+	t.Helper()
+	for i := range want.Estimate {
+		if got.Estimate[i] != want.Estimate[i] {
+			t.Fatalf("%s: estimate[%d] %g != %g", label, i, got.Estimate[i], want.Estimate[i])
+		}
+		if got.Variance[i] != want.Variance[i] {
+			t.Fatalf("%s: variance[%d] %g != %g", label, i, got.Variance[i], want.Variance[i])
+		}
+	}
+	if got.Noise != want.Noise || got.Iterations != want.Iterations {
+		t.Fatalf("%s: noise/iterations (%g,%d) != (%g,%d)", label,
+			got.Noise, got.Iterations, want.Noise, want.Iterations)
+	}
+}
+
+// TestStateRoundTripCold: capturing a cold session's state (observations
+// only) and restoring it into a fresh session reproduces the fit bit for
+// bit.
+func TestStateRoundTripCold(t *testing.T) {
+	known, obsIdx, obsVal := sessionFixture(t)
+	prior, err := NewPrior(known, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := prior.NewSession()
+	for i, idx := range obsIdx {
+		if err := orig.Add(idx, obsVal[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := orig.State()
+	if st.Warm {
+		t.Fatal("cold session captured as warm")
+	}
+
+	restored := prior.NewSession()
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	want, err := orig.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitEqual(t, got, want, "cold round trip")
+}
+
+// TestStateRoundTripWarm: the restorability contract that crash recovery
+// stands on — a warm session's captured state, restored into a fresh session
+// over the same prior, makes the next warm Fit bit-identical to the
+// original's.
+func TestStateRoundTripWarm(t *testing.T) {
+	known, obsIdx, obsVal := sessionFixture(t)
+	prior, err := NewPrior(known, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := prior.NewSession()
+	for i, idx := range obsIdx {
+		if err := orig.Add(idx, obsVal[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := orig.Fit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// New observation after the first fit, exactly the controller's
+	// one-measurement-per-window cadence.
+	if err := orig.Add(obsIdx[0], obsVal[0]*1.01); err != nil {
+		t.Fatal(err)
+	}
+
+	st := orig.State()
+	if !st.Warm {
+		t.Fatal("fitted session captured as cold")
+	}
+	restored := prior.NewSession()
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	want, err := orig.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitEqual(t, got, want, "warm round trip")
+}
+
+// TestStateDeepCopy: mutating the captured state must not affect the session
+// and vice versa.
+func TestStateDeepCopy(t *testing.T) {
+	known, obsIdx, obsVal := sessionFixture(t)
+	prior, err := NewPrior(known, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prior.NewSession()
+	for i, idx := range obsIdx {
+		if err := s.Add(idx, obsVal[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Fit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.State()
+	st.Mu[0] = 1e9
+	st.Sigma.Data[0] = 1e9
+	st.ObsVal[0] = 1e9
+	if s.mu[0] == 1e9 || s.sigma.Data[0] == 1e9 || s.obsVal[0] == 1e9 {
+		t.Fatal("State() shares memory with the session")
+	}
+}
+
+// TestStateClearObservationsRoundTrip: a session that dropped its
+// observations but kept the posterior (the controller's per-window
+// DropObservations) snapshots as warm-with-no-observations and round-trips
+// exactly.
+func TestStateClearObservationsRoundTrip(t *testing.T) {
+	known, obsIdx, obsVal := sessionFixture(t)
+	prior, err := NewPrior(known, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := prior.NewSession()
+	for i, idx := range obsIdx {
+		if err := orig.Add(idx, obsVal[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := orig.Fit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	orig.ClearObservations()
+	if err := orig.Add(obsIdx[0], obsVal[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	st := orig.State()
+	if !st.Warm || len(st.ObsIdx) != 1 {
+		t.Fatalf("unexpected state shape: warm=%v obs=%d", st.Warm, len(st.ObsIdx))
+	}
+	restored := prior.NewSession()
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	want, err := orig.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitEqual(t, got, want, "post-drop round trip")
+}
+
+// TestStateForgetPosteriorRoundTrip: ForgetPosterior demotes the state to
+// cold; a restored copy cold-starts exactly like the original.
+func TestStateForgetPosteriorRoundTrip(t *testing.T) {
+	known, obsIdx, obsVal := sessionFixture(t)
+	prior, err := NewPrior(known, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := prior.NewSession()
+	for i, idx := range obsIdx {
+		if err := orig.Add(idx, obsVal[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := orig.Fit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	orig.ForgetPosterior()
+
+	st := orig.State()
+	if st.Warm {
+		t.Fatal("ForgetPosterior state still warm")
+	}
+	if st.Mu != nil || st.Sigma != nil {
+		t.Fatal("cold state carries posterior parameters")
+	}
+	restored := prior.NewSession()
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	want, err := orig.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitEqual(t, got, want, "forget-posterior round trip")
+}
+
+// TestStateRestoreRejects: malformed state must leave the session unchanged.
+func TestStateRestoreRejects(t *testing.T) {
+	known, obsIdx, obsVal := sessionFixture(t)
+	prior, err := NewPrior(known, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := prior.Configurations()
+	cases := []struct {
+		name string
+		st   *SessionState
+	}{
+		{"nil", nil},
+		{"length mismatch", &SessionState{ObsIdx: []int{0, 1}, ObsVal: []float64{1}}},
+		{"index out of range", &SessionState{ObsIdx: []int{n}, ObsVal: []float64{1}}},
+		{"negative index", &SessionState{ObsIdx: []int{-1}, ObsVal: []float64{1}}},
+		{"non-finite value", &SessionState{ObsIdx: []int{0}, ObsVal: []float64{math.Inf(1)}}},
+		{"warm missing mu", &SessionState{Warm: true, Sigma: matrix.Identity(n), Sigma2: 1}},
+		{"warm bad sigma shape", &SessionState{Warm: true, Mu: make([]float64, n),
+			Sigma: matrix.Identity(n - 1), Sigma2: 1}},
+		{"warm nil sigma", &SessionState{Warm: true, Mu: make([]float64, n), Sigma2: 1}},
+		{"warm nan mu", &SessionState{Warm: true, Mu: append(make([]float64, n-1), math.NaN()),
+			Sigma: matrix.Identity(n), Sigma2: 1}},
+		{"warm zero sigma2", &SessionState{Warm: true, Mu: make([]float64, n),
+			Sigma: matrix.Identity(n), Sigma2: 0}},
+		{"warm nan sigma2", &SessionState{Warm: true, Mu: make([]float64, n),
+			Sigma: matrix.Identity(n), Sigma2: math.NaN()}},
+	}
+	for _, tc := range cases {
+		s := prior.NewSession()
+		for i, idx := range obsIdx {
+			if err := s.Add(idx, obsVal[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Restore(tc.st); err == nil {
+			t.Fatalf("%s: Restore accepted malformed state", tc.name)
+		}
+		if got, _ := s.Observations(); len(got) != len(obsIdx) {
+			t.Fatalf("%s: failed Restore mutated the session", tc.name)
+		}
+	}
+}
+
+// TestPriorStateRoundTrip: a prior rebuilt from its captured state has the
+// same digest and produces bit-identical fits.
+func TestPriorStateRoundTrip(t *testing.T) {
+	known, obsIdx, obsVal := sessionFixture(t)
+	prior, err := NewPrior(known, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := RestorePrior(prior.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prior.Digest() != rebuilt.Digest() {
+		t.Fatalf("digest changed across restore: %x != %x", prior.Digest(), rebuilt.Digest())
+	}
+	want, err := prior.Estimate(context.Background(), obsIdx, obsVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rebuilt.Estimate(context.Background(), obsIdx, obsVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitEqual(t, got, want, "prior round trip")
+	if _, err := RestorePrior(nil); err == nil {
+		t.Fatal("RestorePrior(nil) accepted")
+	}
+}
+
+// TestPriorDigestSensitivity: the digest must move when the database bits or
+// any fit-affecting option move, and must not depend on anything else.
+func TestPriorDigestSensitivity(t *testing.T) {
+	known, _, _ := sessionFixture(t)
+	base, err := NewPrior(known, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same, err := NewPrior(known.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Digest() != same.Digest() {
+		t.Fatal("identical priors digest differently")
+	}
+
+	bumped := known.Clone()
+	bumped.Data[0] = math.Nextafter(bumped.Data[0], math.Inf(1))
+	p, err := NewPrior(bumped, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Digest() == base.Digest() {
+		t.Fatal("one-ulp database change did not move the digest")
+	}
+
+	for name, opts := range map[string]Options{
+		"MaxIter":          {MaxIter: 9},
+		"WarmMaxIter":      {WarmMaxIter: 3},
+		"Tol":              {Tol: 1e-4},
+		"Pi":               {Pi: 2},
+		"ExactEStep":       {ExactEStep: true},
+		"NaiveEStep":       {NaiveEStep: true},
+		"ZeroInit":         {ZeroInit: true},
+		"StrictPaperSigma": {StrictPaperSigma: true},
+		"HealthLLDrop":     {HealthLLDrop: -1},
+		"DisableHealth":    {DisableHealthChecks: true},
+	} {
+		p, err := NewPrior(known, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Digest() == base.Digest() {
+			t.Fatalf("option %s did not move the digest", name)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// Crash/corruption injectors for the persistence layer. Unlike the Plan's
+// per-event Bernoulli faults these act on files and process lifetimes, so
+// they are plain functions the chaos tests call at points of their choosing;
+// determinism comes from the seed, exactly as with Plan.
+
+// FlipBit flips one pseudo-randomly chosen bit of the file at path
+// (SnapshotBitFlip). The bit position is drawn from the seed, so a given
+// (seed, file length) always damages the same bit. Empty files are left
+// alone — there is nothing to corrupt.
+func FlipBit(path string, seed int64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bit := rng.Intn(len(b) * 8)
+	b[bit/8] ^= 1 << (bit % 8)
+	return os.WriteFile(path, b, 0o644)
+}
+
+// TruncateTail cuts the file at path down to frac of its length
+// (JournalTruncation): frac 0.5 keeps the first half, frac 0 empties the
+// file. Truncating to a record boundary is deliberately NOT attempted — a
+// torn write lands mid-record, and that is what recovery must survive.
+func TruncateTail(path string, frac float64) error {
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("fault: truncation fraction %g outside [0,1]", frac)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, int64(float64(fi.Size())*frac))
+}
+
+// CrashPoint returns the 1-based control window after which a process kill
+// (KillBetweenWindows) should be injected, drawn uniformly from [1, windows]
+// with the given seed. A deterministic schedule keeps the chaos test's
+// kill/restart/compare loop reproducible.
+func CrashPoint(seed int64, windows int) int {
+	if windows < 1 {
+		return 0
+	}
+	return 1 + rand.New(rand.NewSource(seed)).Intn(windows)
+}

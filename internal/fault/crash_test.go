@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFlipBitDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	orig := bytes.Repeat([]byte{0xAB}, 257)
+	damage := func(seed int64) []byte {
+		p := filepath.Join(dir, "f")
+		if err := os.WriteFile(p, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := FlipBit(p, seed); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := damage(7), damage(7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed damaged different bits")
+	}
+	if bytes.Equal(a, orig) {
+		t.Fatal("no bit was flipped")
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1", diff)
+	}
+	// An empty file is a no-op, not an error.
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(empty, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateTail(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	if err := os.WriteFile(p, make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateTail(p, 0.35); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 35 {
+		t.Fatalf("size = %d, want 35", fi.Size())
+	}
+	if err := TruncateTail(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(p); fi.Size() != 0 {
+		t.Fatal("frac 0 must empty the file")
+	}
+	if err := TruncateTail(p, 1.5); err == nil {
+		t.Fatal("out-of-range fraction accepted")
+	}
+}
+
+func TestCrashPoint(t *testing.T) {
+	if CrashPoint(1, 0) != 0 {
+		t.Fatal("no windows must yield no crash point")
+	}
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		w := CrashPoint(seed, 5)
+		if w < 1 || w > 5 {
+			t.Fatalf("crash point %d outside [1,5]", w)
+		}
+		if CrashPoint(seed, 5) != w {
+			t.Fatal("crash point not deterministic")
+		}
+		seen[w] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("crash points cover only %d of 5 windows across 64 seeds", len(seen))
+	}
+}
+
+func TestCrashKindNames(t *testing.T) {
+	for k, want := range map[Kind]string{
+		SnapshotBitFlip:    "snapshot-bit-flip",
+		JournalTruncation:  "journal-truncation",
+		KillBetweenWindows: "kill-between-windows",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	// The crash kinds are injected directly, never drawn from a Plan.
+	for _, k := range Kinds() {
+		if k == SnapshotBitFlip || k == JournalTruncation || k == KillBetweenWindows {
+			t.Fatalf("%v must not be a probabilistic plan kind", k)
+		}
+	}
+}

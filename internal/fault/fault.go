@@ -48,6 +48,22 @@ const (
 	// rate; membership comes from Spec.Blacklist.
 	ConfigBlacklist
 
+	// The crash/corruption kinds below model storage and process failures
+	// rather than per-event sensor faults. They have no Bernoulli rate and
+	// never fire from a Plan; chaos tests inject them directly with
+	// FlipBit, TruncateTail, and CrashPoint (crash.go) and use the Kind only
+	// to name what was injected in reports.
+
+	// SnapshotBitFlip: a persisted snapshot suffers silent media corruption
+	// (one flipped bit), which the persist layer must detect by checksum.
+	SnapshotBitFlip
+	// JournalTruncation: the tail of the write-ahead journal is lost (torn
+	// write at power cut); recovery must keep the clean prefix.
+	JournalTruncation
+	// KillBetweenWindows: the runtime process dies between control windows
+	// (SIGKILL, OOM) and restarts from persisted state.
+	KillBetweenWindows
+
 	numKinds
 )
 
@@ -70,6 +86,12 @@ func (k Kind) String() string {
 		return "actuation-drop"
 	case ConfigBlacklist:
 		return "config-blacklist"
+	case SnapshotBitFlip:
+		return "snapshot-bit-flip"
+	case JournalTruncation:
+		return "journal-truncation"
+	case KillBetweenWindows:
+		return "kill-between-windows"
 	default:
 		return fmt.Sprintf("fault.Kind(%d)", int(k))
 	}

@@ -262,26 +262,43 @@ func cholTrailingRowScalar(data []float64, n, j0, jb, i, cc int) {
 	}
 }
 
+// DefaultJitter is the starting identity shift of the jitter ladder — small
+// enough to be invisible against any well-scaled Σ, large enough to rescue a
+// factorization lost to round-off.
+const DefaultJitter = 1e-10
+
+// DefaultJitterTries bounds the ladder's escalation: DefaultJitter·10^13 ≈ 1e3
+// is the point past which Σ is no longer meaningfully the caller's matrix.
+const DefaultJitterTries = 14
+
+// jitterLadder is the one shared escalation policy behind FactorizeJitter and
+// NewCholeskyJitter: attempt the unshifted factorization, then retry with an
+// identity shift starting at jitter and growing 10× up to maxTries times. It
+// returns the shift that succeeded (0 for the clean first attempt).
+func jitterLadder(try func(shift float64) error, jitter float64, maxTries int) (float64, error) {
+	if jitter <= 0 {
+		jitter = DefaultJitter
+	}
+	if err := try(0); err == nil {
+		return 0, nil
+	}
+	cur := jitter
+	for attempt := 0; attempt < maxTries; attempt++ {
+		if err := try(cur); err == nil {
+			return cur, nil
+		}
+		cur *= 10
+	}
+	return 0, fmt.Errorf("%w even after jitter up to %g", ErrNotPositiveDefinite, cur/10)
+}
+
 // FactorizeJitter factors a, adding progressively larger multiples of the
 // identity (starting at jitter, growing 10× up to maxTries times) until the
 // factorization succeeds, and returns the jitter actually applied. Like
 // Factorize it allocates nothing: every attempt re-copies a into the
 // workspace.
 func (c *Cholesky) FactorizeJitter(a *Matrix, jitter float64, maxTries int) (float64, error) {
-	if jitter <= 0 {
-		jitter = 1e-10
-	}
-	if err := c.factorize(a, 0); err == nil {
-		return 0, nil
-	}
-	cur := jitter
-	for try := 0; try < maxTries; try++ {
-		if err := c.factorize(a, cur); err == nil {
-			return cur, nil
-		}
-		cur *= 10
-	}
-	return 0, fmt.Errorf("%w even after jitter up to %g", ErrNotPositiveDefinite, cur/10)
+	return jitterLadder(func(shift float64) error { return c.factorize(a, shift) }, jitter, maxTries)
 }
 
 // NewCholeskyJitter factors a, adding progressively larger multiples of the

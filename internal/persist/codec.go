@@ -1,0 +1,204 @@
+// Package persist makes LEO's estimation state durable across process
+// crashes (DESIGN.md §11). It has three layers:
+//
+//   - a versioned, checksummed binary codec for the serializable session
+//     state exported by internal/core — the posterior parameters and
+//     observation windows; the warm-start factors and workspaces are elided
+//     and rebuilt on load,
+//   - an atomic snapshot file (write-temp → fsync → rename) whose previous
+//     generation is kept as a fallback for a corrupted or torn current one,
+//   - an append-only observation journal (a write-ahead log) with per-record
+//     checksums and torn-write detection, replayed over the last good
+//     snapshot to reconstruct the windows that arrived after it.
+//
+// Everything is little-endian, fixed-width, and decoded defensively: the
+// decoder treats its input as hostile bytes (a half-written sector, a
+// bit-flipped block) and fails with an error — never a panic or an
+// unbounded allocation — on anything malformed. That property is pinned by
+// a fuzz target.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt wraps every decode failure so callers can distinguish "the
+// bytes are bad" (fall back to the previous generation) from I/O errors.
+type ErrCorrupt struct {
+	What   string
+	Detail string
+}
+
+// Error implements error.
+func (e *ErrCorrupt) Error() string {
+	return fmt.Sprintf("persist: corrupt %s: %s", e.What, e.Detail)
+}
+
+func corrupt(what, format string, args ...interface{}) error {
+	return &ErrCorrupt{What: what, Detail: fmt.Sprintf(format, args...)}
+}
+
+// enc accumulates the wire form. Appends cannot fail; the checksum and
+// framing are added by the caller once the payload is complete.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u8(v uint8)    { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) f64s(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+func (e *enc) ints(v []int) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u64(uint64(int64(x)))
+	}
+}
+
+// dec is the defensive reader. The first malformed read latches err; every
+// later read is a no-op returning zero values, so decode functions can read
+// straight through and check err once. Length-prefixed fields verify the
+// claimed count against the bytes actually remaining BEFORE allocating, so a
+// flipped length byte cannot demand gigabytes.
+type dec struct {
+	buf  []byte
+	off  int
+	what string // for error messages: "snapshot", "journal record", ...
+	err  error
+}
+
+func (d *dec) fail(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = corrupt(d.what, format, args...)
+	}
+}
+
+func (d *dec) remaining() int { return len(d.buf) - d.off }
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.remaining() < n {
+		d.fail("truncated: need %d bytes at offset %d, have %d", n, d.off, d.remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid boolean byte at offset %d", d.off-1)
+		return false
+	}
+}
+
+func (d *dec) str(maxLen int) string {
+	n := int(d.u32())
+	if d.err != nil {
+		return ""
+	}
+	if n > maxLen {
+		d.fail("string length %d exceeds limit %d", n, maxLen)
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *dec) f64s() []float64 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n*8 > d.remaining() {
+		d.fail("float slice length %d exceeds remaining %d bytes", n, d.remaining())
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *dec) ints() []int {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n*8 > d.remaining() {
+		d.fail("int slice length %d exceeds remaining %d bytes", n, d.remaining())
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(int64(d.u64()))
+	}
+	return out
+}

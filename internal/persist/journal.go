@@ -1,0 +1,112 @@
+package persist
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Journal wire format: a file header, then a stream of self-delimiting
+// records. Each record is
+//
+//	recMagic(4) payloadLen(4) crc32c(4) payload
+//
+// with the checksum over the payload. A crash can tear the tail of the file
+// mid-record (short frame, short payload, or a checksum that does not match
+// what was being written); scanJournal stops at the first malformed record
+// and reports the clean prefix, which Open then truncates the file back to
+// — the write-ahead-log contract: a torn tail loses at most the record that
+// was in flight, never an acknowledged one.
+const (
+	journalMagic = "LEOJRNL\x01"
+	recMagic     = 0x4c4a5231 // "LJR1"
+	recHeader    = 12
+	maxRecBytes  = 1 << 24 // one calibration window is tiny; 16 MiB is absurd
+)
+
+// WindowRecord journals one successful calibration window: the degradation
+// rung it ran at and the accepted (post-filter) probe readings fed to the
+// estimators. Faulted probes are filtered before journaling, so replaying
+// each record — drop stale observations, Update both estimators with these
+// exact values — reconstructs the estimator state the crashed process had
+// acknowledged, bit for bit.
+type WindowRecord struct {
+	// Seq is the 1-based position of this window in the journal's history;
+	// records with Seq ≤ the snapshot's Seq are already folded in.
+	Seq uint64
+	// Rung is the degradation-ladder index the calibration ran at.
+	Rung int
+	// ObsIdx are the probed configuration indices; Perf and Power the
+	// readings accepted at each.
+	ObsIdx []int
+	Perf   []float64
+	Power  []float64
+}
+
+// encodeRecord renders one framed journal record.
+func encodeRecord(r *WindowRecord) []byte {
+	var p enc
+	p.u64(r.Seq)
+	p.u64(uint64(int64(r.Rung)))
+	p.ints(r.ObsIdx)
+	p.f64s(r.Perf)
+	p.f64s(r.Power)
+
+	out := make([]byte, recHeader, recHeader+len(p.buf))
+	binary.LittleEndian.PutUint32(out[0:], recMagic)
+	binary.LittleEndian.PutUint32(out[4:], uint32(len(p.buf)))
+	binary.LittleEndian.PutUint32(out[8:], crc32.Checksum(p.buf, castagnoli))
+	return append(out, p.buf...)
+}
+
+// decodeRecord parses one record payload.
+func decodeRecord(payload []byte) (*WindowRecord, error) {
+	d := &dec{buf: payload, what: "journal record"}
+	r := &WindowRecord{}
+	r.Seq = d.u64()
+	r.Rung = int(int64(d.u64()))
+	r.ObsIdx = d.ints()
+	r.Perf = d.f64s()
+	r.Power = d.f64s()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, corrupt("journal record", "%d trailing bytes", d.remaining())
+	}
+	if len(r.ObsIdx) != len(r.Perf) || len(r.ObsIdx) != len(r.Power) {
+		return nil, corrupt("journal record", "probe arrays disagree: %d idx, %d perf, %d power",
+			len(r.ObsIdx), len(r.Perf), len(r.Power))
+	}
+	return r, nil
+}
+
+// scanJournal walks the record stream in b (which must already have had the
+// file header peeled off) and returns every intact record plus the length of
+// the clean prefix in bytes (relative to b). It never fails: a malformed or
+// torn record simply ends the scan, exactly like a WAL recovery pass.
+func scanJournal(b []byte) (recs []*WindowRecord, clean int) {
+	off := 0
+	for {
+		if len(b)-off < recHeader {
+			return recs, off // torn or clean EOF
+		}
+		if binary.LittleEndian.Uint32(b[off:]) != recMagic {
+			return recs, off
+		}
+		plen := int(binary.LittleEndian.Uint32(b[off+4:]))
+		sum := binary.LittleEndian.Uint32(b[off+8:])
+		if plen > maxRecBytes || len(b)-off-recHeader < plen {
+			return recs, off // impossible or torn payload
+		}
+		payload := b[off+recHeader : off+recHeader+plen]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, r)
+		off += recHeader + plen
+	}
+}

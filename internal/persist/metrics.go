@@ -1,0 +1,19 @@
+package persist
+
+import "leo/internal/metrics"
+
+// Durability observability: how often state is written, recovered, and —
+// the interesting cases — repaired or salvaged from the previous
+// generation. All counters use the registry's allocation-free operations.
+var (
+	mSnapshotsWritten = metrics.NewCounter("leo_persist_snapshots_written_total",
+		"snapshots atomically published to the state directory")
+	mSnapshotsLoaded = metrics.NewCounter("leo_persist_snapshots_loaded_total",
+		"snapshots successfully loaded during recovery")
+	mSnapshotFallbacks = metrics.NewCounter("leo_persist_snapshot_fallbacks_total",
+		"recoveries that found the current snapshot damaged and fell back to the previous generation")
+	mJournalAppends = metrics.NewCounter("leo_persist_journal_appends_total",
+		"window records durably appended to the observation journal")
+	mJournalRepairs = metrics.NewCounter("leo_persist_journal_repairs_total",
+		"journal opens that truncated a torn tail left by a crash mid-append")
+)

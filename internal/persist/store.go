@@ -1,0 +1,286 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Store is a state directory holding one current snapshot, its previous
+// generation, and the observation journal:
+//
+//	<dir>/snapshot.bin   current snapshot (atomic: tmp → fsync → rename)
+//	<dir>/snapshot.prev  previous generation, the corruption fallback
+//	<dir>/journal.bin    append-only window records since the oldest snapshot
+//
+// Writes are crash-ordered: a journal record is fsynced before Append
+// returns (the window is not acknowledged until it is durable), and a
+// snapshot becomes the current one only through an atomic rename, so a crash
+// at any instant leaves either the new snapshot, the previous one, or both —
+// never a half-written current. LoadSnapshot prefers current and falls back
+// to previous when current is missing, truncated, or fails its checksum.
+//
+// A Store is not safe for concurrent use; the controller owns it.
+type Store struct {
+	dir     string
+	journal *os.File
+	lastSeq uint64 // highest journaled or snapshotted Seq seen
+}
+
+const (
+	snapName = "snapshot.bin"
+	prevName = "snapshot.prev"
+	jrnlName = "journal.bin"
+	tmpName  = "snapshot.tmp"
+)
+
+// Open attaches to (creating if needed) the state directory and repairs the
+// journal's torn tail, if any, by truncating back to the last intact record.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating state dir: %w", err)
+	}
+	s := &Store{dir: dir}
+	if err := s.openJournal(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// LastSeq returns the highest window sequence number known to the store:
+// the maximum over the journal's intact records and any snapshot loaded or
+// written through it. The next Append must use LastSeq()+1.
+func (s *Store) LastSeq() uint64 { return s.lastSeq }
+
+// Close releases the journal file handle.
+func (s *Store) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+// openJournal opens (creating if absent) the journal, validates its header,
+// and truncates any torn tail so the write offset lands on a record
+// boundary.
+func (s *Store) openJournal() error {
+	path := s.path(jrnlName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: opening journal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("persist: stat journal: %w", err)
+	}
+	if info.Size() == 0 {
+		// Fresh journal: stamp the header.
+		if _, err := f.Write([]byte(journalMagic)); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: writing journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: syncing journal header: %w", err)
+		}
+		s.journal = f
+		return nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("persist: reading journal: %w", err)
+	}
+	if len(b) < len(journalMagic) || string(b[:len(journalMagic)]) != journalMagic {
+		f.Close()
+		return corrupt("journal", "bad file header")
+	}
+	recs, clean := scanJournal(b[len(journalMagic):])
+	keep := int64(len(journalMagic) + clean)
+	if keep < info.Size() {
+		// Torn tail from a crash mid-append: drop the unacknowledged bytes.
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: repairing journal: %w", err)
+		}
+		mJournalRepairs.Inc()
+	}
+	if _, err := f.Seek(keep, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: seeking journal: %w", err)
+	}
+	for _, r := range recs {
+		if r.Seq > s.lastSeq {
+			s.lastSeq = r.Seq
+		}
+	}
+	s.journal = f
+	return nil
+}
+
+// Append journals one window record durably: the write is fsynced before
+// Append returns, so a record the caller saw acknowledged survives any
+// subsequent crash.
+func (s *Store) Append(r *WindowRecord) error {
+	if s.journal == nil {
+		return errors.New("persist: store is closed")
+	}
+	if _, err := s.journal.Write(encodeRecord(r)); err != nil {
+		return fmt.Errorf("persist: appending journal record: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing journal: %w", err)
+	}
+	if r.Seq > s.lastSeq {
+		s.lastSeq = r.Seq
+	}
+	mJournalAppends.Inc()
+	return nil
+}
+
+// Replay returns the journal's intact records with Seq > afterSeq, in file
+// order — the windows a recovery must re-apply on top of a snapshot taken
+// at afterSeq.
+func (s *Store) Replay(afterSeq uint64) ([]*WindowRecord, error) {
+	b, err := os.ReadFile(s.path(jrnlName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("persist: reading journal: %w", err)
+	}
+	if len(b) < len(journalMagic) || string(b[:len(journalMagic)]) != journalMagic {
+		return nil, corrupt("journal", "bad file header")
+	}
+	recs, _ := scanJournal(b[len(journalMagic):])
+	out := recs[:0]
+	for _, r := range recs {
+		if r.Seq > afterSeq {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// WriteSnapshot makes snap the current snapshot atomically and rotates the
+// old current to the previous generation:
+//
+//  1. write <dir>/snapshot.tmp, fsync it
+//  2. rename snapshot.bin → snapshot.prev (if a current exists)
+//  3. rename snapshot.tmp → snapshot.bin
+//  4. fsync the directory so both renames are durable
+//
+// A crash between 2 and 3 leaves only snapshot.prev, which LoadSnapshot
+// falls back to; at every other instant a complete current exists. The
+// journal is NOT truncated — records at or below snap.Seq are skipped on
+// replay — so a later fallback to snapshot.prev still finds the windows
+// between the two generations in the journal.
+func (s *Store) WriteSnapshot(snap *Snapshot) error {
+	tmp := s.path(tmpName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating snapshot temp: %w", err)
+	}
+	if _, err := f.Write(EncodeSnapshot(snap)); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: closing snapshot temp: %w", err)
+	}
+	cur := s.path(snapName)
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, s.path(prevName)); err != nil {
+			return fmt.Errorf("persist: rotating snapshot: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	if snap.Seq > s.lastSeq {
+		s.lastSeq = snap.Seq
+	}
+	mSnapshotsWritten.Inc()
+	return nil
+}
+
+// LoadSnapshot returns the newest intact snapshot: the current one, or —
+// when it is missing, truncated, or corrupt — the previous generation
+// (counted as a fallback). (nil, nil) means no snapshot exists at all,
+// which is a normal cold start; an intact-current decode error is carried
+// in the error only when the fallback also fails.
+func (s *Store) LoadSnapshot() (*Snapshot, error) {
+	snap, errCur := s.loadOne(snapName)
+	if snap != nil {
+		mSnapshotsLoaded.Inc()
+		if snap.Seq > s.lastSeq {
+			s.lastSeq = snap.Seq
+		}
+		return snap, nil
+	}
+	if errCur != nil {
+		// The current generation exists but is damaged: fall back.
+		mSnapshotFallbacks.Inc()
+	}
+	snap, errPrev := s.loadOne(prevName)
+	if snap != nil {
+		mSnapshotsLoaded.Inc()
+		if snap.Seq > s.lastSeq {
+			s.lastSeq = snap.Seq
+		}
+		return snap, nil
+	}
+	if errCur != nil {
+		if errPrev != nil {
+			return nil, fmt.Errorf("persist: current snapshot: %w; previous snapshot also unusable: %v", errCur, errPrev)
+		}
+		return nil, fmt.Errorf("persist: current snapshot: %w; no previous generation", errCur)
+	}
+	if errPrev != nil {
+		return nil, fmt.Errorf("persist: previous snapshot: %w", errPrev)
+	}
+	return nil, nil // neither file exists: cold start
+}
+
+// loadOne reads and decodes one snapshot file. (nil, nil) means the file
+// does not exist.
+func (s *Store) loadOne(name string) (*Snapshot, error) {
+	b, err := os.ReadFile(s.path(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return DecodeSnapshot(b)
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: opening state dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing state dir: %w", err)
+	}
+	return nil
+}

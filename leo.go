@@ -69,6 +69,7 @@ import (
 	"leo/internal/machine"
 	"leo/internal/matrix"
 	"leo/internal/pareto"
+	"leo/internal/persist"
 	"leo/internal/platform"
 	"leo/internal/profile"
 	"leo/internal/sampling"
@@ -306,6 +307,11 @@ const (
 	ActuationFail   = fault.ActuationFail
 	ActuationDrop   = fault.ActuationDrop
 	ConfigBlacklist = fault.ConfigBlacklist
+	// Crash/corruption kinds, injected directly by the functions below
+	// rather than drawn from a FaultPlan.
+	SnapshotBitFlip    = fault.SnapshotBitFlip
+	JournalTruncation  = fault.JournalTruncation
+	KillBetweenWindows = fault.KillBetweenWindows
 )
 
 // NewFaultPlan builds a deterministic fault schedule from a seed and spec.
@@ -314,6 +320,34 @@ func NewFaultPlan(seed int64, spec FaultSpec) (*FaultPlan, error) { return fault
 // UniformFaults returns a spec with every probabilistic fault kind firing at
 // the given per-event rate.
 func UniformFaults(rate float64) FaultSpec { return fault.Uniform(rate) }
+
+// FlipBit flips one seeded-random bit of the file at path (SnapshotBitFlip).
+func FlipBit(path string, seed int64) error { return fault.FlipBit(path, seed) }
+
+// TruncateTail cuts the file at path to frac of its length
+// (JournalTruncation) — a torn write that lands mid-record.
+func TruncateTail(path string, frac float64) error { return fault.TruncateTail(path, frac) }
+
+// CrashPoint deterministically picks the control window, in [1, windows],
+// after which a chaos test should kill the process (KillBetweenWindows).
+func CrashPoint(seed int64, windows int) int { return fault.CrashPoint(seed, windows) }
+
+// Crash-safe state persistence (robustness extension): a StateStore pairs
+// atomic snapshots with a checksummed write-ahead journal so a controller
+// restarted after a crash resumes its estimation state — warm posterior,
+// ladder rung, and all journaled calibration windows — bit-identically to a
+// run that never died. Attach with Controller.AttachStateStore; persist on
+// shutdown with Controller.SnapshotState.
+type (
+	// StateStore persists controller estimation state in one directory.
+	StateStore = persist.Store
+	// RecoveryReport describes what AttachStateStore reconstructed.
+	RecoveryReport = control.RecoveryReport
+)
+
+// OpenStateStore opens (creating as needed) a state directory, repairing any
+// torn journal tail left by a crash.
+func OpenStateStore(dir string) (*StateStore, error) { return persist.Open(dir) }
 
 // ErrActuation marks a transient, retryable configuration-change failure.
 var ErrActuation = machine.ErrActuation
