@@ -29,13 +29,23 @@ restart-smoke:
 # bench measures the perf-tracked benchmarks (the full-size EM fit and
 # Cholesky factorization, the symmetric-inverse and SYRK kernels behind the
 # symmetry-aware E-step, the §6.7 overhead fit, the allocation-free E-step,
-# the warm-vs-cold multi-window recalibration pair, and the metrics-on/off EM
-# iteration pair that pins the observability overhead) and records them in
-# BENCH_em.json so future PRs have a trajectory.
+# the warm-vs-cold multi-window recalibration pair plus the append-path warm
+# refit, and the metrics-on/off EM iteration pair that pins the observability
+# overhead) and records them in BENCH_em.json so future PRs have a
+# trajectory. A second pass re-measures the parallel kernels at 2/4/8 workers
+# (GOMAXPROCS raised to match, -matrix-workers capping the pool — results are
+# bit-identical at any width, only the wall clock moves) and merges each
+# column into the same record.
+WORKER_BENCH = 'BenchmarkCholesky1024|BenchmarkCholeskyInverseInto1024|BenchmarkSyrkWoodbury1024x25|BenchmarkMul512Parallel'
 bench:
-	$(GO) test -run=NONE -bench='BenchmarkLEOOverheadFull|BenchmarkEMFitLarge|BenchmarkCholesky1024|BenchmarkCholeskyInverseInto1024|BenchmarkSyrkWoodbury1024x25|BenchmarkEStepOnly|BenchmarkEstimateSmall$$|BenchmarkCholesky512|BenchmarkMul512Parallel|BenchmarkMultiWindowCold|BenchmarkMultiWindowWarm|BenchmarkEMIterationMetrics' \
+	$(GO) test -run=NONE -bench='BenchmarkLEOOverheadFull|BenchmarkEMFitLarge|BenchmarkCholesky1024|BenchmarkCholeskyInverseInto1024|BenchmarkSyrkWoodbury1024x25|BenchmarkEStepOnly|BenchmarkEstimateSmall$$|BenchmarkCholesky512|BenchmarkMul512Parallel|BenchmarkMultiWindowCold|BenchmarkMultiWindowWarm$$|BenchmarkWarmRefitAppend|BenchmarkEMIterationMetrics' \
 		-benchmem -timeout=60m . ./internal/core ./internal/matrix \
 		| $(GO) run ./cmd/benchjson -out BENCH_em.json
+	for w in 2 4 8; do \
+		GOMAXPROCS=$$w $(GO) test -run=NONE -bench=$(WORKER_BENCH) -benchmem -timeout=30m \
+			./internal/matrix -args -matrix-workers=$$w \
+			| $(GO) run ./cmd/benchjson -out BENCH_em.json -merge -matrix-workers $$w || exit 1; \
+	done
 
 # bench-smoke compiles and single-steps every benchmark (-short skips the
 # full-size ones) so check catches benchmark bit-rot without paying

@@ -9,7 +9,17 @@
 // The record keeps every parsed benchmark (ns/op, B/op, allocs/op and any
 // custom ReportMetric columns) plus a headline block with the numbers the
 // perf work tracks across PRs: the full-size EM fit, the full-size Cholesky
-// factorization, and the steady-state E-step allocation count.
+// factorization, the steady-state E-step allocation count, and the warm
+// refit pair.
+//
+// With -merge, benchjson instead reads the existing record at -out and adds
+// (or replaces) one multi-worker column keyed by -matrix-workers: the
+// parallel-kernel timings re-measured with the pool capped at that width.
+// The base record — headline, benchmark list, environment — is left alone,
+// so the sweep composes with a prior single-core run:
+//
+//	GOMAXPROCS=4 go test -run=NONE -bench=... -benchmem ./internal/matrix \
+//	    -args -matrix-workers=4 | benchjson -merge -matrix-workers 4
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches one benchmark result row, e.g.
@@ -42,7 +53,15 @@ type result struct {
 type record struct {
 	GoOS   string `json:"goos"`
 	GoArch string `json:"goarch"`
-	NumCPU int    `json:"num_cpu"`
+	// NumCPU is the CPU count visible to the measuring process — capped by
+	// the container/affinity mask, so it is what the single-core numbers ran
+	// on. CPUsPresent is the machine's physical CPU count from
+	// /sys/devices/system/cpu/present (falling back to NumCPU off Linux):
+	// in a pinned container the two diverge, and the multi-worker column is
+	// only meaningful relative to the former... the present count says how
+	// wide the sweep could scale on this machine's actual silicon.
+	NumCPU      int `json:"num_cpu"`
+	CPUsPresent int `json:"cpus_present"`
 	// GoMaxProcs is the scheduler width the run was measured under
 	// (benchjson inherits the same GOMAXPROCS environment as the piped
 	// `go test` run). The perf-tracked numbers are recorded at
@@ -52,7 +71,13 @@ type record struct {
 	// (-matrix-workers; 0 = uncapped, all of GOMAXPROCS).
 	MatrixWorkers int                `json:"matrix_workers"`
 	Headline      map[string]float64 `json:"headline"`
-	Benchmarks    []result           `json:"benchmarks"`
+	// MultiWorker holds one column per -merge run, keyed by the worker cap
+	// ("2", "4", "8"): the parallel-kernel ms/op re-measured with the pool
+	// at that width and GOMAXPROCS raised to match. Results are bit-identical
+	// at any width (the kernels' determinism contract); only the wall clock
+	// moves.
+	MultiWorker map[string]map[string]float64 `json:"multi_worker,omitempty"`
+	Benchmarks  []result                      `json:"benchmarks"`
 }
 
 // headlineKeys maps benchmark names to the headline metric they feed.
@@ -65,27 +90,101 @@ var headlineKeys = map[string]struct{ key, field string }{
 	"BenchmarkEStepOnly":               {"estep_allocs_per_op", "allocs"},
 	"BenchmarkMultiWindowCold":         {"multi_window_cold_ms", "ns"},
 	"BenchmarkMultiWindowWarm":         {"multi_window_warm_ms", "ns"},
+	"BenchmarkWarmRefitAppend":         {"warm_refit_append_ms", "ns"},
+}
+
+// workerKeys names the parallel kernels the multi-worker sweep re-measures.
+var workerKeys = map[string]string{
+	"BenchmarkCholesky1024":            "cholesky_1024_ms",
+	"BenchmarkCholeskyInverseInto1024": "cholesky_inverse_1024_ms",
+	"BenchmarkSyrkWoodbury1024x25":     "syrk_woodbury_1024_ms",
+	"BenchmarkMul512Parallel":          "mul_512_ms",
 }
 
 func main() {
 	out := flag.String("out", "BENCH_em.json", "output path for the JSON record")
 	matrixWorkers := flag.Int("matrix-workers", 0,
 		"matrix-kernel worker cap the benchmarked run used (0 = uncapped), echoed into the record")
+	merge := flag.Bool("merge", false,
+		"merge stdin into the existing record at -out as the multi-worker column keyed by -matrix-workers")
 	flag.Parse()
 
-	rec := record{
-		GoOS:          runtime.GOOS,
-		GoArch:        runtime.GOARCH,
-		NumCPU:        runtime.NumCPU(),
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
-		MatrixWorkers: *matrixWorkers,
-		Headline:      map[string]float64{},
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	var rec record
+	if *merge {
+		data, err := os.ReadFile(*out)
+		if err != nil {
+			fatal(fmt.Errorf("-merge needs an existing base record (run the single-core bench first): %w", err))
+		}
+		if err := json.Unmarshal(data, &rec); err != nil {
+			fatal(fmt.Errorf("parsing existing %s: %w", *out, err))
+		}
+		col := map[string]float64{}
+		for _, r := range results {
+			if key, ok := workerKeys[r.Name]; ok {
+				col[key] = r.NsPerOp / 1e6
+			}
+		}
+		if len(col) == 0 {
+			fatal(fmt.Errorf("no multi-worker kernels (%d benchmarks parsed, none in the sweep set)", len(results)))
+		}
+		if rec.MultiWorker == nil {
+			rec.MultiWorker = map[string]map[string]float64{}
+		}
+		rec.MultiWorker[strconv.Itoa(*matrixWorkers)] = col
+	} else {
+		rec = record{
+			GoOS:          runtime.GOOS,
+			GoArch:        runtime.GOARCH,
+			NumCPU:        runtime.NumCPU(),
+			CPUsPresent:   cpusPresent(),
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
+			MatrixWorkers: *matrixWorkers,
+			Headline:      map[string]float64{},
+			Benchmarks:    results,
+		}
+		for _, r := range results {
+			h, ok := headlineKeys[r.Name]
+			if !ok {
+				continue
+			}
+			switch h.field {
+			case "ns":
+				rec.Headline[h.key] = r.NsPerOp / 1e6
+			case "allocs":
+				if r.AllocsPerOp != nil {
+					rec.Headline[h.key] = *r.AllocsPerOp
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBench scans `go test -bench` output, echoing every line to stdout for
+// the terminal log and collecting the parsed rows.
+func parseBench(f *os.File) ([]result, error) {
+	var results []result
+	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass the raw output through for the terminal log
+		fmt.Println(line)
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
@@ -110,32 +209,42 @@ func main() {
 				r.Metrics[f[2]] = v
 			}
 		}
-		rec.Benchmarks = append(rec.Benchmarks, r)
-		if h, ok := headlineKeys[r.Name]; ok {
-			switch h.field {
-			case "ns":
-				rec.Headline[h.key] = r.NsPerOp / 1e6
-			case "allocs":
-				if r.AllocsPerOp != nil {
-					rec.Headline[h.key] = *r.AllocsPerOp
-				}
-			}
-		}
+		results = append(results, r)
 	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
-	}
-	if len(rec.Benchmarks) == 0 {
-		fatal(fmt.Errorf("no benchmark lines found on stdin"))
-	}
-	data, err := json.MarshalIndent(rec, "", "  ")
+	return results, sc.Err()
+}
+
+// cpusPresent counts the CPUs present on the machine from the kernel's
+// "0-7" / "0,2-5" range list, independent of this process's affinity mask.
+func cpusPresent() int {
+	data, err := os.ReadFile("/sys/devices/system/cpu/present")
 	if err != nil {
-		fatal(err)
+		return runtime.NumCPU()
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fatal(err)
+	total := 0
+	for _, part := range strings.Split(strings.TrimSpace(string(data)), ",") {
+		if part == "" {
+			continue
+		}
+		lo, hi, ranged := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return runtime.NumCPU()
+		}
+		if !ranged {
+			total++
+			continue
+		}
+		b, err := strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil || b < a {
+			return runtime.NumCPU()
+		}
+		total += b - a + 1
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+	if total == 0 {
+		return runtime.NumCPU()
+	}
+	return total
 }
 
 func fatal(err error) {

@@ -113,10 +113,14 @@ func BenchmarkMultiWindowCold(b *testing.B) {
 	}
 }
 
-// BenchmarkMultiWindowWarm serves the same windows through one Session: the
-// first fit is cold, every later window warm-starts from the previous
-// posterior under the WarmMaxIter cap. The headline contract tracked in
-// BENCH_em.json is warm ≥ 2× faster than BenchmarkMultiWindowCold.
+// BenchmarkMultiWindowWarm serves windows through one long-lived Session and
+// times ONE warm window per op: clear the previous window's observations,
+// add the new window's, refit. The session is primed (cold fit + first warm
+// fit, which builds the frozen-parameter operator cache) before the timer
+// starts, so the reported ms/op is the steady-state per-window refit cost —
+// the quantity ISSUE 7 pins below 5 ms. (Before PR 7 this benchmark timed
+// all 8 windows per op, cold start included; the headline is per warm window
+// now.)
 func BenchmarkMultiWindowWarm(b *testing.B) {
 	rest, obsIdx, obsVal := benchWindows(b, platform.Small(), benchWindowCount, 20)
 	prior, err := NewPrior(rest.Perf, Options{})
@@ -124,19 +128,69 @@ func BenchmarkMultiWindowWarm(b *testing.B) {
 		b.Fatal(err)
 	}
 	ctx := context.Background()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s := prior.NewSession()
-		for w := range obsIdx {
-			s.ClearObservations()
-			for j, idx := range obsIdx[w] {
-				if err := s.Add(idx, obsVal[w][j]); err != nil {
-					b.Fatal(err)
-				}
-			}
-			if _, err := s.Fit(ctx); err != nil {
+	s := prior.NewSession()
+	window := func(w int) {
+		s.ClearObservations()
+		for j, idx := range obsIdx[w] {
+			if err := s.Add(idx, obsVal[w][j]); err != nil {
 				b.Fatal(err)
 			}
+		}
+		if _, err := s.Fit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	window(0) // cold fit
+	window(1) // first warm fit: builds the operator cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		window(i % benchWindowCount)
+	}
+}
+
+// BenchmarkWarmRefitAppend times the accumulate pattern instead: every op
+// adds one new observation to the existing set and refits, so the kernel
+// factor grows through Cholesky.Append rather than being rebuilt. The
+// session is re-seeded (untimed) whenever the window fills.
+func BenchmarkWarmRefitAppend(b *testing.B) {
+	rest, obsIdx, obsVal := benchWindows(b, platform.Small(), 1, 60)
+	prior, err := NewPrior(rest.Perf, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	s := prior.NewSession()
+	idx, val := obsIdx[0], obsVal[0]
+	const base = 8 // observations the re-seeded session starts from
+	reseed := func() {
+		s.ClearObservations()
+		for j := 0; j < base; j++ {
+			if err := s.Add(idx[j], val[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Fit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reseed() // cold
+	reseed() // warm: builds the operator cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	span := len(idx) - base
+	for i := 0; i < b.N; i++ {
+		at := i % span
+		if at == 0 {
+			b.StopTimer()
+			reseed()
+			b.StartTimer()
+		}
+		if err := s.Add(idx[base+at], val[base+at]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Fit(ctx); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -53,6 +53,10 @@ type emWorkspace struct {
 	sigma2Bak float64
 	freshBak  bool
 
+	// wc caches the frozen-parameter operators consecutive warm fits share;
+	// see warm.go.
+	wc warmCache
+
 	e eResult // reused E-step output, fields point into the buffers above
 }
 
@@ -116,7 +120,9 @@ func (ws *emWorkspace) ensureObs(n, k int) {
 		return
 	}
 	ws.kcap = k
-	ws.chK.Resize(k)
+	// ws.chK is deliberately not resized here: the warm path grows it
+	// incrementally (Append) and the fresh-factorization sites resize it
+	// themselves just before factorizing.
 	ws.s.Reshape(n, k)
 	ws.wT.Reshape(n, k)
 	ws.kmat.Reshape(k, k)
@@ -352,6 +358,9 @@ func (em *Session) eStep(ctx context.Context) (*eResult, error) {
 	if em.opts.ExactEStep || em.fallbackExact {
 		return em.eStepExact()
 	}
+	if em.frozen {
+		return em.eStepWarm()
+	}
 	return em.eStepFast()
 }
 
@@ -459,6 +468,7 @@ func (em *Session) eStepFast() (*eResult, error) {
 		}
 	}
 	ws.kmat.AddDiagonal(s2)
+	ws.chK.Resize(k)
 	applied, err := ws.chK.FactorizeJitter(ws.kmat, matrix.DefaultJitter, matrix.DefaultJitterTries)
 	if err != nil {
 		return nil, fmt.Errorf("core: observation kernel not factorable: %w", err)
@@ -566,6 +576,7 @@ func (em *Session) eStepExact() (*eResult, error) {
 		}
 	}
 	ws.kmat.AddDiagonal(em.sigma2)
+	ws.chK.Resize(k)
 	applied, err := ws.chK.FactorizeJitter(ws.kmat, matrix.DefaultJitter, matrix.DefaultJitterTries)
 	if err != nil {
 		return nil, fmt.Errorf("core: observation kernel not factorable: %w", err)
@@ -681,6 +692,13 @@ func (em *Session) mStep(ctx context.Context, e *eResult) error {
 	scale := 1 / (mf + em.opts.Pi)
 	for i := range mu {
 		mu[i] *= scale
+	}
+
+	if em.frozen {
+		// Frozen warm fit: Σ and σ² are pinned to the last cold/full fit's
+		// posterior so the cached operators in warm.go stay exact — the
+		// M-step propagates the new observations through μ only.
+		return nil
 	}
 
 	// Σ update: sum of posterior covariances and centered outer products,

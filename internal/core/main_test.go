@@ -1,0 +1,23 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"leo/internal/matrix"
+)
+
+// matrixWorkersFlag mirrors internal/matrix's test flag so the EM suite can
+// run under a capped kernel pool: `go test ./internal/core -args
+// -matrix-workers=4`. Every fit must produce the same bits at any cap — the
+// CI multi-worker leg runs this suite to hold the golden values, warm-refit
+// bit-identity and restore bit-identity to that contract.
+var matrixWorkersFlag = flag.Int("matrix-workers", 0,
+	"cap matrix-kernel fan-out for this test run (0 = all of GOMAXPROCS)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	matrix.SetMaxWorkers(*matrixWorkersFlag)
+	os.Exit(m.Run())
+}

@@ -192,6 +192,12 @@ type Session struct {
 	fallbackExact bool
 	health        Health
 
+	// frozen marks the current Fit as a frozen-parameter warm refit: Σ and
+	// σ² stay pinned, the E-step runs from the warm operator cache, and the
+	// M-step updates μ only. Recomputed at every Fit entry (see warm.go for
+	// the cache it enables); cleared for the watchdog's exact-path retry.
+	frozen bool
+
 	ws *emWorkspace
 }
 
@@ -274,6 +280,15 @@ func (s *Session) Fit(ctx context.Context) (*Result, error) {
 	} else {
 		s.init()
 	}
+	// A warm refit against a populated database freezes Σ/σ² and runs from
+	// the operator cache (warm.go); every other shape of fit may rewrite
+	// Σ/σ² or clobber the cached factor, so the cache dies with it. The
+	// per-fit target preparation is redone for every fit's observation set.
+	s.frozen = warmStart && s.known.Rows > 0 && !s.opts.ExactEStep && !s.opts.NaiveEStep
+	if !s.frozen {
+		s.ws.wc.invalidate()
+	}
+	s.ws.wc.fitPrepared = false
 	s.ws.ensureObs(s.n, len(s.obsIdx))
 	// The watchdogs can rescue a diverged fast-path fit by re-running it on
 	// the exact E-step, but only from the exact parameters this fit started
@@ -287,6 +302,11 @@ func (s *Session) Fit(ctx context.Context) (*Result, error) {
 		s.health.Fallbacks++
 		mHealthFallbacks.Inc()
 		s.ws.restoreStart(s)
+		// The retry runs the exact E-step with full M-step updates: Σ/σ²
+		// will move and the exact path reuses the cached factor workspaces,
+		// so the frozen-fit cache cannot survive it.
+		s.frozen = false
+		s.ws.wc.invalidate()
 		s.fallbackExact = true
 		res, err = s.run(ctx, maxIter)
 		s.fallbackExact = false

@@ -75,6 +75,11 @@ func (s *Session) Restore(st *SessionState) error {
 		}
 	}
 	s.Reset()
+	// The restored parameters need not match the ones the warm operator
+	// cache was built against; the next frozen fit rebuilds it (the cache is
+	// a pure function of Σ/σ²/prior, so the rebuild is bit-identical to what
+	// the captured session computed incrementally).
+	s.ws.wc.invalidate()
 	for i, idx := range st.ObsIdx {
 		if err := s.Add(idx, st.ObsVal[i]); err != nil {
 			return err

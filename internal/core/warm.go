@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"leo/internal/matrix"
+)
+
+// Warm-refit operator cache.
+//
+// Across consecutive warm fits the session freezes Σ and σ² (the M-step
+// updates μ only — see mStep), which makes every expensive operator of the
+// E-step a constant of the fit sequence: the factor of A = Σ+σ²I, the shared
+// posterior covariance Ĉ = σ²(I−σ²A⁻¹), the per-application products Ĉyᵢ/σ²
+// and A⁻¹yᵢ, and log|A|. eStepWarm computes them once (buildA) and then runs
+// each EM iteration in O(n²): one Ĉμ matvec, one A⁻¹μ solve, and O(k²)
+// target work — against the O(n³) factorize+invert of the general path. This
+// is the factor-level warm start of ISSUE 7: a warm refit is sublinear in
+// the work of a cold one.
+//
+// The target kernel K = σ²I+Σ[Ω,Ω] depends only on the observation index
+// set Ω (not the values), so it too is reused: unchanged Ω skips the
+// factorization entirely, an Ω extended by new indices grows the factor via
+// Cholesky.Append — bit-identical to a fresh factorization while the factor
+// stays within one tile and jitter-free, which keeps restored-from-snapshot
+// sessions bit-identical to live ones — and any other change (drops,
+// reorders, jitter, past one tile) rebuilds fresh, counted by
+// matrix.NoteUpdownFallback.
+//
+// Everything cached is a pure function of (Σ, σ², prior database), so a
+// rebuild from scratch reproduces the same bits; the cache is invalidated
+// whenever a non-frozen fit (cold, exact, naive, watchdog fallback) or a
+// Restore may change Σ or σ².
+type warmCache struct {
+	valid bool // A-side operators below are current for the frozen Σ/σ²
+
+	cHat    *matrix.Matrix // n×n: shared posterior covariance Ĉ
+	cy      *matrix.Matrix // rows×n: Ĉ yᵢ / σ²
+	ay      *matrix.Matrix // rows×n: A⁻¹ yᵢ
+	q       []float64      // rows: yᵢᵀ A⁻¹ yᵢ (likelihood quadratic, constant part)
+	logDetA float64
+
+	cmu []float64 // per-iteration: Ĉ μ / σ²
+	amu []float64 // per-iteration: A⁻¹ μ
+
+	// K-side bookkeeping: the observation index set ws.chK is factored for,
+	// and the jitter that factorization needed (appends require 0).
+	kValid  bool
+	kObs    []int
+	kJitter float64
+	krow    []float64 // bordered-row assembly scratch
+
+	// fitPrepared marks the per-fit target quantities (chK, S, wT, cTarget)
+	// as current for this Fit's observation set; reset at every Fit entry.
+	fitPrepared bool
+}
+
+// invalidate drops everything: the next frozen fit rebuilds from scratch.
+func (wc *warmCache) invalidate() {
+	wc.valid = false
+	wc.kValid = false
+	wc.fitPrepared = false
+}
+
+// warmAppendMax is the largest factor size eligible for incremental appends:
+// one factorization tile, within which Append is bit-identical to a fresh
+// factorization (see matrix.Cholesky.Append).
+const warmAppendMax = 64
+
+// buildA computes the A-side operators for the current (frozen) Σ and σ².
+func (em *Session) buildA() error {
+	ws, wc, n := em.ws, &em.ws.wc, em.n
+	rows := em.known.Rows
+	if wc.cHat == nil {
+		wc.cHat = matrix.New(n, n)
+		wc.cy = matrix.New(rows, n)
+		wc.ay = matrix.New(rows, n)
+		wc.q = make([]float64, rows)
+		wc.cmu = make([]float64, n)
+		wc.amu = make([]float64, n)
+	}
+	s2 := em.sigma2
+	matrix.CloneInto(ws.a, em.sigma).AddDiagonal(s2)
+	if err := ws.chA.Factorize(ws.a); err != nil {
+		return fmt.Errorf("core: Σ+σ²I not factorable: %w", err)
+	}
+	// Same operation sequence as eStepFast, so Ĉ carries the same bits a
+	// non-cached evaluation at these parameters would.
+	ws.chA.InverseInto(wc.cHat)
+	wc.cHat.ScaleInPlace(-s2 * s2).AddDiagonal(s2)
+	wc.logDetA = ws.chA.LogDet()
+
+	inv := 1 / s2
+	for i := 0; i < rows; i++ {
+		row := em.known.RowView(i)
+		rhs := ws.rhsFull.RowView(i)
+		for j := range rhs {
+			rhs[j] = row[j] * inv
+		}
+	}
+	matrix.MulTransBInto(wc.cy, ws.rhsFull, wc.cHat)
+	ws.chA.SolveTInto(wc.ay, em.known)
+	for i := 0; i < rows; i++ {
+		wc.q[i] = matrix.Dot(em.known.RowView(i), wc.ay.RowView(i))
+	}
+	wc.valid = true
+	return nil
+}
+
+// prepareTarget readies the per-fit target quantities for the current
+// observation set: the factor of K = σ²I+Σ[Ω,Ω] (reused, appended, or
+// rebuilt), the cross covariance S = Σ[:,Ω], the half-solve Vᵀ = S L_K⁻ᵀ and
+// the posterior covariance Ĉ_M = Σ − VᵀV.
+func (em *Session) prepareTarget() error {
+	ws, wc, n := em.ws, &em.ws.wc, em.n
+	k := len(em.obsIdx)
+
+	fresh := true
+	if wc.kValid && wc.kJitter == 0 && len(wc.kObs) <= k && k <= warmAppendMax {
+		if prefixEqual(wc.kObs, em.obsIdx) {
+			// Ω only grew (or is unchanged): border the factor out one new
+			// index at a time. K does not depend on the observed values, so
+			// latest-wins replacements reuse the factor outright.
+			fresh = false
+			for c := len(wc.kObs); c < k; c++ {
+				row := wc.ensureKrow(c + 1)
+				ic := em.obsIdx[c]
+				for j := 0; j < c; j++ {
+					row[j] = em.sigma.Data[em.obsIdx[j]*n+ic]
+				}
+				row[c] = em.sigma.Data[ic*n+ic] + em.sigma2
+				if err := ws.chK.Append(row); err != nil {
+					// Bordered pivot went non-positive: abandon the
+					// incremental factor and rebuild below.
+					matrix.NoteUpdownFallback()
+					fresh = true
+					break
+				}
+			}
+		}
+	}
+	if fresh {
+		if wc.kValid {
+			// A cached factor existed but the delta (drop, reorder, overflow
+			// past the append window) fell outside the incremental path.
+			matrix.NoteUpdownFallback()
+		}
+		for a, ia := range em.obsIdx {
+			for b, ib := range em.obsIdx {
+				ws.kmat.Data[a*k+b] = em.sigma.Data[ia*n+ib]
+			}
+		}
+		ws.kmat.AddDiagonal(em.sigma2)
+		ws.chK.Resize(k)
+		applied, err := ws.chK.FactorizeJitter(ws.kmat, matrix.DefaultJitter, matrix.DefaultJitterTries)
+		if err != nil {
+			return fmt.Errorf("core: observation kernel not factorable: %w", err)
+		}
+		em.noteJitter(applied)
+		wc.kJitter = applied
+	}
+	wc.kObs = append(wc.kObs[:0], em.obsIdx...)
+	wc.kValid = true
+
+	for col, idx := range em.obsIdx {
+		for r := 0; r < n; r++ {
+			ws.s.Data[r*k+col] = em.sigma.Data[r*n+idx]
+		}
+	}
+	ws.chK.ForwardSolveTInto(ws.wT, ws.s)
+	matrix.SyrkInto(ws.sw, 1, ws.wT)
+	matrix.SubInto(ws.cTarget, em.sigma, ws.sw)
+	wc.fitPrepared = true
+	return nil
+}
+
+func (wc *warmCache) ensureKrow(k int) []float64 {
+	if cap(wc.krow) < k {
+		wc.krow = make([]float64, k)
+	}
+	wc.krow = wc.krow[:k]
+	return wc.krow
+}
+
+func prefixEqual(prefix, full []int) bool {
+	for i, v := range prefix {
+		if full[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// eStepWarm is the frozen-parameter E-step: with Σ and σ² pinned, every
+// O(n³) operator comes from the cache and one iteration costs one n² matvec
+// (Ĉμ), one n² solve (A⁻¹μ, likelihood only) and O(nk+k²) target work.
+// Posteriors, means and the log-likelihood are the same quantities the
+// general path evaluates — the health watchdogs run the same per-iteration
+// scans over them.
+func (em *Session) eStepWarm() (*eResult, error) {
+	ws, wc, n := em.ws, &em.ws.wc, em.n
+	out := &ws.e
+	*out = eResult{targetObs: len(em.obsIdx)}
+	if !wc.valid {
+		if err := em.buildA(); err != nil {
+			return nil, err
+		}
+	}
+	s2 := em.sigma2
+	rows := em.known.Rows
+	health := !em.opts.DisableHealthChecks
+
+	// ẑᵢ = μ + Ĉ(yᵢ−μ)/σ² = μ + (Ĉyᵢ/σ²) − (Ĉμ/σ²): the cached per-app
+	// product plus one shared matvec.
+	matrix.MulVecInto(wc.cmu, wc.cHat, em.mu)
+	inv := 1 / s2
+	for j := range wc.cmu {
+		wc.cmu[j] *= inv
+	}
+	for i := 0; i < rows; i++ {
+		z := ws.zFull.RowView(i)
+		cyi := wc.cy.RowView(i)
+		for j := 0; j < n; j++ {
+			z[j] = em.mu[j] + cyi[j] - wc.cmu[j]
+		}
+	}
+	out.zFull = ws.zFull
+	out.cFull = wc.cHat
+
+	if health {
+		// Row i's likelihood quadratic dᵢᵀA⁻¹dᵢ expands around the cached
+		// pieces: yᵢᵀA⁻¹yᵢ − 2yᵢᵀA⁻¹μ + μᵀA⁻¹μ — one solve for all rows.
+		ws.chA.SolveVecInto(wc.amu, em.mu)
+		muAmu := matrix.Dot(em.mu, wc.amu)
+		for i := 0; i < rows; i++ {
+			quad := wc.q[i] - 2*matrix.Dot(wc.ay.RowView(i), em.mu) + muAmu
+			out.ll += -0.5 * (quad + wc.logDetA + float64(n)*ln2pi)
+		}
+		out.llValid = true
+	}
+
+	k := len(em.obsIdx)
+	if k == 0 {
+		out.cTarget = matrix.CloneInto(ws.cTarget, em.sigma)
+		copy(ws.zTarget, em.mu)
+		out.zTarget = ws.zTarget
+		return out, nil
+	}
+	if !wc.fitPrepared {
+		if err := em.prepareTarget(); err != nil {
+			return nil, err
+		}
+	}
+	out.cTarget = ws.cTarget
+
+	// GP-form posterior mean: ẑ_M = μ + S K⁻¹ (y_Ω − μ_Ω).
+	for i, idx := range em.obsIdx {
+		ws.tObs[i] = em.obsVal[i] - em.mu[idx]
+	}
+	if health {
+		copy(ws.hd[:k], ws.tObs)
+	}
+	ws.chK.SolveVecInto(ws.tObs, ws.tObs)
+	if health {
+		out.ll += em.llTarget(ws.hd[:k], ws.tObs)
+		out.llValid = true
+	}
+	matrix.MulVecInto(ws.zTarget, ws.s, ws.tObs)
+	matrix.AxpyInPlace(1, em.mu, ws.zTarget)
+	out.zTarget = ws.zTarget
+	return out, nil
+}

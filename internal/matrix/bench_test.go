@@ -107,6 +107,8 @@ func BenchmarkCholeskyInverseInto1024(b *testing.B) {
 		b.Fatal(err)
 	}
 	dst := New(1024, 1024)
+	ch.InverseInto(dst) // allocate the L⁻¹ scratch before timing
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ch.InverseInto(dst)

@@ -30,6 +30,11 @@ type Cholesky struct {
 	// a steady-state loop calling InverseInto every iteration allocates
 	// nothing.
 	inv *Matrix
+
+	// upd is the rotation-sweep scratch for UpdateRankK / DowndateRankK /
+	// Append (one consumed vector at a time). Grow-only, same discipline
+	// as inv.
+	upd []float64
 }
 
 // NewCholeskyWorkspace returns an unfactored Cholesky with storage for n×n
@@ -533,13 +538,68 @@ func (c *Cholesky) InverseInto(dst *Matrix) *Matrix {
 }
 
 // triInverseCols fills rows [jlo, jhi) of the transposed triangular inverse
-// scratch: row j gets column j of L⁻¹.
+// scratch: row j gets column j of L⁻¹. Columns advance four at a time (the
+// TRTRI register blocking): each row of L is loaded once and feeds four
+// independent accumulator chains, where the scalar form reloads it per
+// column and serializes on a single chain's FP-add latency. Every element
+// still accumulates its own chain over t ascending with one accumulator —
+// first the ragged head inside the column block, then the shared tail — so
+// the bits match the scalar form (and any partition) exactly.
 func (c *Cholesky) triInverseCols(jlo, jhi int) {
+	n, data := c.n, c.l.Data
+	j := jlo
+	for ; j+4 <= jhi; j += 4 {
+		w0 := c.inv.Data[j*n : (j+1)*n]
+		w1 := c.inv.Data[(j+1)*n : (j+2)*n]
+		w2 := c.inv.Data[(j+2)*n : (j+3)*n]
+		w3 := c.inv.Data[(j+3)*n : (j+4)*n]
+		// The 4×4 head (rows j..j+3) runs the scalar recurrence: each
+		// column's entries above row j+4 only involve the block itself.
+		c.triInverseColsScalar(j, j+4, j+4)
+		for i := j + 4; i < n; i++ {
+			lrow := data[i*n:]
+			// Ragged heads: column j+c's chain starts at t = j+c. The
+			// per-term statements keep each chain sequential in t (Go never
+			// reassociates float adds), matching the scalar form's order.
+			var s0, s1, s2, s3 float64
+			s0 -= lrow[j] * w0[j]
+			s0 -= lrow[j+1] * w0[j+1]
+			s1 -= lrow[j+1] * w1[j+1]
+			s0 -= lrow[j+2] * w0[j+2]
+			s1 -= lrow[j+2] * w1[j+2]
+			s2 -= lrow[j+2] * w2[j+2]
+			s0 -= lrow[j+3] * w0[j+3]
+			s1 -= lrow[j+3] * w1[j+3]
+			s2 -= lrow[j+3] * w2[j+3]
+			s3 -= lrow[j+3] * w3[j+3]
+			// Shared tail: one load of L[i][t] drives all four chains.
+			for t := j + 4; t < i; t++ {
+				lv := lrow[t]
+				s0 -= lv * w0[t]
+				s1 -= lv * w1[t]
+				s2 -= lv * w2[t]
+				s3 -= lv * w3[t]
+			}
+			d := data[i*n+i]
+			w0[i] = s0 / d
+			w1[i] = s1 / d
+			w2[i] = s2 / d
+			w3[i] = s3 / d
+		}
+	}
+	c.triInverseColsScalar(j, jhi, n)
+}
+
+// triInverseColsScalar is the unblocked recurrence over columns [jlo, jhi),
+// filling rows up to (exclusive) ihi — the reference order the blocked form
+// reproduces bit for bit, used for the 4×4 block heads (ihi = block end) and
+// the ragged last columns (ihi = n).
+func (c *Cholesky) triInverseColsScalar(jlo, jhi, ihi int) {
 	n, data := c.n, c.l.Data
 	for j := jlo; j < jhi; j++ {
 		wrow := c.inv.Data[j*n : (j+1)*n]
 		wrow[j] = 1 / data[j*n+j]
-		for i := j + 1; i < n; i++ {
+		for i := j + 1; i < ihi; i++ {
 			lrow := data[i*n+j : i*n+i]
 			s := 0.0
 			for t, v := range lrow {
@@ -551,32 +611,40 @@ func (c *Cholesky) triInverseCols(jlo, jhi int) {
 }
 
 // invProductRows fills rows [ilo, ihi) of dst's lower triangle with the
-// tail dots of phase 2. Columns advance in blocks of four independent
-// accumulator chains (as in the SYRK kernel) with a scalar remainder; both
-// paths reduce t ascending, so the bits never depend on the partition.
+// tail dots of phase 2 — the LAUUM product, blocked four columns at a time.
+// Wider 4×4 row/column blocks were measured ~2× slower here: their sixteen
+// accumulator chains exceed the register file and spill, while four chains
+// per row already amortize the wi loads and hide the FP-add latency.
 func (c *Cholesky) invProductRows(dst *Matrix, ilo, ihi int) {
-	n := c.n
 	for i := ilo; i < ihi; i++ {
-		wi := c.inv.Data[i*n+i : (i+1)*n]
-		drow := dst.Data[i*n : i*n+i+1]
-		j := 0
-		for ; j+4 <= i+1; j += 4 {
-			w0 := c.inv.Data[j*n+i : (j+1)*n][:len(wi)]
-			w1 := c.inv.Data[(j+1)*n+i : (j+2)*n][:len(wi)]
-			w2 := c.inv.Data[(j+2)*n+i : (j+3)*n][:len(wi)]
-			w3 := c.inv.Data[(j+3)*n+i : (j+4)*n][:len(wi)]
-			var s0, s1, s2, s3 float64
-			for t, v := range wi {
-				s0 += v * w0[t]
-				s1 += v * w1[t]
-				s2 += v * w2[t]
-				s3 += v * w3[t]
-			}
-			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+		c.invProductRowTail(dst, i, 0)
+	}
+}
+
+// invProductRowTail fills columns [j, i] of dst's row i: four-chain column
+// blocks (as in the SYRK kernel) with a scalar remainder; every chain
+// reduces t ascending in a single accumulator, so the bits never depend on
+// the blocking or the partition.
+func (c *Cholesky) invProductRowTail(dst *Matrix, i, j int) {
+	n := c.n
+	wi := c.inv.Data[i*n+i : (i+1)*n]
+	drow := dst.Data[i*n : i*n+i+1]
+	for ; j+4 <= i+1; j += 4 {
+		w0 := c.inv.Data[j*n+i : (j+1)*n][:len(wi)]
+		w1 := c.inv.Data[(j+1)*n+i : (j+2)*n][:len(wi)]
+		w2 := c.inv.Data[(j+2)*n+i : (j+3)*n][:len(wi)]
+		w3 := c.inv.Data[(j+3)*n+i : (j+4)*n][:len(wi)]
+		var s0, s1, s2, s3 float64
+		for t, v := range wi {
+			s0 += v * w0[t]
+			s1 += v * w1[t]
+			s2 += v * w2[t]
+			s3 += v * w3[t]
 		}
-		for ; j <= i; j++ {
-			drow[j] = dotUnchecked(wi, c.inv.Data[j*n+i:(j+1)*n])
-		}
+		drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+	}
+	for ; j <= i; j++ {
+		drow[j] = dotUnchecked(wi, c.inv.Data[j*n+i:(j+1)*n])
 	}
 }
 

@@ -1,0 +1,21 @@
+package matrix
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// matrixWorkersFlag scopes the binaries' -workers knob to this test binary:
+// `go test ./internal/matrix -args -matrix-workers=4` runs the whole suite —
+// benchmarks and the bit-identity contracts alike — with the kernel fan-out
+// capped at 4. The Makefile bench sweep and the CI multi-worker leg both
+// drive it. Zero (the default) leaves the cap off: all of GOMAXPROCS.
+var matrixWorkersFlag = flag.Int("matrix-workers", 0,
+	"cap matrix-kernel fan-out for this test run (0 = all of GOMAXPROCS)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	SetMaxWorkers(*matrixWorkersFlag)
+	os.Exit(m.Run())
+}

@@ -1,0 +1,205 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rank-k Cholesky up/down-dates: given the factor L of A = L Lᵀ, rewrite it
+// in place into the factor of A ± V Vᵀ in O(k·n²) — against the O(n³/3) of
+// refactorizing — one Givens-style rotation sweep per update vector.
+//
+// The update applies plane rotations that fold each vector into the factor
+// column by column; it cannot fail on a valid factor (A + V Vᵀ is at least
+// as positive definite as A). The downdate applies the hyperbolic
+// counterpart, and can fail: A − V Vᵀ is only positive definite when every
+// hyperbolic pivot stays strictly positive, so DowndateRankK guards each
+// pivot and returns the typed ErrDowndate the moment one would go
+// non-positive — the caller's cue to fall back to a fresh factorization of
+// whatever matrix it actually wants.
+
+// ErrDowndate is returned by DowndateRankK when removing a rank-1 term would
+// destroy positive definiteness: some hyperbolic pivot L[j][j]² − x[j]²
+// is not strictly positive. The factor contents are undefined after this
+// error (earlier columns have already been rewritten); callers recover by
+// refactorizing from scratch, counting the fallback via NoteUpdownFallback.
+var ErrDowndate = errors.New("matrix: downdate would destroy positive definiteness")
+
+// ensureUpd returns the length-n update scratch, grown only when the
+// workspace has never seen this size (the rotation sweep consumes the
+// vector, so callers' inputs are copied here first).
+func (c *Cholesky) ensureUpd() []float64 {
+	if cap(c.upd) < c.n {
+		c.upd = make([]float64, c.n)
+	}
+	c.upd = c.upd[:c.n]
+	return c.upd
+}
+
+// UpdateRankK rewrites the factor of A into the factor of A + V Vᵀ, where V
+// is k×n with one update vector per row (k = 0 is a no-op). v is not
+// modified. The sweep is unconditionally stable — adding V Vᵀ can only move
+// A further inside the positive-definite cone — so unlike DowndateRankK
+// there is no error to handle.
+func (c *Cholesky) UpdateRankK(v *Matrix) {
+	if v.Cols != c.n {
+		panic(fmt.Sprintf("matrix: UpdateRankK cols %d != size %d", v.Cols, c.n))
+	}
+	t := kernelClock()
+	defer kernelDone(t, mUpdateCalls, mUpdateNs)
+	x := c.ensureUpd()
+	for r := 0; r < v.Rows; r++ {
+		copy(x, v.RowView(r))
+		c.updateVec(x)
+	}
+}
+
+// updateVec folds one vector into the factor: at column j a plane rotation
+// zeroes x[j] against the diagonal, updating the column below and carrying
+// the rotated remainder of x forward. x is consumed.
+func (c *Cholesky) updateVec(x []float64) {
+	n, data := c.n, c.l.Data
+	for j := 0; j < n; j++ {
+		ljj := data[j*n+j]
+		r := math.Hypot(ljj, x[j])
+		cth := r / ljj
+		sth := x[j] / ljj
+		data[j*n+j] = r
+		for i := j + 1; i < n; i++ {
+			lij := (data[i*n+j] + sth*x[i]) / cth
+			data[i*n+j] = lij
+			x[i] = cth*x[i] - sth*lij
+		}
+	}
+}
+
+// DowndateRankK rewrites the factor of A into the factor of A − V Vᵀ (V is
+// k×n, one vector per row, k = 0 a no-op; v is not modified). Each vector
+// runs a hyperbolic rotation sweep whose pivots L[j][j]² − x[j]² must all
+// stay strictly positive; the first pivot that does not — the downdated
+// matrix would be singular or indefinite, or round-off has eaten the margin
+// — aborts with an error wrapping ErrDowndate, identifying the offending
+// vector and pivot. On error the factor contents are undefined: the caller
+// falls back to a fresh factorization (see NoteUpdownFallback).
+func (c *Cholesky) DowndateRankK(v *Matrix) error {
+	if v.Cols != c.n {
+		panic(fmt.Sprintf("matrix: DowndateRankK cols %d != size %d", v.Cols, c.n))
+	}
+	t := kernelClock()
+	defer kernelDone(t, mDowndateCalls, mDowndateNs)
+	x := c.ensureUpd()
+	for r := 0; r < v.Rows; r++ {
+		copy(x, v.RowView(r))
+		if err := c.downdateVec(x, r); err != nil {
+			mDowndateRejects.Inc()
+			return err
+		}
+	}
+	return nil
+}
+
+// downdateVec removes one vector from the factor — the hyperbolic mirror of
+// updateVec. x is consumed.
+func (c *Cholesky) downdateVec(x []float64, vec int) error {
+	n, data := c.n, c.l.Data
+	for j := 0; j < n; j++ {
+		ljj := data[j*n+j]
+		r2 := (ljj - x[j]) * (ljj + x[j])
+		if r2 <= 0 || math.IsNaN(r2) {
+			return fmt.Errorf("%w: vector %d drives pivot %d to %g", ErrDowndate, vec, j, r2)
+		}
+		r := math.Sqrt(r2)
+		cth := r / ljj
+		sth := x[j] / ljj
+		data[j*n+j] = r
+		for i := j + 1; i < n; i++ {
+			lij := (data[i*n+j] - sth*x[i]) / cth
+			data[i*n+j] = lij
+			x[i] = cth*x[i] - sth*lij
+		}
+	}
+	return nil
+}
+
+// Append extends the factor of the n×n matrix A to the factor of the
+// (n+1)×(n+1) bordered matrix [[A, b], [bᵀ, β]] — row is the new symmetric
+// row/column (b₀…b_{n−1}, β), length n+1. One forward substitution and a
+// square root, O(n²), against the O(n³/3) refactorization.
+//
+// The new factor row is computed before the workspace is touched, so on
+// error (the bordered matrix is not positive definite) the existing
+// factorization is left fully intact — the caller can keep using it or
+// refactorize at the larger size.
+//
+// Bit-exactness: for factors at or below one panel width (n+1 ≤ 64, i.e.
+// cholTile) the blocked factorization reduces to the unblocked single-panel
+// recurrence, and that recurrence computes the last row by exactly this
+// substitution — same ascending single-accumulator chains, same
+// reciprocal-multiply — so Append reproduces a fresh factorization of the
+// bordered matrix bit for bit. Beyond one panel the values still agree to
+// round-off but the reduction orders differ. TestAppendBitIdentical pins the
+// single-panel claim; the session warm-refit path relies on it to keep
+// incremental refits bit-identical to restored-from-snapshot refits.
+func (c *Cholesky) Append(row []float64) error {
+	n := c.n
+	if len(row) != n+1 {
+		panic(fmt.Sprintf("matrix: Append row length %d != %d", len(row), n+1))
+	}
+	t := kernelClock()
+	defer kernelDone(t, mAppendCalls, mAppendNs)
+	data := c.l.Data
+	// New row of L against the current factor: c_j = (b_j − Σ_{t<j} c_t
+	// L[j][t]) / L[j][j], accumulated exactly as cholFactorDiag would.
+	x := c.ensureUpd()
+	for j := 0; j < n; j++ {
+		s := row[j]
+		jrow := data[j*n : j*n+j]
+		for t, v := range jrow {
+			s -= x[t] * v
+		}
+		x[j] = s * (1 / data[j*n+j])
+	}
+	d := row[n]
+	for _, v := range x[:n] {
+		d -= v * v
+	}
+	if d <= 0 || math.IsNaN(d) {
+		return fmt.Errorf("%w: appended pivot is %g", ErrNotPositiveDefinite, d)
+	}
+	d = math.Sqrt(d)
+
+	// Commit: restride the existing rows for the larger stride. In place
+	// when the buffer has room (back to front; copy handles the overlap),
+	// into a fresh buffer otherwise — Reshape alone would discard the
+	// factor on growth. Then zero the strictly upper triangle the wider
+	// rows expose and write the new row.
+	m := n + 1
+	grown := data
+	if cap(grown) >= m*m {
+		grown = grown[:m*m]
+		for r := n - 1; r >= 1; r-- {
+			copy(grown[r*m:r*m+r+1], grown[r*n:r*n+r+1])
+		}
+	} else {
+		grown = make([]float64, m*m)
+		for r := 0; r < n; r++ {
+			copy(grown[r*m:r*m+r+1], data[r*n:r*n+r+1])
+		}
+	}
+	for r := 0; r < n; r++ {
+		for cc := r + 1; cc < m; cc++ {
+			grown[r*m+cc] = 0
+		}
+	}
+	last := grown[n*m : m*m]
+	copy(last[:n], x[:n])
+	last[n] = d
+	c.l.Data = grown
+	c.l.Rows, c.l.Cols = m, m
+	if c.inv != nil {
+		c.inv.Reshape(m, m)
+	}
+	c.n = m
+	return nil
+}

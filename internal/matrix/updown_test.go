@@ -1,0 +1,365 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// addOuter returns a + v vᵀ summed over the rows of v (a fresh matrix).
+func addOuter(a *Matrix, v *Matrix, sign float64) *Matrix {
+	n := a.Rows
+	out := a.Clone()
+	for r := 0; r < v.Rows; r++ {
+		row := v.RowView(r)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += sign * row[i] * row[j]
+			}
+		}
+	}
+	return out
+}
+
+// factorsClose reports the max elementwise difference between the lower
+// triangles of two factors, relative to the larger factor's scale.
+func factorsClose(t *testing.T, got, want *Cholesky, tol float64, what string) {
+	t.Helper()
+	if got.n != want.n {
+		t.Fatalf("%s: size %d vs %d", what, got.n, want.n)
+	}
+	n := got.n
+	scale := 1.0
+	for i := 0; i < n; i++ {
+		if d := math.Abs(want.l.Data[i*n+i]); d > scale {
+			scale = d
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			g, w := got.l.Data[i*n+j], want.l.Data[i*n+j]
+			if diff := math.Abs(g - w); diff > tol*scale {
+				t.Fatalf("%s: L[%d][%d] = %v, fresh %v (diff %g, tol %g)",
+					what, i, j, g, w, diff, tol*scale)
+			}
+		}
+	}
+}
+
+func TestUpdateRankKMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 5, 16, 33, 64, 129} {
+		for _, k := range []int{1, 3, 8} {
+			a := randomSPD(rng, n)
+			v := randomMatrix(rng, k, n)
+			ch, err := NewCholesky(a)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			ch.UpdateRankK(v)
+			fresh, err := NewCholesky(addOuter(a, v, 1))
+			if err != nil {
+				t.Fatalf("n=%d k=%d fresh: %v", n, k, err)
+			}
+			factorsClose(t, ch, fresh, 1e-8, "update")
+		}
+	}
+}
+
+func TestDowndateRankKMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range []int{1, 2, 5, 16, 33, 64, 129} {
+		for _, k := range []int{1, 3, 8} {
+			a := randomSPD(rng, n)
+			v := randomMatrix(rng, k, n)
+			ch, err := NewCholesky(addOuter(a, v, 1))
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if err := ch.DowndateRankK(v); err != nil {
+				t.Fatalf("n=%d k=%d downdate: %v", n, k, err)
+			}
+			fresh, err := NewCholesky(a)
+			if err != nil {
+				t.Fatalf("n=%d k=%d fresh: %v", n, k, err)
+			}
+			factorsClose(t, ch, fresh, 1e-8, "downdate")
+		}
+	}
+}
+
+// TestDowndateOldestWindow mirrors the session pattern of dropping the
+// oldest observation window: accumulate several rank-1 windows onto a base,
+// then downdate only the first (oldest) ones and check against a fresh
+// factorization of what remains.
+func TestDowndateOldestWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n, windows := 48, 6
+	base := randomSPD(rng, n)
+	v := randomMatrix(rng, windows, n)
+	ch, err := NewCholesky(addOuter(base, v, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldest := &Matrix{Rows: 2, Cols: n, Data: v.Data[:2*n]}
+	if err := ch.DowndateRankK(oldest); err != nil {
+		t.Fatalf("downdate oldest: %v", err)
+	}
+	rest := &Matrix{Rows: windows - 2, Cols: n, Data: v.Data[2*n:]}
+	fresh, err := NewCholesky(addOuter(base, rest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factorsClose(t, ch, fresh, 1e-8, "downdate oldest")
+}
+
+// TestDowndateAllWindows drops every accumulated window, which must land
+// back on the base factorization (the "fall back to cold" boundary case).
+func TestDowndateAllWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := 32
+	base := randomSPD(rng, n)
+	v := randomMatrix(rng, 5, n)
+	ch, err := NewCholesky(addOuter(base, v, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.DowndateRankK(v); err != nil {
+		t.Fatalf("downdate all: %v", err)
+	}
+	fresh, err := NewCholesky(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factorsClose(t, ch, fresh, 1e-8, "downdate all")
+}
+
+// TestUpdownRankZeroNoOp: k=0 must leave the factor untouched, bit for bit.
+func TestUpdownRankZeroNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n := 17
+	ch, err := NewCholesky(randomSPD(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), ch.l.Data...)
+	empty := New(0, n)
+	ch.UpdateRankK(empty)
+	if err := ch.DowndateRankK(empty); err != nil {
+		t.Fatalf("k=0 downdate: %v", err)
+	}
+	for i, v := range ch.l.Data {
+		if v != before[i] {
+			t.Fatalf("k=0 modified factor at %d: %v -> %v", i, before[i], v)
+		}
+	}
+}
+
+// TestDowndateRejectsNearSingular: removing a vector that the matrix does
+// not majorize must fail with the typed error, not produce NaNs.
+func TestDowndateRejectsNearSingular(t *testing.T) {
+	n := 8
+	eye := Identity(n)
+	ch, err := NewCholesky(eye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(1, n)
+	v.Data[0] = 1.0000001 // I − vvᵀ has pivot 1 − x₀² < 0
+	err = ch.DowndateRankK(v)
+	if err == nil {
+		t.Fatal("near-singular downdate succeeded")
+	}
+	if !errors.Is(err, ErrDowndate) {
+		t.Fatalf("error %v does not wrap ErrDowndate", err)
+	}
+}
+
+// TestAppendBitIdentical pins the single-panel bit-exactness contract: for
+// final sizes within one factorization tile, Append must reproduce the
+// fresh factorization of the bordered matrix exactly — the session warm
+// path depends on this to keep incremental refits bit-identical to
+// restored-from-snapshot refits.
+func TestAppendBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for _, m := range []int{1, 2, 3, 5, 9, 16, 33, 64} {
+		a := randomSPD(rng, m)
+		var ch *Cholesky
+		if m == 1 {
+			ch = NewCholeskyWorkspace(0)
+		} else {
+			sub := New(m-1, m-1)
+			for i := 0; i < m-1; i++ {
+				copy(sub.Data[i*(m-1):(i+1)*(m-1)], a.Data[i*m:i*m+m-1])
+			}
+			var err error
+			ch, err = NewCholesky(sub)
+			if err != nil {
+				t.Fatalf("m=%d: %v", m, err)
+			}
+		}
+		if err := ch.Append(a.RowView(m - 1)); err != nil {
+			t.Fatalf("m=%d append: %v", m, err)
+		}
+		fresh, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("m=%d fresh: %v", m, err)
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j <= i; j++ {
+				if g, w := ch.l.Data[i*m+j], fresh.l.Data[i*m+j]; g != w {
+					t.Fatalf("m=%d: L[%d][%d] = %v, fresh %v — append is not bit-identical",
+						m, i, j, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendBeyondPanel: past one tile the reduction orders diverge, but the
+// appended factor must still agree with a fresh factorization numerically.
+func TestAppendBeyondPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	m := 130
+	a := randomSPD(rng, m)
+	sub := New(m-1, m-1)
+	for i := 0; i < m-1; i++ {
+		copy(sub.Data[i*(m-1):(i+1)*(m-1)], a.Data[i*m:i*m+m-1])
+	}
+	ch, err := NewCholesky(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Append(a.RowView(m - 1)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	fresh, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factorsClose(t, ch, fresh, 1e-8, "append beyond panel")
+}
+
+// TestAppendErrorLeavesFactorIntact: a bordered row that breaks positive
+// definiteness must fail before the workspace is touched.
+func TestAppendErrorLeavesFactorIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	n := 12
+	ch, err := NewCholesky(randomSPD(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), ch.l.Data...)
+	bad := make([]float64, n+1) // β = 0 with nonzero b ⇒ pivot ≤ 0
+	for i := 0; i < n; i++ {
+		bad[i] = rng.NormFloat64()
+	}
+	err = ch.Append(bad)
+	if err == nil {
+		t.Fatal("non-PD append succeeded")
+	}
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("error %v does not wrap ErrNotPositiveDefinite", err)
+	}
+	if ch.n != n {
+		t.Fatalf("failed append changed size to %d", ch.n)
+	}
+	for i, v := range ch.l.Data {
+		if v != before[i] {
+			t.Fatalf("failed append modified factor at %d: %v -> %v", i, before[i], v)
+		}
+	}
+}
+
+// TestAppendAfterSolveReuse: Append must keep a factor usable after
+// InverseInto has allocated the inverse scratch (the scratch is reshaped,
+// not leaked at the old stride).
+func TestAppendAfterSolveReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	m := 20
+	a := randomSPD(rng, m)
+	sub := New(m-1, m-1)
+	for i := 0; i < m-1; i++ {
+		copy(sub.Data[i*(m-1):(i+1)*(m-1)], a.Data[i*m:i*m+m-1])
+	}
+	ch, err := NewCholesky(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.InverseInto(New(m-1, m-1)) // allocate inv scratch at the old size
+	if err := ch.Append(a.RowView(m - 1)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	got := ch.InverseInto(New(m, m))
+	fresh, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.InverseInto(New(m, m))
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-8 {
+			t.Fatalf("inverse after append: element %d = %v, fresh %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func BenchmarkCholeskyUpdateRank4_512(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomSPD(rng, 512)
+	v := randomMatrix(rng, 4, 512)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.UpdateRankK(v)
+	}
+}
+
+func BenchmarkCholeskyDowndateRank4_512(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	a := randomSPD(rng, 512)
+	v := randomMatrix(rng, 4, 512)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.UpdateRankK(v)
+		if err := ch.DowndateRankK(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskyAppend64(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	a := randomSPD(rng, 64)
+	sub := New(63, 63)
+	for i := 0; i < 63; i++ {
+		copy(sub.Data[i*63:(i+1)*63], a.Data[i*64:i*64+63])
+	}
+	ch, err := NewCholesky(sub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.Append(a.RowView(63)) // grow the buffer once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ch.Resize(63)
+		if err := ch.Factorize(sub); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := ch.Append(a.RowView(63)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
