@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check faults bench bench-smoke restart-smoke
+.PHONY: build vet test race check faults bench bench-smoke restart-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,9 @@ race:
 
 # check is the PR gate: everything builds, vet is clean, the full test suite
 # passes under the race detector, every benchmark still compiles and
-# single-steps, and the crash-safety contract holds against the real binary.
-check: build vet race bench-smoke restart-smoke
+# single-steps, and the crash-safety and serve-mode contracts hold against
+# the real binary.
+check: build vet race bench-smoke restart-smoke serve-smoke
 
 # restart-smoke kills the leo-runtime binary between calibration windows,
 # restarts it from its state directory, corrupts the snapshot and tears the
@@ -25,6 +26,12 @@ check: build vet race bench-smoke restart-smoke
 # run's to round-off.
 restart-smoke:
 	$(GO) test -run='^TestCrashRestartChaos$$' -count=1 .
+
+# serve-smoke boots the real leo-runtime binary in -serve mode, drives a
+# ~50-tenant synthetic fleet over HTTP, SIGTERMs it, and requires a clean
+# drain with one snapshot per shard.
+serve-smoke:
+	$(GO) test -run='^TestServeSmoke$$' -count=1 .
 
 # bench measures the perf-tracked benchmarks (the full-size EM fit and
 # Cholesky factorization, the symmetric-inverse and SYRK kernels behind the
@@ -35,7 +42,9 @@ restart-smoke:
 # trajectory. A second pass re-measures the parallel kernels at 2/4/8 workers
 # (GOMAXPROCS raised to match, -matrix-workers capping the pool — results are
 # bit-identical at any width, only the wall clock moves) and merges each
-# column into the same record.
+# column into the same record. A final pass replays the synthetic fleet
+# against the estimation server over real HTTP and merges the service column
+# (windows refit per second, p99 plan latency).
 WORKER_BENCH = 'BenchmarkCholesky1024|BenchmarkCholeskyInverseInto1024|BenchmarkSyrkWoodbury1024x25|BenchmarkMul512Parallel'
 bench:
 	$(GO) test -run=NONE -bench='BenchmarkLEOOverheadFull|BenchmarkEMFitLarge|BenchmarkCholesky1024|BenchmarkCholeskyInverseInto1024|BenchmarkSyrkWoodbury1024x25|BenchmarkEStepOnly|BenchmarkEstimateSmall$$|BenchmarkCholesky512|BenchmarkMul512Parallel|BenchmarkMultiWindowCold|BenchmarkMultiWindowWarm$$|BenchmarkWarmRefitAppend|BenchmarkEMIterationMetrics' \
@@ -46,6 +55,8 @@ bench:
 			./internal/matrix -args -matrix-workers=$$w \
 			| $(GO) run ./cmd/benchjson -out BENCH_em.json -merge -matrix-workers $$w || exit 1; \
 	done
+	$(GO) test -run=NONE -bench='^BenchmarkServiceThroughput$$' -timeout=30m ./internal/service \
+		| $(GO) run ./cmd/benchjson -out BENCH_em.json -merge -service
 
 # bench-smoke compiles and single-steps every benchmark (-short skips the
 # full-size ones) so check catches benchmark bit-rot without paying

@@ -20,6 +20,14 @@
 //
 //	GOMAXPROCS=4 go test -run=NONE -bench=... -benchmem ./internal/matrix \
 //	    -args -matrix-workers=4 | benchjson -merge -matrix-workers 4
+//
+// With -merge -service, the stdin run is the estimation-service throughput
+// benchmark instead, and its custom metrics become the record's service
+// column — fleet windows refit per second and the 99th-percentile plan
+// latency:
+//
+//	go test -run=NONE -bench=BenchmarkServiceThroughput ./internal/service \
+//	    | benchjson -merge -service
 package main
 
 import (
@@ -77,7 +85,12 @@ type record struct {
 	// at any width (the kernels' determinism contract); only the wall clock
 	// moves.
 	MultiWorker map[string]map[string]float64 `json:"multi_worker,omitempty"`
-	Benchmarks  []result                      `json:"benchmarks"`
+	// Service is the estimation-server throughput column (-merge -service):
+	// sessions_per_sec (tenant-windows refit per wall-clock second) and
+	// p99_plan_ms (client-observed 99th-percentile plan latency) from
+	// BenchmarkServiceThroughput.
+	Service    map[string]float64 `json:"service,omitempty"`
+	Benchmarks []result           `json:"benchmarks"`
 }
 
 // headlineKeys maps benchmark names to the headline metric they feed.
@@ -101,13 +114,60 @@ var workerKeys = map[string]string{
 	"BenchmarkMul512Parallel":          "mul_512_ms",
 }
 
+// serviceKeys maps BenchmarkServiceThroughput's ReportMetric units to the
+// service-column fields they feed.
+var serviceKeys = map[string]string{
+	"sessions/s":  "sessions_per_sec",
+	"p99-plan-ms": "p99_plan_ms",
+}
+
+// serviceColumn extracts the service column from a parsed run, or errors if
+// the throughput benchmark (or its custom metrics) is missing.
+func serviceColumn(results []result) (map[string]float64, error) {
+	for _, r := range results {
+		if r.Name != "BenchmarkServiceThroughput" {
+			continue
+		}
+		col := map[string]float64{}
+		for unit, key := range serviceKeys {
+			v, ok := r.Metrics[unit]
+			if !ok {
+				return nil, fmt.Errorf("BenchmarkServiceThroughput reported no %q metric", unit)
+			}
+			col[key] = v
+		}
+		return col, nil
+	}
+	return nil, fmt.Errorf("no BenchmarkServiceThroughput row on stdin (%d benchmarks parsed)", len(results))
+}
+
+// workerColumn extracts the multi-worker column from a parsed run, or errors
+// if none of the sweep kernels are present.
+func workerColumn(results []result) (map[string]float64, error) {
+	col := map[string]float64{}
+	for _, r := range results {
+		if key, ok := workerKeys[r.Name]; ok {
+			col[key] = r.NsPerOp / 1e6
+		}
+	}
+	if len(col) == 0 {
+		return nil, fmt.Errorf("no multi-worker kernels (%d benchmarks parsed, none in the sweep set)", len(results))
+	}
+	return col, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_em.json", "output path for the JSON record")
 	matrixWorkers := flag.Int("matrix-workers", 0,
 		"matrix-kernel worker cap the benchmarked run used (0 = uncapped), echoed into the record")
 	merge := flag.Bool("merge", false,
 		"merge stdin into the existing record at -out as the multi-worker column keyed by -matrix-workers")
+	service := flag.Bool("service", false,
+		"with -merge: stdin is the service throughput benchmark; merge it as the record's service column")
 	flag.Parse()
+	if *service && !*merge {
+		fatal(fmt.Errorf("-service requires -merge (the service column composes with an existing base record)"))
+	}
 
 	results, err := parseBench(os.Stdin)
 	if err != nil {
@@ -126,19 +186,22 @@ func main() {
 		if err := json.Unmarshal(data, &rec); err != nil {
 			fatal(fmt.Errorf("parsing existing %s: %w", *out, err))
 		}
-		col := map[string]float64{}
-		for _, r := range results {
-			if key, ok := workerKeys[r.Name]; ok {
-				col[key] = r.NsPerOp / 1e6
+		if *service {
+			col, err := serviceColumn(results)
+			if err != nil {
+				fatal(err)
 			}
+			rec.Service = col
+		} else {
+			col, err := workerColumn(results)
+			if err != nil {
+				fatal(err)
+			}
+			if rec.MultiWorker == nil {
+				rec.MultiWorker = map[string]map[string]float64{}
+			}
+			rec.MultiWorker[strconv.Itoa(*matrixWorkers)] = col
 		}
-		if len(col) == 0 {
-			fatal(fmt.Errorf("no multi-worker kernels (%d benchmarks parsed, none in the sweep set)", len(results)))
-		}
-		if rec.MultiWorker == nil {
-			rec.MultiWorker = map[string]map[string]float64{}
-		}
-		rec.MultiWorker[strconv.Itoa(*matrixWorkers)] = col
 	} else {
 		rec = record{
 			GoOS:          runtime.GOOS,

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture bench output: one service-throughput row with both custom metrics,
+// in the exact shape `go test -bench` prints (name-GOMAXPROCS, iterations,
+// ns/op, then "<value> <unit>" metric pairs).
+const serviceBenchOutput = `goos: linux
+goarch: amd64
+pkg: leo/internal/service
+BenchmarkServiceThroughput-8 	       5	 212345678 ns/op	        12.50 p99-plan-ms	       482.25 sessions/s
+PASS
+ok  	leo/internal/service	2.5s
+`
+
+const kernelBenchOutput = `goos: linux
+BenchmarkCholesky1024-4    	       3	 14663837 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMul512Parallel-4  	      10	  5000000 ns/op
+PASS
+`
+
+func parseFixture(t *testing.T, out string) []result {
+	t.Helper()
+	tmp := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(tmp, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	results, err := parseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestServiceColumn(t *testing.T) {
+	results := parseFixture(t, serviceBenchOutput)
+	if len(results) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(results))
+	}
+	col, err := serviceColumn(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := col["sessions_per_sec"], 482.25; got != want {
+		t.Errorf("sessions_per_sec = %v, want %v", got, want)
+	}
+	if got, want := col["p99_plan_ms"], 12.50; got != want {
+		t.Errorf("p99_plan_ms = %v, want %v", got, want)
+	}
+	if len(col) != 2 {
+		t.Errorf("service column has %d fields, want 2: %v", len(col), col)
+	}
+}
+
+func TestServiceColumnRejectsWrongRun(t *testing.T) {
+	// A kernel run piped through -service by mistake must fail loudly, not
+	// write an empty column.
+	results := parseFixture(t, kernelBenchOutput)
+	if _, err := serviceColumn(results); err == nil {
+		t.Fatal("serviceColumn accepted a run without BenchmarkServiceThroughput")
+	} else if !strings.Contains(err.Error(), "BenchmarkServiceThroughput") {
+		t.Errorf("error %q does not name the missing benchmark", err)
+	}
+
+	// And a throughput row missing its metrics (e.g. a -benchtime=1x run
+	// that errored before ReportMetric) is equally loud.
+	partial := parseFixture(t, "BenchmarkServiceThroughput-8 1 1000 ns/op\nPASS\n")
+	if _, err := serviceColumn(partial); err == nil {
+		t.Fatal("serviceColumn accepted a row without the custom metrics")
+	}
+}
+
+func TestWorkerColumn(t *testing.T) {
+	results := parseFixture(t, kernelBenchOutput)
+	col, err := workerColumn(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := col["cholesky_1024_ms"], 14663837.0/1e6; got != want {
+		t.Errorf("cholesky_1024_ms = %v, want %v", got, want)
+	}
+	if got, want := col["mul_512_ms"], 5.0; got != want {
+		t.Errorf("mul_512_ms = %v, want %v", got, want)
+	}
+	// The service run has no sweep kernels; merging it as a worker column
+	// must fail rather than silently dropping the sweep.
+	if _, err := workerColumn(parseFixture(t, serviceBenchOutput)); err == nil {
+		t.Fatal("workerColumn accepted a run with no sweep kernels")
+	}
+}

@@ -23,19 +23,32 @@
 // calibrate until -windows windows are journaled, print the resulting energy
 // plan at full precision, and snapshot on exit — including on SIGTERM.
 // -crash-after-windows simulates a SIGKILL between windows for chaos tests.
+//
+// With -serve the binary becomes the fleet estimation server (DESIGN.md
+// §13): one class per benchmark (leave-one-out priors), tenants register
+// and report probe windows over HTTP/JSON on -listen, and estimates and
+// energy plans are served back bit-identically to an in-process controller.
+// -shards and -max-sessions size the worker pool and the admission cap;
+// -state-dir makes tenant state crash-safe per shard. SIGTERM drains every
+// shard and snapshots before exiting.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"leo"
 	"leo/internal/cli"
+	"leo/internal/stream"
 )
 
 func main() {
@@ -55,6 +68,11 @@ func main() {
 		stateDir   = flag.String("state-dir", "", "directory for crash-safe estimation state (switches to LEO-only service mode: recover, calibrate -windows windows, plan, snapshot)")
 		windows    = flag.Int("windows", 5, "calibration windows to complete in -state-dir mode (already-journaled windows count)")
 		crashAfter = flag.Int("crash-after-windows", 0, "chaos knob: exit(137) without snapshotting after this many windows journaled by this process (0 disables)")
+
+		serve       = flag.Bool("serve", false, "run the fleet estimation HTTP server (one class per benchmark; -state-dir makes tenant state crash-safe)")
+		listen      = flag.String("listen", "localhost:8080", "address the -serve HTTP API binds (host:port; port 0 picks a free one)")
+		shards      = flag.Int("shards", 0, "single-writer worker shards in -serve mode (0 selects the default)")
+		maxSessions = flag.Int("max-sessions", 0, "admitted-tenant cap in -serve mode (0 selects the default)")
 	)
 	obs := cli.RegisterObservability(flag.CommandLine, true)
 	flag.Parse()
@@ -113,6 +131,26 @@ func main() {
 		}
 	}
 
+	// -serve switches to the fleet estimation server: every benchmark becomes
+	// a registrable class with its own leave-one-out priors, and the process
+	// serves the tenant API until SIGTERM/SIGINT drains it.
+	if *serve {
+		addr, err := cli.Listen(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		nShards, err := cli.Shards(*shards)
+		if err != nil {
+			fatal(err)
+		}
+		capSessions, err := cli.MaxSessions(*maxSessions)
+		if err != nil {
+			fatal(err)
+		}
+		serveFleet(ctx, space, db, addr, nShards, capSessions, *stateDir)
+		return
+	}
+
 	// -state-dir switches to crash-safe service mode: the LEO approach only,
 	// driven window by window. Each window's probe and measurement-noise
 	// streams are reseeded from (seed, journaled-window index), so a process
@@ -167,8 +205,7 @@ func main() {
 		}
 		mine := 0
 		for journaled := int(store.LastSeq()); journaled < *windows; journaled = int(store.LastSeq()) {
-			machRng.Seed(*seed + int64(journaled)*1000003 + 1)
-			ctrlRng.Seed(*seed + int64(journaled)*1000003 + 2)
+			stream.ReseedWindow(machRng, ctrlRng, *seed, journaled)
 			if err := ctrl.CalibrateContext(ctx); err != nil {
 				if ctx.Err() != nil {
 					// SIGTERM/SIGINT/timeout: persist what we have so the
@@ -294,6 +331,69 @@ func main() {
 	}
 	run("Offline", offPerf, offPower, 4)
 	run("RaceToIdle", nil, nil, 5)
+}
+
+// serveFleet runs the estimation server until ctx is canceled (SIGTERM,
+// SIGINT or -timeout), then drains every shard — snapshotting tenant state
+// when stateDir is set — before exiting.
+func serveFleet(ctx context.Context, space leo.Space, db *leo.Database, addr string, shards, maxSessions int, stateDir string) {
+	classes := make([]leo.ServiceClass, 0, len(leo.Benchmarks()))
+	for _, app := range leo.Benchmarks() {
+		idx, err := db.AppIndex(app.Name)
+		if err != nil {
+			fatal(err)
+		}
+		rest, _, _, err := db.LeaveOneOut(idx)
+		if err != nil {
+			fatal(err)
+		}
+		perfPrior, err := leo.NewModelPrior(rest.Perf, leo.ModelOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		powerPrior, err := leo.NewModelPrior(rest.Power, leo.ModelOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		tiers, err := leo.StandardServiceLadder(space, perfPrior, powerPrior, rest.Perf, rest.Power)
+		if err != nil {
+			fatal(err)
+		}
+		classes = append(classes, leo.ServiceClass{Name: app.Name, Tiers: tiers, IdlePower: app.IdlePower})
+	}
+	srv, err := leo.NewEstimationServer(leo.ServiceConfig{
+		Space:       space,
+		Classes:     classes,
+		Shards:      shards,
+		MaxSessions: maxSessions,
+		StateDir:    stateDir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The bound-address line is the readiness handshake the serve-smoke test
+	// (and any supervisor) waits for before sending traffic.
+	fmt.Printf("serve: listening on %s classes=%d shards=%d\n", ln.Addr(), len(classes), srv.Shards())
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	closeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Close(closeCtx); err != nil {
+		fatal(err)
+	}
+	fmt.Println("serve: drained")
 }
 
 func fmtJoules(e []float64) []string {

@@ -105,15 +105,37 @@ type leoSession struct {
 func (ls *leoSession) Name() string { return "LEO" }
 
 func (ls *leoSession) Update(ctx context.Context, obsIdx []int, obsVal []float64) ([]float64, error) {
-	if err := validateObs(obsIdx, obsVal, 0); err != nil {
+	// Update is exactly Stage + Fit + FinishFit so a batched refit (which
+	// runs the same three steps with the Fit coalesced into a FitBatch pass)
+	// is bit-identical to the inline path by construction.
+	if err := ls.Stage(obsIdx, obsVal); err != nil {
 		return nil, err
+	}
+	res, err := ls.s.Fit(ctx)
+	return ls.FinishFit(res, err)
+}
+
+// Stage folds observations into the session without fitting. Part of the
+// BatchFitter capability: the serving layer stages every dirty tenant of a
+// prior, then refits them all in one core.FitBatch pass.
+func (ls *leoSession) Stage(obsIdx []int, obsVal []float64) error {
+	if err := validateObs(obsIdx, obsVal, 0); err != nil {
+		return err
 	}
 	for i, idx := range obsIdx {
 		if err := ls.s.Add(idx, obsVal[i]); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	res, err := ls.s.Fit(ctx)
+	return nil
+}
+
+// CoreSession exposes the underlying core.Session for batched refits.
+func (ls *leoSession) CoreSession() *core.Session { return ls.s }
+
+// FinishFit converts a fit outcome into Update's return contract: a fit
+// that merely ran out of iterations still carries a usable estimate.
+func (ls *leoSession) FinishFit(res *core.Result, err error) ([]float64, error) {
 	if err != nil {
 		if res != nil && core.IsNotConverged(err) {
 			return res.Estimate, nil

@@ -20,6 +20,21 @@ type StateCarrier interface {
 	StateDigest() uint64
 }
 
+// BatchFitter is the optional Session capability behind the serving layer's
+// coalesced refits: Stage folds a window's observations in without fitting,
+// CoreSession exposes the core.Session so all staged sessions of one Prior
+// can be refitted in a single core.FitBatch pass, and FinishFit converts
+// that pass's per-session outcome into Update's return contract. For any
+// session, Stage + Fit + FinishFit must be indistinguishable from Update —
+// leoSession implements Update literally that way. Sessions without the
+// capability (the adapted baselines re-run their whole Estimate per Update
+// anyway) are updated inline instead of batched.
+type BatchFitter interface {
+	Stage(obsIdx []int, obsVal []float64) error
+	CoreSession() *core.Session
+	FinishFit(res *core.Result, err error) ([]float64, error)
+}
+
 // HealthReporter is the optional Session capability exposing the numerical-
 // health account of the underlying fit — watchdog trips, exact-path rescues,
 // and the accumulated Cholesky jitter that marks a chronically

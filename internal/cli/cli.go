@@ -1,11 +1,13 @@
 // Package cli holds the small pieces shared by the four leo binaries:
-// uniform -workers validation and the observability flag bundle
+// uniform flag validation (-workers, and the serve-mode trio -listen,
+// -shards, -max-sessions) and the observability flag bundle
 // (-metrics-addr, -metrics-dump, -events).
 package cli
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 
 	"leo/internal/metrics"
@@ -18,6 +20,40 @@ import (
 func Workers(v int) (int, error) {
 	if v < 0 {
 		return 0, fmt.Errorf("-workers must be >= 0 (0 selects the default), got %d", v)
+	}
+	return v, nil
+}
+
+// Listen validates the serve-mode -listen flag value: it must be a
+// host:port address net.Listen accepts (the host may be empty to bind all
+// interfaces, the port may be 0 for a kernel-assigned one). Valid values
+// are returned unchanged.
+func Listen(v string) (string, error) {
+	if v == "" {
+		return "", fmt.Errorf("-listen must be a host:port address (e.g. localhost:8080), got %q", v)
+	}
+	if _, _, err := net.SplitHostPort(v); err != nil {
+		return "", fmt.Errorf("-listen must be a host:port address (e.g. localhost:8080): %w", err)
+	}
+	return v, nil
+}
+
+// Shards validates the serve-mode -shards flag value: negative counts are
+// rejected, zero selects the service default. Valid values are returned
+// unchanged.
+func Shards(v int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("-shards must be >= 0 (0 selects the default), got %d", v)
+	}
+	return v, nil
+}
+
+// MaxSessions validates the serve-mode -max-sessions flag value: negative
+// caps are rejected, zero selects the service default. Valid values are
+// returned unchanged.
+func MaxSessions(v int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("-max-sessions must be >= 0 (0 selects the default), got %d", v)
 	}
 	return v, nil
 }

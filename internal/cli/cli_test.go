@@ -41,6 +41,95 @@ func TestWorkers(t *testing.T) {
 	}
 }
 
+func TestListen(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		wantErr bool
+	}{
+		{in: "", wantErr: true},
+		{in: "localhost", wantErr: true},      // no port
+		{in: "8080", wantErr: true},           // bare port, not host:port
+		{in: "host:port:extra", wantErr: true},
+		{in: "localhost:8080"},
+		{in: ":0"}, // all interfaces, kernel-assigned port
+		{in: "127.0.0.1:9090"},
+		{in: "[::1]:8080"},
+	} {
+		got, err := Listen(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("Listen(%q): want error, got %q", tc.in, got)
+			} else if !strings.Contains(err.Error(), "-listen") {
+				t.Errorf("Listen(%q) error %q does not name the flag", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Listen(%q): unexpected error %v", tc.in, err)
+		} else if got != tc.in {
+			t.Errorf("Listen(%q) = %q, want it unchanged", tc.in, got)
+		}
+	}
+}
+
+func TestShards(t *testing.T) {
+	for _, tc := range []struct {
+		in      int
+		want    int
+		wantErr bool
+	}{
+		{in: -1, wantErr: true},
+		{in: -8, wantErr: true},
+		{in: 0, want: 0},
+		{in: 1, want: 1},
+		{in: 16, want: 16},
+	} {
+		got, err := Shards(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("Shards(%d): want error, got %d", tc.in, got)
+			} else if !strings.Contains(err.Error(), "-shards") {
+				t.Errorf("Shards(%d) error %q does not name the flag", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Shards(%d): unexpected error %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("Shards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMaxSessions(t *testing.T) {
+	for _, tc := range []struct {
+		in      int
+		want    int
+		wantErr bool
+	}{
+		{in: -1, wantErr: true},
+		{in: -65536, wantErr: true},
+		{in: 0, want: 0},
+		{in: 2, want: 2},
+		{in: 65536, want: 65536},
+	} {
+		got, err := MaxSessions(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("MaxSessions(%d): want error, got %d", tc.in, got)
+			} else if !strings.Contains(err.Error(), "-max-sessions") {
+				t.Errorf("MaxSessions(%d) error %q does not name the flag", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("MaxSessions(%d): unexpected error %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("MaxSessions(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
 // TestWorkersFlagParsing exercises the exact shape the binaries use: a
 // -workers int flag parsed from argv and validated through Workers.
 func TestWorkersFlagParsing(t *testing.T) {

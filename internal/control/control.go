@@ -179,30 +179,25 @@ func (c *Controller) calibrateTier(ctx context.Context) error {
 		k = space.N()
 	}
 	mask := profile.RandomMask(space.N(), k, c.rng)
-	obsIdx := make([]int, 0, len(mask))
-	perfObs := make([]float64, 0, len(mask))
-	powerObs := make([]float64, 0, len(mask))
-	for _, idx := range mask {
+	rawPerf := make([]float64, len(mask))
+	rawPower := make([]float64, len(mask))
+	for i, idx := range mask {
 		cfg := space.ConfigAt(idx)
-		p := c.mach.MeasurePerf(cfg)
-		q := c.mach.MeasurePower(cfg)
-		// Discard faulted probes (NaN meter dropouts, lost heartbeat
-		// batches reading zero): core.Estimate rejects non-finite
-		// observations outright, and a non-positive rate or power is
-		// physically impossible.
-		if !validReading(p) || !validReading(q) {
-			c.stats.DroppedObservations++
-			mDroppedObservations.Inc()
-			continue
-		}
-		obsIdx = append(obsIdx, idx)
-		perfObs = append(perfObs, p)
-		powerObs = append(powerObs, q)
+		rawPerf[i] = c.mach.MeasurePerf(cfg)
+		rawPower[i] = c.mach.MeasurePower(cfg)
 	}
-	if len(obsIdx) < c.res.MinValidSamples {
-		return fmt.Errorf("control: only %d of %d calibration probes usable", len(obsIdx), len(mask))
+	// Discard faulted probes (NaN meter dropouts, lost heartbeat batches
+	// reading zero) before they reach the estimator — the same filter the
+	// estimation server applies to tenant-reported readings.
+	w := FilterWindow(mask, rawPerf, rawPower)
+	if w.Dropped > 0 {
+		c.stats.DroppedObservations += int64(w.Dropped)
+		mDroppedObservations.Add(uint64(w.Dropped))
 	}
-	perfEst, powerEst, err := c.estimateTier(ctx, tier, obsIdx, perfObs, powerObs)
+	if len(w.ObsIdx) < c.res.MinValidSamples {
+		return fmt.Errorf("control: only %d of %d calibration probes usable", len(w.ObsIdx), len(mask))
+	}
+	perfEst, powerEst, err := c.estimateTier(ctx, tier, w)
 	if err != nil {
 		return err
 	}
@@ -211,32 +206,35 @@ func (c *Controller) calibrateTier(ctx context.Context) error {
 	}
 	// Journal the accepted window before its estimates take effect: once a
 	// caller can observe this calibration, a restart must reproduce it.
-	if err := c.journalWindow(obsIdx, perfObs, powerObs); err != nil {
+	if err := c.journalWindow(w.ObsIdx, w.Perf, w.Power); err != nil {
 		return fmt.Errorf("control: journaling calibration window: %w", err)
 	}
 	c.perfEst, c.powerEst = sanitizeEstimates(perfEst, powerEst)
-	c.obsIdx, c.obsPerf = obsIdx, perfObs
+	c.obsIdx, c.obsPerf = w.ObsIdx, w.Perf
 	c.measuredRates = nil
 	c.replans++
 	mReplans.Inc()
 	c.events.Emit("calibrate",
 		"controller", c.name, "tier", tier.Name,
-		"replan", c.replans, "probes", len(obsIdx))
+		"replan", c.replans, "probes", len(w.ObsIdx))
 	return nil
 }
 
-// estimateTier turns one window's probe readings into full estimate vectors,
-// via cold one-shot fits or the tier's warm per-metric sessions. In session
-// mode the fit runs under the FitWatchdog deadline: a hung or slow EM fit is
-// canceled mid-iteration and reported as an estimation failure, which feeds
-// the same degradation ladder as any other calibration error.
-func (c *Controller) estimateTier(ctx context.Context, tier Tier, obsIdx []int, perfObs, powerObs []float64) (perfEst, powerEst []float64, err error) {
+// estimateTier turns one filtered window into full estimate vectors, via
+// cold one-shot fits or — the shared FitWindow path — the tier's warm
+// per-metric sessions. In session mode the fit runs under the FitWatchdog
+// deadline: a hung or slow EM fit is canceled mid-iteration and reported as
+// an estimation failure, which feeds the same degradation ladder as any
+// other calibration error. A jitter-budget trip (see CheckJitter) counts
+// the same way, and the degrade discards the session, so the budget resets
+// with the fresh one.
+func (c *Controller) estimateTier(ctx context.Context, tier Tier, w Window) (perfEst, powerEst []float64, err error) {
 	if c.coldRecal {
-		perfEst, err = tier.Perf.Estimate(obsIdx, perfObs)
+		perfEst, err = tier.Perf.Estimate(w.ObsIdx, w.Perf)
 		if err != nil {
 			return nil, nil, fmt.Errorf("control: performance estimation: %w", err)
 		}
-		powerEst, err = tier.Power.Estimate(obsIdx, powerObs)
+		powerEst, err = tier.Power.Estimate(w.ObsIdx, w.Power)
 		if err != nil {
 			return nil, nil, fmt.Errorf("control: power estimation: %w", err)
 		}
@@ -246,59 +244,36 @@ func (c *Controller) estimateTier(ctx context.Context, tier Tier, obsIdx []int, 
 	if err != nil {
 		return nil, nil, fmt.Errorf("control: opening estimation sessions: %w", err)
 	}
-	// A replan means the estimates are suspect and the phase may have changed:
-	// last window's observations are stale, but the posterior is still the
-	// best available starting point, so only the observations are dropped.
-	perfSess.DropObservations()
-	powerSess.DropObservations()
-	fitCtx := ctx
-	if c.res.FitWatchdog > 0 {
-		var cancel context.CancelFunc
-		fitCtx, cancel = context.WithTimeout(ctx, c.res.FitWatchdog)
-		defer cancel()
-	}
-	perfEst, err = perfSess.Update(fitCtx, obsIdx, perfObs)
+	perfEst, powerEst, err = FitWindow(ctx, perfSess, powerSess, w, c.res)
 	if err != nil {
-		return nil, nil, fmt.Errorf("control: performance estimation: %w", err)
-	}
-	powerEst, err = powerSess.Update(fitCtx, obsIdx, powerObs)
-	if err != nil {
-		return nil, nil, fmt.Errorf("control: power estimation: %w", err)
-	}
-	if err := c.checkJitterBudget(perfSess, "performance"); err != nil {
-		return nil, nil, err
-	}
-	if err := c.checkJitterBudget(powerSess, "power"); err != nil {
+		var jerr *JitterBudgetError
+		if errors.As(err, &jerr) {
+			c.noteJitterTrip(jerr)
+		}
 		return nil, nil, err
 	}
 	return perfEst, powerEst, nil
 }
 
-// checkJitterBudget surfaces a session whose fits keep needing Cholesky
-// jitter shifts: a chronically ill-conditioned Σ degrades numerically long
-// before it fails to factorize outright. Crossing Resilience.JitterBudget is
-// reported as an estimation failure, which feeds the same retry-then-degrade
-// ladder as any other calibration error (the degrade discards the session,
-// so the budget resets with the fresh one).
+// checkJitterBudget applies CheckJitter under the controller's budget and
+// accounts any trip before surfacing it as an estimation failure.
 func (c *Controller) checkJitterBudget(sess baseline.Session, metric string) error {
-	if c.res.JitterBudget < 0 {
+	jerr := CheckJitter(sess, metric, c.res.JitterBudget)
+	if jerr == nil {
 		return nil
 	}
-	hr, ok := sess.(baseline.HealthReporter)
-	if !ok {
-		return nil
-	}
-	h := hr.Health()
-	if h.JitterShift <= c.res.JitterBudget {
-		return nil
-	}
+	c.noteJitterTrip(jerr)
+	return jerr
+}
+
+// noteJitterTrip feeds a jitter-budget trip into the degradation report,
+// metrics, and the decision log.
+func (c *Controller) noteJitterTrip(e *JitterBudgetError) {
 	c.stats.JitterTrips++
 	mJitterTrips.Inc()
 	c.events.Emit("jitter_budget",
-		"controller", c.name, "metric", metric,
-		"shift", h.JitterShift, "events", h.JitterEvents)
-	return fmt.Errorf("control: %s session accumulated jitter shift %.3g beyond budget %.3g (%d shifted factorizations)",
-		metric, h.JitterShift, c.res.JitterBudget, h.JitterEvents)
+		"controller", c.name, "metric", e.Metric,
+		"shift", e.Shift, "events", e.Events)
 }
 
 // tierSessions returns the current tier's per-metric sessions, opening fresh

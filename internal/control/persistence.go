@@ -184,7 +184,8 @@ func (c *Controller) replayWindow(ctx context.Context, rec *persist.WindowRecord
 	if c.RaceToIdle() {
 		return nil
 	}
-	perfEst, powerEst, err := c.estimateTier(ctx, c.tiers[c.tier], rec.ObsIdx, rec.Perf, rec.Power)
+	perfEst, powerEst, err := c.estimateTier(ctx, c.tiers[c.tier],
+		Window{ObsIdx: rec.ObsIdx, Perf: rec.Perf, Power: rec.Power})
 	if err != nil {
 		return err
 	}

@@ -109,6 +109,11 @@ func (r Resilience) withDefaults() Resilience {
 	return r
 }
 
+// WithDefaults returns r with zero fields replaced by the documented
+// defaults — the same normalization SetResilience applies. Exported so other
+// policy owners (the estimation service) normalize identically.
+func (r Resilience) WithDefaults() Resilience { return r.withDefaults() }
+
 // SetResilience replaces the controller's resilience tuning (zero fields
 // take defaults).
 func (c *Controller) SetResilience(r Resilience) { c.res = r.withDefaults() }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// BatchOutcome is one session's result within a FitBatch pass. Err carries
+// the session's own fit error (including ErrNotConverged, which — as with
+// Session.Fit — still comes with a usable Result), so one tenant's sick fit
+// never poisons its batch-mates.
+type BatchOutcome struct {
+	Result *Result
+	Err    error
+}
+
+// FitBatch refits a batch of sessions that share one Prior in a single
+// sequential pass: the serving layer's refit scheduler coalesces all dirty
+// tenants of a prior into one call so a scheduling tick pays one pass over
+// the batch instead of per-tenant scheduling churn.
+//
+// Sessions are fitted in slice order, each on its own warm cache. Because
+// sessions never write to the Prior (it is immutable after NewPrior — the
+// contract TestConcurrentSessionsSharedPriorBitIdentical pins under -race)
+// and share no other state, every outcome is bit-identical to calling
+// session.Fit alone; TestFitBatchMatchesIndividualFits holds the two paths
+// equal float for float. What batching buys is scheduling amortization, not
+// shared algebra: each tenant's frozen (Σ, σ²) moments differ, so the
+// per-session warm operators cannot be pooled without changing bits.
+//
+// The returned slice is aligned with sessions. FitBatch itself fails only
+// structurally: a nil session, sessions spanning different Priors, or a
+// context canceled between fits (outcomes completed so far are returned
+// alongside the error).
+func FitBatch(ctx context.Context, sessions []*Session) ([]BatchOutcome, error) {
+	out := make([]BatchOutcome, len(sessions))
+	if len(sessions) == 0 {
+		return out, nil
+	}
+	var prior *Prior
+	for i, s := range sessions {
+		if s == nil {
+			return nil, fmt.Errorf("core: FitBatch: session %d is nil", i)
+		}
+		if prior == nil {
+			prior = s.prior
+		} else if s.prior != prior {
+			return nil, fmt.Errorf("core: FitBatch: session %d belongs to a different Prior (batches are per-prior)", i)
+		}
+	}
+	mBatchPasses.Add(1)
+	for i, s := range sessions {
+		if err := ctx.Err(); err != nil {
+			return out[:i], fmt.Errorf("core: FitBatch canceled after %d of %d sessions: %w", i, len(sessions), err)
+		}
+		out[i].Result, out[i].Err = s.Fit(ctx)
+	}
+	mBatchSessions.Add(uint64(len(sessions)))
+	return out, nil
+}

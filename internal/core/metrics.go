@@ -23,6 +23,14 @@ var (
 	mEMLastChange = metrics.NewGauge("leo_core_em_last_rel_change",
 		"relative change of the target prediction at the end of the most recent fit")
 
+	// Batched-refit scheduling (FitBatch): passes count scheduling ticks,
+	// sessions count tenants served by them — their ratio is the coalescing
+	// factor the service's refit scheduler achieves.
+	mBatchPasses = metrics.NewCounter("leo_core_batch_passes_total",
+		"FitBatch passes executed (one per refit-scheduler tick and prior)")
+	mBatchSessions = metrics.NewCounter("leo_core_batch_sessions_total",
+		"sessions refitted through FitBatch passes")
+
 	// Numerical-health watchdogs (DESIGN.md §11). Trip counters are bumped on
 	// the (rare) trip paths; the jitter pair is bumped per shifted
 	// factorization — all with allocation-free operations, so the iteration

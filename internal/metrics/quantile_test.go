@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("test_quantile_hist", "t", []float64{1, 2, 4, 8})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram must return NaN")
+	}
+	// 100 samples of 0.5 (bucket ≤1), 100 of 1.5 (≤2), 100 of 3 (≤4).
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	// Median rank 150 sits at the middle of the (1,2] bucket: 1.5.
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("Quantile(0.5) = %g, want 1.5", got)
+	}
+	// Rank 300 is the top of the (2,4] bucket.
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("Quantile(1) = %g, want 4", got)
+	}
+	// q is clamped, not rejected.
+	if got := h.Quantile(-3); got != h.Quantile(0) {
+		t.Fatalf("negative q not clamped: %g", got)
+	}
+	// A sample beyond every bound lands in +Inf; the estimate clamps to the
+	// highest finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 8 {
+		t.Fatalf("Quantile(1) with +Inf samples = %g, want 8", got)
+	}
+}

@@ -40,7 +40,17 @@ type WindowRecord struct {
 	ObsIdx []int
 	Perf   []float64
 	Power  []float64
+	// Tenant names the session the window belongs to in a multi-tenant
+	// (per-shard) journal; empty for single-controller journals. The field
+	// is encoded only when set, so a controller journal's bytes are
+	// identical to the pre-tenant format, and a record without it decodes
+	// with Tenant == "".
+	Tenant string
 }
+
+// maxTenantName bounds the decoded tenant-name length, like maxSnapName for
+// snapshot session names: a flipped length byte must not demand gigabytes.
+const maxTenantName = 4096
 
 // encodeRecord renders one framed journal record.
 func encodeRecord(r *WindowRecord) []byte {
@@ -50,6 +60,9 @@ func encodeRecord(r *WindowRecord) []byte {
 	p.ints(r.ObsIdx)
 	p.f64s(r.Perf)
 	p.f64s(r.Power)
+	if r.Tenant != "" {
+		p.str(r.Tenant)
+	}
 
 	out := make([]byte, recHeader, recHeader+len(p.buf))
 	binary.LittleEndian.PutUint32(out[0:], recMagic)
@@ -67,6 +80,9 @@ func decodeRecord(payload []byte) (*WindowRecord, error) {
 	r.ObsIdx = d.ints()
 	r.Perf = d.f64s()
 	r.Power = d.f64s()
+	if d.err == nil && d.remaining() > 0 {
+		r.Tenant = d.str(maxTenantName)
+	}
 	if d.err != nil {
 		return nil, d.err
 	}

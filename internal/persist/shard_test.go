@@ -1,0 +1,111 @@
+package persist
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestTenantRecordRoundTrip: a tenant-tagged window record survives the
+// journal codec, and the tenant field does not disturb the arrays.
+func TestTenantRecordRoundTrip(t *testing.T) {
+	r := &WindowRecord{
+		Seq:    7,
+		Rung:   1,
+		ObsIdx: []int{3, 9, 14},
+		Perf:   []float64{1.5, 2.25, 3.125},
+		Power:  []float64{10, 20, 30},
+		Tenant: "tenant-000042",
+	}
+	framed := encodeRecord(r)
+	got, err := decodeRecord(framed[recHeader:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tenant != r.Tenant || got.Seq != r.Seq || got.Rung != r.Rung {
+		t.Fatalf("round trip mangled record: %+v", got)
+	}
+	for i := range r.ObsIdx {
+		if got.ObsIdx[i] != r.ObsIdx[i] || got.Perf[i] != r.Perf[i] || got.Power[i] != r.Power[i] {
+			t.Fatalf("round trip mangled arrays at %d: %+v", i, got)
+		}
+	}
+}
+
+// TestTenantFieldIsOptionalOnTheWire pins the compatibility contract: a
+// record without a tenant encodes to exactly the pre-tenant byte layout
+// (single-controller journals are unchanged on disk), and decoding such a
+// record yields Tenant == "".
+func TestTenantFieldIsOptionalOnTheWire(t *testing.T) {
+	r := &WindowRecord{Seq: 3, Rung: 0, ObsIdx: []int{1}, Perf: []float64{2}, Power: []float64{4}}
+	framed := encodeRecord(r)
+
+	// Reconstruct the legacy payload by hand: seq, rung, then the arrays —
+	// no tenant suffix.
+	var legacy enc
+	legacy.u64(r.Seq)
+	legacy.u64(uint64(int64(r.Rung)))
+	legacy.ints(r.ObsIdx)
+	legacy.f64s(r.Perf)
+	legacy.f64s(r.Power)
+	if !bytes.Equal(framed[recHeader:], legacy.buf) {
+		t.Fatal("tenantless record no longer matches the legacy wire format")
+	}
+	got, err := decodeRecord(legacy.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tenant != "" {
+		t.Fatalf("legacy record decoded with tenant %q", got.Tenant)
+	}
+}
+
+// TestShardStoresAreIndependent: per-shard stores under one root journal and
+// recover independently, in the documented directory layout.
+func TestShardStoresAreIndependent(t *testing.T) {
+	root := t.TempDir()
+	s0, err := OpenShard(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := OpenShard(root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Dir() != filepath.Join(root, "shard-000") || s1.Dir() != filepath.Join(root, "shard-001") {
+		t.Fatalf("unexpected shard layout: %q, %q", s0.Dir(), s1.Dir())
+	}
+	if err := s0.Append(&WindowRecord{Seq: 1, ObsIdx: []int{0}, Perf: []float64{1}, Power: []float64{2}, Tenant: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re0, err := OpenShard(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re0.Close()
+	re1, err := OpenShard(root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re1.Close()
+	recs, err := re0.Replay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Tenant != "a" {
+		t.Fatalf("shard 0 replay: %+v", recs)
+	}
+	if got := re1.LastSeq(); got != 0 {
+		t.Fatalf("shard 1 inherited shard 0's history: LastSeq = %d", got)
+	}
+	if _, err := OpenShard(root, -1); err == nil {
+		t.Fatal("negative shard index accepted")
+	}
+}

@@ -52,6 +52,21 @@ func Open(dir string) (*Store, error) {
 // Dir returns the state directory path.
 func (s *Store) Dir() string { return s.dir }
 
+// ShardDir names shard i's state directory under root: the layout the
+// estimation server uses, one fully independent snapshot+journal store per
+// worker shard so shards persist and recover without coordinating.
+func ShardDir(root string, shard int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%03d", shard))
+}
+
+// OpenShard opens (creating if needed) shard i's store under root.
+func OpenShard(root string, shard int) (*Store, error) {
+	if shard < 0 {
+		return nil, fmt.Errorf("persist: negative shard index %d", shard)
+	}
+	return Open(ShardDir(root, shard))
+}
+
 // LastSeq returns the highest window sequence number known to the store:
 // the maximum over the journal's intact records and any snapshot loaded or
 // written through it. The next Append must use LastSeq()+1.

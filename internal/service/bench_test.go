@@ -1,0 +1,183 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"leo/internal/stream"
+)
+
+// BenchmarkServiceThroughput measures the serving layer end to end: a
+// synthetic fleet (GenerateTraffic) replayed over real HTTP against a
+// sharded server. One benchmark iteration replays the whole schedule —
+// registrations, observe windows and piggybacked plan requests — through a
+// small client pool that preserves per-tenant ordering (tenants are
+// partitioned across clients by the same FNV hash the shards use).
+//
+// Two custom metrics feed the BENCH_em.json service column: sessions/s is
+// tenant-windows refit per wall-clock second (the service's unit of work —
+// each window is one warm session refit per metric), and p99-plan-ms is the
+// client-observed 99th-percentile plan latency.
+func BenchmarkServiceThroughput(b *testing.B) {
+	f := newFixture(b)
+	cfg := f.config()
+	cfg.Shards = 4
+
+	tenants := 32
+	duration := 3.0
+	if testing.Short() {
+		tenants = 8
+		duration = 1.0
+	}
+	events, err := GenerateTraffic(TrafficConfig{
+		Seed:    7,
+		Tenants: tenants,
+		Classes: []TrafficClass{
+			{Name: "kmeans", PerfTruth: f.truePerf, PowerTruth: f.truePower},
+		},
+		MeanRate:         1,
+		DiurnalAmplitude: 0.5,
+		DiurnalPeriod:    duration,
+		Duration:         duration,
+		ProbesPerWindow:  12,
+		Noise:            0.02,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := 0
+	for _, ev := range events {
+		if ev.Kind == EvObserve {
+			windows++
+		}
+	}
+	if windows == 0 {
+		b.Fatal("traffic schedule has no observe windows")
+	}
+
+	const clients = 4
+	var planLat []time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		b.StartTimer()
+
+		lat := replayTraffic(b, ts.URL, events, clients)
+
+		b.StopTimer()
+		ts.Close()
+		if err := srv.Close(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		planLat = append(planLat, lat...)
+		b.StartTimer()
+	}
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(windows*b.N)/elapsed, "sessions/s")
+	}
+	if len(planLat) > 0 {
+		sort.Slice(planLat, func(i, j int) bool { return planLat[i] < planLat[j] })
+		p99 := planLat[(len(planLat)*99+99)/100-1]
+		b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99-plan-ms")
+	}
+}
+
+// replayTraffic issues the schedule against base through a fixed client
+// pool. Each tenant's events run on one client in schedule order, so the
+// per-tenant observe→plan dependency holds; 429 backpressure is honored by
+// retrying after a short pause. Returns the observed plan latencies.
+func replayTraffic(b *testing.B, base string, events []Event, clients int) []time.Duration {
+	perClient := make([][]Event, clients)
+	for _, ev := range events {
+		c := int(stream.Hash64(ev.Tenant) % uint64(clients))
+		perClient[c] = append(perClient[c], ev)
+	}
+	lats := make([][]time.Duration, clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, ev := range perClient[c] {
+				lat, err := issueEvent(base, ev)
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				if ev.Kind == EvPlan {
+					lats[c] = append(lats[c], lat)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return all
+}
+
+// issueEvent performs one traffic event, retrying 429 backpressure.
+func issueEvent(base string, ev Event) (time.Duration, error) {
+	for attempt := 0; ; attempt++ {
+		var (
+			resp *http.Response
+			err  error
+		)
+		start := time.Now()
+		switch ev.Kind {
+		case EvRegister:
+			body, _ := json.Marshal(map[string]any{"tenant": ev.Tenant, "class": ev.Class})
+			resp, err = http.Post(base+"/v1/register", "application/json", bytes.NewReader(body))
+		case EvObserve:
+			body, _ := json.Marshal(map[string]any{
+				"tenant": ev.Tenant, "obs_idx": ev.ObsIdx, "perf": ev.Perf, "power": ev.Power,
+			})
+			resp, err = http.Post(base+"/v1/observe", "application/json", bytes.NewReader(body))
+		case EvPlan:
+			resp, err = http.Get(fmt.Sprintf("%s/v1/plan?tenant=%s&work=%g&deadline=%g",
+				base, ev.Tenant, ev.Work, ev.Deadline))
+		}
+		if err != nil {
+			return 0, err
+		}
+		lat := time.Since(start)
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 50 {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("%v %s: %d %s", ev.Kind, ev.Tenant, resp.StatusCode, raw)
+		}
+		return lat, nil
+	}
+}

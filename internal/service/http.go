@@ -1,0 +1,292 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"leo/internal/metrics"
+	"leo/internal/pareto"
+)
+
+// Handler returns the server's HTTP surface: the tenant API under /v1/ on
+// top of the standard debug mux (/metrics, /healthz, /debug/pprof), so one
+// listener serves both tenants and operators — the same plumbing every
+// binary's -metrics-addr flag uses.
+//
+//	POST /v1/register   {"tenant","class","idle_power"?}
+//	POST /v1/observe    {"tenant","obs_idx","perf","power"}
+//	GET  /v1/estimate?tenant=NAME
+//	GET  /v1/plan?tenant=NAME&work=W&deadline=T
+//
+// Backpressure is visible in status codes: 429 with Retry-After when a
+// shard queue or the session cap is full, 503 once the server is draining.
+func (s *Server) Handler() http.Handler {
+	mux := metrics.NewDebugMux(nil)
+	mux.HandleFunc("/v1/register", s.handleRegister)
+	mux.HandleFunc("/v1/observe", s.handleObserve)
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	return mux
+}
+
+// retryAfter is the client backoff hint attached to 429 responses: one
+// scheduling tick is plenty for a shard to drain a whole batch.
+const retryAfter = "1"
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusFor maps a shard's typed error to its HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, ErrUnknownClass):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrClassMismatch), errors.Is(err, ErrNoEstimates):
+		return http.StatusConflict
+	case errors.Is(err, ErrTooFewSamples):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrMaxSessions):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// dispatch routes one request to its tenant's shard and waits for the
+// reply. Queue-full is backpressure, not failure: the caller gets 429 and
+// a Retry-After hint. A shard that shut down mid-wait surfaces as draining.
+func (s *Server) dispatch(r *request) (response, error) {
+	select {
+	case <-s.draining:
+		mRejectedDraining.Inc()
+		return response{}, ErrDraining
+	default:
+	}
+	sh := s.shardFor(r.tenant)
+	select {
+	case sh.queue <- r:
+	default:
+		mRejectedQueue.Inc()
+		return response{}, fmt.Errorf("%w: shard %d queue full", ErrMaxSessions, sh.id)
+	}
+	select {
+	case resp := <-r.reply:
+		return resp, nil
+	case <-sh.done:
+		// The shard drained its queue and exited between our enqueue and
+		// its final sweep; the request will never be served.
+		select {
+		case resp := <-r.reply:
+			return resp, nil
+		default:
+			mRejectedDraining.Inc()
+			return response{}, ErrDraining
+		}
+	}
+}
+
+// validName rejects tenant/class names that cannot round-trip through the
+// persistence metadata (the 0x1f separator) or are unreasonably long.
+func validName(s string) bool {
+	return s != "" && len(s) <= 1024 && !strings.Contains(s, metaSep)
+}
+
+type registerBody struct {
+	Tenant    string  `json:"tenant"`
+	Class     string  `json:"class"`
+	IdlePower float64 `json:"idle_power,omitempty"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST required"))
+		return
+	}
+	var body registerBody
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad register body: %w", err))
+		return
+	}
+	if !validName(body.Tenant) || !validName(body.Class) {
+		writeError(w, http.StatusBadRequest, errors.New("service: tenant and class names must be nonempty printable strings"))
+		return
+	}
+	resp, err := s.dispatch(&request{
+		op:        opRegister,
+		tenant:    body.Tenant,
+		class:     body.Class,
+		idlePower: body.IdlePower,
+		reply:     make(chan response, 1),
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if resp.err != nil {
+		writeError(w, statusFor(resp.err), resp.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant":  body.Tenant,
+		"rung":    resp.rung,
+		"windows": resp.windows,
+	})
+}
+
+type observeBody struct {
+	Tenant string    `json:"tenant"`
+	ObsIdx []int     `json:"obs_idx"`
+	Perf   []float64 `json:"perf"`
+	Power  []float64 `json:"power"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	defer func() { mObserveLatency.Observe(time.Since(start).Seconds()) }()
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST required"))
+		return
+	}
+	var body observeBody
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad observe body: %w", err))
+		return
+	}
+	if !validName(body.Tenant) {
+		writeError(w, http.StatusBadRequest, errors.New("service: tenant name required"))
+		return
+	}
+	if len(body.ObsIdx) == 0 || len(body.ObsIdx) != len(body.Perf) || len(body.ObsIdx) != len(body.Power) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: obs_idx/perf/power must be nonempty and the same length (got %d/%d/%d)",
+				len(body.ObsIdx), len(body.Perf), len(body.Power)))
+		return
+	}
+	resp, err := s.dispatch(&request{
+		op:     opObserve,
+		tenant: body.Tenant,
+		obsIdx: body.ObsIdx,
+		perf:   body.Perf,
+		power:  body.Power,
+		reply:  make(chan response, 1),
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if resp.err != nil {
+		writeError(w, statusFor(resp.err), resp.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"windows": resp.windows,
+		"rung":    resp.rung,
+		"dropped": resp.dropped,
+		"shed":    resp.shed,
+	})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET required"))
+		return
+	}
+	tenantName := req.URL.Query().Get("tenant")
+	if !validName(tenantName) {
+		writeError(w, http.StatusBadRequest, errors.New("service: tenant query parameter required"))
+		return
+	}
+	resp, err := s.dispatch(&request{op: opEstimate, tenant: tenantName, reply: make(chan response, 1)})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if resp.err != nil {
+		writeError(w, statusFor(resp.err), resp.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"perf":       resp.perfEst,
+		"power":      resp.powerEst,
+		"idle_power": resp.idlePower,
+		"rung":       resp.rung,
+		"windows":    resp.windows,
+	})
+}
+
+// planReply is the wire form of a pareto.Plan. encoding/json renders
+// float64 in shortest-round-trip form, so the decoded plan is bit-identical
+// to the shard's — the property the HTTP-vs-controller test pins.
+type planReply struct {
+	Allocations []pareto.Allocation `json:"allocations"`
+	IdleTime    float64             `json:"idle_time"`
+	Energy      float64             `json:"energy"`
+	Rate        float64             `json:"rate"`
+	Rung        string              `json:"rung"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	defer func() { mPlanLatency.Observe(time.Since(start).Seconds()) }()
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET required"))
+		return
+	}
+	q := req.URL.Query()
+	tenantName := q.Get("tenant")
+	if !validName(tenantName) {
+		writeError(w, http.StatusBadRequest, errors.New("service: tenant query parameter required"))
+		return
+	}
+	var work, deadline float64
+	if _, err := fmt.Sscan(q.Get("work"), &work); err != nil || work <= 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: positive work query parameter required"))
+		return
+	}
+	if _, err := fmt.Sscan(q.Get("deadline"), &deadline); err != nil || deadline <= 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: positive deadline query parameter required"))
+		return
+	}
+	resp, err := s.dispatch(&request{op: opPlan, tenant: tenantName, work: work, deadline: deadline, reply: make(chan response, 1)})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if resp.err != nil {
+		writeError(w, statusFor(resp.err), resp.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, planReply{
+		Allocations: resp.plan.Allocations,
+		IdleTime:    resp.plan.IdleTime,
+		Energy:      resp.plan.Energy,
+		Rate:        resp.plan.Rate,
+		Rung:        resp.rung,
+	})
+}

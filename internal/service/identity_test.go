@@ -1,0 +1,276 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"leo/internal/apps"
+	"leo/internal/baseline"
+	"leo/internal/control"
+	"leo/internal/core"
+	"leo/internal/machine"
+	"leo/internal/pareto"
+	"leo/internal/platform"
+	"leo/internal/profile"
+)
+
+// TestHTTPPlanMatchesControllerBitForBit is the acceptance gate for the
+// serving layer: a plan served over HTTP must be bit-identical to the plan
+// an in-process control.Controller computes from the same prior, the same
+// observations, and the same seeds. The test replays the controller's exact
+// calibration life — same probe masks (cloned controller rng), same raw
+// readings (cloned machine rng), in the same order — through the HTTP API,
+// then compares estimates and the plan field by field with Float64bits.
+// JSON is safe in the loop because Go marshals float64 in shortest
+// round-trip form.
+func TestHTTPPlanMatchesControllerBitForBit(t *testing.T) {
+	const (
+		machineSeed = 101
+		controlSeed = 42
+		noise       = 0.01
+		samples     = 20
+		windows     = 3
+		work        = 500.0
+		deadline    = 10.0
+	)
+	space := platform.Small()
+	app := apps.MustByName("kmeans")
+	db, err := profile.Collect(space, apps.Suite(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.AppIndex(app.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, _, _, err := db.LeaveOneOut(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process controller, session (warm) calibration mode.
+	mach, err := machine.New(space, app, noise, rand.New(rand.NewSource(machineSeed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := control.New("LEO", mach,
+		baseline.NewLEO(rest.Perf, core.Options{}),
+		baseline.NewLEO(rest.Power, core.Options{}),
+		samples, rand.New(rand.NewSource(controlSeed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < windows; i++ {
+		if err := ctrl.Calibrate(); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+	}
+	wantPlan, err := ctrl.Plan(work, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerf, wantPower := ctrl.Estimates()
+
+	// Estimation server over the same priors.
+	perfPrior, err := core.NewPrior(rest.Perf, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerPrior, err := core.NewPrior(rest.Power, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers, err := StandardLadder(space, perfPrior, powerPrior, rest.Perf, rest.Power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Space:   space,
+		Classes: []Class{{Name: "kmeans", Tiers: tiers, IdlePower: app.IdlePower}},
+		Shards:  2,
+	}
+	_, ts := startServer(t, cfg)
+	register(t, ts.URL, "kmeans-1", "kmeans", app.IdlePower)
+
+	// Replay the controller's probe stream: clone both rngs and walk the
+	// identical draw sequence — mask from the control lane, then one perf
+	// and one power reading per probe from the machine lane.
+	mach2, err := machine.New(space, app, noise, rand.New(rand.NewSource(machineSeed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlRng := rand.New(rand.NewSource(controlSeed))
+	for i := 0; i < windows; i++ {
+		mask := profile.RandomMask(space.N(), samples, ctrlRng)
+		rawPerf := make([]float64, len(mask))
+		rawPower := make([]float64, len(mask))
+		for j, cidx := range mask {
+			c := space.ConfigAt(cidx)
+			rawPerf[j] = mach2.MeasurePerf(c)
+			rawPower[j] = mach2.MeasurePower(c)
+		}
+		code, body := postJSON(t, ts.URL+"/v1/observe",
+			map[string]any{"tenant": "kmeans-1", "obs_idx": mask, "perf": rawPerf, "power": rawPower})
+		if code != http.StatusOK {
+			t.Fatalf("observe window %d: %d %s", i, code, body["error"])
+		}
+	}
+
+	// Estimates must round-trip bit-for-bit.
+	code, est := getJSON(t, ts.URL+"/v1/estimate?tenant=kmeans-1")
+	if code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", code, est["error"])
+	}
+	var gotPerf, gotPower []float64
+	if err := json.Unmarshal(est["perf"], &gotPerf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(est["power"], &gotPower); err != nil {
+		t.Fatal(err)
+	}
+	requireSameVector(t, "perf", gotPerf, wantPerf)
+	requireSameVector(t, "power", gotPower, wantPower)
+
+	// And so must the plan.
+	resp, err := http.Get(ts.URL + "/v1/plan?tenant=kmeans-1&work=500&deadline=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d %s", resp.StatusCode, raw)
+	}
+	var got struct {
+		Allocations []pareto.Allocation `json:"allocations"`
+		IdleTime    float64             `json:"idle_time"`
+		Energy      float64             `json:"energy"`
+		Rate        float64             `json:"rate"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Allocations) != len(wantPlan.Allocations) {
+		t.Fatalf("allocations: got %d, want %d", len(got.Allocations), len(wantPlan.Allocations))
+	}
+	for i, a := range got.Allocations {
+		w := wantPlan.Allocations[i]
+		if a.Index != w.Index || math.Float64bits(a.Time) != math.Float64bits(w.Time) {
+			t.Fatalf("allocation %d: got {%d %v}, want {%d %v}", i, a.Index, a.Time, w.Index, w.Time)
+		}
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"idle_time", got.IdleTime, wantPlan.IdleTime},
+		{"energy", got.Energy, wantPlan.Energy},
+		{"rate", got.Rate, wantPlan.Rate},
+	} {
+		if math.Float64bits(c.got) != math.Float64bits(c.want) {
+			t.Fatalf("%s: got %v (%x), want %v (%x)", c.name,
+				c.got, math.Float64bits(c.got), c.want, math.Float64bits(c.want))
+		}
+	}
+}
+
+func requireSameVector(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: got %v (%x), want %v (%x)", what, i,
+				got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestBatchedWindowsMatchSerialWindows drives the same tenant windows
+// through one shard as a single coalesced batch and through another shard
+// one request at a time, and requires bit-identical published estimates —
+// the serving-layer face of core.FitBatch's bit-identity guarantee.
+func TestBatchedWindowsMatchSerialWindows(t *testing.T) {
+	f := newFixture(t)
+	const tenants = 4
+
+	build := func() *shard {
+		cfg := f.config().withDefaults()
+		srv := &Server{
+			cfg:      cfg,
+			classes:  map[string]*Class{"kmeans": &f.classes[0]},
+			draining: make(chan struct{}),
+			admitted: make(chan struct{}, cfg.MaxSessions),
+		}
+		sh, err := newShard(srv, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tenants; i++ {
+			r := &request{op: opRegister, tenant: tenantName(i), class: "kmeans", reply: make(chan response, 1)}
+			sh.register(r)
+			if resp := <-r.reply; resp.err != nil {
+				t.Fatal(resp.err)
+			}
+		}
+		return sh
+	}
+	mkWindows := func() [][]*request {
+		// Two rounds per tenant (cold then warm), distinct seeded windows.
+		rounds := make([][]*request, 2)
+		for round := range rounds {
+			for i := 0; i < tenants; i++ {
+				rng := rand.New(rand.NewSource(int64(1000 + 10*round + i)))
+				mask := profile.RandomMask(f.space.N(), 14, rng)
+				perf := profile.Observe(f.truePerf, mask, 0.02, rng)
+				power := profile.Observe(f.truePower, mask, 0.02, rng)
+				rounds[round] = append(rounds[round], &request{
+					op: opObserve, tenant: tenantName(i),
+					obsIdx: mask, perf: perf.Values, power: power.Values,
+					reply: make(chan response, 1),
+				})
+			}
+		}
+		return rounds
+	}
+
+	batched := build()
+	for _, round := range mkWindows() {
+		sh := batched
+		sh.process(round, false) // all four tenants in one tick: one FitBatch per metric
+		for _, r := range round {
+			if resp := <-r.reply; resp.err != nil {
+				t.Fatal(resp.err)
+			}
+		}
+	}
+
+	serial := build()
+	for _, round := range mkWindows() {
+		for _, r := range round {
+			serial.process([]*request{r}, false)
+			if resp := <-r.reply; resp.err != nil {
+				t.Fatal(resp.err)
+			}
+		}
+	}
+
+	for i := 0; i < tenants; i++ {
+		b := batched.tenants[tenantName(i)]
+		s := serial.tenants[tenantName(i)]
+		requireSameVector(t, tenantName(i)+" perf", b.perfEst, s.perfEst)
+		requireSameVector(t, tenantName(i)+" power", b.powerEst, s.powerEst)
+	}
+}
+
+func tenantName(i int) string {
+	return string(rune('a'+i)) + "-tenant"
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"leo/internal/persist"
+	"leo/internal/profile"
+)
+
+// TestRestartRecoversTenantsAndEstimates: a gracefully stopped server
+// snapshots every shard; a successor over the same StateDir serves the same
+// tenants with bit-identical estimates immediately. Deleting the snapshots
+// then forces the journal-replay path — tenants and estimates must be
+// rebuilt bit-identically from the windows alone, which exercises the
+// replay-equals-live invariant the journal format exists for.
+func TestRestartRecoversTenantsAndEstimates(t *testing.T) {
+	f := newFixture(t)
+	dir := t.TempDir()
+	cfg := f.config()
+	cfg.StateDir = dir
+	cfg.Shards = 2
+
+	const tenants = 5
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = tenantName(i)
+	}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	for _, name := range names {
+		register(t, ts1.URL, name, "kmeans", f.idle)
+	}
+	// Two windows per tenant: the second refits warm, so recovery must
+	// restore the warm posterior, not just the observations.
+	for round := 0; round < 2; round++ {
+		for i, name := range names {
+			rng := rand.New(rand.NewSource(int64(5000 + 10*round + i)))
+			mask := profile.RandomMask(f.space.N(), 12, rng)
+			perf := profile.Observe(f.truePerf, mask, 0.02, rng)
+			power := profile.Observe(f.truePower, mask, 0.02, rng)
+			code, body := postJSON(t, ts1.URL+"/v1/observe",
+				map[string]any{"tenant": name, "obs_idx": mask, "perf": perf.Values, "power": power.Values})
+			if code != http.StatusOK {
+				t.Fatalf("observe %s round %d: %d %s", name, round, code, body["error"])
+			}
+		}
+	}
+	want := make(map[string][2][]float64, tenants)
+	for _, name := range names {
+		want[name] = fetchEstimates(t, ts1.URL, name)
+	}
+	ts1.Close()
+	if err := s1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 2: snapshot-backed recovery.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	for _, name := range names {
+		got := fetchEstimates(t, ts2.URL, name)
+		requireSameVector(t, name+" perf (snapshot recovery)", got[0], want[name][0])
+		requireSameVector(t, name+" power (snapshot recovery)", got[1], want[name][1])
+	}
+	// A recovered tenant keeps serving new windows (and the restored warm
+	// session accepts them).
+	rng := rand.New(rand.NewSource(9999))
+	mask := profile.RandomMask(f.space.N(), 12, rng)
+	perf := profile.Observe(f.truePerf, mask, 0.02, rng)
+	power := profile.Observe(f.truePower, mask, 0.02, rng)
+	code, body := postJSON(t, ts2.URL+"/v1/observe",
+		map[string]any{"tenant": names[0], "obs_idx": mask, "perf": perf.Values, "power": power.Values})
+	if code != http.StatusOK {
+		t.Fatalf("post-recovery observe: %d %s", code, body["error"])
+	}
+	var windows int
+	if err := json.Unmarshal(body["windows"], &windows); err != nil {
+		t.Fatal(err)
+	}
+	if windows != 3 {
+		t.Fatalf("post-recovery window count %d, want 3", windows)
+	}
+	want3 := fetchEstimates(t, ts2.URL, names[0])
+	ts2.Close()
+	if err := s2.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 3: crash-shaped recovery. Remove every snapshot so only
+	// the journals remain; replay must rebuild the same estimates — for
+	// names[0] including the post-recovery third window.
+	for shard := 0; shard < cfg.Shards; shard++ {
+		for _, snap := range []string{"snapshot.bin", "snapshot.prev"} {
+			path := filepath.Join(persist.ShardDir(dir, shard), snap)
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				t.Fatal(err)
+			}
+		}
+	}
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(s3.Handler())
+	t.Cleanup(func() {
+		ts3.Close()
+		if err := s3.Close(context.Background()); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	for _, name := range names[1:] {
+		got := fetchEstimates(t, ts3.URL, name)
+		requireSameVector(t, name+" perf (journal replay)", got[0], want[name][0])
+		requireSameVector(t, name+" power (journal replay)", got[1], want[name][1])
+	}
+	// names[0] saw a third window in generation 2; journal replay must
+	// land on exactly those estimates, not the two-window ones.
+	got := fetchEstimates(t, ts3.URL, names[0])
+	requireSameVector(t, names[0]+" perf (journal replay, 3 windows)", got[0], want3[0])
+	requireSameVector(t, names[0]+" power (journal replay, 3 windows)", got[1], want3[1])
+}
+
+func fetchEstimates(t testing.TB, base, tenant string) [2][]float64 {
+	t.Helper()
+	code, est := getJSON(t, base+"/v1/estimate?tenant="+tenant)
+	if code != http.StatusOK {
+		t.Fatalf("estimate %s: %d %s", tenant, code, est["error"])
+	}
+	var perf, power []float64
+	if err := json.Unmarshal(est["perf"], &perf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(est["power"], &power); err != nil {
+		t.Fatal(err)
+	}
+	return [2][]float64{perf, power}
+}

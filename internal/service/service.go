@@ -1,0 +1,244 @@
+// Package service turns the one-shot estimation driver into a long-running,
+// multi-tenant estimation server: the fleet-scale deployment of the paper's
+// online estimator. Thousands of tenants (application instances reporting
+// probe windows from their own machines) share a handful of immutable
+// core.Priors — one per application class — while each keeps its own warm
+// core.Session, so the marginal cost of a tenant is one warm refit per
+// window (sub-millisecond, PR 7) plus a few kilobytes of posterior.
+//
+// Architecture (DESIGN.md §13):
+//
+//   - Sessions are sharded across a fixed set of worker shards by FNV hash
+//     of the tenant name. Each shard is a single goroutine that owns its
+//     tenants outright — requests arrive over a bounded channel and are
+//     answered in batches, so no session is ever touched by two goroutines
+//     and no per-session lock exists anywhere.
+//   - A refit scheduler inside each shard coalesces the windows that arrive
+//     within one scheduling tick and refits all dirty sessions of the same
+//     Prior in one core.FitBatch pass per metric.
+//   - Admission control and backpressure: a global tenant cap (429 on
+//     register past it), bounded per-shard queues (429 + Retry-After when
+//     full), and a load-shedding rung that serves refits from the cheaper
+//     Online/Offline ladder when a shard falls behind, instead of failing
+//     tenants outright.
+//   - Each shard persists its tenants into its own snapshot+journal
+//     directory (persist.OpenShard); recovery replays exactly like the
+//     single-controller path and is bit-identical for journaled windows.
+//
+// Estimation itself is the controller's calibrate-window code path
+// (control.FilterWindow → FitWindow → ValidateEstimates →
+// SanitizeEstimates) — shared, not reimplemented — which is why a plan
+// served over HTTP is bit-identical to what an in-process
+// control.Controller produces from the same prior, observations and seeds.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"leo/internal/baseline"
+	"leo/internal/control"
+	"leo/internal/core"
+	"leo/internal/matrix"
+	"leo/internal/platform"
+	"leo/internal/stream"
+)
+
+// Class is one application class tenants can register under: a fallback
+// ladder of estimator tiers (tiers[0] is the primary, normally LEO over the
+// class's shared priors) plus the idle power used in planning when a tenant
+// does not report its own.
+type Class struct {
+	Name      string
+	Tiers     []control.Tier
+	IdlePower float64
+}
+
+// StandardLadder builds the canonical degradation ladder for a class: LEO
+// over the shared perf/power priors, then the Online polynomial baseline,
+// then the Offline profile-mean baseline. It mirrors the ladder the
+// controller runs under fault injection, minus the terminal race-to-idle
+// rung — a server cannot race-to-idle on a tenant's behalf; the bottom of
+// the service ladder is the estimator that cannot fail.
+func StandardLadder(space platform.Space, perfPrior, powerPrior *core.Prior, knownPerf, knownPower *matrix.Matrix) ([]control.Tier, error) {
+	offPerf, err := baseline.NewOffline(knownPerf)
+	if err != nil {
+		return nil, fmt.Errorf("service: offline perf tier: %w", err)
+	}
+	offPower, err := baseline.NewOffline(knownPower)
+	if err != nil {
+		return nil, fmt.Errorf("service: offline power tier: %w", err)
+	}
+	return []control.Tier{
+		{Name: "LEO", Perf: baseline.NewLEOFromPrior(perfPrior), Power: baseline.NewLEOFromPrior(powerPrior)},
+		{Name: "Online", Perf: baseline.NewOnline(space), Power: baseline.NewOnline(space)},
+		{Name: "Offline", Perf: offPerf, Power: offPower},
+	}, nil
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultShards      = 4
+	DefaultMaxSessions = 65536
+	DefaultQueueDepth  = 256
+	DefaultBatchMax    = 64
+)
+
+// Config configures a Server. Zero values select the defaults above;
+// Classes and Space are required.
+type Config struct {
+	// Space is the configuration space estimates and plans cover.
+	Space platform.Space
+	// Classes are the application classes tenants may register under.
+	Classes []Class
+	// Shards is the number of single-writer worker shards.
+	Shards int
+	// MaxSessions caps admitted tenants across all shards; registration
+	// past the cap is rejected 429 (admission control, not an error).
+	MaxSessions int
+	// QueueDepth bounds each shard's request queue; a full queue rejects
+	// 429 + Retry-After (backpressure).
+	QueueDepth int
+	// BatchMax caps how many queued requests one scheduling tick drains.
+	BatchMax int
+	// Resilience tunes the per-tenant estimation policy exactly as it does
+	// the controller's (watchdog, jitter budget, failure ladder).
+	Resilience control.Resilience
+	// StateDir, when set, makes tenant state crash-safe: each shard opens
+	// StateDir/shard-NNN as its own snapshot+journal store.
+	StateDir string
+	// DefaultIdlePower is used for classes whose IdlePower is zero and
+	// tenants that do not report their own.
+	DefaultIdlePower float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = DefaultBatchMax
+	}
+	c.Resilience = c.Resilience.WithDefaults()
+	return c
+}
+
+// Server is the estimation service: an HTTP/JSON front end (Handler) over
+// fixed worker shards. Create with New, serve Handler, stop with Close.
+type Server struct {
+	cfg     Config
+	classes map[string]*Class
+	shards  []*shard
+
+	draining  chan struct{} // closed by Close: reject new work with 503
+	admitted  chan struct{} // counting semaphore of tenant slots
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a server and starts its shard workers (recovering each shard's
+// tenants from StateDir first, when configured).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Space.N() == 0 {
+		return nil, fmt.Errorf("service: empty configuration space")
+	}
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("service: no application classes configured")
+	}
+	s := &Server{
+		cfg:      cfg,
+		classes:  make(map[string]*Class, len(cfg.Classes)),
+		draining: make(chan struct{}),
+		admitted: make(chan struct{}, cfg.MaxSessions),
+	}
+	for i := range cfg.Classes {
+		cl := &cfg.Classes[i]
+		if cl.Name == "" || len(cl.Tiers) == 0 {
+			return nil, fmt.Errorf("service: class %d needs a name and at least one tier", i)
+		}
+		if _, dup := s.classes[cl.Name]; dup {
+			return nil, fmt.Errorf("service: duplicate class %q", cl.Name)
+		}
+		if cl.IdlePower == 0 {
+			cl.IdlePower = cfg.DefaultIdlePower
+		}
+		s.classes[cl.Name] = cl
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		sh, err := newShard(s, i)
+		if err != nil {
+			for _, prev := range s.shards[:i] {
+				prev.closeStore()
+			}
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	for _, sh := range s.shards {
+		go sh.run()
+	}
+	return s, nil
+}
+
+// Shards returns the number of worker shards.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// shardFor places a tenant: FNV-1a of the name modulo the shard count, the
+// same stable hash the stream package derives tenant seed lanes from.
+func (s *Server) shardFor(tenant string) *shard {
+	return s.shards[int(stream.Hash64(tenant)%uint64(len(s.shards)))]
+}
+
+// admit takes one tenant slot, false when the fleet is full.
+func (s *Server) admit() bool {
+	select {
+	case s.admitted <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// unadmit releases a tenant slot (registration failed after admission).
+func (s *Server) unadmit() { <-s.admitted }
+
+// Close drains the server: new HTTP requests are rejected 503, every shard
+// finishes its queue, snapshots all tenants to its store, and exits. The
+// context bounds the wait. Idempotent; later calls return the first result.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		close(s.draining)
+		for _, sh := range s.shards {
+			close(sh.stop)
+		}
+		for _, sh := range s.shards {
+			select {
+			case <-sh.done:
+			case <-ctx.Done():
+				s.closeErr = fmt.Errorf("service: shutdown interrupted: %w", context.Cause(ctx))
+				return
+			}
+			if sh.closeErr != nil && s.closeErr == nil {
+				s.closeErr = sh.closeErr
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// watchdogContext applies the resilience fit watchdog to ctx.
+func watchdogContext(ctx context.Context, res control.Resilience) (context.Context, context.CancelFunc) {
+	if res.FitWatchdog > 0 {
+		return context.WithTimeout(ctx, res.FitWatchdog)
+	}
+	return ctx, func() {}
+}

@@ -1,0 +1,850 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"leo/internal/baseline"
+	"leo/internal/control"
+	"leo/internal/core"
+	"leo/internal/pareto"
+	"leo/internal/persist"
+)
+
+// Typed request outcomes the HTTP layer maps to status codes.
+var (
+	ErrUnknownTenant = errors.New("service: unknown tenant")
+	ErrUnknownClass  = errors.New("service: unknown application class")
+	ErrClassMismatch = errors.New("service: tenant already registered under a different class")
+	ErrNoEstimates   = errors.New("service: tenant has no estimates yet")
+	ErrTooFewSamples = errors.New("service: too few valid probes in window")
+	ErrMaxSessions   = errors.New("service: session capacity reached")
+	ErrDraining      = errors.New("service: server is draining")
+)
+
+type opKind int
+
+const (
+	opRegister opKind = iota
+	opObserve
+	opEstimate
+	opPlan
+)
+
+// request is one tenant call traveling from the HTTP layer into a shard.
+// The reply channel is buffered (capacity 1) so the shard never blocks on a
+// caller that gave up.
+type request struct {
+	op     opKind
+	tenant string
+
+	class     string  // register
+	idlePower float64 // register
+
+	obsIdx []int     // observe
+	perf   []float64 // observe
+	power  []float64 // observe
+
+	work     float64 // plan
+	deadline float64 // plan
+
+	reply chan response
+}
+
+type response struct {
+	err error
+
+	windows int    // observe: total windows folded into this tenant
+	dropped int    // observe: probes discarded by the validity filter
+	rung    string // observe/estimate: tier that served the request
+	shed    bool   // observe: window was served by the load-shedding rung
+
+	perfEst, powerEst []float64    // estimate
+	idlePower         float64      // estimate
+	plan              *pareto.Plan // plan
+}
+
+// tenant is one application instance's serving state, owned exclusively by
+// its shard goroutine.
+type tenant struct {
+	name      string
+	class     *Class
+	idlePower float64
+
+	rung                int // sticky index into class.Tiers
+	perfSess, powerSess baseline.Session
+
+	perfEst, powerEst []float64 // sanitized copies; nil until the first window
+	windows           int
+	estFails          int // consecutive failures at the current rung
+}
+
+// shard is one single-writer worker: a goroutine that owns a disjoint set
+// of tenants, a bounded request queue in front of it, and (optionally) its
+// own persist.Store. All tenant state on this struct is touched only by
+// run(), which is what makes the sessions lock-free.
+type shard struct {
+	srv *Server
+	id  int
+
+	queue chan *request
+	stop  chan struct{} // closed by Server.Close
+	done  chan struct{} // closed when run() has snapshotted and exited
+
+	tenants  map[string]*tenant
+	store    *persist.Store
+	met      shardMetrics
+	closeErr error
+}
+
+func newShard(srv *Server, id int) (*shard, error) {
+	sh := &shard{
+		srv:     srv,
+		id:      id,
+		queue:   make(chan *request, srv.cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		tenants: make(map[string]*tenant),
+		met:     newShardMetrics(id),
+	}
+	if srv.cfg.StateDir != "" {
+		store, err := persist.OpenShard(srv.cfg.StateDir, id)
+		if err != nil {
+			return nil, fmt.Errorf("service: shard %d: %w", id, err)
+		}
+		sh.store = store
+		if err := sh.recover(); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("service: shard %d recovery: %w", id, err)
+		}
+	}
+	return sh, nil
+}
+
+func (sh *shard) closeStore() {
+	if sh.store != nil {
+		sh.store.Close()
+	}
+}
+
+// run is the shard's single-writer loop: block for one request (or stop),
+// drain what else has queued up to BatchMax, and process the batch with
+// same-Prior refits coalesced. On stop it finishes the queue, snapshots
+// every tenant, and exits.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		var batch []*request
+		select {
+		case r := <-sh.queue:
+			batch = append(batch, r)
+		case <-sh.stop:
+			sh.shutdown()
+			return
+		}
+	gather:
+		for len(batch) < sh.srv.cfg.BatchMax {
+			select {
+			case r := <-sh.queue:
+				batch = append(batch, r)
+			default:
+				break gather
+			}
+		}
+		depth := len(sh.queue)
+		sh.met.queue.Set(float64(depth))
+		mBatchSize.Observe(float64(len(batch)))
+		// Load-shedding rung: when the queue is still three-quarters full
+		// after taking a whole batch, this tick's refits run on the cheap
+		// ladder so the shard catches up instead of collapsing.
+		shed := depth >= sh.srv.cfg.QueueDepth*3/4
+		sh.process(batch, shed)
+	}
+}
+
+// shutdown drains every queued request (callers are already being rejected
+// with 503 at the HTTP layer), then snapshots the shard's tenants.
+func (sh *shard) shutdown() {
+	for {
+		select {
+		case r := <-sh.queue:
+			sh.process([]*request{r}, false)
+		default:
+			sh.closeErr = sh.snapshot()
+			if sh.store != nil {
+				if err := sh.store.Close(); err != nil && sh.closeErr == nil {
+					sh.closeErr = err
+				}
+			}
+			return
+		}
+	}
+}
+
+// process serves one gathered batch in phases: registrations first (so an
+// observe behind its register in the same batch succeeds), then observes
+// with same-Prior refits batched, then reads (estimate/plan) against the
+// freshly updated state.
+func (sh *shard) process(batch []*request, shed bool) {
+	var observes, reads []*request
+	for _, r := range batch {
+		switch r.op {
+		case opRegister:
+			sh.register(r)
+		case opObserve:
+			observes = append(observes, r)
+		default:
+			reads = append(reads, r)
+		}
+	}
+	sh.processObserves(observes, shed)
+	for _, r := range reads {
+		switch r.op {
+		case opEstimate:
+			sh.estimate(r)
+		case opPlan:
+			sh.plan(r)
+		}
+	}
+}
+
+func (sh *shard) register(r *request) {
+	cl, ok := sh.srv.classes[r.class]
+	if !ok {
+		r.reply <- response{err: fmt.Errorf("%w: %q", ErrUnknownClass, r.class)}
+		return
+	}
+	if t, exists := sh.tenants[r.tenant]; exists {
+		if t.class != cl {
+			r.reply <- response{err: fmt.Errorf("%w: %q is %q", ErrClassMismatch, r.tenant, t.class.Name)}
+			return
+		}
+		// Idempotent re-register (a rebooted tenant announcing itself):
+		// no new session slot is consumed.
+		r.reply <- response{windows: t.windows, rung: t.class.Tiers[t.rung].Name}
+		return
+	}
+	// Admission control: a genuinely new tenant takes one fleet-wide slot.
+	if !sh.srv.admit() {
+		mRejectedSessions.Inc()
+		r.reply <- response{err: ErrMaxSessions}
+		return
+	}
+	t := &tenant{name: r.tenant, class: cl, idlePower: r.idlePower, rung: 0}
+	if t.idlePower <= 0 {
+		t.idlePower = cl.IdlePower
+	}
+	if err := sh.openSessions(t); err != nil {
+		sh.srv.unadmit()
+		r.reply <- response{err: err}
+		return
+	}
+	sh.tenants[r.tenant] = t
+	mRegisters.Inc()
+	mTenants.Add(1)
+	sh.met.tenants.Set(float64(len(sh.tenants)))
+	r.reply <- response{rung: cl.Tiers[0].Name}
+}
+
+// openSessions (re)creates t's per-metric sessions at its current rung.
+func (sh *shard) openSessions(t *tenant) error {
+	tier := t.class.Tiers[t.rung]
+	perfSess, err := tier.Perf.NewSession(context.Background())
+	if err != nil {
+		return fmt.Errorf("service: opening %s performance session: %w", tier.Name, err)
+	}
+	powerSess, err := tier.Power.NewSession(context.Background())
+	if err != nil {
+		return fmt.Errorf("service: opening %s power session: %w", tier.Name, err)
+	}
+	t.perfSess, t.powerSess = perfSess, powerSess
+	return nil
+}
+
+// staged is one observe window whose sessions support batched fitting,
+// parked between Stage and FinishFit.
+type staged struct {
+	req    *request
+	ten    *tenant
+	w      control.Window
+	bfPerf baseline.BatchFitter
+	bfPow  baseline.BatchFitter
+
+	perfEst, powerEst []float64
+	err               error
+}
+
+// processObserves serves a batch's observation windows. Multiple windows
+// from one tenant are processed in arrival-order waves (a session can hold
+// only one window at a time); within a wave, every tenant whose sessions
+// support it is staged and refit through one core.FitBatch pass per
+// (class, rung) group — the refit scheduler the shard exists for.
+func (sh *shard) processObserves(observes []*request, shed bool) {
+	if len(observes) == 0 {
+		return
+	}
+	byTenant := make(map[string][]*request)
+	var order []string
+	waves := 0
+	for _, r := range observes {
+		if _, seen := byTenant[r.tenant]; !seen {
+			order = append(order, r.tenant)
+		}
+		byTenant[r.tenant] = append(byTenant[r.tenant], r)
+		if n := len(byTenant[r.tenant]); n > waves {
+			waves = n
+		}
+	}
+	for k := 0; k < waves; k++ {
+		var wave []*request
+		for _, name := range order {
+			if rs := byTenant[name]; k < len(rs) {
+				wave = append(wave, rs[k])
+			}
+		}
+		sh.processWave(wave, shed)
+	}
+}
+
+func (sh *shard) processWave(wave []*request, shed bool) {
+	var items []*staged
+	for _, r := range wave {
+		t, ok := sh.tenants[r.tenant]
+		if !ok {
+			r.reply <- response{err: fmt.Errorf("%w: %q", ErrUnknownTenant, r.tenant)}
+			continue
+		}
+		w := control.FilterWindow(r.obsIdx, r.perf, r.power)
+		if len(w.ObsIdx) < sh.srv.cfg.Resilience.MinValidSamples {
+			r.reply <- response{
+				err:     fmt.Errorf("%w: only %d of %d probes usable", ErrTooFewSamples, len(w.ObsIdx), len(r.obsIdx)),
+				dropped: w.Dropped,
+			}
+			continue
+		}
+		if shed {
+			if rung, ok := sh.shedRung(t); ok {
+				sh.fitShed(r, t, w, rung)
+				continue
+			}
+		}
+		bfPerf, okP := t.perfSess.(baseline.BatchFitter)
+		bfPow, okQ := t.powerSess.(baseline.BatchFitter)
+		if okP && okQ {
+			it := &staged{req: r, ten: t, w: w, bfPerf: bfPerf, bfPow: bfPow}
+			// Mirror control.FitWindow exactly: previous window out, new
+			// window staged; the fit itself is deferred to the group pass.
+			t.perfSess.DropObservations()
+			t.powerSess.DropObservations()
+			if err := bfPerf.Stage(w.ObsIdx, w.Perf); err != nil {
+				it.err = fmt.Errorf("service: performance estimation: %w", err)
+			} else if err := bfPow.Stage(w.ObsIdx, w.Power); err != nil {
+				it.err = fmt.Errorf("service: power estimation: %w", err)
+			}
+			items = append(items, it)
+			continue
+		}
+		// Sessions without batch support (the adapted baselines) fit inline
+		// through the same shared code path the controller walks.
+		perfEst, powerEst, err := control.FitWindow(context.Background(), t.perfSess, t.powerSess, w, sh.srv.cfg.Resilience)
+		sh.finishWindow(r, t, w, perfEst, powerEst, err, t.rung, false)
+	}
+	sh.fitStaged(items)
+	for _, it := range items {
+		sh.finishWindow(it.req, it.ten, it.w, it.perfEst, it.powerEst, it.err, it.ten.rung, false)
+	}
+}
+
+// shedRung picks the degraded rung a shed window runs on: one rung below
+// the primary, never above the tenant's own sticky rung. False when the
+// tenant is already at the ladder's bottom — nothing cheaper exists.
+func (sh *shard) shedRung(t *tenant) (int, bool) {
+	rung := t.rung + 1
+	if rung >= len(t.class.Tiers) {
+		return 0, false
+	}
+	return rung, true
+}
+
+// fitShed serves one window on the load-shedding rung with ephemeral
+// sessions: the adapted baselines refit from scratch each window anyway, so
+// a throwaway session is indistinguishable from a persistent one, and the
+// tenant's own (expensive, warm) sessions are left untouched — its sticky
+// rung does not change because the *server* fell behind.
+func (sh *shard) fitShed(r *request, t *tenant, w control.Window, rung int) {
+	tier := t.class.Tiers[rung]
+	perfSess, err := tier.Perf.NewSession(context.Background())
+	if err == nil {
+		var powerSess baseline.Session
+		powerSess, err = tier.Power.NewSession(context.Background())
+		if err == nil {
+			var perfEst, powerEst []float64
+			perfEst, powerEst, err = control.FitWindow(context.Background(), perfSess, powerSess, w, sh.srv.cfg.Resilience)
+			mShedWindows.Inc()
+			sh.finishWindow(r, t, w, perfEst, powerEst, err, rung, true)
+			return
+		}
+	}
+	sh.finishWindow(r, t, w, nil, nil, err, rung, true)
+}
+
+// fitStaged runs the coalesced refits: staged items grouped by
+// (class, rung) — every group's core sessions share one immutable Prior by
+// construction — one core.FitBatch pass per metric per group, under the
+// same FitWatchdog deadline a serial fit gets. Power sessions are fitted
+// only for tenants whose performance fit succeeded, exactly as the serial
+// FitWindow path short-circuits, so batched state evolution is
+// indistinguishable from serial.
+func (sh *shard) fitStaged(items []*staged) {
+	type groupKey struct {
+		cl   *Class
+		rung int
+	}
+	groups := make(map[groupKey][]*staged)
+	var keys []groupKey
+	for _, it := range items {
+		if it.err != nil {
+			continue // staging already failed
+		}
+		k := groupKey{it.ten.class, it.ten.rung}
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], it)
+	}
+	for _, k := range keys {
+		g := groups[k]
+		ctx, cancel := watchdogContext(context.Background(), sh.srv.cfg.Resilience)
+
+		perfSessions := make([]*core.Session, len(g))
+		for i, it := range g {
+			perfSessions[i] = it.bfPerf.CoreSession()
+		}
+		perfOut, batchErr := core.FitBatch(ctx, perfSessions)
+		var survivors []*staged
+		for i, it := range g {
+			var res *core.Result
+			var err error
+			if i < len(perfOut) {
+				res, err = perfOut[i].Result, perfOut[i].Err
+			} else {
+				err = batchErr // canceled before this session's turn
+			}
+			it.perfEst, err = it.bfPerf.FinishFit(res, err)
+			if err != nil {
+				it.err = fmt.Errorf("service: performance estimation: %w", err)
+				continue
+			}
+			survivors = append(survivors, it)
+		}
+
+		powerSessions := make([]*core.Session, len(survivors))
+		for i, it := range survivors {
+			powerSessions[i] = it.bfPow.CoreSession()
+		}
+		powerOut, batchErr := core.FitBatch(ctx, powerSessions)
+		for i, it := range survivors {
+			var res *core.Result
+			var err error
+			if i < len(powerOut) {
+				res, err = powerOut[i].Result, powerOut[i].Err
+			} else {
+				err = batchErr
+			}
+			it.powerEst, err = it.bfPow.FinishFit(res, err)
+			if err != nil {
+				it.err = fmt.Errorf("service: power estimation: %w", err)
+				continue
+			}
+			// Jitter budgets, in FitWindow's order: performance first.
+			if jerr := control.CheckJitter(it.ten.perfSess, "performance", sh.srv.cfg.Resilience.JitterBudget); jerr != nil {
+				it.err = jerr
+			} else if jerr := control.CheckJitter(it.ten.powerSess, "power", sh.srv.cfg.Resilience.JitterBudget); jerr != nil {
+				it.err = jerr
+			}
+		}
+		cancel()
+	}
+}
+
+// finishWindow is the tail of the shared calibrate-window path for one
+// tenant window: validate, journal the accepted window before its estimates
+// take effect, sanitize, publish. Failures feed the tenant's
+// retry-then-degrade ladder — except on shed windows, where the failure is
+// the server's choice of rung, not the tenant's estimator.
+func (sh *shard) finishWindow(r *request, t *tenant, w control.Window, perfEst, powerEst []float64, err error, rung int, shed bool) {
+	cfg := &sh.srv.cfg
+	if err == nil {
+		err = control.ValidateEstimates(perfEst, powerEst, cfg.Space.N())
+		if err != nil {
+			err = fmt.Errorf("service: %s estimates rejected: %w", t.class.Tiers[rung].Name, err)
+		}
+	}
+	if err != nil {
+		mEstimationFailures.Inc()
+		if !shed {
+			t.estFails++
+			if t.estFails >= cfg.Resilience.MaxEstimationFailures && t.rung+1 < len(t.class.Tiers) {
+				t.rung++
+				t.estFails = 0
+				mDegrades.Inc()
+				if serr := sh.openSessions(t); serr != nil {
+					err = errors.Join(err, serr)
+				}
+			}
+		}
+		r.reply <- response{err: err, dropped: w.Dropped, rung: t.class.Tiers[rung].Name, shed: shed}
+		return
+	}
+	if sh.store != nil {
+		rec := &persist.WindowRecord{
+			Seq:    sh.store.LastSeq() + 1,
+			Rung:   rung,
+			ObsIdx: w.ObsIdx,
+			Perf:   w.Perf,
+			Power:  w.Power,
+			Tenant: packTenantMeta(t, shed),
+		}
+		if jerr := sh.store.Append(rec); jerr != nil {
+			r.reply <- response{err: fmt.Errorf("service: journaling window: %w", jerr), dropped: w.Dropped}
+			return
+		}
+	}
+	perf, power := control.SanitizeEstimates(perfEst, powerEst)
+	// Own the published vectors: session Update may reuse its buffers on the
+	// next fit, and replies must stay stable after the shard moves on.
+	t.perfEst = append(t.perfEst[:0], perf...)
+	t.powerEst = append(t.powerEst[:0], power...)
+	t.windows++
+	t.estFails = 0
+	mWindows.Inc()
+	r.reply <- response{windows: t.windows, dropped: w.Dropped, rung: t.class.Tiers[rung].Name, shed: shed}
+}
+
+func (sh *shard) estimate(r *request) {
+	t, ok := sh.tenants[r.tenant]
+	if !ok {
+		r.reply <- response{err: fmt.Errorf("%w: %q", ErrUnknownTenant, r.tenant)}
+		return
+	}
+	if t.perfEst == nil {
+		r.reply <- response{err: fmt.Errorf("%w: %q", ErrNoEstimates, r.tenant)}
+		return
+	}
+	r.reply <- response{
+		perfEst:   append([]float64(nil), t.perfEst...),
+		powerEst:  append([]float64(nil), t.powerEst...),
+		idlePower: t.idlePower,
+		rung:      t.class.Tiers[t.rung].Name,
+		windows:   t.windows,
+	}
+}
+
+// plan mirrors Controller.PlanContext's estimate-backed path float for
+// float: minimize energy over the sanitized estimates; if they call the
+// demand infeasible, fall back to the believed-fastest configuration run
+// flat out.
+func (sh *shard) plan(r *request) {
+	t, ok := sh.tenants[r.tenant]
+	if !ok {
+		r.reply <- response{err: fmt.Errorf("%w: %q", ErrUnknownTenant, r.tenant)}
+		return
+	}
+	if t.perfEst == nil {
+		r.reply <- response{err: fmt.Errorf("%w: %q", ErrNoEstimates, r.tenant)}
+		return
+	}
+	plan, err := pareto.MinimizeEnergy(t.perfEst, t.powerEst, t.idlePower, r.work, r.deadline)
+	if err != nil {
+		best := believedFastest(t.perfEst)
+		if best < 0 {
+			r.reply <- response{err: err}
+			return
+		}
+		plan = &pareto.Plan{
+			Allocations: []pareto.Allocation{{Index: best, Time: r.deadline}},
+			Rate:        r.work / r.deadline,
+			Energy:      t.powerEst[best] * r.deadline,
+		}
+	}
+	r.reply <- response{plan: plan, rung: t.class.Tiers[t.rung].Name}
+}
+
+// believedFastest is the controller's infeasible-demand fallback with no
+// abandoned configurations: the highest finite estimated rate, -1 when
+// every estimate is zero or worse.
+func believedFastest(perfEst []float64) int {
+	best, bestIdx := 0.0, -1
+	for i, v := range perfEst {
+		if v > best && !math.IsInf(v, 1) {
+			best, bestIdx = v, i
+		}
+	}
+	return bestIdx
+}
+
+// --- persistence -----------------------------------------------------------
+
+// metaSep separates tenant metadata fields inside journal records and
+// snapshot entry names. 0x1f (ASCII unit separator) cannot appear in tenant
+// or class names the HTTP layer accepts.
+const metaSep = "\x1f"
+
+// packTenantMeta tags a journal record with everything replay needs to
+// reconstruct the tenant it belongs to: name, class, idle power (exact,
+// hex-packed bits), the tenant's own sticky rung, and a shed marker when
+// the window ran on the load-shedding rung instead.
+func packTenantMeta(t *tenant, shed bool) string {
+	meta := t.name + metaSep + t.class.Name + metaSep +
+		strconv.FormatUint(math.Float64bits(t.idlePower), 16) + metaSep +
+		strconv.Itoa(t.rung)
+	if shed {
+		meta += metaSep + "s"
+	}
+	return meta
+}
+
+type tenantMeta struct {
+	name      string
+	class     string
+	idlePower float64
+	rung      int
+	shed      bool
+}
+
+func unpackTenantMeta(s string) (tenantMeta, error) {
+	parts := strings.Split(s, metaSep)
+	if len(parts) < 4 || len(parts) > 5 {
+		return tenantMeta{}, fmt.Errorf("service: malformed tenant metadata %q", s)
+	}
+	bits, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return tenantMeta{}, fmt.Errorf("service: malformed idle power in %q: %w", s, err)
+	}
+	rung, err := strconv.Atoi(parts[3])
+	if err != nil || rung < 0 {
+		return tenantMeta{}, fmt.Errorf("service: malformed rung in %q", s)
+	}
+	m := tenantMeta{name: parts[0], class: parts[1], idlePower: math.Float64frombits(bits), rung: rung}
+	if len(parts) == 5 {
+		if parts[4] != "s" {
+			return tenantMeta{}, fmt.Errorf("service: malformed shed marker in %q", s)
+		}
+		m.shed = true
+	}
+	return m, nil
+}
+
+// snapshot persists every tenant's sessions into the shard's store, two
+// entries per tenant (perf, power) named by the packed metadata so restore
+// can rebuild the tenant without a registry, plus — for tenants that have
+// estimates — an "est" entry carrying the published estimate vectors in a
+// core.SessionState shell (Mu: perf, ObsVal: power, Sigma2: window count),
+// so a gracefully restarted server serves plans immediately instead of
+// answering 409 until the next observe. Deterministic order (sorted tenant
+// names) so identical state writes identical snapshots.
+func (sh *shard) snapshot() error {
+	if sh.store == nil {
+		return nil
+	}
+	names := make([]string, 0, len(sh.tenants))
+	for name := range sh.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap := &persist.Snapshot{Seq: sh.store.LastSeq()}
+	for _, name := range names {
+		t := sh.tenants[name]
+		meta := packTenantMeta(t, false)
+		for _, m := range []struct {
+			metric string
+			sess   baseline.Session
+		}{{"perf", t.perfSess}, {"power", t.powerSess}} {
+			entry := persist.SessionEntry{Name: meta + metaSep + m.metric, State: &core.SessionState{}}
+			if sc, ok := m.sess.(baseline.StateCarrier); ok {
+				entry.Digest = sc.StateDigest()
+				entry.State = sc.SessionState()
+			}
+			snap.Sessions = append(snap.Sessions, entry)
+		}
+		if t.perfEst != nil {
+			snap.Sessions = append(snap.Sessions, persist.SessionEntry{
+				Name: meta + metaSep + "est",
+				State: &core.SessionState{
+					Mu:     append([]float64(nil), t.perfEst...),
+					ObsVal: append([]float64(nil), t.powerEst...),
+					Sigma2: float64(t.windows),
+				},
+			})
+		}
+	}
+	return sh.store.WriteSnapshot(snap)
+}
+
+// recover rebuilds the shard's tenants from its store: snapshot first
+// (sessions restored warm when their prior digest still matches), then the
+// journaled windows after it, replayed through the same serial code path a
+// live batch reduces to — so the recovered estimates are bit-identical to
+// the pre-crash ones for every journaled window.
+func (sh *shard) recover() error {
+	snap, err := sh.store.LoadSnapshot()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		for _, se := range snap.Sessions {
+			// Entry names are the packed tenant metadata plus a metric
+			// suffix: name/class/idle/rung/("perf"|"power").
+			i := strings.LastIndex(se.Name, metaSep)
+			if i < 0 {
+				return fmt.Errorf("service: malformed snapshot entry %q", se.Name)
+			}
+			metric := se.Name[i+1:]
+			if metric != "perf" && metric != "power" && metric != "est" {
+				return fmt.Errorf("service: snapshot entry %q: unknown metric", se.Name)
+			}
+			meta, err := unpackTenantMeta(se.Name[:i])
+			if err != nil {
+				return err
+			}
+			t, err := sh.restoreTenant(meta)
+			if err != nil {
+				return err
+			}
+			if t == nil {
+				continue // capacity exceeded: tenant dropped
+			}
+			if metric == "est" {
+				if se.State != nil && len(se.State.Mu) > 0 {
+					t.perfEst = append([]float64(nil), se.State.Mu...)
+					t.powerEst = append([]float64(nil), se.State.ObsVal...)
+					t.windows = int(se.State.Sigma2)
+				}
+				continue
+			}
+			sess := t.perfSess
+			if metric == "power" {
+				sess = t.powerSess
+			}
+			sc, ok := sess.(baseline.StateCarrier)
+			if ok && se.Digest != 0 && se.Digest == sc.StateDigest() && se.State != nil {
+				if err := sc.RestoreSessionState(se.State); err != nil {
+					return fmt.Errorf("service: restoring %q: %w", se.Name, err)
+				}
+			}
+		}
+	}
+	var afterSeq uint64
+	if snap != nil {
+		afterSeq = snap.Seq
+	}
+	recs, err := sh.store.Replay(afterSeq)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if rec.Tenant == "" {
+			continue // not a service record
+		}
+		if err := sh.applyRecord(rec); err != nil {
+			return err
+		}
+	}
+	sh.met.tenants.Set(float64(len(sh.tenants)))
+	return nil
+}
+
+// restoreTenant finds or creates the tenant a snapshot entry or journal
+// record describes, moving it to the recorded sticky rung (fresh sessions
+// on a rung change, exactly as a live degrade opens fresh ones). nil when
+// the fleet-wide session cap is already spent.
+func (sh *shard) restoreTenant(meta tenantMeta) (*tenant, error) {
+	cl, ok := sh.srv.classes[meta.class]
+	if !ok {
+		return nil, fmt.Errorf("service: recovered tenant %q names unknown class %q", meta.name, meta.class)
+	}
+	if meta.rung >= len(cl.Tiers) {
+		return nil, fmt.Errorf("service: recovered tenant %q rung %d beyond ladder", meta.name, meta.rung)
+	}
+	if t, exists := sh.tenants[meta.name]; exists {
+		if t.rung != meta.rung {
+			t.rung = meta.rung
+			t.estFails = 0
+			if err := sh.openSessions(t); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+	if !sh.srv.admit() {
+		return nil, nil
+	}
+	t := &tenant{name: meta.name, class: cl, idlePower: meta.idlePower, rung: meta.rung}
+	if t.idlePower <= 0 {
+		t.idlePower = cl.IdlePower
+	}
+	if err := sh.openSessions(t); err != nil {
+		sh.srv.unadmit()
+		return nil, err
+	}
+	sh.tenants[meta.name] = t
+	mTenants.Add(1)
+	mRestoredTenants.Inc()
+	return t, nil
+}
+
+// applyRecord replays one journaled window. Shed windows replay on
+// ephemeral sessions at the recorded rung, exactly as they ran live; owned
+// windows walk FitWindow — which a batched live fit is bit-identical to —
+// so the tenant's sessions and estimates land where the crash left them.
+func (sh *shard) applyRecord(rec *persist.WindowRecord) error {
+	meta, err := unpackTenantMeta(rec.Tenant)
+	if err != nil {
+		return err
+	}
+	t, err := sh.restoreTenant(meta)
+	if err != nil {
+		return err
+	}
+	if t == nil {
+		return nil // capacity exceeded: tenant dropped
+	}
+	w := control.Window{ObsIdx: rec.ObsIdx, Perf: rec.Perf, Power: rec.Power}
+	var perfEst, powerEst []float64
+	if meta.shed {
+		if rec.Rung < 0 || rec.Rung >= len(t.class.Tiers) {
+			return fmt.Errorf("service: journaled shed rung %d beyond ladder", rec.Rung)
+		}
+		tier := t.class.Tiers[rec.Rung]
+		perfSess, serr := tier.Perf.NewSession(context.Background())
+		if serr != nil {
+			return serr
+		}
+		powerSess, serr := tier.Power.NewSession(context.Background())
+		if serr != nil {
+			return serr
+		}
+		perfEst, powerEst, err = control.FitWindow(context.Background(), perfSess, powerSess, w, sh.srv.cfg.Resilience)
+	} else {
+		perfEst, powerEst, err = control.FitWindow(context.Background(), t.perfSess, t.powerSess, w, sh.srv.cfg.Resilience)
+	}
+	if err == nil {
+		err = control.ValidateEstimates(perfEst, powerEst, sh.srv.cfg.Space.N())
+	}
+	if err != nil {
+		// A journaled window was accepted live; a failed replay means the
+		// environment changed (e.g. different ladder). Surface it rather
+		// than silently recovering different state.
+		return fmt.Errorf("service: replaying window %d for %q: %w", rec.Seq, meta.name, err)
+	}
+	perf, power := control.SanitizeEstimates(perfEst, powerEst)
+	t.perfEst = append(t.perfEst[:0], perf...)
+	t.powerEst = append(t.powerEst[:0], power...)
+	t.windows++
+	return nil
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"leo/internal/profile"
+	"leo/internal/stream"
+)
+
+// Synthetic fleet traffic: an open-loop arrival schedule for benchmarking
+// and smoke-testing the server. Every tenant draws its own Poisson process
+// from its own stream.TenantSeed lane, so the schedule is deterministic for
+// a given config — two runs of the generator produce byte-identical event
+// streams — while still looking like a fleet: arrivals are memoryless, the
+// aggregate rate follows a diurnal curve, and tenants are spread over
+// classes round-robin.
+
+// TrafficClass is one application class's ground truth the generator
+// synthesizes observations from.
+type TrafficClass struct {
+	Name       string
+	PerfTruth  []float64
+	PowerTruth []float64
+}
+
+// TrafficConfig shapes a synthetic fleet.
+type TrafficConfig struct {
+	Seed    int64
+	Tenants int
+	Classes []TrafficClass
+	// MeanRate is each tenant's mean observe-window rate (windows per
+	// simulated second); plans piggyback on every window.
+	MeanRate float64
+	// DiurnalAmplitude in [0,1) modulates the rate sinusoidally:
+	// λ(t) = MeanRate · (1 + A·sin(2πt/DiurnalPeriod)).
+	DiurnalAmplitude float64
+	DiurnalPeriod    float64
+	// Duration is the simulated span in seconds.
+	Duration float64
+	// ProbesPerWindow configurations are probed per window.
+	ProbesPerWindow int
+	// Noise is the multiplicative observation noise (profile.Observe).
+	Noise float64
+}
+
+// EventKind discriminates traffic events.
+type EventKind int
+
+const (
+	EvRegister EventKind = iota
+	EvObserve
+	EvPlan
+)
+
+// Event is one tenant call, ready to be issued at At seconds.
+type Event struct {
+	At     float64
+	Kind   EventKind
+	Tenant string
+	Class  string
+
+	ObsIdx []int     // EvObserve
+	Perf   []float64 // EvObserve
+	Power  []float64 // EvObserve
+
+	Work     float64 // EvPlan
+	Deadline float64 // EvPlan
+}
+
+// GenerateTraffic renders the full event schedule, sorted by arrival time
+// (registrations for all tenants land at t=0, before any window). The
+// generator is open-loop: events carry no dependency on server responses,
+// so replaying them against a server measures the server, not the client.
+func GenerateTraffic(cfg TrafficConfig) ([]Event, error) {
+	if cfg.Tenants <= 0 {
+		return nil, fmt.Errorf("service: traffic needs at least one tenant")
+	}
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("service: traffic needs at least one class")
+	}
+	if cfg.MeanRate <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("service: traffic needs positive MeanRate and Duration")
+	}
+	if cfg.DiurnalAmplitude < 0 || cfg.DiurnalAmplitude >= 1 {
+		return nil, fmt.Errorf("service: DiurnalAmplitude must be in [0,1)")
+	}
+	if cfg.DiurnalAmplitude > 0 && cfg.DiurnalPeriod <= 0 {
+		return nil, fmt.Errorf("service: diurnal modulation needs a positive period")
+	}
+	for _, cl := range cfg.Classes {
+		if len(cl.PerfTruth) == 0 || len(cl.PerfTruth) != len(cl.PowerTruth) {
+			return nil, fmt.Errorf("service: class %q truth vectors must be nonempty and equal length", cl.Name)
+		}
+		if cfg.ProbesPerWindow <= 0 || cfg.ProbesPerWindow > len(cl.PerfTruth) {
+			return nil, fmt.Errorf("service: ProbesPerWindow %d out of range for class %q", cfg.ProbesPerWindow, cl.Name)
+		}
+	}
+
+	var events []Event
+	for i := 0; i < cfg.Tenants; i++ {
+		name := fmt.Sprintf("tenant-%06d", i)
+		cl := cfg.Classes[i%len(cfg.Classes)]
+		rng := rand.New(rand.NewSource(stream.TenantSeed(cfg.Seed, name)))
+		events = append(events, Event{At: 0, Kind: EvRegister, Tenant: name, Class: cl.Name})
+		events = append(events, tenantWindows(cfg, name, cl, rng)...)
+	}
+	// Stable sort: ties (the t=0 registrations) keep tenant order, so the
+	// schedule is deterministic end to end.
+	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
+	return events, nil
+}
+
+// tenantWindows draws one tenant's windows as a non-homogeneous Poisson
+// process by thinning: candidates arrive at the peak rate and survive with
+// probability λ(t)/λmax. Every surviving window is followed immediately by
+// a plan request — report, then ask what to do.
+func tenantWindows(cfg TrafficConfig, name string, cl TrafficClass, rng *rand.Rand) []Event {
+	lambdaMax := cfg.MeanRate * (1 + cfg.DiurnalAmplitude)
+	var events []Event
+	for t := rng.ExpFloat64() / lambdaMax; t < cfg.Duration; t += rng.ExpFloat64() / lambdaMax {
+		if cfg.DiurnalAmplitude > 0 {
+			lambda := cfg.MeanRate * (1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*t/cfg.DiurnalPeriod))
+			if rng.Float64()*lambdaMax > lambda {
+				continue // thinned
+			}
+		}
+		mask := profile.RandomMask(len(cl.PerfTruth), cfg.ProbesPerWindow, rng)
+		perf := profile.Observe(cl.PerfTruth, mask, cfg.Noise, rng)
+		power := profile.Observe(cl.PowerTruth, mask, cfg.Noise, rng)
+		events = append(events, Event{
+			At: t, Kind: EvObserve, Tenant: name, Class: cl.Name,
+			ObsIdx: mask, Perf: perf.Values, Power: power.Values,
+		})
+		// Demand scaled to the believed range so plans exercise both the
+		// two-point pareto path and the infeasible fallback occasionally.
+		work := (0.25 + 0.75*rng.Float64()) * maxOf(cl.PerfTruth)
+		events = append(events, Event{
+			At: t, Kind: EvPlan, Tenant: name, Class: cl.Name,
+			Work: work, Deadline: 1,
+		})
+	}
+	return events
+}
+
+func maxOf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,59 @@
+// Package stream centralizes the deterministic pseudo-random stream
+// derivations the runtime relies on for replayability. Every consumer of
+// randomness — the machine's measurement noise, the controller's probe
+// order, a synthetic tenant's observation schedule — derives its seed from
+// (base seed, identity) through the functions here, so that two processes
+// given the same base seed make the same draws regardless of scheduling:
+// the recovery-equivalence contract of the crash-safe service mode and the
+// bit-reproducibility of the synthetic traffic generator both reduce to
+// this package.
+package stream
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// windowStride separates the seed lanes of consecutive calibration windows.
+// It is a prime comfortably larger than the per-window lane count so lanes
+// of different windows never collide.
+const windowStride = 1000003
+
+// MachineSeed is the seed of the machine's measurement-noise stream for the
+// given calibration window. A process that re-probes window w after a crash
+// draws the very noise the original process would have.
+func MachineSeed(seed int64, window int) int64 {
+	return seed + int64(window)*windowStride + 1
+}
+
+// ControlSeed is the seed of the controller's probe-selection stream for
+// the given calibration window.
+func ControlSeed(seed int64, window int) int64 {
+	return seed + int64(window)*windowStride + 2
+}
+
+// ReseedWindow pins both per-window streams to the (seed, window) lanes, in
+// place. Callers reseed before every window rather than letting the streams
+// free-run so the draws of window w never depend on how many windows came
+// before it in this process.
+func ReseedWindow(mach, ctrl *rand.Rand, seed int64, window int) {
+	mach.Seed(MachineSeed(seed, window))
+	ctrl.Seed(ControlSeed(seed, window))
+}
+
+// Hash64 is the FNV-1a hash of s: the stable, dependency-free identity hash
+// used to place tenants on shards and to derive per-tenant seed lanes.
+func Hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// TenantSeed derives the seed of a tenant's private stream from the base
+// seed and the tenant's name. Distinct tenants land on distinct lanes (up
+// to hash collisions), and the derivation depends only on the name — not on
+// registration order — so replaying a traffic schedule reproduces every
+// tenant's draws regardless of arrival interleaving.
+func TenantSeed(seed int64, tenant string) int64 {
+	return seed + int64(Hash64(tenant)&0x7fffffffffff)
+}

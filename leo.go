@@ -73,6 +73,7 @@ import (
 	"leo/internal/platform"
 	"leo/internal/profile"
 	"leo/internal/sampling"
+	"leo/internal/service"
 	"leo/internal/stats"
 	"leo/internal/trace"
 )
@@ -348,6 +349,50 @@ type (
 // OpenStateStore opens (creating as needed) a state directory, repairing any
 // torn journal tail left by a crash.
 func OpenStateStore(dir string) (*StateStore, error) { return persist.Open(dir) }
+
+// Fleet estimation service (leo-runtime -serve). The service multiplexes
+// thousands of tenant Sessions over shared class Priors behind an HTTP/JSON
+// API, sharded across single-writer workers that coalesce same-Prior refits
+// into FitBatch passes. See DESIGN.md §13.
+type (
+	// ServiceClass is one application class tenants register under: a
+	// degradation ladder of estimator tiers plus a default idle power.
+	ServiceClass = service.Class
+	// ServiceConfig configures an estimation server.
+	ServiceConfig = service.Config
+	// EstimationServer is the multi-tenant estimation service: serve
+	// Handler, stop with Close.
+	EstimationServer = service.Server
+	// TrafficClass names one application class in a synthetic tenant trace.
+	TrafficClass = service.TrafficClass
+	// TrafficConfig shapes a synthetic tenant trace.
+	TrafficConfig = service.TrafficConfig
+	// TrafficEvent is one register/observe/plan event in a tenant trace.
+	TrafficEvent = service.Event
+)
+
+// Traffic event kinds (TrafficEvent.Kind).
+const (
+	EvRegisterTraffic = service.EvRegister
+	EvObserveTraffic  = service.EvObserve
+	EvPlanTraffic     = service.EvPlan
+)
+
+// NewEstimationServer builds and starts an estimation server (recovering
+// tenant state from ServiceConfig.StateDir when set).
+func NewEstimationServer(cfg ServiceConfig) (*EstimationServer, error) { return service.New(cfg) }
+
+// StandardServiceLadder builds the canonical class ladder: LEO over the
+// shared priors, then the Online and Offline baselines.
+func StandardServiceLadder(space Space, perfPrior, powerPrior *ModelPrior, knownPerf, knownPower *Matrix) ([]Tier, error) {
+	return service.StandardLadder(space, perfPrior, powerPrior, knownPerf, knownPower)
+}
+
+// GenerateServiceTraffic expands a TrafficConfig into a deterministic,
+// time-ordered event stream for load-testing an estimation server.
+func GenerateServiceTraffic(cfg TrafficConfig) ([]TrafficEvent, error) {
+	return service.GenerateTraffic(cfg)
+}
 
 // ErrActuation marks a transient, retryable configuration-change failure.
 var ErrActuation = machine.ErrActuation

@@ -1,0 +1,154 @@
+package leo_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"leo"
+)
+
+// TestServeSmoke boots the real leo-runtime binary in -serve mode, drives a
+// ~50-tenant synthetic fleet through the HTTP API, then sends SIGTERM and
+// requires a clean drain: exit code 0, the drained marker on stdout, and one
+// snapshot per shard in the state directory. It is the smoke-level contract
+// behind `make serve-smoke`.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve smoke builds and drives the real binary; skipped in -short")
+	}
+	bin := runtimeBin(t)
+	dir := t.TempDir()
+
+	cmd := exec.Command(bin,
+		"-serve", "-listen", "127.0.0.1:0", "-shards", "2", "-max-sessions", "128",
+		"-state-dir", dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() // no-op after a clean Wait
+
+	// The readiness handshake: the bound address is printed once the
+	// listener is up. Collect the rest of stdout in the background for the
+	// post-SIGTERM assertions.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "serve: listening on "); ok {
+			addr = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening line from the server (scan error: %v)", sc.Err())
+	}
+	tail := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteByte('\n')
+		}
+		tail <- rest.String()
+	}()
+	base := "http://" + addr
+
+	// A 50-tenant fleet, one simulated second of windows with piggybacked
+	// plan requests. Replayed sequentially, so per-tenant ordering is free.
+	space := leo.SmallSpace()
+	app, err := leo.Benchmark("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := leo.GenerateServiceTraffic(leo.TrafficConfig{
+		Seed:    11,
+		Tenants: 50,
+		Classes: []leo.TrafficClass{
+			{Name: "kmeans", PerfTruth: app.PerfVector(space), PowerTruth: app.PowerVector(space)},
+		},
+		MeanRate:        1,
+		Duration:        1,
+		ProbesPerWindow: 12,
+		Noise:           0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := issueSmokeEvent(base, ev); err != nil {
+			t.Fatalf("event %+v: %v", ev.Kind, err)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server did not exit cleanly after SIGTERM: %v", err)
+	}
+	out := <-tail
+	if !strings.Contains(out, "serve: drained") {
+		t.Errorf("no drained marker on stdout after SIGTERM:\n%s", out)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "shard-*", "snapshot.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("found %d shard snapshots after drain, want 2: %v", len(snaps), snaps)
+	}
+}
+
+// issueSmokeEvent performs one traffic event against the live server,
+// honoring 429 backpressure with a short retry loop.
+func issueSmokeEvent(base string, ev leo.TrafficEvent) error {
+	for attempt := 0; ; attempt++ {
+		var (
+			resp *http.Response
+			err  error
+		)
+		switch ev.Kind {
+		case leo.EvRegisterTraffic:
+			body, _ := json.Marshal(map[string]any{"tenant": ev.Tenant, "class": ev.Class})
+			resp, err = http.Post(base+"/v1/register", "application/json", bytes.NewReader(body))
+		case leo.EvObserveTraffic:
+			body, _ := json.Marshal(map[string]any{
+				"tenant": ev.Tenant, "obs_idx": ev.ObsIdx, "perf": ev.Perf, "power": ev.Power,
+			})
+			resp, err = http.Post(base+"/v1/observe", "application/json", bytes.NewReader(body))
+		case leo.EvPlanTraffic:
+			resp, err = http.Get(fmt.Sprintf("%s/v1/plan?tenant=%s&work=%g&deadline=%g",
+				base, ev.Tenant, ev.Work, ev.Deadline))
+		default:
+			return fmt.Errorf("unknown event kind %v", ev.Kind)
+		}
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 100 {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s %s: %d %s", ev.Tenant, ev.Class, resp.StatusCode, raw)
+		}
+		return nil
+	}
+}
