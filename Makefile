@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check faults bench bench-smoke restart-smoke serve-smoke
+.PHONY: build vet test race check faults bench bench-smoke restart-smoke serve-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 # passes under the race detector, every benchmark still compiles and
 # single-steps, and the crash-safety and serve-mode contracts hold against
 # the real binary.
-check: build vet race bench-smoke restart-smoke serve-smoke
+check: build vet race bench-smoke restart-smoke serve-smoke cluster-smoke
 
 # restart-smoke kills the leo-runtime binary between calibration windows,
 # restarts it from its state directory, corrupts the snapshot and tears the
@@ -33,6 +33,12 @@ restart-smoke:
 serve-smoke:
 	$(GO) test -run='^TestServeSmoke$$' -count=1 .
 
+# cluster-smoke runs the cluster-level power budgeting sweep end to end on
+# the small space: the coordinator, the replayed trace, the rack outage
+# schedule, and the report renderer all execute against real controllers.
+cluster-smoke:
+	$(GO) run ./cmd/leo-experiments -experiment ext-cluster
+
 # bench measures the perf-tracked benchmarks (the full-size EM fit and
 # Cholesky factorization, the symmetric-inverse and SYRK kernels behind the
 # symmetry-aware E-step, the §6.7 overhead fit, the allocation-free E-step,
@@ -44,7 +50,9 @@ serve-smoke:
 # bit-identical at any width, only the wall clock moves) and merges each
 # column into the same record. A final pass replays the synthetic fleet
 # against the estimation server over real HTTP and merges the service column
-# (windows refit per second, p99 plan latency).
+# (windows refit per second, p99 plan latency), then runs the cluster
+# coordinator benchmark and merges the cluster column (node-epochs per
+# second, cap-violation rate, J/beat).
 WORKER_BENCH = 'BenchmarkCholesky1024|BenchmarkCholeskyInverseInto1024|BenchmarkSyrkWoodbury1024x25|BenchmarkMul512Parallel'
 bench:
 	$(GO) test -run=NONE -bench='BenchmarkLEOOverheadFull|BenchmarkEMFitLarge|BenchmarkCholesky1024|BenchmarkCholeskyInverseInto1024|BenchmarkSyrkWoodbury1024x25|BenchmarkEStepOnly|BenchmarkEstimateSmall$$|BenchmarkCholesky512|BenchmarkMul512Parallel|BenchmarkMultiWindowCold|BenchmarkMultiWindowWarm$$|BenchmarkWarmRefitAppend|BenchmarkEMIterationMetrics' \
@@ -57,6 +65,8 @@ bench:
 	done
 	$(GO) test -run=NONE -bench='^BenchmarkServiceThroughput$$' -timeout=30m ./internal/service \
 		| $(GO) run ./cmd/benchjson -out BENCH_em.json -merge -service
+	$(GO) test -run=NONE -bench='^BenchmarkClusterEpoch$$' -timeout=30m ./internal/cluster \
+		| $(GO) run ./cmd/benchjson -out BENCH_em.json -merge -cluster
 
 # bench-smoke compiles and single-steps every benchmark (-short skips the
 # full-size ones) so check catches benchmark bit-rot without paying

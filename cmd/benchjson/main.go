@@ -28,6 +28,13 @@
 //
 //	go test -run=NONE -bench=BenchmarkServiceThroughput ./internal/service \
 //	    | benchjson -merge -service
+//
+// With -merge -cluster, the stdin run is the cluster coordinator benchmark,
+// and its custom metrics become the record's cluster column — node-epochs
+// simulated per second, the cap-violation rate, and energy per heartbeat:
+//
+//	go test -run=NONE -bench=BenchmarkClusterEpoch ./internal/cluster \
+//	    | benchjson -merge -cluster
 package main
 
 import (
@@ -89,7 +96,13 @@ type record struct {
 	// sessions_per_sec (tenant-windows refit per wall-clock second) and
 	// p99_plan_ms (client-observed 99th-percentile plan latency) from
 	// BenchmarkServiceThroughput.
-	Service    map[string]float64 `json:"service,omitempty"`
+	Service map[string]float64 `json:"service,omitempty"`
+	// Cluster is the cluster-coordinator throughput column (-merge -cluster):
+	// node_epochs_per_sec (simulated node-epochs per wall-clock second),
+	// cap_violations_per_epoch (global-cap violation rate of the benchmark
+	// scenario), and j_per_beat (energy per completed heartbeat) from
+	// BenchmarkClusterEpoch.
+	Cluster    map[string]float64 `json:"cluster,omitempty"`
 	Benchmarks []result           `json:"benchmarks"`
 }
 
@@ -141,6 +154,41 @@ func serviceColumn(results []result) (map[string]float64, error) {
 	return nil, fmt.Errorf("no BenchmarkServiceThroughput row on stdin (%d benchmarks parsed)", len(results))
 }
 
+// clusterKeys maps BenchmarkClusterEpoch's ReportMetric units to the
+// cluster-column fields they feed. j_per_beat is optional: a scenario that
+// completes no work reports no J/beat, which is still a valid run.
+var clusterKeys = []struct {
+	unit, key string
+	required  bool
+}{
+	{"node-epochs/s", "node_epochs_per_sec", true},
+	{"cap-violations/epoch", "cap_violations_per_epoch", true},
+	{"J/beat", "j_per_beat", false},
+}
+
+// clusterColumn extracts the cluster column from a parsed run, or errors if
+// the coordinator benchmark (or a required metric) is missing.
+func clusterColumn(results []result) (map[string]float64, error) {
+	for _, r := range results {
+		if r.Name != "BenchmarkClusterEpoch" {
+			continue
+		}
+		col := map[string]float64{}
+		for _, k := range clusterKeys {
+			v, ok := r.Metrics[k.unit]
+			if !ok {
+				if k.required {
+					return nil, fmt.Errorf("BenchmarkClusterEpoch reported no %q metric", k.unit)
+				}
+				continue
+			}
+			col[k.key] = v
+		}
+		return col, nil
+	}
+	return nil, fmt.Errorf("no BenchmarkClusterEpoch row on stdin (%d benchmarks parsed)", len(results))
+}
+
 // workerColumn extracts the multi-worker column from a parsed run, or errors
 // if none of the sweep kernels are present.
 func workerColumn(results []result) (map[string]float64, error) {
@@ -164,9 +212,17 @@ func main() {
 		"merge stdin into the existing record at -out as the multi-worker column keyed by -matrix-workers")
 	service := flag.Bool("service", false,
 		"with -merge: stdin is the service throughput benchmark; merge it as the record's service column")
+	clusterFlag := flag.Bool("cluster", false,
+		"with -merge: stdin is the cluster coordinator benchmark; merge it as the record's cluster column")
 	flag.Parse()
 	if *service && !*merge {
 		fatal(fmt.Errorf("-service requires -merge (the service column composes with an existing base record)"))
+	}
+	if *clusterFlag && !*merge {
+		fatal(fmt.Errorf("-cluster requires -merge (the cluster column composes with an existing base record)"))
+	}
+	if *clusterFlag && *service {
+		fatal(fmt.Errorf("-cluster and -service are mutually exclusive (one merged column per run)"))
 	}
 
 	results, err := parseBench(os.Stdin)
@@ -186,13 +242,20 @@ func main() {
 		if err := json.Unmarshal(data, &rec); err != nil {
 			fatal(fmt.Errorf("parsing existing %s: %w", *out, err))
 		}
-		if *service {
+		switch {
+		case *service:
 			col, err := serviceColumn(results)
 			if err != nil {
 				fatal(err)
 			}
 			rec.Service = col
-		} else {
+		case *clusterFlag:
+			col, err := clusterColumn(results)
+			if err != nil {
+				fatal(err)
+			}
+			rec.Cluster = col
+		default:
 			col, err := workerColumn(results)
 			if err != nil {
 				fatal(err)

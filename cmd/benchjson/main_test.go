@@ -18,6 +18,16 @@ PASS
 ok  	leo/internal/service	2.5s
 `
 
+// Cluster coordinator bench fixture: the three custom metrics
+// BenchmarkClusterEpoch reports, J/beat included.
+const clusterBenchOutput = `goos: linux
+goarch: amd64
+pkg: leo/internal/cluster
+BenchmarkClusterEpoch-8 	       9	 123456789 ns/op	         0.1250 cap-violations/epoch	        10.49 J/beat	      8578 node-epochs/s
+PASS
+ok  	leo/internal/cluster	1.8s
+`
+
 const kernelBenchOutput = `goos: linux
 BenchmarkCholesky1024-4    	       3	 14663837 ns/op	       0 B/op	       0 allocs/op
 BenchmarkMul512Parallel-4  	      10	  5000000 ns/op
@@ -77,6 +87,52 @@ func TestServiceColumnRejectsWrongRun(t *testing.T) {
 	partial := parseFixture(t, "BenchmarkServiceThroughput-8 1 1000 ns/op\nPASS\n")
 	if _, err := serviceColumn(partial); err == nil {
 		t.Fatal("serviceColumn accepted a row without the custom metrics")
+	}
+}
+
+func TestClusterColumn(t *testing.T) {
+	results := parseFixture(t, clusterBenchOutput)
+	col, err := clusterColumn(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := col["node_epochs_per_sec"], 8578.0; got != want {
+		t.Errorf("node_epochs_per_sec = %v, want %v", got, want)
+	}
+	if got, want := col["cap_violations_per_epoch"], 0.1250; got != want {
+		t.Errorf("cap_violations_per_epoch = %v, want %v", got, want)
+	}
+	if got, want := col["j_per_beat"], 10.49; got != want {
+		t.Errorf("j_per_beat = %v, want %v", got, want)
+	}
+}
+
+func TestClusterColumnRejectsWrongRun(t *testing.T) {
+	// A kernel run piped through -cluster by mistake must fail loudly.
+	if _, err := clusterColumn(parseFixture(t, kernelBenchOutput)); err == nil {
+		t.Fatal("clusterColumn accepted a run without BenchmarkClusterEpoch")
+	} else if !strings.Contains(err.Error(), "BenchmarkClusterEpoch") {
+		t.Errorf("error %q does not name the missing benchmark", err)
+	}
+
+	// A coordinator row missing its required metrics is equally loud.
+	partial := parseFixture(t, "BenchmarkClusterEpoch-8 1 1000 ns/op\nPASS\n")
+	if _, err := clusterColumn(partial); err == nil {
+		t.Fatal("clusterColumn accepted a row without the custom metrics")
+	}
+
+	// J/beat alone is optional: a no-work scenario still merges.
+	noWork := parseFixture(t,
+		"BenchmarkClusterEpoch-8 1 1000 ns/op	 0.00 cap-violations/epoch	 100 node-epochs/s\nPASS\n")
+	col, err := clusterColumn(noWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := col["j_per_beat"]; ok {
+		t.Error("j_per_beat present in a run that reported none")
+	}
+	if len(col) != 2 {
+		t.Errorf("no-work column has %d fields, want 2: %v", len(col), col)
 	}
 }
 

@@ -7,6 +7,11 @@
 // services under three policies — LEO, race-to-idle, and the true optimum —
 // and reports the aggregate energy bill.
 //
+// A second part puts the same services behind one shared power cap: a
+// cluster coordinator splits a global budget across nodes every epoch while
+// tenants churn across them and a rack outage takes node groups down
+// (DESIGN.md §14), comparing LEO against the oracle under the same budget.
+//
 // Run with: go run ./examples/datacenter
 package main
 
@@ -98,4 +103,119 @@ func main() {
 	saving := 1 - totals["LEO"]/totals["RaceToIdle"]
 	overhead := totals["LEO"]/totals["Optimal"] - 1
 	fmt.Printf("\nLEO saves %.1f%% vs race-to-idle and is %.1f%% above optimal.\n", saving*100, overhead*100)
+
+	clusterDemo(space, db, services)
+}
+
+// clusterDemo shares one global power cap across a small cluster: the same
+// three services become tenant classes arriving on a diurnal trace, the
+// coordinator rebalances the budget every epoch, and one rack suffers an
+// outage mid-day. The cap is deliberately tight so the budget binds.
+func clusterDemo(space leo.Space, db *leo.Database, services []string) {
+	const (
+		nodes    = 4
+		rackSize = 2
+		epochs   = 10
+		epoch    = 6.0
+	)
+
+	classes := make([]leo.TrafficClass, 0, len(services))
+	maxPower := 0.0
+	for _, svc := range services {
+		app, err := leo.Benchmark(svc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		power := app.PowerVector(space)
+		for _, p := range power {
+			if p > maxPower {
+				maxPower = p
+			}
+		}
+		classes = append(classes, leo.TrafficClass{
+			Name: svc, PerfTruth: app.PerfVector(space), PowerTruth: power,
+		})
+	}
+
+	// One rack down for a stretch of the day; the coordinator reclaims its
+	// share of the budget for the surviving rack.
+	horizon := float64(epochs) * epoch
+	outages, err := leo.RackOutageSchedule(7, nodes/rackSize, horizon, horizon/3, 2*epoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// factory builds a node for a cold-starting tenant episode: a fresh
+	// machine plus a controller estimating from the class's leave-one-out
+	// fold — exactly the transfer a brand-new tenant exercises.
+	factory := func(policy string) leo.ClusterNodeFactory {
+		return func(class string, rng *rand.Rand) (*leo.Controller, *leo.Machine, error) {
+			app, err := leo.Benchmark(class)
+			if err != nil {
+				return nil, nil, err
+			}
+			target, err := db.AppIndex(class)
+			if err != nil {
+				return nil, nil, err
+			}
+			rest, _, _, err := db.LeaveOneOut(target)
+			if err != nil {
+				return nil, nil, err
+			}
+			mach, err := leo.NewMachine(space, app, 0.01, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			var estPerf, estPower leo.Estimator
+			switch policy {
+			case "LEO":
+				estPerf = leo.NewLEOEstimator(rest.Perf, leo.ModelOptions{})
+				estPower = leo.NewLEOEstimator(rest.Power, leo.ModelOptions{})
+			case "Optimal":
+				estPerf = leo.NewOracleEstimator(func() []float64 { return app.PhasePerfVector(space, mach.Phase()) })
+				estPower = leo.NewOracleEstimator(func() []float64 { return app.PowerVector(space) })
+			}
+			ctrl, err := leo.NewController(policy, mach, estPerf, estPower, 24, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			return ctrl, mach, nil
+		}
+	}
+
+	globalCap := 0.35 * nodes * maxPower
+	fmt.Printf("\nShared cluster, global cap %.0f W over %d nodes (racks of %d):\n",
+		globalCap, nodes, rackSize)
+	for _, policy := range []string{"Optimal", "LEO"} {
+		res, err := leo.RunCluster(leo.ClusterConfig{
+			Nodes:     nodes,
+			RackSize:  rackSize,
+			GlobalCap: globalCap,
+			Epoch:     epoch,
+			Epochs:    epochs,
+			Seed:      42,
+			Traffic: leo.TrafficConfig{
+				Seed:             99,
+				Tenants:          6,
+				Classes:          classes,
+				MeanRate:         0.2,
+				DiurnalAmplitude: 0.5,
+				DiurnalPeriod:    horizon,
+				Duration:         horizon,
+				ProbesPerWindow:  8,
+				Noise:            0.01,
+			},
+			Outages: outages,
+			NewNode: factory(policy),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		jPerBeat := 0.0
+		if res.Work > 0 {
+			jPerBeat = res.Energy / res.Work
+		}
+		fmt.Printf("  %-8s %8.1f J  %6.2f J/beat  cap violations %d/%d epochs  down node-epochs %d  cold starts %d\n",
+			policy, res.Energy, jPerBeat, res.Violations, res.Epochs, res.DownNodeEpochs, res.ColdStarts)
+	}
 }

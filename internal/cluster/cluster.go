@@ -1,0 +1,377 @@
+// Package cluster scales the paper's single-machine power-cap dual (§7) to a
+// coordinator owning one global power budget across N simulated nodes, each
+// running its own estimation-backed controller. Per epoch the coordinator
+// splits the budget proportionally to each node's *believed* demand —
+// reclaiming headroom from idle, parked and failed nodes — and each live node
+// enforces its share with control.ExecuteCapped's measured-power feedback.
+// The loop closes through the JobResult cap contract: a node that realized
+// more energy than its share reports the overshoot, and the coordinator
+// deducts that debt from the node's next allocation, so persistent
+// mis-estimation is charged back instead of silently eroding the global cap.
+//
+// Demand arrives as replayed traces: service.GenerateTraffic's deterministic
+// per-tenant Poisson streams (diurnal modulation included) provide arrival
+// work, and tenant churn — a departing tenant parks its node until the next
+// queued tenant cold-starts a fresh controller there, exercising the
+// hierarchical prior transfer the paper is about. Correlated rack-level
+// faults (fault.RackSchedule) take whole node groups down; a down node draws
+// nothing and its headroom is redistributed the same epoch.
+//
+// Everything is deterministic for a given Config: the coordinator is a
+// single serial loop, tenant streams derive from stream.TenantSeed lanes,
+// and per-episode RNGs derive from the tenant's name — so a cluster run is
+// byte-identical across reruns and at any experiment worker count.
+// See DESIGN.md §14.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"leo/internal/control"
+	"leo/internal/fault"
+	"leo/internal/machine"
+	"leo/internal/pareto"
+	"leo/internal/service"
+	"leo/internal/stream"
+)
+
+// NodeFactory builds the machine and controller a node episode runs: called
+// once per tenant activation with the tenant's application class and a
+// deterministic per-episode RNG. The factory decides the estimation approach
+// (LEO over transferred priors, oracle, online, ...) — the coordinator only
+// requires that the controller can Calibrate and ExecuteCapped.
+type NodeFactory func(class string, rng *rand.Rand) (*control.Controller, *machine.Machine, error)
+
+// Config shapes one cluster run.
+type Config struct {
+	// Nodes is the number of simulated nodes.
+	Nodes int
+	// RackSize groups nodes into racks of this many consecutive indices;
+	// rack r covers nodes [r·RackSize, (r+1)·RackSize). Outages hit racks.
+	RackSize int
+	// GlobalCap is the cluster-wide power budget in Watts.
+	GlobalCap float64
+	// Epoch is the rebalancing period in simulated seconds.
+	Epoch float64
+	// Epochs is how many epochs to run.
+	Epochs int
+	// Seed derives the per-episode RNG lanes (independent from Traffic.Seed,
+	// which drives the arrival process).
+	Seed int64
+	// Traffic is the replayed tenant trace; its Duration should cover
+	// Epochs·Epoch for arrivals to span the whole run.
+	Traffic service.TrafficConfig
+	// Outages is the rack outage schedule (nil for a healthy cluster).
+	Outages fault.Outages
+	// NewNode builds each episode's machine and controller.
+	NewNode NodeFactory
+}
+
+// Result aggregates one cluster run.
+type Result struct {
+	Nodes  int
+	Epochs int
+	// Energy is the total Joules drawn by the cluster, calibration and idle
+	// included.
+	Energy float64
+	// Work is the demanded heartbeats completed; work done beyond a node's
+	// backlog is not credited.
+	Work float64
+	// DemandedWork is the total heartbeats the trace delivered to activated
+	// tenants.
+	DemandedWork float64
+	// Violations counts epochs whose realized cluster energy exceeded
+	// GlobalCap·Epoch (beyond accounting slack); OvershootJ sums the excess.
+	Violations int
+	OvershootJ float64
+	// NodeCapExceeded counts node-epochs whose ExecuteCapped reported a cap
+	// overshoot — the signal the next epoch's debt deduction acts on.
+	NodeCapExceeded int
+	// DownNodeEpochs counts node-epochs lost to rack outages (resident
+	// tenants only; a parked node being down costs nothing).
+	DownNodeEpochs int
+	// ColdStarts counts tenant activations, each a fresh controller
+	// calibrating from the class prior.
+	ColdStarts int
+}
+
+// ViolationRate is the fraction of epochs that blew the global budget.
+func (r Result) ViolationRate() float64 {
+	if r.Epochs == 0 {
+		return 0
+	}
+	return float64(r.Violations) / float64(r.Epochs)
+}
+
+// arrival is one EvPlan demand: work heartbeats landing at a simulated time.
+type arrival struct {
+	at   float64
+	work float64
+}
+
+// episode is one tenant's life on a node: its class and demand stream.
+type episode struct {
+	name     string
+	class    string
+	arrivals []arrival
+	next     int
+}
+
+// node is one simulated machine slot owned by the coordinator.
+type node struct {
+	id   int
+	rack int
+
+	queue []*episode // tenants waiting for this slot, activation order
+	cur   *episode   // resident tenant, nil when parked
+
+	mach *machine.Machine
+	ctrl *control.Controller
+	idle float64
+
+	pending    float64 // undone demanded heartbeats
+	debt       float64 // Watts deducted from the next share (last overshoot)
+	lastEnergy float64 // machine energy at the last epoch accounting
+}
+
+// down reports whether the node's rack is out at any point of [t0, t1).
+func (n *node) down(outages fault.Outages, t0, t1 float64) bool {
+	return outages.DownDuring(n.rack, t0, t1)
+}
+
+// demandPower is the node's believed power draw for clearing its backlog
+// within one epoch: the minimal-energy plan's average power, or — when the
+// estimates call the backlog infeasible — the believed-fastest
+// configuration's power (run flat out, finish late). Parked or drained nodes
+// want only their idle floor.
+func (n *node) demandPower(epoch float64) float64 {
+	if n.pending <= 0 {
+		return n.idle
+	}
+	perf, power := n.ctrl.Estimates()
+	if perf == nil {
+		return n.idle
+	}
+	plan, err := pareto.MinimizeEnergy(perf, power, n.idle, n.pending, epoch)
+	if err == nil {
+		return plan.Energy / epoch
+	}
+	best, bestRate := -1, 0.0
+	for i, v := range perf {
+		if v > bestRate && !math.IsInf(v, 1) {
+			best, bestRate = i, v
+		}
+	}
+	if best < 0 {
+		return n.idle
+	}
+	return power[best]
+}
+
+// Run executes the cluster simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.RackSize <= 0 {
+		return nil, fmt.Errorf("cluster: rack size must be positive, got %d", cfg.RackSize)
+	}
+	if cfg.GlobalCap <= 0 {
+		return nil, fmt.Errorf("cluster: global cap must be positive, got %g", cfg.GlobalCap)
+	}
+	if cfg.Epoch <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("cluster: need positive epoch (%g) and epoch count (%d)", cfg.Epoch, cfg.Epochs)
+	}
+	if cfg.NewNode == nil {
+		return nil, fmt.Errorf("cluster: NewNode factory required")
+	}
+
+	episodes, demanded, err := traceEpisodes(cfg.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = &node{id: i, rack: i / cfg.RackSize}
+	}
+	for i, ep := range episodes {
+		n := nodes[i%cfg.Nodes]
+		n.queue = append(n.queue, ep)
+	}
+
+	res := &Result{Nodes: cfg.Nodes, Epochs: cfg.Epochs, DemandedWork: demanded}
+	floors := make([]float64, cfg.Nodes)
+	wants := make([]float64, cfg.Nodes)
+	for e := 0; e < cfg.Epochs; e++ {
+		t0, t1 := float64(e)*cfg.Epoch, float64(e+1)*cfg.Epoch
+
+		// Phase 1: activation and demand delivery. A parked node with queued
+		// tenants cold-starts the next one at the epoch boundary; resident
+		// tenants receive every arrival before t1 into their backlog.
+		for _, n := range nodes {
+			if n.cur == nil && len(n.queue) > 0 {
+				if err := activate(cfg, n); err != nil {
+					return nil, err
+				}
+				res.ColdStarts++
+			}
+			if n.cur == nil {
+				continue
+			}
+			for n.cur.next < len(n.cur.arrivals) && n.cur.arrivals[n.cur.next].at < t1 {
+				n.pending += n.cur.arrivals[n.cur.next].work
+				n.cur.next++
+			}
+		}
+
+		// Phase 2: split the global budget. Down and parked nodes contribute
+		// zero floor and zero want — their headroom is what the live nodes
+		// water-fill over.
+		for i, n := range nodes {
+			floors[i], wants[i] = 0, 0
+			if n.cur == nil || n.down(cfg.Outages, t0, t1) {
+				continue
+			}
+			floors[i] = n.idle
+			wants[i] = math.Max(0, n.demandPower(cfg.Epoch)-n.idle-n.debt)
+		}
+		grants := splitBudget(cfg.GlobalCap, floors, wants)
+
+		// Phase 3: execute the epoch on every live node under its share.
+		var epochEnergy float64
+		for i, n := range nodes {
+			if n.cur == nil {
+				continue
+			}
+			if n.down(cfg.Outages, t0, t1) {
+				// Rack outage: the node draws nothing and does nothing; its
+				// backlog waits. Controller state survives the outage (the
+				// estimator's posterior is not on the failed power domain).
+				res.DownNodeEpochs++
+				continue
+			}
+			n.debt = 0
+			if n.pending <= 0 {
+				n.mach.Idle(cfg.Epoch)
+			} else {
+				capW := math.Max(grants[i], n.idle)
+				job, err := n.ctrl.ExecuteCapped(capW, cfg.Epoch)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: node %d epoch %d: %w", n.id, e, err)
+				}
+				if job.CapExceeded {
+					res.NodeCapExceeded++
+					n.debt = job.Overshoot / cfg.Epoch
+				}
+				done := math.Min(job.Work, n.pending)
+				res.Work += done
+				n.pending -= done
+			}
+			// Account the machine's true energy delta — it uniformly covers
+			// the idle epoch, the capped run, and the calibration probes a
+			// cold start spent this epoch.
+			epochEnergy += n.mach.Energy() - n.lastEnergy
+			n.lastEnergy = n.mach.Energy()
+
+			// Departure: stream exhausted and backlog clear — park the node.
+			if n.cur.next >= len(n.cur.arrivals) && n.pending <= 1e-9 {
+				n.cur, n.mach, n.ctrl = nil, nil, nil
+			}
+		}
+
+		res.Energy += epochEnergy
+		if over := epochEnergy - cfg.GlobalCap*cfg.Epoch; over > 1e-6*(1+cfg.GlobalCap*cfg.Epoch) {
+			res.Violations++
+			res.OvershootJ += over
+		}
+	}
+	return res, nil
+}
+
+// activate pops the node's next queued tenant and cold-starts its episode: a
+// fresh machine and controller from the factory, calibrated from scratch —
+// the cross-machine prior transfer a new tenant exercises.
+func activate(cfg Config, n *node) error {
+	ep := n.queue[0]
+	n.queue = n.queue[1:]
+	rng := rand.New(rand.NewSource(stream.TenantSeed(cfg.Seed*7919, ep.name)))
+	ctrl, mach, err := cfg.NewNode(ep.class, rng)
+	if err != nil {
+		return fmt.Errorf("cluster: activating %s on node %d: %w", ep.name, n.id, err)
+	}
+	if err := ctrl.Calibrate(); err != nil {
+		return fmt.Errorf("cluster: calibrating %s on node %d: %w", ep.name, n.id, err)
+	}
+	n.cur, n.mach, n.ctrl = ep, mach, ctrl
+	n.idle = mach.App().IdlePower
+	n.pending, n.debt = 0, 0
+	n.lastEnergy = 0 // fresh machine: energy counter starts at zero
+	return nil
+}
+
+// splitBudget divides total Watts across nodes: every node is guaranteed its
+// floor (the idle power of a live node — the physical minimum ExecuteCapped
+// can enforce), and the surplus is distributed proportionally to each node's
+// want, capped at the want — proportional shares never exceed the want when
+// the surplus is scarce, and a saturated surplus grants every want in full,
+// leaving the remainder as global headroom. Deterministic: pure arithmetic
+// in index order.
+func splitBudget(total float64, floors, wants []float64) []float64 {
+	grants := make([]float64, len(floors))
+	var floorSum, wantSum float64
+	for i := range floors {
+		grants[i] = floors[i]
+		floorSum += floors[i]
+		wantSum += wants[i]
+	}
+	surplus := total - floorSum
+	if surplus <= 0 || wantSum <= 0 {
+		// Floors alone meet or exceed the budget: nothing extra to hand out.
+		// (The global violation this implies is recorded by the caller.)
+		return grants
+	}
+	if surplus >= wantSum {
+		for i := range grants {
+			grants[i] += wants[i]
+		}
+		return grants
+	}
+	for i := range grants {
+		grants[i] += surplus * wants[i] / wantSum
+	}
+	return grants
+}
+
+// traceEpisodes folds a traffic trace into per-tenant demand streams, in
+// registration order (the order GenerateTraffic emits the t=0 registrations,
+// which is tenant-index order). Observe events are the estimation service's
+// concern; the cluster consumes registrations (churn) and plans (demand).
+func traceEpisodes(cfg service.TrafficConfig) ([]*episode, float64, error) {
+	events, err := service.GenerateTraffic(cfg)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: generating trace: %w", err)
+	}
+	byName := make(map[string]*episode)
+	var order []*episode
+	var demanded float64
+	for _, ev := range events {
+		switch ev.Kind {
+		case service.EvRegister:
+			if _, seen := byName[ev.Tenant]; !seen {
+				ep := &episode{name: ev.Tenant, class: ev.Class}
+				byName[ev.Tenant] = ep
+				order = append(order, ep)
+			}
+		case service.EvPlan:
+			ep := byName[ev.Tenant]
+			if ep == nil {
+				return nil, 0, fmt.Errorf("cluster: plan for unregistered tenant %q", ev.Tenant)
+			}
+			ep.arrivals = append(ep.arrivals, arrival{at: ev.At, work: ev.Work})
+			demanded += ev.Work
+		}
+	}
+	return order, demanded, nil
+}

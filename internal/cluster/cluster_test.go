@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"leo/internal/apps"
+	"leo/internal/baseline"
+	"leo/internal/control"
+	"leo/internal/fault"
+	"leo/internal/machine"
+	"leo/internal/platform"
+	"leo/internal/service"
+)
+
+// oracleFactory builds nodes whose controllers know the truth — the cheapest
+// factory that exercises the full coordinator loop.
+func oracleFactory(space platform.Space, noise float64) NodeFactory {
+	return func(class string, rng *rand.Rand) (*control.Controller, *machine.Machine, error) {
+		app := apps.MustByName(class)
+		mach, err := machine.New(space, app, noise, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		estPerf := baseline.NewOracle(func() []float64 {
+			return mach.App().PhasePerfVector(mach.Space(), mach.Phase())
+		})
+		estPower := baseline.NewOracle(func() []float64 {
+			return mach.App().PowerVector(mach.Space())
+		})
+		ctrl, err := control.New("Optimal", mach, estPerf, estPower, control.DefaultSamples, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ctrl, mach, nil
+	}
+}
+
+// testConfig is a small but fully-featured cluster: two classes, diurnal
+// arrivals, more tenants than nodes (so churn and cold starts happen).
+func testConfig(t testing.TB) Config {
+	t.Helper()
+	space := platform.Small()
+	classes := []service.TrafficClass{}
+	maxPower := 0.0
+	for _, name := range []string{"kmeans", "swish"} {
+		app := apps.MustByName(name)
+		power := app.PowerVector(space)
+		for _, p := range power {
+			if p > maxPower {
+				maxPower = p
+			}
+		}
+		classes = append(classes, service.TrafficClass{
+			Name: name, PerfTruth: app.PerfVector(space), PowerTruth: power,
+		})
+	}
+	epochs, epoch := 8, 5.0
+	return Config{
+		Nodes:     4,
+		RackSize:  2,
+		GlobalCap: 0.7 * 4 * maxPower,
+		Epoch:     epoch,
+		Epochs:    epochs,
+		Seed:      11,
+		Traffic: service.TrafficConfig{
+			Seed:             23,
+			Tenants:          6,
+			Classes:          classes,
+			MeanRate:         0.2,
+			DiurnalAmplitude: 0.5,
+			DiurnalPeriod:    float64(epochs) * epoch,
+			Duration:         float64(epochs) * epoch,
+			ProbesPerWindow:  8,
+			Noise:            0.01,
+		},
+		NewNode: oracleFactory(space, 0.01),
+	}
+}
+
+func TestClusterRunBasic(t *testing.T) {
+	res, err := Run(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy <= 0 {
+		t.Fatalf("cluster consumed no energy")
+	}
+	if res.Work <= 0 {
+		t.Fatalf("cluster completed no work")
+	}
+	if res.Work > res.DemandedWork+1e-6 {
+		t.Fatalf("completed %g beats, only %g demanded", res.Work, res.DemandedWork)
+	}
+	if res.ColdStarts == 0 || res.ColdStarts > 6 {
+		t.Fatalf("cold starts %d outside (0,6]", res.ColdStarts)
+	}
+	if res.Violations > res.Epochs {
+		t.Fatalf("violations %d exceed epochs %d", res.Violations, res.Epochs)
+	}
+	if res.Violations == 0 && res.OvershootJ != 0 {
+		t.Fatalf("overshoot %g J with zero violations", res.OvershootJ)
+	}
+}
+
+func TestClusterRunDeterministic(t *testing.T) {
+	a, err := Run(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestClusterLooseCapRespected pins headroom behavior: under a generous
+// budget the coordinator never blows the global cap, and the realized power
+// stays within it every epoch.
+func TestClusterLooseCapRespected(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.GlobalCap *= 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d violations under a 4x-loose cap (overshoot %g J)", res.Violations, res.OvershootJ)
+	}
+	if res.Work <= 0 {
+		t.Fatal("no work under a loose cap")
+	}
+}
+
+// TestClusterTighterCapLessEnergy pins the budget actually binding: halving
+// the global cap must not increase the energy drawn.
+func TestClusterTighterCapLessEnergy(t *testing.T) {
+	loose := testConfig(t)
+	loose.GlobalCap *= 2
+	tight := testConfig(t)
+	tight.GlobalCap *= 0.5
+	rl, err := Run(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Run(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Energy > rl.Energy+1e-6 {
+		t.Fatalf("tight cap drew %g J, loose cap %g J", rt.Energy, rl.Energy)
+	}
+}
+
+// TestClusterBlackout pins outage accounting: with every rack down for the
+// whole run, nothing runs, nothing is drawn, and every resident node-epoch
+// is counted as down.
+func TestClusterBlackout(t *testing.T) {
+	cfg := testConfig(t)
+	horizon := float64(cfg.Epochs) * cfg.Epoch
+	racks := (cfg.Nodes + cfg.RackSize - 1) / cfg.RackSize
+	for r := 0; r < racks; r++ {
+		cfg.Outages = append(cfg.Outages, fault.RackOutage{Rack: r, Start: 0, End: horizon})
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Work != 0 {
+		t.Fatalf("work %g during a total blackout", res.Work)
+	}
+	// Activation calibrates before the outage check, so cold-start probe
+	// energy is the only draw permitted; no epoch execution happens.
+	if res.DownNodeEpochs != cfg.Nodes*cfg.Epochs {
+		t.Fatalf("down node-epochs %d, want %d", res.DownNodeEpochs, cfg.Nodes*cfg.Epochs)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	base := testConfig(t)
+	for _, breakIt := range []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.RackSize = 0 },
+		func(c *Config) { c.GlobalCap = 0 },
+		func(c *Config) { c.Epoch = 0 },
+		func(c *Config) { c.Epochs = 0 },
+		func(c *Config) { c.NewNode = nil },
+		func(c *Config) { c.Traffic.Tenants = 0 },
+	} {
+		cfg := base
+		breakIt(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestSplitBudget(t *testing.T) {
+	near := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+	// Scarce surplus: proportional to want, floors always granted.
+	g := splitBudget(130, []float64{50, 50, 0}, []float64{30, 10, 0})
+	if !near(g[0], 50+22.5) || !near(g[1], 50+7.5) || !near(g[2], 0) {
+		t.Fatalf("scarce split = %v", g)
+	}
+	// Abundant surplus: every want granted in full, remainder unallocated.
+	g = splitBudget(1000, []float64{50, 50}, []float64{30, 10})
+	if !near(g[0], 80) || !near(g[1], 60) {
+		t.Fatalf("abundant split = %v", g)
+	}
+	if sum := g[0] + g[1]; sum > 1000 {
+		t.Fatalf("granted %g over budget 1000", sum)
+	}
+	// Budget below the floors: floors still granted (the physical minimum);
+	// the global violation is the caller's to record.
+	g = splitBudget(60, []float64{50, 50}, []float64{30, 10})
+	if !near(g[0], 50) || !near(g[1], 50) {
+		t.Fatalf("floor-bound split = %v", g)
+	}
+	// Parked/down nodes (zero floor, zero want) never receive a grant.
+	g = splitBudget(500, []float64{100, 0}, []float64{40, 0})
+	if !near(g[1], 0) {
+		t.Fatalf("parked node granted %g", g[1])
+	}
+	// Total granted never exceeds max(total, floors).
+	g = splitBudget(200, []float64{50, 50, 50}, []float64{100, 100, 100})
+	sum := 0.0
+	for _, v := range g {
+		sum += v
+	}
+	if sum > 200+1e-9 {
+		t.Fatalf("scarce grants sum %g over total 200", sum)
+	}
+}
+
+// BenchmarkClusterEpoch measures coordinator throughput in node-epochs per
+// second of wall time, with oracle estimators so the cost measured is the
+// coordination (split, capped execution, accounting), not the EM fit.
+func BenchmarkClusterEpoch(b *testing.B) {
+	cfg := testConfig(b)
+	b.ResetTimer()
+	var last *Result
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	nodeEpochs := float64(cfg.Nodes * cfg.Epochs * b.N)
+	b.ReportMetric(nodeEpochs/b.Elapsed().Seconds(), "node-epochs/s")
+	if last != nil {
+		b.ReportMetric(last.ViolationRate(), "cap-violations/epoch")
+		if last.Work > 0 {
+			b.ReportMetric(last.Energy/last.Work, "J/beat")
+		}
+	}
+}

@@ -413,6 +413,19 @@ type JobResult struct {
 	MetDeadline bool
 	AvgPower    float64 // Energy / Duration
 	Tier        string  // degradation-ladder rung that served the job
+
+	// CapExceeded reports that a power-capped run (ExecuteCapped) realized an
+	// average power above its cap despite the budget feedback — measured power
+	// overshooting the beliefs near the end of the window, or the idle floor
+	// alone costing more than the remaining budget. The capped executor never
+	// returns an over-cap result silently: either AvgPower respects the cap or
+	// CapExceeded is set.
+	CapExceeded bool
+	// Overshoot is the energy spent above powerCap·Duration, in Joules, when
+	// CapExceeded is set (0 otherwise). A coordinator splitting a shared
+	// budget across machines deducts it from the node's next allocation, so
+	// the long-run average still honors the global cap.
+	Overshoot float64
 }
 
 // feedbackStep is the granularity of the corrective execution loop; it

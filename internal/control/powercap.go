@@ -18,6 +18,14 @@ import (
 // power budget allows, downshifting (ultimately to idle) when measurements
 // come in above the estimates.
 func (c *Controller) ExecuteCapped(powerCap, t float64) (JobResult, error) {
+	return c.executeCapped(powerCap, t, 0)
+}
+
+// executeCapped is ExecuteCapped with an injectable step budget: maxSteps <= 0
+// selects the default bound (the whole window at feedback granularity plus
+// slack for retries). Tests pass a tiny budget to pin the truncation path —
+// however early the loop stops, the tail idle accounts the full window.
+func (c *Controller) executeCapped(powerCap, t float64, maxSteps int) (JobResult, error) {
 	if t <= 0 {
 		return JobResult{}, fmt.Errorf("control: invalid duration %g", t)
 	}
@@ -39,22 +47,28 @@ func (c *Controller) ExecuteCapped(powerCap, t float64) (JobResult, error) {
 	}
 
 	cands := c.cappedCandidates(plan)
+	if maxSteps <= 0 {
+		maxSteps = int(t/feedbackStep) + 4*len(cands) + 64
+	}
 	startE, startT, startW := c.mach.Energy(), c.mach.Elapsed(), c.mach.Work()
 	remainT := t
 	budget := powerCap * t // Joules available over the window
-	maxSteps := int(t/feedbackStep) + 4*len(cands) + 64
 	for step := 0; remainT > 1e-12 && step < maxSteps; step++ {
 		dt := feedbackStep
 		if dt > remainT {
 			dt = remainT
 		}
-		// Power affordable for the remainder if we spend evenly.
+		// Power affordable for the remainder if we spend evenly. Idle is the
+		// physical floor: when the allowance drops below it (a negative budget
+		// after measured overshoot), the machine still idles at IdlePower and
+		// the unavoidable deficit surfaces as Overshoot below instead of being
+		// silently absorbed.
 		allowed := budget / remainT
 		pick := chooseCapped(cands, allowed)
 		if pick == nil {
-			// Nothing (not even by belief) fits: idle this step.
-			budget -= c.mach.App().IdlePower * dt
-			c.mach.Idle(dt)
+			// Nothing (not even by belief) fits: idle this step, charging the
+			// measured idle energy against the budget.
+			budget -= c.mach.Idle(dt)
 			remainT -= dt
 			continue
 		}
@@ -94,11 +108,24 @@ func (c *Controller) ExecuteCapped(powerCap, t float64) (JobResult, error) {
 		Duration:    c.mach.Elapsed() - startT,
 		MetDeadline: true, // no deadline in this mode
 	}
+	// The cap contract: either the realized average power respects the cap or
+	// the result says so. Overshoot is what the feedback could not claw back —
+	// a mis-believed configuration measured too late in the window to amortize,
+	// or the idle floor costing more than the remaining budget — and is what a
+	// budget coordinator reclaims from this machine's next allocation.
+	if over := res.Energy - powerCap*t; over > capSlack(powerCap, t) {
+		res.CapExceeded = true
+		res.Overshoot = over
+	}
 	if res.Duration > 0 {
 		res.AvgPower = res.Energy / res.Duration
 	}
 	return res, nil
 }
+
+// capSlack is the accounting tolerance separating round-off from a real
+// violation of the powerCap·t energy budget.
+func capSlack(powerCap, t float64) float64 { return 1e-6 * (1 + powerCap*t) }
 
 // cappedCandidates lists the plan's configurations (and the believed most
 // efficient alternatives) sorted by believed rate descending, so the chooser

@@ -1,8 +1,12 @@
 package control
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
+	"leo/internal/baseline"
+	"leo/internal/fault"
 	"leo/internal/pareto"
 )
 
@@ -86,6 +90,155 @@ func TestExecuteCappedUnderEstimatedPower(t *testing.T) {
 	}
 	if job.AvgPower > cap*1.01 {
 		t.Fatalf("noisy capped run exceeded cap: %g > %g", job.AvgPower, cap)
+	}
+}
+
+// hostileController builds a controller whose power oracle believes half the
+// truth, so every measured step draws 2× the believed power.
+func hostileController(t *testing.T, r *rig, seed int64) *Controller {
+	t.Helper()
+	halved := make([]float64, len(r.truePower))
+	for i, p := range r.truePower {
+		halved[i] = p / 2
+	}
+	estPerf := baseline.NewOracle(func() []float64 {
+		return r.mach.App().PhasePerfVector(r.space, r.mach.Phase())
+	})
+	estPower := baseline.NewOracle(func() []float64 { return halved })
+	c, err := New("hostile", r.mach, estPerf, estPower, DefaultSamples, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExecuteCappedHostilePowerReportsOvershoot(t *testing.T) {
+	// Regression: a hostile app whose measured power is 2× its believed power
+	// used to drive the budget negative while the JobResult still reported a
+	// clean MetDeadline with no violation signal. Post-fix the contract is:
+	// either the realized average power respects the cap, or CapExceeded is
+	// set with the overshoot Joules — never both silent and over.
+	for _, window := range []float64{1, 4, 20} {
+		r := newRig(t, "swish", 0)
+		c := hostileController(t, r, 31)
+		idle := r.mach.App().IdlePower
+		maxP := 0.0
+		for _, p := range r.truePower {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		cap := idle + 0.6*(maxP-idle)
+		job, err := c.ExecuteCapped(cap, window)
+		if err != nil {
+			t.Fatalf("window %g: %v", window, err)
+		}
+		over := job.Energy - cap*job.Duration
+		if job.AvgPower > cap*(1+1e-6) && !job.CapExceeded {
+			t.Fatalf("window %g: silent cap violation: avg %g > cap %g, CapExceeded=false", window, job.AvgPower, cap)
+		}
+		if job.CapExceeded {
+			if job.Overshoot <= 0 {
+				t.Fatalf("window %g: CapExceeded with non-positive overshoot %g", window, job.Overshoot)
+			}
+			if math.Abs(over-job.Overshoot) > 1e-6*(1+math.Abs(over)) {
+				t.Fatalf("window %g: overshoot %g, energy excess %g", window, job.Overshoot, over)
+			}
+		} else if over > 1e-6*(1+cap*window) {
+			t.Fatalf("window %g: energy %g exceeds budget %g without CapExceeded", window, job.Energy, cap*window)
+		}
+		if window == 1 && !job.CapExceeded {
+			// One feedback step is the whole window: the 2× overshoot cannot
+			// be amortized, so it must be reported.
+			t.Fatalf("single-step hostile window must report overshoot (avg %g, cap %g)", job.AvgPower, cap)
+		}
+	}
+}
+
+func TestExecuteCappedCapAtIdleFloor(t *testing.T) {
+	// Cap exactly at idle power + ε: the believed plan is all-idle, no
+	// candidate ever fits the allowance, and the whole window idles at the
+	// physical floor — full duration, zero work, no violation.
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "Optimal", 41)
+	idle := r.mach.App().IdlePower
+	job, err := c.ExecuteCapped(idle+1e-9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Work != 0 {
+		t.Fatalf("work %g under an idle-level cap", job.Work)
+	}
+	if math.Abs(job.Duration-10) > 1e-9 {
+		t.Fatalf("duration %g != 10", job.Duration)
+	}
+	if math.Abs(job.AvgPower-idle) > 1e-9*idle {
+		t.Fatalf("average power %g != idle %g", job.AvgPower, idle)
+	}
+	if job.CapExceeded {
+		t.Fatalf("idle floor flagged as violation: overshoot %g", job.Overshoot)
+	}
+}
+
+func TestExecuteCappedAllCandidatesAbandoned(t *testing.T) {
+	// Every configuration blacklisted: actuation give-ups exhaust the whole
+	// candidate set mid-window, and the loop idles out the remainder instead
+	// of erroring — give-ups are resilience, not failure.
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "Optimal", 42)
+	all := make([]int, r.space.N())
+	for i := range all {
+		all[i] = i
+	}
+	plan, err := fault.New(7, fault.Spec{Blacklist: all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mach.InstallFaults(plan)
+	cap := 150.0
+	job, err := c.ExecuteCapped(cap, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Work != 0 {
+		t.Fatalf("work %g with every actuation failing", job.Work)
+	}
+	if math.Abs(job.Duration-10) > 1e-9 {
+		t.Fatalf("duration %g != 10", job.Duration)
+	}
+	idle := r.mach.App().IdlePower
+	if math.Abs(job.AvgPower-idle) > 1e-9*idle {
+		t.Fatalf("average power %g != idle %g (backoff and idle steps both idle)", job.AvgPower, idle)
+	}
+	if job.CapExceeded {
+		t.Fatalf("idling under a loose cap flagged as violation")
+	}
+	if rep := c.Report(); rep.ActuationGiveUps == 0 {
+		t.Fatal("no actuation give-ups recorded")
+	}
+}
+
+func TestExecuteCappedMaxStepsTruncation(t *testing.T) {
+	// A step budget far below the window: the loop exits with most of remainT
+	// unspent, and the tail idle must still account the full duration.
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "Optimal", 43)
+	cap := 140.0
+	job, err := c.executeCapped(cap, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(job.Duration-20) > 1e-9 {
+		t.Fatalf("truncated run simulated %g of 20 s", job.Duration)
+	}
+	if job.Work <= 0 {
+		t.Fatal("no work from the steps that did run")
+	}
+	if job.AvgPower > cap*(1+1e-6) {
+		t.Fatalf("truncated run exceeded cap: %g > %g", job.AvgPower, cap)
+	}
+	if job.CapExceeded {
+		t.Fatalf("under-cap truncated run flagged: overshoot %g", job.Overshoot)
 	}
 }
 

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"leo/internal/apps"
+	"leo/internal/cluster"
+	"leo/internal/control"
+	"leo/internal/fault"
+	"leo/internal/machine"
+	"leo/internal/service"
+)
+
+// DefaultClusterCapFracs sweeps the global budget from scarce to generous,
+// as a fraction of the cluster's aggregate peak power.
+var DefaultClusterCapFracs = []float64{0.3, 0.4, 0.6}
+
+// clusterApproaches are the estimation approaches each budget level runs
+// under: the oracle bounds what any estimator could do with the same
+// coordinator, LEO is the paper's estimator cold-starting every tenant
+// episode from its class prior.
+var clusterApproaches = []string{"Optimal", "LEO"}
+
+// Cluster scenario shape (kept small enough for CI; the structure — more
+// tenants than nodes, multi-node racks, a diurnal day — is what matters).
+const (
+	clusterNodes    = 6
+	clusterRackSize = 3
+	clusterEpochs   = 12
+	clusterEpoch    = 8.0
+	clusterTenants  = 10
+)
+
+// ClusterRow is one (budget, approach) cell of the sweep.
+type ClusterRow struct {
+	CapFrac  float64
+	Approach string
+	cluster.Result
+	// JPerKBeat is Joules per thousand demanded heartbeats completed.
+	JPerKBeat float64
+	// DonePct is the fraction of demanded work completed, in percent.
+	DonePct float64
+	// VsOracle is this row's J/beat over the oracle's at the same budget
+	// (LEO rows only; 0 elsewhere).
+	VsOracle float64
+}
+
+// ClusterReport is the ext-cluster experiment output.
+type ClusterReport struct {
+	Nodes    int
+	RackSize int
+	Epochs   int
+	Epoch    float64
+	Tenants  int
+	Classes  []string
+	CapFracs []float64
+	// Rows holds len(CapFracs)·len(clusterApproaches) cells, grouped by
+	// budget with the oracle first.
+	Rows []ClusterRow
+}
+
+// clusterFactory adapts the env's controller wiring into a cluster
+// NodeFactory: every activation builds a fresh machine plus a controller of
+// the given approach over the tenant class's leave-one-out fold — for LEO
+// that is exactly the hierarchical prior transfer a new tenant exercises.
+func (e *Env) clusterFactory(approach string) cluster.NodeFactory {
+	return func(class string, rng *rand.Rand) (*control.Controller, *machine.Machine, error) {
+		app, err := apps.ByName(class)
+		if err != nil {
+			return nil, nil, err
+		}
+		setup, err := e.leaveOneOut(class)
+		if err != nil {
+			return nil, nil, err
+		}
+		mach, err := machine.New(e.Space, app, e.Noise, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctrl, err := e.newController(approach, mach, setup, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ctrl, mach, nil
+	}
+}
+
+// clusterConfig assembles one cell's cluster: the trace and outage schedule
+// are identical across every cell (same seeds), so the sweep compares
+// budgets and estimators on the same replayed day.
+func (e *Env) clusterConfig(classes []string, capFrac float64, approach string) (cluster.Config, error) {
+	traffic := service.TrafficConfig{
+		Seed:             e.Seed*331 + 7,
+		Tenants:          clusterTenants,
+		MeanRate:         0.15,
+		DiurnalAmplitude: 0.5,
+		DiurnalPeriod:    clusterEpochs * clusterEpoch,
+		Duration:         clusterEpochs * clusterEpoch,
+		ProbesPerWindow:  8,
+		Noise:            e.Noise,
+	}
+	meanMax := 0.0
+	for _, class := range classes {
+		app, err := apps.ByName(class)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		power := app.PowerVector(e.Space)
+		maxP := 0.0
+		for _, p := range power {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		meanMax += maxP
+		traffic.Classes = append(traffic.Classes, service.TrafficClass{
+			Name: class, PerfTruth: app.PerfVector(e.Space), PowerTruth: power,
+		})
+	}
+	meanMax /= float64(len(classes))
+
+	racks := (clusterNodes + clusterRackSize - 1) / clusterRackSize
+	horizon := clusterEpochs * clusterEpoch
+	outages, err := fault.RackSchedule(e.Seed*524287+1, racks, horizon, horizon/2.5, 1.5*clusterEpoch)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	return cluster.Config{
+		Nodes:     clusterNodes,
+		RackSize:  clusterRackSize,
+		GlobalCap: capFrac * clusterNodes * meanMax,
+		Epoch:     clusterEpoch,
+		Epochs:    clusterEpochs,
+		Seed:      e.Seed,
+		Traffic:   traffic,
+		Outages:   outages,
+		NewNode:   e.clusterFactory(approach),
+	}, nil
+}
+
+// ExtCluster runs the cluster-level power budgeting sweep: every budget
+// level × approach replays the same tenant trace under the same rack outage
+// schedule. classes == nil selects the paper's three representative
+// applications; capFracs == nil selects DefaultClusterCapFracs. Each cell is
+// an independent serial simulation, so the report is bit-identical at any
+// worker count.
+func ExtCluster(ctx context.Context, env *Env, classes []string, capFracs []float64) (*ClusterReport, error) {
+	if classes == nil {
+		classes = representativeApps
+	}
+	if capFracs == nil {
+		capFracs = DefaultClusterCapFracs
+	}
+	rep := &ClusterReport{
+		Nodes:    clusterNodes,
+		RackSize: clusterRackSize,
+		Epochs:   clusterEpochs,
+		Epoch:    clusterEpoch,
+		Tenants:  clusterTenants,
+		Classes:  append([]string(nil), classes...),
+		CapFracs: append([]float64(nil), capFracs...),
+	}
+	cells := make([]ClusterRow, len(capFracs)*len(clusterApproaches))
+	err := env.forEach(ctx, len(cells), func(i int) error {
+		fi, ai := i/len(clusterApproaches), i%len(clusterApproaches)
+		row := &cells[i]
+		row.CapFrac, row.Approach = capFracs[fi], clusterApproaches[ai]
+		cfg, err := env.clusterConfig(classes, row.CapFrac, row.Approach)
+		if err != nil {
+			return err
+		}
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("ext-cluster %s at %.0f%%: %w", row.Approach, row.CapFrac*100, err)
+		}
+		row.Result = *res
+		if res.Work > 0 {
+			row.JPerKBeat = res.Energy / res.Work * 1000
+		}
+		if res.DemandedWork > 0 {
+			row.DonePct = 100 * res.Work / res.DemandedWork
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Energy-vs-oracle: J/beat of each non-oracle approach over the oracle's
+	// at the same budget, folded in fixed cell order.
+	for fi := range capFracs {
+		oracle := &cells[fi*len(clusterApproaches)]
+		for ai := 1; ai < len(clusterApproaches); ai++ {
+			row := &cells[fi*len(clusterApproaches)+ai]
+			if oracle.Work > 0 && row.Work > 0 && oracle.Energy > 0 {
+				row.VsOracle = (row.Energy / row.Work) / (oracle.Energy / oracle.Work)
+			}
+		}
+	}
+	rep.Rows = cells
+	return rep, nil
+}
+
+// Name implements Report.
+func (r *ClusterReport) Name() string { return "ext-cluster" }
+
+// Render implements Report.
+func (r *ClusterReport) Render(w io.Writer) error {
+	t := newTable(fmt.Sprintf(
+		"ext-cluster: global power budget over a replayed trace (%d nodes, racks of %d, %d epochs x %.0fs, %d tenants)",
+		r.Nodes, r.RackSize, r.Epochs, r.Epoch, r.Tenants),
+		"cap%", "approach", "J/kbeat", "done%", "viol%", "over J", "node-over", "down", "cold", "vs-oracle")
+	for _, row := range r.Rows {
+		vs := "-"
+		if row.VsOracle > 0 {
+			vs = f3(row.VsOracle)
+		}
+		t.addRow(
+			fmt.Sprintf("%.0f", row.CapFrac*100),
+			row.Approach,
+			f1(row.JPerKBeat),
+			f1(row.DonePct),
+			f1(100*row.ViolationRate()),
+			f1(row.OvershootJ),
+			fmt.Sprintf("%d", row.NodeCapExceeded),
+			fmt.Sprintf("%d", row.DownNodeEpochs),
+			fmt.Sprintf("%d", row.ColdStarts),
+			vs,
+		)
+	}
+	t.addNote(fmt.Sprintf("(classes: %v; same trace and rack outages replayed for every cell)", r.Classes))
+	return t.render(w)
+}

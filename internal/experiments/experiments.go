@@ -38,6 +38,9 @@ var registry = map[string]Runner{
 	"ext-sampling": func(ctx context.Context, e *Env) (Report, error) {
 		return ExtSampling(ctx, e, nil, 0)
 	},
+	"ext-cluster": func(ctx context.Context, e *Env) (Report, error) {
+		return ExtCluster(ctx, e, nil, nil)
+	},
 	"ext-colocate": func(ctx context.Context, e *Env) (Report, error) {
 		return ExtColocate(ctx, e)
 	},

@@ -41,10 +41,10 @@ func TestParseSize(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	names := Names()
-	if len(names) != 16 {
+	if len(names) != 17 {
 		t.Fatalf("registry has %d experiments: %v", len(names), names)
 	}
-	for _, want := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table1", "overhead", "ext-sampling", "ext-colocate", "ext-faults"} {
+	for _, want := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table1", "overhead", "ext-sampling", "ext-cluster", "ext-colocate", "ext-faults"} {
 		found := false
 		for _, n := range names {
 			if n == want {

@@ -78,6 +78,26 @@ func TestFaultsBitIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestClusterBitIdenticalAcrossWorkers covers the cluster budgeting sweep:
+// each (budget, approach) cell runs a serial coordinator simulation, and the
+// assembled report must not depend on how cells were scheduled. Classes are
+// drawn from the trimmed six-app database.
+func TestClusterBitIdenticalAcrossWorkers(t *testing.T) {
+	classes := []string{"x264", "blackscholes"}
+	caps := []float64{0.6, 0.9}
+	serial, err := ExtCluster(context.Background(), workersEnv(t, 1), classes, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ExtCluster(context.Background(), workersEnv(t, 4), classes, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("ext-cluster differs between -workers=1 and -workers=4:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
 // TestForEachErrorPropagation checks that the pool surfaces the
 // lowest-index error, matching what the serial loop would have returned.
 func TestForEachErrorPropagation(t *testing.T) {

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// stalledServer builds a server whose single shard never runs: requests
+// enqueue but are never served, which is exactly the regime the dispatch
+// cancellation and queue-full paths must survive. Built by hand (not New)
+// so the shard goroutine genuinely never starts.
+func stalledServer(t *testing.T, queueDepth int, tick time.Duration) (*Server, *shard) {
+	t.Helper()
+	s := &Server{
+		cfg:        Config{QueueDepth: queueDepth}.withDefaults(),
+		retryAfter: retryAfterSeconds(tick),
+		draining:   make(chan struct{}),
+		admitted:   make(chan struct{}, 1),
+	}
+	sh := &shard{
+		srv:     s,
+		id:      0,
+		queue:   make(chan *request, queueDepth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		tenants: make(map[string]*tenant),
+		met:     newShardMetrics(0),
+	}
+	s.shards = []*shard{sh}
+	return s, sh
+}
+
+// TestDispatchClientCanceled pins the fix for the handler-goroutine leak: a
+// caller whose context is done must get its context error back promptly
+// instead of parking on the reply channel of a shard that will never answer.
+func TestDispatchClientCanceled(t *testing.T) {
+	s, sh := stalledServer(t, 4, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := s.dispatch(&request{ctx: ctx, op: opEstimate, tenant: "t", reply: make(chan response, 1)})
+	if err == nil {
+		t.Fatal("dispatch returned no error for a canceled caller")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if got := statusFor(err); got != statusClientClosedRequest {
+		t.Fatalf("statusFor(%v) = %d, want %d", err, got, statusClientClosedRequest)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("dispatch took %v against a stalled shard", waited)
+	}
+	// The request was still enqueued: the shard owns it and would reply into
+	// the buffered channel if it ever woke up — abandonment never loses work.
+	if len(sh.queue) != 1 {
+		t.Fatalf("queue holds %d requests, want the abandoned 1", len(sh.queue))
+	}
+}
+
+// TestDispatchNilContextStillServed pins that internal callers passing no
+// context keep the old wait-forever contract rather than panicking on a nil
+// Done channel.
+func TestDispatchNilContextStillServed(t *testing.T) {
+	s, sh := stalledServer(t, 4, 0)
+	r := &request{op: opEstimate, tenant: "t", reply: make(chan response, 1)}
+	go func() {
+		q := <-sh.queue
+		q.reply <- response{err: ErrUnknownTenant}
+	}()
+	resp, err := s.dispatch(r)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	if !errors.Is(resp.err, ErrUnknownTenant) {
+		t.Fatalf("reply error %v, want ErrUnknownTenant", resp.err)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		tick time.Duration
+		want string
+	}{
+		{0, "1"},
+		{500 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1100 * time.Millisecond, "2"},
+		{2500 * time.Millisecond, "3"},
+		{time.Minute, "60"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.tick); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.tick, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterHeaderDerivedFromTick drives a queue-full 429 through the
+// real HTTP surface and checks the Retry-After hint is the configured tick
+// rounded up — not the old hard-coded "1".
+func TestRetryAfterHeaderDerivedFromTick(t *testing.T) {
+	s, sh := stalledServer(t, 1, 2500*time.Millisecond)
+	// Fill the only queue slot so the next dispatch is backpressured.
+	sh.queue <- &request{op: opEstimate, tenant: "parked", reply: make(chan response, 1)}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/estimate?tenant=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After %q, want %q (2.5s tick rounded up)", got, "3")
+	}
+}
+
+// TestTickPacedSchedulerServes runs the full register/observe/estimate
+// lifecycle with a scheduling tick configured, covering gather's timer path:
+// batches wait out the tick, requests still complete, and the server's 429
+// hint reflects the tick.
+func TestTickPacedSchedulerServes(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config()
+	cfg.TickInterval = 50 * time.Millisecond
+	s, ts := startServer(t, cfg)
+	if s.retryAfter != "1" {
+		t.Fatalf("retryAfter %q for a 50ms tick, want %q", s.retryAfter, "1")
+	}
+	register(t, ts.URL, "tick-tenant", "kmeans", f.idle)
+	observeTruth(t, ts.URL, "tick-tenant", f, f.space.N())
+	code, body := getJSON(t, ts.URL+"/v1/estimate?tenant=tick-tenant")
+	if code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", code, body["error"])
+	}
+}

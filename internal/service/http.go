@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,10 +34,6 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// retryAfter is the client backoff hint attached to 429 responses: one
-// scheduling tick is plenty for a shard to drain a whole batch.
-const retryAfter = "1"
-
 type errorBody struct {
 	Error string `json:"error"`
 }
@@ -47,12 +44,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeError renders an error reply; 429s carry the server's Retry-After
+// hint, derived from the configured scheduling tick.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", retryAfter)
+		w.Header().Set("Retry-After", s.retryAfter)
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
+
+// statusClientClosedRequest is nginx's non-standard code for a client that
+// went away before the reply; no standard status fits and the client will
+// never read it anyway — it exists for the access log.
+const statusClientClosedRequest = 499
 
 // statusFor maps a shard's typed error to its HTTP status.
 func statusFor(err error) int {
@@ -69,6 +73,8 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return statusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
 	}
@@ -76,13 +82,20 @@ func statusFor(err error) int {
 
 // dispatch routes one request to its tenant's shard and waits for the
 // reply. Queue-full is backpressure, not failure: the caller gets 429 and
-// a Retry-After hint. A shard that shut down mid-wait surfaces as draining.
+// a Retry-After hint. A shard that shut down mid-wait surfaces as draining,
+// and a caller that went away (r.ctx done) gets its context error instead of
+// leaving the handler goroutine parked until the shard replies — the reply
+// channel is buffered, so the shard never notices the abandonment.
 func (s *Server) dispatch(r *request) (response, error) {
 	select {
 	case <-s.draining:
 		mRejectedDraining.Inc()
 		return response{}, ErrDraining
 	default:
+	}
+	var ctxDone <-chan struct{}
+	if r.ctx != nil {
+		ctxDone = r.ctx.Done()
 	}
 	sh := s.shardFor(r.tenant)
 	select {
@@ -94,6 +107,9 @@ func (s *Server) dispatch(r *request) (response, error) {
 	select {
 	case resp := <-r.reply:
 		return resp, nil
+	case <-ctxDone:
+		mCanceled.Inc()
+		return response{}, fmt.Errorf("service: request abandoned by client: %w", context.Cause(r.ctx))
 	case <-sh.done:
 		// The shard drained its queue and exited between our enqueue and
 		// its final sweep; the request will never be served.
@@ -122,19 +138,20 @@ type registerBody struct {
 func (s *Server) handleRegister(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST required"))
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST required"))
 		return
 	}
 	var body registerBody
 	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad register body: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad register body: %w", err))
 		return
 	}
 	if !validName(body.Tenant) || !validName(body.Class) {
-		writeError(w, http.StatusBadRequest, errors.New("service: tenant and class names must be nonempty printable strings"))
+		s.writeError(w, http.StatusBadRequest, errors.New("service: tenant and class names must be nonempty printable strings"))
 		return
 	}
 	resp, err := s.dispatch(&request{
+		ctx:       req.Context(),
 		op:        opRegister,
 		tenant:    body.Tenant,
 		class:     body.Class,
@@ -142,11 +159,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, req *http.Request) {
 		reply:     make(chan response, 1),
 	})
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	if resp.err != nil {
-		writeError(w, statusFor(resp.err), resp.err)
+		s.writeError(w, statusFor(resp.err), resp.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -168,25 +185,26 @@ func (s *Server) handleObserve(w http.ResponseWriter, req *http.Request) {
 	defer func() { mObserveLatency.Observe(time.Since(start).Seconds()) }()
 	if req.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST required"))
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("service: POST required"))
 		return
 	}
 	var body observeBody
 	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad observe body: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad observe body: %w", err))
 		return
 	}
 	if !validName(body.Tenant) {
-		writeError(w, http.StatusBadRequest, errors.New("service: tenant name required"))
+		s.writeError(w, http.StatusBadRequest, errors.New("service: tenant name required"))
 		return
 	}
 	if len(body.ObsIdx) == 0 || len(body.ObsIdx) != len(body.Perf) || len(body.ObsIdx) != len(body.Power) {
-		writeError(w, http.StatusBadRequest,
+		s.writeError(w, http.StatusBadRequest,
 			fmt.Errorf("service: obs_idx/perf/power must be nonempty and the same length (got %d/%d/%d)",
 				len(body.ObsIdx), len(body.Perf), len(body.Power)))
 		return
 	}
 	resp, err := s.dispatch(&request{
+		ctx:    req.Context(),
 		op:     opObserve,
 		tenant: body.Tenant,
 		obsIdx: body.ObsIdx,
@@ -195,11 +213,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, req *http.Request) {
 		reply:  make(chan response, 1),
 	})
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	if resp.err != nil {
-		writeError(w, statusFor(resp.err), resp.err)
+		s.writeError(w, statusFor(resp.err), resp.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -213,21 +231,21 @@ func (s *Server) handleObserve(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET required"))
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET required"))
 		return
 	}
 	tenantName := req.URL.Query().Get("tenant")
 	if !validName(tenantName) {
-		writeError(w, http.StatusBadRequest, errors.New("service: tenant query parameter required"))
+		s.writeError(w, http.StatusBadRequest, errors.New("service: tenant query parameter required"))
 		return
 	}
-	resp, err := s.dispatch(&request{op: opEstimate, tenant: tenantName, reply: make(chan response, 1)})
+	resp, err := s.dispatch(&request{ctx: req.Context(), op: opEstimate, tenant: tenantName, reply: make(chan response, 1)})
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	if resp.err != nil {
-		writeError(w, statusFor(resp.err), resp.err)
+		s.writeError(w, statusFor(resp.err), resp.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -255,31 +273,31 @@ func (s *Server) handlePlan(w http.ResponseWriter, req *http.Request) {
 	defer func() { mPlanLatency.Observe(time.Since(start).Seconds()) }()
 	if req.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET required"))
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET required"))
 		return
 	}
 	q := req.URL.Query()
 	tenantName := q.Get("tenant")
 	if !validName(tenantName) {
-		writeError(w, http.StatusBadRequest, errors.New("service: tenant query parameter required"))
+		s.writeError(w, http.StatusBadRequest, errors.New("service: tenant query parameter required"))
 		return
 	}
 	var work, deadline float64
 	if _, err := fmt.Sscan(q.Get("work"), &work); err != nil || work <= 0 {
-		writeError(w, http.StatusBadRequest, errors.New("service: positive work query parameter required"))
+		s.writeError(w, http.StatusBadRequest, errors.New("service: positive work query parameter required"))
 		return
 	}
 	if _, err := fmt.Sscan(q.Get("deadline"), &deadline); err != nil || deadline <= 0 {
-		writeError(w, http.StatusBadRequest, errors.New("service: positive deadline query parameter required"))
+		s.writeError(w, http.StatusBadRequest, errors.New("service: positive deadline query parameter required"))
 		return
 	}
-	resp, err := s.dispatch(&request{op: opPlan, tenant: tenantName, work: work, deadline: deadline, reply: make(chan response, 1)})
+	resp, err := s.dispatch(&request{ctx: req.Context(), op: opPlan, tenant: tenantName, work: work, deadline: deadline, reply: make(chan response, 1)})
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, statusFor(err), err)
 		return
 	}
 	if resp.err != nil {
-		writeError(w, statusFor(resp.err), resp.err)
+		s.writeError(w, statusFor(resp.err), resp.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, planReply{

@@ -31,6 +31,9 @@ var (
 	mRejectedDraining = metrics.NewCounter("leo_service_rejected_total",
 		"requests rejected by backpressure or admission control",
 		metrics.Label{Key: "reason", Value: "draining"})
+	mCanceled = metrics.NewCounter("leo_service_rejected_total",
+		"requests rejected by backpressure or admission control",
+		metrics.Label{Key: "reason", Value: "client_canceled"})
 	mRestoredTenants = metrics.NewCounter("leo_service_restored_tenants_total",
 		"tenants reconstructed from per-shard snapshots and journals")
 

@@ -35,7 +35,10 @@ package service
 import (
 	"context"
 	"fmt"
+	"math"
+	"strconv"
 	"sync"
+	"time"
 
 	"leo/internal/baseline"
 	"leo/internal/control"
@@ -102,6 +105,14 @@ type Config struct {
 	QueueDepth int
 	// BatchMax caps how many queued requests one scheduling tick drains.
 	BatchMax int
+	// TickInterval paces each shard's refit scheduler: after its first queued
+	// request a shard gathers more work for up to one tick (or until BatchMax)
+	// before fitting the batch, trading latency for larger coalesced refits.
+	// It is also what the 429 Retry-After hint is derived from — a
+	// backpressured client should stay away for at least one tick. Zero (the
+	// default) keeps the event-driven scheduler: batches are whatever has
+	// already queued, and Retry-After is 1 second.
+	TickInterval time.Duration
 	// Resilience tunes the per-tenant estimation policy exactly as it does
 	// the controller's (watchdog, jitter budget, failure ladder).
 	Resilience control.Resilience
@@ -137,10 +148,25 @@ type Server struct {
 	classes map[string]*Class
 	shards  []*shard
 
+	// retryAfter is the 429 backoff hint in whole seconds, derived from the
+	// configured scheduling tick (see retryAfterSeconds).
+	retryAfter string
+
 	draining  chan struct{} // closed by Close: reject new work with 503
 	admitted  chan struct{} // counting semaphore of tenant slots
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// retryAfterSeconds derives the Retry-After hint from the shard scheduling
+// tick: the next batch is at most one tick away, so the hint is the tick
+// rounded up to whole seconds (the header's granularity), never below 1.
+func retryAfterSeconds(tick time.Duration) string {
+	secs := int64(math.Ceil(tick.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // New builds a server and starts its shard workers (recovering each shard's
@@ -154,10 +180,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("service: no application classes configured")
 	}
 	s := &Server{
-		cfg:      cfg,
-		classes:  make(map[string]*Class, len(cfg.Classes)),
-		draining: make(chan struct{}),
-		admitted: make(chan struct{}, cfg.MaxSessions),
+		cfg:        cfg,
+		classes:    make(map[string]*Class, len(cfg.Classes)),
+		retryAfter: retryAfterSeconds(cfg.TickInterval),
+		draining:   make(chan struct{}),
+		admitted:   make(chan struct{}, cfg.MaxSessions),
 	}
 	for i := range cfg.Classes {
 		cl := &cfg.Classes[i]

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"leo/internal/baseline"
 	"leo/internal/control"
@@ -40,6 +41,10 @@ const (
 // The reply channel is buffered (capacity 1) so the shard never blocks on a
 // caller that gave up.
 type request struct {
+	// ctx is the caller's lifetime: dispatch stops waiting for the reply once
+	// it is done (the shard still processes the request and drops the reply
+	// into the buffered channel). nil means wait unconditionally.
+	ctx    context.Context
 	op     opKind
 	tenant string
 
@@ -147,15 +152,7 @@ func (sh *shard) run() {
 			sh.shutdown()
 			return
 		}
-	gather:
-		for len(batch) < sh.srv.cfg.BatchMax {
-			select {
-			case r := <-sh.queue:
-				batch = append(batch, r)
-			default:
-				break gather
-			}
-		}
+		sh.gather(&batch)
 		depth := len(sh.queue)
 		sh.met.queue.Set(float64(depth))
 		mBatchSize.Observe(float64(len(batch)))
@@ -164,6 +161,41 @@ func (sh *shard) run() {
 		// ladder so the shard catches up instead of collapsing.
 		shed := depth >= sh.srv.cfg.QueueDepth*3/4
 		sh.process(batch, shed)
+	}
+}
+
+// gather fills the batch up to BatchMax. Event-driven (TickInterval 0) it
+// takes only what has already queued; with a tick configured it waits out the
+// remainder of one tick for more arrivals, coalescing refits at the cost of
+// up to one tick of latency — the tradeoff the Retry-After hint is derived
+// from. A stop during the wait cuts the tick short; the loop sees sh.stop on
+// its next select and drains.
+func (sh *shard) gather(batch *[]*request) {
+	tick := sh.srv.cfg.TickInterval
+	var timeout <-chan time.Time
+	if tick > 0 {
+		timer := time.NewTimer(tick)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for len(*batch) < sh.srv.cfg.BatchMax {
+		select {
+		case r := <-sh.queue:
+			*batch = append(*batch, r)
+			continue
+		default:
+		}
+		if timeout == nil {
+			return
+		}
+		select {
+		case r := <-sh.queue:
+			*batch = append(*batch, r)
+		case <-timeout:
+			return
+		case <-sh.stop:
+			return
+		}
 	}
 }
 

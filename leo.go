@@ -62,6 +62,7 @@ import (
 
 	"leo/internal/apps"
 	"leo/internal/baseline"
+	"leo/internal/cluster"
 	"leo/internal/colocate"
 	"leo/internal/control"
 	"leo/internal/core"
@@ -392,6 +393,38 @@ func StandardServiceLadder(space Space, perfPrior, powerPrior *ModelPrior, known
 // time-ordered event stream for load-testing an estimation server.
 func GenerateServiceTraffic(cfg TrafficConfig) ([]TrafficEvent, error) {
 	return service.GenerateTraffic(cfg)
+}
+
+// Cluster-level power budgeting (extension; see DESIGN.md §14). A cluster
+// Coordinator owns one global power cap and splits it across simulated nodes
+// each running its own LEO controller, rebalancing every epoch from the
+// nodes' demand estimates and last epoch's reported overshoot, while a
+// replayed tenant trace churns applications across nodes and a rack outage
+// schedule takes whole node groups down.
+type (
+	// ClusterConfig configures one cluster simulation.
+	ClusterConfig = cluster.Config
+	// ClusterResult aggregates a cluster run: energy, completed work,
+	// global-cap violations, and per-node overshoot accounting.
+	ClusterResult = cluster.Result
+	// ClusterNodeFactory builds a fresh controller and machine when a tenant
+	// episode cold-starts on a node.
+	ClusterNodeFactory = cluster.NodeFactory
+	// RackOutage is one interval during which a whole rack is down.
+	RackOutage = fault.RackOutage
+	// RackOutages is a rack outage schedule, queryable by rack and time.
+	RackOutages = fault.Outages
+)
+
+// RunCluster executes a cluster simulation to completion. Runs are serial
+// and deterministic: the same config always yields the same result.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
+
+// RackOutageSchedule draws a deterministic schedule of correlated rack-level
+// outages: per-rack Poisson failure arrivals with exponential repair times,
+// seeded so adding racks never perturbs the schedule of existing ones.
+func RackOutageSchedule(seed int64, racks int, horizon, meanBetween, meanDown float64) (RackOutages, error) {
+	return fault.RackSchedule(seed, racks, horizon, meanBetween, meanDown)
 }
 
 // ErrActuation marks a transient, retryable configuration-change failure.
