@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check faults bench bench-smoke restart-smoke serve-smoke cluster-smoke
+.PHONY: build vet test race check faults bench bench-smoke restart-smoke serve-smoke plan-cache-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 # passes under the race detector, every benchmark still compiles and
 # single-steps, and the crash-safety and serve-mode contracts hold against
 # the real binary.
-check: build vet race bench-smoke restart-smoke serve-smoke cluster-smoke
+check: build vet race bench-smoke restart-smoke serve-smoke plan-cache-smoke cluster-smoke
 
 # restart-smoke kills the leo-runtime binary between calibration windows,
 # restarts it from its state directory, corrupts the snapshot and tears the
@@ -32,6 +32,13 @@ restart-smoke:
 # drain with one snapshot per shard.
 serve-smoke:
 	$(GO) test -run='^TestServeSmoke$$' -count=1 .
+
+# plan-cache-smoke boots serve mode, drives one tenant through
+# register→refit→plan→refit→plan, and requires the plan-cache generation to
+# advance across refits with every served plan equal to a fresh pareto
+# computation over the server's own reported estimates.
+plan-cache-smoke:
+	$(GO) test -run='^TestPlanCacheSmoke$$' -count=1 .
 
 # cluster-smoke runs the cluster-level power budgeting sweep end to end on
 # the small space: the coordinator, the replayed trace, the rack outage

@@ -90,11 +90,16 @@ type record struct {
 	// ("2", "4", "8"): the parallel-kernel ms/op re-measured with the pool
 	// at that width and GOMAXPROCS raised to match. Results are bit-identical
 	// at any width (the kernels' determinism contract); only the wall clock
-	// moves.
-	MultiWorker map[string]map[string]float64 `json:"multi_worker,omitempty"`
+	// moves. Values are the kernel timings (float64); when the machine has
+	// fewer CPUs present than the worker cap, the column additionally carries
+	// "cpus_present_insufficient": true — the timings are then pure scheduler
+	// noise (w goroutines interleaved on < w CPUs) and trajectory tooling
+	// must not diff them.
+	MultiWorker map[string]map[string]any `json:"multi_worker,omitempty"`
 	// Service is the estimation-server throughput column (-merge -service):
-	// sessions_per_sec (tenant-windows refit per wall-clock second) and
-	// p99_plan_ms (client-observed 99th-percentile plan latency) from
+	// sessions_per_sec (tenant-windows refit per wall-clock second),
+	// p99_plan_ms (client-observed 99th-percentile plan latency), and
+	// plans_per_sec (plan queries answered per wall-clock second) from
 	// BenchmarkServiceThroughput.
 	Service map[string]float64 `json:"service,omitempty"`
 	// Cluster is the cluster-coordinator throughput column (-merge -cluster):
@@ -132,6 +137,7 @@ var workerKeys = map[string]string{
 var serviceKeys = map[string]string{
 	"sessions/s":  "sessions_per_sec",
 	"p99-plan-ms": "p99_plan_ms",
+	"plans/s":     "plans_per_sec",
 }
 
 // serviceColumn extracts the service column from a parsed run, or errors if
@@ -190,9 +196,12 @@ func clusterColumn(results []result) (map[string]float64, error) {
 }
 
 // workerColumn extracts the multi-worker column from a parsed run, or errors
-// if none of the sweep kernels are present.
-func workerColumn(results []result) (map[string]float64, error) {
-	col := map[string]float64{}
+// if none of the sweep kernels are present. A sweep wider than the machine's
+// present CPU count measures scheduler interleaving, not parallel speedup, so
+// such columns are annotated "cpus_present_insufficient": true for trajectory
+// tooling to exclude.
+func workerColumn(results []result, workers, present int) (map[string]any, error) {
+	col := map[string]any{}
 	for _, r := range results {
 		if key, ok := workerKeys[r.Name]; ok {
 			col[key] = r.NsPerOp / 1e6
@@ -200,6 +209,9 @@ func workerColumn(results []result) (map[string]float64, error) {
 	}
 	if len(col) == 0 {
 		return nil, fmt.Errorf("no multi-worker kernels (%d benchmarks parsed, none in the sweep set)", len(results))
+	}
+	if present > 0 && present < workers {
+		col["cpus_present_insufficient"] = true
 	}
 	return col, nil
 }
@@ -256,12 +268,12 @@ func main() {
 			}
 			rec.Cluster = col
 		default:
-			col, err := workerColumn(results)
+			col, err := workerColumn(results, *matrixWorkers, cpusPresent())
 			if err != nil {
 				fatal(err)
 			}
 			if rec.MultiWorker == nil {
-				rec.MultiWorker = map[string]map[string]float64{}
+				rec.MultiWorker = map[string]map[string]any{}
 			}
 			rec.MultiWorker[strconv.Itoa(*matrixWorkers)] = col
 		}

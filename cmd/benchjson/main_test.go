@@ -13,7 +13,7 @@ import (
 const serviceBenchOutput = `goos: linux
 goarch: amd64
 pkg: leo/internal/service
-BenchmarkServiceThroughput-8 	       5	 212345678 ns/op	        12.50 p99-plan-ms	       482.25 sessions/s
+BenchmarkServiceThroughput-8 	       5	 212345678 ns/op	        12.50 p99-plan-ms	      3858 plans/s	       482.25 sessions/s
 PASS
 ok  	leo/internal/service	2.5s
 `
@@ -67,8 +67,11 @@ func TestServiceColumn(t *testing.T) {
 	if got, want := col["p99_plan_ms"], 12.50; got != want {
 		t.Errorf("p99_plan_ms = %v, want %v", got, want)
 	}
-	if len(col) != 2 {
-		t.Errorf("service column has %d fields, want 2: %v", len(col), col)
+	if got, want := col["plans_per_sec"], 3858.0; got != want {
+		t.Errorf("plans_per_sec = %v, want %v", got, want)
+	}
+	if len(col) != 3 {
+		t.Errorf("service column has %d fields, want 3: %v", len(col), col)
 	}
 }
 
@@ -138,7 +141,7 @@ func TestClusterColumnRejectsWrongRun(t *testing.T) {
 
 func TestWorkerColumn(t *testing.T) {
 	results := parseFixture(t, kernelBenchOutput)
-	col, err := workerColumn(results)
+	col, err := workerColumn(results, 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,9 +151,36 @@ func TestWorkerColumn(t *testing.T) {
 	if got, want := col["mul_512_ms"], 5.0; got != want {
 		t.Errorf("mul_512_ms = %v, want %v", got, want)
 	}
+	if _, ok := col["cpus_present_insufficient"]; ok {
+		t.Error("column annotated insufficient on a machine wide enough for the sweep")
+	}
 	// The service run has no sweep kernels; merging it as a worker column
 	// must fail rather than silently dropping the sweep.
-	if _, err := workerColumn(parseFixture(t, serviceBenchOutput)); err == nil {
+	if _, err := workerColumn(parseFixture(t, serviceBenchOutput), 4, 8); err == nil {
 		t.Fatal("workerColumn accepted a run with no sweep kernels")
+	}
+}
+
+func TestWorkerColumnAnnotatesNarrowMachine(t *testing.T) {
+	// A 4-worker sweep measured on a 1-CPU machine is scheduler noise: the
+	// timings are still recorded (the run happened) but flagged so trajectory
+	// tooling skips them.
+	col, err := workerColumn(parseFixture(t, kernelBenchOutput), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col["cpus_present_insufficient"] != true {
+		t.Errorf("4-worker column on a 1-CPU machine not annotated: %v", col)
+	}
+	if got, want := col["cholesky_1024_ms"], 14663837.0/1e6; got != want {
+		t.Errorf("annotated column dropped the timing: cholesky_1024_ms = %v, want %v", got, want)
+	}
+	// present == 0 means the count could not be read; do not guess.
+	col, err = workerColumn(parseFixture(t, kernelBenchOutput), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := col["cpus_present_insufficient"]; ok {
+		t.Error("column annotated insufficient with an unknown CPU count")
 	}
 }

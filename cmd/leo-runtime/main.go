@@ -347,11 +347,13 @@ func serveFleet(ctx context.Context, space leo.Space, db *leo.Database, addr str
 		if err != nil {
 			fatal(err)
 		}
-		perfPrior, err := leo.NewModelPrior(rest.Perf, leo.ModelOptions{})
+		// Serving only ever reads Result.Estimate; lean results skip the
+		// per-fit Σ/μ clones, the dominant allocation on the refit hot path.
+		perfPrior, err := leo.NewModelPrior(rest.Perf, leo.ModelOptions{LeanResults: true})
 		if err != nil {
 			fatal(err)
 		}
-		powerPrior, err := leo.NewModelPrior(rest.Power, leo.ModelOptions{})
+		powerPrior, err := leo.NewModelPrior(rest.Power, leo.ModelOptions{LeanResults: true})
 		if err != nil {
 			fatal(err)
 		}

@@ -35,6 +35,22 @@ type BatchFitter interface {
 	FinishFit(res *core.Result, err error) ([]float64, error)
 }
 
+// OpsCarrier is the optional Session capability behind shared cold-start
+// transfer operators: a warm session can export its immutable frozen-refit
+// operator cache once, and sessions restored from the same captured state
+// adopt it instead of each rebuilding the identical bits (an O(n³) inverse
+// per session per metric). Adoption is digest-gated inside core, so a
+// mismatched set is simply declined and the session rebuilds on demand —
+// the fit results are bit-identical either way.
+type OpsCarrier interface {
+	// FrozenOps exports the session's frozen-refit operators, building them
+	// first if needed; requires a warm session.
+	FrozenOps() (*core.FrozenOps, error)
+	// AdoptFrozenOps installs a shared operator set when it matches the
+	// session's current posterior exactly; reports whether it was adopted.
+	AdoptFrozenOps(*core.FrozenOps) bool
+}
+
 // HealthReporter is the optional Session capability exposing the numerical-
 // health account of the underlying fit — watchdog trips, exact-path rescues,
 // and the accumulated Cholesky jitter that marks a chronically
@@ -51,3 +67,7 @@ func (ls *leoSession) RestoreSessionState(st *core.SessionState) error { return 
 func (ls *leoSession) StateDigest() uint64 { return ls.s.PriorDigest() }
 
 func (ls *leoSession) Health() core.Health { return ls.s.Health() }
+
+func (ls *leoSession) FrozenOps() (*core.FrozenOps, error) { return ls.s.FrozenOps() }
+
+func (ls *leoSession) AdoptFrozenOps(o *core.FrozenOps) bool { return ls.s.AdoptFrozenOps(o) }

@@ -56,6 +56,10 @@ type Controller struct {
 	obsIdx   []int
 	obsPerf  []float64
 	replans  int
+	// planner is the Pareto hull over planEstimates(), built lazily and
+	// reused until the estimates or the dead-config set change. Every site
+	// that mutates perfEst/powerEst/deadConfigs calls invalidateFrontier.
+	planner *pareto.Planner
 	// measuredRates remembers heartbeat-measured rates per configuration
 	// across jobs, so later jobs correct for estimation error immediately.
 	// Cleared on Calibrate (the estimates change, and so may the phase).
@@ -210,6 +214,7 @@ func (c *Controller) calibrateTier(ctx context.Context) error {
 		return fmt.Errorf("control: journaling calibration window: %w", err)
 	}
 	c.perfEst, c.powerEst = sanitizeEstimates(perfEst, powerEst)
+	c.invalidateFrontier()
 	c.obsIdx, c.obsPerf = w.ObsIdx, w.Perf
 	c.measuredRates = nil
 	c.replans++
@@ -311,7 +316,6 @@ func (c *Controller) Plan(w, t float64) (*pareto.Plan, error) {
 // PlanContext is Plan under a caller-supplied context, which bounds the
 // calibration Plan may trigger when no estimates exist yet.
 func (c *Controller) PlanContext(ctx context.Context, w, t float64) (*pareto.Plan, error) {
-	idle := c.mach.App().IdlePower
 	if c.RaceToIdle() {
 		return c.raceToIdlePlan(w, t)
 	}
@@ -324,8 +328,11 @@ func (c *Controller) PlanContext(ctx context.Context, w, t float64) (*pareto.Pla
 			return c.raceToIdlePlan(w, t)
 		}
 	}
-	perf, power := c.planEstimates()
-	plan, err := pareto.MinimizeEnergy(perf, power, idle, w, t)
+	pl, err := c.frontier()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := pl.MinimizeEnergy(w, t)
 	if err == nil {
 		return plan, nil
 	}
@@ -341,6 +348,26 @@ func (c *Controller) PlanContext(ctx context.Context, w, t float64) (*pareto.Pla
 		Energy:      c.powerEst[best] * t,
 	}, nil
 }
+
+// frontier returns the controller's cached Pareto planner, rebuilding it
+// when estimates were republished, a restore/degrade cleared them, or a
+// configuration was marked dead since the last build. Plans served from the
+// cache are bit-identical to fresh pareto calls over planEstimates().
+func (c *Controller) frontier() (*pareto.Planner, error) {
+	if c.planner == nil {
+		perf, power := c.planEstimates()
+		pl, err := pareto.NewPlanner(perf, power, c.mach.App().IdlePower)
+		if err != nil {
+			return nil, err
+		}
+		c.planner = pl
+	}
+	return c.planner, nil
+}
+
+// invalidateFrontier drops the cached planner; the next frontier() call
+// rebuilds it from the current estimates.
+func (c *Controller) invalidateFrontier() { c.planner = nil }
 
 // probeRetries bounds re-measurement of a faulted probe inside
 // raceToIdlePlan, which must never fail: it is the ladder's terminal rung.

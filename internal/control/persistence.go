@@ -161,6 +161,7 @@ func (c *Controller) restoreSnapshot(ctx context.Context, snap *persist.Snapshot
 		// Assigned last so a mismatch above leaves nothing half-restored; the
 		// vectors were sanitized before the snapshot captured them.
 		c.perfEst, c.powerEst = cs.Perf, cs.Power
+		c.invalidateFrontier()
 		c.obsIdx, c.obsPerf = cs.ObsIdx, cs.ObsPerf
 		c.measuredRates = nil
 	}
@@ -193,6 +194,7 @@ func (c *Controller) replayWindow(ctx context.Context, rec *persist.WindowRecord
 		return err
 	}
 	c.perfEst, c.powerEst = sanitizeEstimates(perfEst, powerEst)
+	c.invalidateFrontier()
 	c.obsIdx, c.obsPerf = rec.ObsIdx, rec.Perf
 	c.measuredRates = nil
 	c.replans++

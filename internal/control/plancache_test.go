@@ -1,0 +1,100 @@
+package control
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"leo/internal/pareto"
+)
+
+// freshPlanMirror recomputes what PlanContext must return, bypassing the
+// cached planner entirely: a fresh package-level MinimizeEnergy over the
+// controller's plan estimates, with the same believed-fastest fallback for
+// infeasible demands.
+func freshPlanMirror(c *Controller, w, t float64) (*pareto.Plan, error) {
+	perf, power := c.planEstimates()
+	plan, err := pareto.MinimizeEnergy(perf, power, c.mach.App().IdlePower, w, t)
+	if err == nil {
+		return plan, nil
+	}
+	best := c.believedFastest()
+	if best < 0 {
+		return nil, err
+	}
+	return &pareto.Plan{
+		Allocations: []pareto.Allocation{{Index: best, Time: t}},
+		Rate:        w / t,
+		Energy:      c.powerEst[best] * t,
+	}, nil
+}
+
+// TestPlanContextCachedMatchesFreshProperty pins the controller's frontier
+// cache: across randomized estimate sets, demands (feasible, infeasible —
+// which exercises the believed-fastest fallback — and out-of-domain), and
+// cache-invalidation events (republished estimates, abandoned
+// configurations), every PlanContext answer is DeepEqual to a fresh
+// pareto.MinimizeEnergy computation that never touches the cache.
+func TestPlanContextCachedMatchesFreshProperty(t *testing.T) {
+	r := newRig(t, "kmeans", 0)
+	c := r.controller(t, "LEO", 7)
+	if err := c.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	n := len(c.perfEst)
+	if c.deadConfigs == nil {
+		c.deadConfigs = make(map[int]bool)
+	}
+	ctx := context.Background()
+	for trial := 0; trial < 60; trial++ {
+		// Republish randomized estimates, as a refit would, and invalidate.
+		for i := range c.perfEst {
+			c.perfEst[i] = math.Exp(rng.NormFloat64()) * 20
+			c.powerEst[i] = math.Exp(rng.NormFloat64()) * 10
+		}
+		if trial%4 == 1 {
+			// An actuation give-up mid-stream: dead configurations must drop
+			// out of cached plans exactly as they do from fresh ones.
+			c.deadConfigs[rng.Intn(n)] = true
+		}
+		if trial%4 == 3 {
+			// Salt in estimator failure modes a live fit can produce.
+			c.perfEst[rng.Intn(n)] = math.NaN()
+			c.powerEst[rng.Intn(n)] = 0
+		}
+		c.invalidateFrontier()
+		for q := 0; q < 25; q++ {
+			w := rng.Float64() * 500
+			tt := 0.2 + rng.Float64()*8
+			if q%6 == 5 {
+				// Far beyond the fastest configuration: the infeasible branch
+				// must fall back to believed-fastest, cached or not.
+				w *= 1e9
+			}
+			fresh, freshErr := freshPlanMirror(c, w, tt)
+			got, gotErr := c.PlanContext(ctx, w, tt)
+			if (freshErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d q %d: fresh err %v, cached err %v", trial, q, freshErr, gotErr)
+			}
+			if freshErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(fresh, got) {
+				t.Fatalf("trial %d q %d (w=%g t=%g): cached plan %+v != fresh %+v",
+					trial, q, w, tt, got, fresh)
+			}
+		}
+	}
+	// Every-estimate-dead corner: the fallback has no believed-fastest left
+	// and the infeasible error must surface, cached planner or not.
+	for i := range c.perfEst {
+		c.deadConfigs[i] = true
+	}
+	c.invalidateFrontier()
+	if _, err := c.PlanContext(ctx, 1e12, 1); err == nil {
+		t.Fatal("PlanContext succeeded with every configuration abandoned and an infeasible demand")
+	}
+}

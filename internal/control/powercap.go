@@ -41,7 +41,19 @@ func (c *Controller) executeCapped(powerCap, t float64, maxSteps int) (JobResult
 			return JobResult{}, err
 		}
 	}
-	plan, err := pareto.MaximizePerformance(c.perfEst, c.powerEst, idle, powerCap, t)
+	// With no dead configurations planEstimates() returns the raw vectors,
+	// so the cached frontier answers this exact query; with dead ones the
+	// capped planner historically sees them unmasked, so plan directly.
+	var plan *pareto.Plan
+	var err error
+	if len(c.deadConfigs) == 0 {
+		var pl *pareto.Planner
+		if pl, err = c.frontier(); err == nil {
+			plan, err = pl.MaximizePerformance(powerCap, t)
+		}
+	} else {
+		plan, err = pareto.MaximizePerformance(c.perfEst, c.powerEst, idle, powerCap, t)
+	}
 	if err != nil {
 		return JobResult{}, err
 	}

@@ -287,6 +287,7 @@ func (c *Controller) degrade() bool {
 	c.events.Emit("degrade",
 		"controller", c.name, "from", from, "to", c.tiers[c.tier].Name)
 	c.perfEst, c.powerEst = nil, nil
+	c.invalidateFrontier()
 	c.obsIdx, c.obsPerf = nil, nil
 	// The failed tier's sessions die with it: a later promotion back up must
 	// not resume from a posterior fit just before the failure.
@@ -320,6 +321,7 @@ func (c *Controller) recordJob(tierIdx, jobFaults int) {
 				"controller", c.name, "from", from, "to", c.tiers[c.tier].Name)
 			// Force a fresh calibration at the restored tier.
 			c.perfEst, c.powerEst = nil, nil
+			c.invalidateFrontier()
 		}
 	}
 }
@@ -331,6 +333,8 @@ func (c *Controller) markDead(idx int) {
 		c.deadConfigs = make(map[int]bool)
 	}
 	c.deadConfigs[idx] = true
+	// The dead set feeds planEstimates, so the cached hull is stale.
+	c.invalidateFrontier()
 }
 
 // applyWithRetry applies configuration idx, retrying transient actuation

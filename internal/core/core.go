@@ -128,6 +128,14 @@ type Options struct {
 	// estimate regardless (§5.5), so the capped estimate is the product, not
 	// an error.
 	StrictConvergence bool
+	// LeanResults leaves Result.Mu and Result.Sigma nil, skipping their
+	// per-fit deep copies (Σ alone is n² floats — the dominant per-fit
+	// allocation for a serving path that only reads Result.Estimate). The
+	// fit itself is untouched: every other Result field carries the same
+	// bits, sessions evolve identically, and the option is deliberately
+	// excluded from Prior.Digest so lean and full deployments can exchange
+	// persisted state.
+	LeanResults bool
 }
 
 func (o Options) withDefaults() Options {

@@ -50,6 +50,7 @@ type emWorkspace struct {
 	// retry must restart from the same μ/Σ/σ² the diverged attempt did.
 	muBak     []float64
 	sigmaBak  *matrix.Matrix
+	sigmaBakd bool // sigmaBak holds this fit's start Σ (skipped for frozen fits)
 	sigma2Bak float64
 	freshBak  bool
 
@@ -62,30 +63,30 @@ type emWorkspace struct {
 
 func newEMWorkspace(n, rows int) *emWorkspace {
 	return &emWorkspace{
-		n:       n,
-		rows:    rows,
-		kcap:    -1,
-		chS:     matrix.NewCholeskyWorkspace(n),
-		chA:     matrix.NewCholeskyWorkspace(n),
-		chK:     matrix.NewCholeskyWorkspace(0),
-		a:       matrix.New(n, n),
-		cFull:   matrix.New(n, n),
-		cTarget: matrix.New(n, n),
-		sw:      matrix.New(n, n),
-		s:       matrix.New(n, 0),
-		wT:      matrix.New(n, 0),
-		kmat:    matrix.New(0, 0),
-		rhsFull: matrix.New(rows, n),
-		zFull:   matrix.New(rows, n),
-		dev:     matrix.New(n, rows+1),
-		sinvMu:  make([]float64, n),
-		rhs:     make([]float64, n),
-		zTarget: make([]float64, n),
-		d:       make([]float64, n),
-		prev:    make([]float64, n),
-		hd:      make([]float64, n),
-		hs:      make([]float64, n),
-		muBak:   make([]float64, n),
+		n:        n,
+		rows:     rows,
+		kcap:     -1,
+		chS:      matrix.NewCholeskyWorkspace(n),
+		chA:      matrix.NewCholeskyWorkspace(n),
+		chK:      matrix.NewCholeskyWorkspace(0),
+		a:        matrix.New(n, n),
+		cFull:    matrix.New(n, n),
+		cTarget:  matrix.New(n, n),
+		sw:       matrix.New(n, n),
+		s:        matrix.New(n, 0),
+		wT:       matrix.New(n, 0),
+		kmat:     matrix.New(0, 0),
+		rhsFull:  matrix.New(rows, n),
+		zFull:    matrix.New(rows, n),
+		dev:      matrix.New(n, rows+1),
+		sinvMu:   make([]float64, n),
+		rhs:      make([]float64, n),
+		zTarget:  make([]float64, n),
+		d:        make([]float64, n),
+		prev:     make([]float64, n),
+		hd:       make([]float64, n),
+		hs:       make([]float64, n),
+		muBak:    make([]float64, n),
 		sigmaBak: matrix.New(n, n),
 	}
 }
@@ -95,7 +96,12 @@ func newEMWorkspace(n, rows int) *emWorkspace {
 // point.
 func (ws *emWorkspace) saveStart(s *Session) {
 	copy(ws.muBak, s.mu)
-	matrix.CloneInto(ws.sigmaBak, s.sigma)
+	// A frozen fit pins Σ by construction (the M-step moves μ only), so the
+	// n² copy would back up a matrix the attempt cannot touch.
+	ws.sigmaBakd = !s.frozen
+	if ws.sigmaBakd {
+		matrix.CloneInto(ws.sigmaBak, s.sigma)
+	}
 	ws.sigma2Bak = s.sigma2
 	ws.freshBak = s.freshSigma
 }
@@ -103,7 +109,9 @@ func (ws *emWorkspace) saveStart(s *Session) {
 // restoreStart undoes whatever a diverged attempt left in the parameters.
 func (ws *emWorkspace) restoreStart(s *Session) {
 	copy(s.mu, ws.muBak)
-	matrix.CloneInto(s.sigma, ws.sigmaBak)
+	if ws.sigmaBakd {
+		matrix.CloneInto(s.sigma, ws.sigmaBak)
+	}
 	s.sigma2 = ws.sigma2Bak
 	s.freshSigma = ws.freshBak
 }
@@ -284,11 +292,13 @@ func (em *Session) run(ctx context.Context, maxIter int) (*Result, error) {
 	res := &Result{
 		Estimate:   matrix.CloneVec(e.zTarget),
 		Variance:   variance,
-		Mu:         matrix.CloneVec(em.mu),
-		Sigma:      em.sigma.Clone(),
 		Noise:      math.Sqrt(em.sigma2),
 		Iterations: iters,
 		Converged:  converged,
+	}
+	if !em.opts.LeanResults {
+		res.Mu = matrix.CloneVec(em.mu)
+		res.Sigma = em.sigma.Clone()
 	}
 	if !converged {
 		return res, &ErrNotConverged{Iterations: iters, Change: lastChange, Tol: em.opts.Tol}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"leo/internal/matrix"
 	"leo/internal/stats"
@@ -31,9 +32,10 @@ func canceled(cause error) error {
 // sum of squares that seeds σ² — the state every cold EM fit would otherwise
 // recompute from scratch.
 //
-// A Prior is immutable after NewPrior returns and therefore safe for
-// concurrent use: any number of goroutines may call NewSession and run the
-// resulting sessions in parallel.
+// A Prior's model is immutable after NewPrior returns and the whole object is
+// safe for concurrent use: any number of goroutines may call NewSession and
+// run the resulting sessions in parallel. The only mutable state is the
+// session free list, which has its own lock.
 type Prior struct {
 	opts  Options
 	known *matrix.Matrix // private clone of the (M−1)×n database
@@ -44,6 +46,16 @@ type Prior struct {
 	chol0   *matrix.Cholesky // factor of sigma0 (nil if not factorable)
 	sumSq   float64          // Σ v² over the database, in row-major order
 	count   int              // number of database entries
+
+	// Session free list (see Session.Release). A session's EM workspace is a
+	// few n×n matrices — recycling it turns admission in a churning fleet
+	// from megabytes of zeroed allocations into a pointer pop.
+	poolMu sync.Mutex
+	pool   []*Session
+
+	// Cached Digest (the fold walks the whole database; see state.go).
+	digestOnce sync.Once
+	digest     uint64
 }
 
 // NewPrior fits the offline portion of the model over the database: one fully
@@ -142,8 +154,20 @@ func (p *Prior) Estimate(ctx context.Context, obsIdx []int, obsVal []float64) (*
 // NewSession creates an independent fitting session over this prior. Sessions
 // are cheap relative to a fit (they allocate the EM workspace but compute
 // nothing) and are not safe for concurrent use with themselves — use one per
-// goroutine; the shared Prior is.
+// goroutine; the shared Prior is. When the free list holds a released
+// session it is recycled instead, which skips the workspace allocation
+// entirely; a recycled session is indistinguishable from a fresh one (every
+// fit path fully rewrites the parameters before reading them).
 func (p *Prior) NewSession() *Session {
+	p.poolMu.Lock()
+	if k := len(p.pool); k > 0 {
+		s := p.pool[k-1]
+		p.pool[k-1] = nil
+		p.pool = p.pool[:k-1]
+		p.poolMu.Unlock()
+		return s
+	}
+	p.poolMu.Unlock()
 	n := p.n
 	return &Session{
 		prior:  p,
@@ -156,6 +180,35 @@ func (p *Prior) NewSession() *Session {
 		obsPos: make(map[int]int),
 		ws:     newEMWorkspace(n, p.known.Rows),
 	}
+}
+
+// sessionPoolMax bounds each prior's free list; releases past the bound fall
+// to the garbage collector, so a transient registration spike cannot pin its
+// peak working set forever.
+const sessionPoolMax = 256
+
+// Release returns the session to its prior's free list for NewSession to
+// recycle. The session must not be used after Release — treat it like a
+// freed buffer. Releasing is optional (an abandoned session is collected
+// normally); it pays off where sessions churn, e.g. a serving fleet
+// admitting and evicting tenants.
+func (s *Session) Release() {
+	if s == nil || s.prior == nil {
+		return
+	}
+	s.Reset()
+	s.health = Health{}
+	s.fallbackExact = false
+	s.frozen = false
+	s.freshSigma = false
+	s.sigma2 = 0
+	s.ws.wc.invalidate()
+	p := s.prior
+	p.poolMu.Lock()
+	if len(p.pool) < sessionPoolMax {
+		p.pool = append(p.pool, s)
+	}
+	p.poolMu.Unlock()
 }
 
 // Session is one target application's incremental fit against a shared Prior.

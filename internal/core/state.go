@@ -127,8 +127,15 @@ func RestorePrior(st *PriorState) (*Prior, error) {
 // every option that affects a fit, folded through FNV-1a. Persisted session
 // state records it so a snapshot taken against one prior is never restored
 // into a session derived from a different one (a changed database or option
-// set would silently poison the warm start).
+// set would silently poison the warm start). The fold is computed once —
+// the prior is immutable — and served from cache afterwards; admission
+// paths compare digests on every transfer.
 func (p *Prior) Digest() uint64 {
+	p.digestOnce.Do(func() { p.digest = p.computeDigest() })
+	return p.digest
+}
+
+func (p *Prior) computeDigest() uint64 {
 	h := fnvOffset
 	h = fnvU64(h, 0x4c454f5052494f52) // "LEOPRIOR"
 	h = fnvU64(h, uint64(p.known.Rows))

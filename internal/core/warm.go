@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"leo/internal/matrix"
 )
@@ -32,13 +33,11 @@ import (
 // whenever a non-frozen fit (cold, exact, naive, watchdog fallback) or a
 // Restore may change Σ or σ².
 type warmCache struct {
-	valid bool // A-side operators below are current for the frozen Σ/σ²
-
-	cHat    *matrix.Matrix // n×n: shared posterior covariance Ĉ
-	cy      *matrix.Matrix // rows×n: Ĉ yᵢ / σ²
-	ay      *matrix.Matrix // rows×n: A⁻¹ yᵢ
-	q       []float64      // rows: yᵢᵀ A⁻¹ yᵢ (likelihood quadratic, constant part)
-	logDetA float64
+	// ops is the A-side operator set, immutable once built (invalidation
+	// drops the pointer; a rebuild allocates fresh). Immutability is what
+	// makes it shareable: a seed-transferred session can adopt its donor's
+	// ops instead of re-deriving the identical bits — see Session.FrozenOps.
+	ops *frozenOps
 
 	cmu []float64 // per-iteration: Ĉ μ / σ²
 	amu []float64 // per-iteration: A⁻¹ μ
@@ -55,9 +54,26 @@ type warmCache struct {
 	fitPrepared bool
 }
 
+// frozenOps is the A-side operator set of a frozen warm fit: every quantity
+// that depends only on the pinned (Σ, σ²) and the prior's database. Never
+// written after buildA publishes it (the per-iteration solves read the
+// factor without touching it), so any number of sessions over the same
+// parameters may hold the same instance. paramsDigest fingerprints the
+// exact parameters it was built at.
+type frozenOps struct {
+	chA     *matrix.Cholesky // factor of A = Σ+σ²I
+	cHat    *matrix.Matrix   // n×n: shared posterior covariance Ĉ
+	cy      *matrix.Matrix   // rows×n: Ĉ yᵢ / σ²
+	ay      *matrix.Matrix   // rows×n: A⁻¹ yᵢ
+	q       []float64        // rows: yᵢᵀ A⁻¹ yᵢ (likelihood quadratic, constant part)
+	logDetA float64
+
+	paramsDigest uint64 // FNV over (prior digest, σ², Σ bits)
+}
+
 // invalidate drops everything: the next frozen fit rebuilds from scratch.
 func (wc *warmCache) invalidate() {
-	wc.valid = false
+	wc.ops = nil
 	wc.kValid = false
 	wc.fitPrepared = false
 }
@@ -67,28 +83,45 @@ func (wc *warmCache) invalidate() {
 // factorization (see matrix.Cholesky.Append).
 const warmAppendMax = 64
 
-// buildA computes the A-side operators for the current (frozen) Σ and σ².
+// frozenParamsDigest fingerprints the exact parameters a frozenOps set is a
+// function of: the prior's digest, σ², and every bit of Σ.
+func (em *Session) frozenParamsDigest() uint64 {
+	h := fnvOffset
+	h = fnvU64(h, em.prior.Digest())
+	h = fnvU64(h, math.Float64bits(em.sigma2))
+	for _, v := range em.sigma.Data {
+		h = fnvU64(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// buildA computes the A-side operators for the current (frozen) Σ and σ²
+// into a freshly allocated frozenOps (the previous set, if any, may still be
+// shared with other sessions and is never reused as scratch).
 func (em *Session) buildA() error {
 	ws, wc, n := em.ws, &em.ws.wc, em.n
 	rows := em.known.Rows
-	if wc.cHat == nil {
-		wc.cHat = matrix.New(n, n)
-		wc.cy = matrix.New(rows, n)
-		wc.ay = matrix.New(rows, n)
-		wc.q = make([]float64, rows)
+	if wc.cmu == nil {
 		wc.cmu = make([]float64, n)
 		wc.amu = make([]float64, n)
 	}
+	ops := &frozenOps{
+		chA:  matrix.NewCholeskyWorkspace(n),
+		cHat: matrix.New(n, n),
+		cy:   matrix.New(rows, n),
+		ay:   matrix.New(rows, n),
+		q:    make([]float64, rows),
+	}
 	s2 := em.sigma2
 	matrix.CloneInto(ws.a, em.sigma).AddDiagonal(s2)
-	if err := ws.chA.Factorize(ws.a); err != nil {
+	if err := ops.chA.Factorize(ws.a); err != nil {
 		return fmt.Errorf("core: Σ+σ²I not factorable: %w", err)
 	}
 	// Same operation sequence as eStepFast, so Ĉ carries the same bits a
 	// non-cached evaluation at these parameters would.
-	ws.chA.InverseInto(wc.cHat)
-	wc.cHat.ScaleInPlace(-s2 * s2).AddDiagonal(s2)
-	wc.logDetA = ws.chA.LogDet()
+	ops.chA.InverseInto(ops.cHat)
+	ops.cHat.ScaleInPlace(-s2 * s2).AddDiagonal(s2)
+	ops.logDetA = ops.chA.LogDet()
 
 	inv := 1 / s2
 	for i := 0; i < rows; i++ {
@@ -98,13 +131,65 @@ func (em *Session) buildA() error {
 			rhs[j] = row[j] * inv
 		}
 	}
-	matrix.MulTransBInto(wc.cy, ws.rhsFull, wc.cHat)
-	ws.chA.SolveTInto(wc.ay, em.known)
+	matrix.MulTransBInto(ops.cy, ws.rhsFull, ops.cHat)
+	ops.chA.SolveTInto(ops.ay, em.known)
 	for i := 0; i < rows; i++ {
-		wc.q[i] = matrix.Dot(em.known.RowView(i), wc.ay.RowView(i))
+		ops.q[i] = matrix.Dot(em.known.RowView(i), ops.ay.RowView(i))
 	}
-	wc.valid = true
+	ops.paramsDigest = em.frozenParamsDigest()
+	wc.ops = ops
 	return nil
+}
+
+// FrozenOps is an immutable, shareable A-side operator cache for frozen warm
+// refits — the REOH-style transfer vehicle: a class's seed donor exports its
+// operators once and every transferred session adopts them instead of
+// re-deriving the identical bits. Opaque outside core; obtain via
+// Session.FrozenOps, install via Session.AdoptFrozenOps.
+type FrozenOps struct {
+	ops *frozenOps
+}
+
+// FrozenOps returns the session's current frozen-fit operator cache,
+// building it first when the session does not have one. It requires a warm
+// session over a populated prior (the operators are a function of the
+// fitted posterior). The returned set stays bit-identical to what the next
+// frozen refit would compute on its own.
+func (s *Session) FrozenOps() (*FrozenOps, error) {
+	if !s.warm {
+		return nil, fmt.Errorf("core: FrozenOps needs a warm session")
+	}
+	if s.known.Rows == 0 {
+		return nil, fmt.Errorf("core: FrozenOps needs a populated prior")
+	}
+	if s.ws.wc.ops == nil {
+		if err := s.buildA(); err != nil {
+			return nil, err
+		}
+	}
+	return &FrozenOps{ops: s.ws.wc.ops}, nil
+}
+
+// AdoptFrozenOps installs a shared operator cache, skipping the rebuild a
+// restored session would otherwise pay on its first frozen refit. The set
+// is adopted only when its parameter digest matches the session's current
+// (prior, Σ, σ²) exactly — anything else reports false and leaves the
+// session to rebuild on demand, which yields the same bits either way.
+func (s *Session) AdoptFrozenOps(o *FrozenOps) bool {
+	if o == nil || o.ops == nil || !s.warm {
+		return false
+	}
+	if o.ops.paramsDigest != s.frozenParamsDigest() {
+		return false
+	}
+	if wc := &s.ws.wc; wc.ops == nil {
+		if wc.cmu == nil {
+			wc.cmu = make([]float64, s.n)
+			wc.amu = make([]float64, s.n)
+		}
+		wc.ops = o.ops
+	}
+	return true
 }
 
 // prepareTarget readies the per-fit target quantities for the current
@@ -201,40 +286,41 @@ func (em *Session) eStepWarm() (*eResult, error) {
 	ws, wc, n := em.ws, &em.ws.wc, em.n
 	out := &ws.e
 	*out = eResult{targetObs: len(em.obsIdx)}
-	if !wc.valid {
+	if wc.ops == nil {
 		if err := em.buildA(); err != nil {
 			return nil, err
 		}
 	}
+	ops := wc.ops
 	s2 := em.sigma2
 	rows := em.known.Rows
 	health := !em.opts.DisableHealthChecks
 
 	// ẑᵢ = μ + Ĉ(yᵢ−μ)/σ² = μ + (Ĉyᵢ/σ²) − (Ĉμ/σ²): the cached per-app
 	// product plus one shared matvec.
-	matrix.MulVecInto(wc.cmu, wc.cHat, em.mu)
+	matrix.MulVecInto(wc.cmu, ops.cHat, em.mu)
 	inv := 1 / s2
 	for j := range wc.cmu {
 		wc.cmu[j] *= inv
 	}
 	for i := 0; i < rows; i++ {
 		z := ws.zFull.RowView(i)
-		cyi := wc.cy.RowView(i)
+		cyi := ops.cy.RowView(i)
 		for j := 0; j < n; j++ {
 			z[j] = em.mu[j] + cyi[j] - wc.cmu[j]
 		}
 	}
 	out.zFull = ws.zFull
-	out.cFull = wc.cHat
+	out.cFull = ops.cHat
 
 	if health {
 		// Row i's likelihood quadratic dᵢᵀA⁻¹dᵢ expands around the cached
 		// pieces: yᵢᵀA⁻¹yᵢ − 2yᵢᵀA⁻¹μ + μᵀA⁻¹μ — one solve for all rows.
-		ws.chA.SolveVecInto(wc.amu, em.mu)
+		ops.chA.SolveVecInto(wc.amu, em.mu)
 		muAmu := matrix.Dot(em.mu, wc.amu)
 		for i := 0; i < rows; i++ {
-			quad := wc.q[i] - 2*matrix.Dot(wc.ay.RowView(i), em.mu) + muAmu
-			out.ll += -0.5 * (quad + wc.logDetA + float64(n)*ln2pi)
+			quad := ops.q[i] - 2*matrix.Dot(ops.ay.RowView(i), em.mu) + muAmu
+			out.ll += -0.5 * (quad + ops.logDetA + float64(n)*ln2pi)
 		}
 		out.llValid = true
 	}

@@ -41,8 +41,54 @@ type Solution struct {
 
 const eps = 1e-9
 
+// Workspace holds the tableau, basis, and solution buffers one Solve call
+// needs, so repeated solves of same-shaped problems allocate nothing. The
+// zero value is ready to use; buffers grow on demand and are reused (and
+// re-zeroed) across calls. A Workspace is not safe for concurrent use, and
+// the Solution returned by SolveInto aliases ws.x — copy it out before the
+// next solve if it must survive.
+type Workspace struct {
+	tab   matrix.Matrix
+	basis []int
+	x     []float64
+}
+
+// reset shapes the workspace for an m-constraint, n-variable problem with a
+// width-column tableau, reusing capacity and zeroing reused storage.
+func (ws *Workspace) reset(m, n, width int) {
+	cells := (m + 1) * width
+	if cap(ws.tab.Data) < cells {
+		ws.tab.Data = make([]float64, cells)
+	} else {
+		ws.tab.Data = ws.tab.Data[:cells]
+		for i := range ws.tab.Data {
+			ws.tab.Data[i] = 0
+		}
+	}
+	ws.tab.Rows, ws.tab.Cols = m+1, width
+	if cap(ws.basis) < m {
+		ws.basis = make([]int, m)
+	}
+	ws.basis = ws.basis[:m]
+	if cap(ws.x) < n {
+		ws.x = make([]float64, n)
+	} else {
+		ws.x = ws.x[:n]
+		for i := range ws.x {
+			ws.x[i] = 0
+		}
+	}
+}
+
 // Solve runs two-phase simplex with Bland's anti-cycling rule.
 func Solve(p Problem) (*Solution, error) {
+	return SolveInto(new(Workspace), p)
+}
+
+// SolveInto is Solve against caller-owned scratch: the tableau, basis, and
+// solution vector live in ws and are reused across calls. The returned
+// Solution's X aliases workspace storage.
+func SolveInto(ws *Workspace, p Problem) (*Solution, error) {
 	if p.A == nil {
 		return nil, fmt.Errorf("lp: nil constraint matrix")
 	}
@@ -58,7 +104,8 @@ func Solve(p Problem) (*Solution, error) {
 	// variables, column n+m the RHS. Rows [0,m) constraints, row m the
 	// cost row of the current phase.
 	width := n + m + 1
-	t := matrix.New(m+1, width)
+	ws.reset(m, n, width)
+	t := &ws.tab
 	for i := 0; i < m; i++ {
 		row := t.RowView(i)
 		sign := 1.0
@@ -71,7 +118,7 @@ func Solve(p Problem) (*Solution, error) {
 		row[n+i] = 1
 		row[width-1] = sign * p.B[i]
 	}
-	basis := make([]int, m)
+	basis := ws.basis
 	for i := range basis {
 		basis[i] = n + i
 	}
@@ -134,7 +181,7 @@ func Solve(p Problem) (*Solution, error) {
 		return nil, err
 	}
 
-	x := make([]float64, n)
+	x := ws.x
 	for i, b := range basis {
 		if b < n {
 			x[b] = t.At(i, width-1)

@@ -133,6 +133,9 @@ type Plan struct {
 // Non-positive or non-finite perf estimates are treated as unusable
 // configurations (an estimator can produce them; the machine cannot run
 // backwards).
+// Both the demand walk and the hull construction live on Planner; this
+// wrapper exists for one-shot callers and preserves the historical
+// validation order (length, demand, idle power).
 func MinimizeEnergy(perf, power []float64, idlePower, w, t float64) (*Plan, error) {
 	if len(perf) != len(power) {
 		return nil, fmt.Errorf("pareto: perf has %d entries, power %d", len(perf), len(power))
@@ -143,76 +146,12 @@ func MinimizeEnergy(perf, power []float64, idlePower, w, t float64) (*Plan, erro
 	if idlePower < 0 {
 		return nil, fmt.Errorf("pareto: negative idle power %g", idlePower)
 	}
-	pts := []Point{{Index: IdleIndex, Perf: 0, Power: idlePower}}
-	for i := range perf {
-		if perf[i] <= 0 || math.IsNaN(perf[i]) || math.IsInf(perf[i], 0) ||
-			power[i] <= 0 || math.IsNaN(power[i]) || math.IsInf(power[i], 0) {
-			continue
-		}
-		pts = append(pts, Point{Index: i, Perf: perf[i], Power: power[i]})
-	}
-	hull := LowerHull(pts)
-	rate := w / t
-	// Locate the hull segment containing the demanded rate.
-	last := hull[len(hull)-1]
-	if rate > last.Perf*(1+1e-12) {
-		return nil, fmt.Errorf("%w: need %g beats/s, fastest hull point %g", ErrInfeasible, rate, last.Perf)
-	}
-	if rate >= last.Perf {
-		return finishPlan([]weighted{{last, t}}, w, t, idlePower), nil
-	}
-	for s := 0; s < len(hull)-1; s++ {
-		lo, hi := hull[s], hull[s+1]
-		if rate < lo.Perf || rate > hi.Perf {
-			continue
-		}
-		frac := (rate - lo.Perf) / (hi.Perf - lo.Perf)
-		return finishPlan([]weighted{{lo, (1 - frac) * t}, {hi, frac * t}}, w, t, idlePower), nil
-	}
-	// rate below the slowest hull point: time-share with idle... which is
-	// hull[0] when idle is cheapest; if we get here the rate is below
-	// hull[0].Perf with hull[0] a real config (idle was dominated, which
-	// cannot happen since idle has perf 0 and is leftmost after dedup
-	// unless a config has perf 0 too). Run the slowest hull point long
-	// enough for the work and idle the remainder.
-	lo := hull[0]
-	run := w / lo.Perf
-	return finishPlan([]weighted{{lo, run}}, w, t, idlePower), nil
+	return newPlanner(perf, power, idlePower).MinimizeEnergyInto(w, t, new(Plan))
 }
 
 type weighted struct {
 	p    Point
 	time float64
-}
-
-// finishPlan converts weighted hull points to a Plan, folding the idle
-// pseudo-point into IdleTime and accounting idle energy for slack.
-func finishPlan(parts []weighted, w, t, idlePower float64) *Plan {
-	plan := &Plan{Rate: w / t}
-	used := 0.0
-	for _, part := range parts {
-		if part.time <= 0 {
-			continue
-		}
-		used += part.time
-		if part.p.Index == IdleIndex {
-			plan.IdleTime += part.time
-			plan.Energy += idlePower * part.time
-			continue
-		}
-		plan.Allocations = append(plan.Allocations, Allocation{Index: part.p.Index, Time: part.time})
-		plan.Energy += part.p.Power * part.time
-	}
-	if slack := t - used; slack > 1e-12 {
-		plan.IdleTime += slack
-		plan.Energy += idlePower * slack
-	}
-	// Fastest last, for controllers that prefer the faster configuration
-	// when correcting for estimation error.
-	sort.Slice(plan.Allocations, func(a, b int) bool {
-		return plan.Allocations[a].Time > plan.Allocations[b].Time
-	})
-	return plan
 }
 
 // MaximizePerformance solves the dual problem (the goal of systems like
@@ -235,34 +174,7 @@ func MaximizePerformance(perf, power []float64, idlePower, powerCap, t float64) 
 	if powerCap < idlePower {
 		return nil, fmt.Errorf("pareto: power cap %g below idle power %g", powerCap, idlePower)
 	}
-	pts := []Point{{Index: IdleIndex, Perf: 0, Power: idlePower}}
-	for i := range perf {
-		if perf[i] <= 0 || math.IsNaN(perf[i]) || math.IsInf(perf[i], 0) ||
-			power[i] <= 0 || math.IsNaN(power[i]) || math.IsInf(power[i], 0) {
-			continue
-		}
-		pts = append(pts, Point{Index: i, Perf: perf[i], Power: power[i]})
-	}
-	hull := LowerHull(pts)
-	last := hull[len(hull)-1]
-	if last.Power <= powerCap {
-		// The cap doesn't bind: run the fastest hull point flat out.
-		w := last.Perf * t
-		return finishPlan([]weighted{{last, t}}, w, t, idlePower), nil
-	}
-	// Walk to the segment whose power brackets the cap. Hull power is
-	// increasing along the walk (the hull is convex and starts at idle).
-	for s := 0; s < len(hull)-1; s++ {
-		lo, hi := hull[s], hull[s+1]
-		if powerCap < lo.Power || powerCap > hi.Power {
-			continue
-		}
-		frac := (powerCap - lo.Power) / (hi.Power - lo.Power)
-		rate := lo.Perf*(1-frac) + hi.Perf*frac
-		return finishPlan([]weighted{{lo, (1 - frac) * t}, {hi, frac * t}}, rate*t, t, idlePower), nil
-	}
-	// Cap below every real hull point: all idle.
-	return finishPlan([]weighted{{hull[0], t}}, 0, t, idlePower), nil
+	return newPlanner(perf, power, idlePower).MaximizePerformanceInto(powerCap, t, new(Plan))
 }
 
 // Work returns the work the plan completes under the given true performance

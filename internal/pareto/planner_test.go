@@ -1,0 +1,122 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomEstimates draws a perf/power estimate set of random size, salted with
+// the invalid entries (zero, negative, NaN, ±Inf) a live estimator can emit
+// for dead or never-measured configurations.
+func randomEstimates(rng *rand.Rand) (perf, power []float64) {
+	n := 1 + rng.Intn(24)
+	perf = make([]float64, n)
+	power = make([]float64, n)
+	bad := []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for i := 0; i < n; i++ {
+		perf[i] = math.Exp(rng.NormFloat64()) * 10
+		power[i] = math.Exp(rng.NormFloat64()) * 5
+		if rng.Intn(5) == 0 {
+			perf[i] = bad[rng.Intn(len(bad))]
+		}
+		if rng.Intn(7) == 0 {
+			power[i] = bad[rng.Intn(len(bad))]
+		}
+	}
+	return perf, power
+}
+
+// TestPlannerMatchesMinimizeEnergyProperty pins the plan-cache foundation: a
+// Planner built once per estimate set must answer every (w, t) demand —
+// feasible, infeasible, or below the slowest hull point — with a Plan
+// DeepEqual to a fresh package-level MinimizeEnergy call, and the Into
+// variant reusing one Plan across queries must match too.
+func TestPlannerMatchesMinimizeEnergyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	reused := new(Plan)
+	for trial := 0; trial < 200; trial++ {
+		perf, power := randomEstimates(rng)
+		idle := rng.Float64() * 3
+		pl, err := NewPlanner(perf, power, idle)
+		if err != nil {
+			t.Fatalf("trial %d: NewPlanner: %v", trial, err)
+		}
+		for q := 0; q < 20; q++ {
+			w := rng.Float64() * 200
+			tt := 0.1 + rng.Float64()*10
+			switch q % 5 {
+			case 3: // out-of-domain demand
+				w = -w
+			case 4: // force the infeasible branch often
+				w *= 1e6
+			}
+			fresh, freshErr := MinimizeEnergy(perf, power, idle, w, tt)
+			cached, cachedErr := pl.MinimizeEnergy(w, tt)
+			if (freshErr == nil) != (cachedErr == nil) {
+				t.Fatalf("trial %d q %d: fresh err %v, cached err %v", trial, q, freshErr, cachedErr)
+			}
+			if freshErr != nil {
+				if freshErr.Error() != cachedErr.Error() {
+					t.Fatalf("trial %d q %d: fresh err %q, cached err %q", trial, q, freshErr, cachedErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(fresh, cached) {
+				t.Fatalf("trial %d q %d: cached plan %+v != fresh %+v", trial, q, cached, fresh)
+			}
+			into, intoErr := pl.MinimizeEnergyInto(w, tt, reused)
+			if intoErr != nil {
+				t.Fatalf("trial %d q %d: Into errored where fresh succeeded: %v", trial, q, intoErr)
+			}
+			if !reflect.DeepEqual(fresh, into) {
+				t.Fatalf("trial %d q %d: reused plan %+v != fresh %+v", trial, q, into, fresh)
+			}
+		}
+	}
+}
+
+// TestPlannerMatchesMaximizePerformanceProperty is the power-cap analogue:
+// cached answers across randomized caps (binding, non-binding, below every
+// real point, below idle) match fresh MaximizePerformance calls exactly.
+func TestPlannerMatchesMaximizePerformanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	reused := new(Plan)
+	for trial := 0; trial < 200; trial++ {
+		perf, power := randomEstimates(rng)
+		idle := rng.Float64() * 3
+		pl, err := NewPlanner(perf, power, idle)
+		if err != nil {
+			t.Fatalf("trial %d: NewPlanner: %v", trial, err)
+		}
+		for q := 0; q < 20; q++ {
+			cap := idle + rng.Float64()*20
+			tt := 0.1 + rng.Float64()*10
+			if q%5 == 3 { // below idle: the validation-error branch
+				cap = idle - 1
+			}
+			fresh, freshErr := MaximizePerformance(perf, power, idle, cap, tt)
+			cached, cachedErr := pl.MaximizePerformance(cap, tt)
+			if (freshErr == nil) != (cachedErr == nil) {
+				t.Fatalf("trial %d q %d: fresh err %v, cached err %v", trial, q, freshErr, cachedErr)
+			}
+			if freshErr != nil {
+				if freshErr.Error() != cachedErr.Error() {
+					t.Fatalf("trial %d q %d: fresh err %q, cached err %q", trial, q, freshErr, cachedErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(fresh, cached) {
+				t.Fatalf("trial %d q %d: cached plan %+v != fresh %+v", trial, q, cached, fresh)
+			}
+			into, intoErr := pl.MaximizePerformanceInto(cap, tt, reused)
+			if intoErr != nil {
+				t.Fatalf("trial %d q %d: Into errored where fresh succeeded: %v", trial, q, intoErr)
+			}
+			if !reflect.DeepEqual(fresh, into) {
+				t.Fatalf("trial %d q %d: reused plan %+v != fresh %+v", trial, q, into, fresh)
+			}
+		}
+	}
+}

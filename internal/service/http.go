@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"leo/internal/metrics"
@@ -38,10 +42,55 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// onceWriter forwards writes until the first failure, then swallows the
+// rest: once part of a reply is lost there is no way to resynchronize the
+// stream, so truncating beats interleaving later fragments.
+type onceWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (o *onceWriter) Write(p []byte) (int, error) {
+	if o.err != nil {
+		return 0, o.err
+	}
+	n, err := o.w.Write(p)
+	if err != nil {
+		o.err = err
+	}
+	return n, err
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(&onceWriter{w: w}).Encode(v); err != nil {
+		mEncodeErrors.Inc()
+	}
+}
+
+// writeRaw sends a pre-encoded JSON body (a memoized plan reply or a pooled
+// observe buffer).
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		mEncodeErrors.Inc()
+	}
+}
+
+// requestPool recycles request structs together with their one-slot reply
+// channels. A request may be recycled only by whoever is certain the shard
+// will never touch it again: dispatch does so after consuming the reply or
+// when the enqueue itself failed, and never on the abandoned paths, where
+// the shard still owns the struct and will drop a reply into the channel.
+var requestPool = sync.Pool{New: func() any { return &request{reply: make(chan response, 1)} }}
+
+func getRequest() *request {
+	r := requestPool.Get().(*request)
+	reply := r.reply
+	*r = request{reply: reply}
+	return r
 }
 
 // writeError renders an error reply; 429s carry the server's Retry-After
@@ -65,7 +114,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrUnknownClass):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrClassMismatch), errors.Is(err, ErrNoEstimates):
+	case errors.Is(err, ErrClassMismatch), errors.Is(err, ErrNoEstimates),
+		errors.Is(err, ErrNoFeasiblePlan):
 		return http.StatusConflict
 	case errors.Is(err, ErrTooFewSamples):
 		return http.StatusUnprocessableEntity
@@ -90,6 +140,7 @@ func (s *Server) dispatch(r *request) (response, error) {
 	select {
 	case <-s.draining:
 		mRejectedDraining.Inc()
+		requestPool.Put(r)
 		return response{}, ErrDraining
 	default:
 	}
@@ -102,10 +153,13 @@ func (s *Server) dispatch(r *request) (response, error) {
 	case sh.queue <- r:
 	default:
 		mRejectedQueue.Inc()
-		return response{}, fmt.Errorf("%w: shard %d queue full", ErrMaxSessions, sh.id)
+		id := sh.id
+		requestPool.Put(r)
+		return response{}, fmt.Errorf("%w: shard %d queue full", ErrMaxSessions, id)
 	}
 	select {
 	case resp := <-r.reply:
+		requestPool.Put(r)
 		return resp, nil
 	case <-ctxDone:
 		mCanceled.Inc()
@@ -115,6 +169,7 @@ func (s *Server) dispatch(r *request) (response, error) {
 		// its final sweep; the request will never be served.
 		select {
 		case resp := <-r.reply:
+			requestPool.Put(r)
 			return resp, nil
 		default:
 			mRejectedDraining.Inc()
@@ -150,14 +205,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, req *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: tenant and class names must be nonempty printable strings"))
 		return
 	}
-	resp, err := s.dispatch(&request{
-		ctx:       req.Context(),
-		op:        opRegister,
-		tenant:    body.Tenant,
-		class:     body.Class,
-		idlePower: body.IdlePower,
-		reply:     make(chan response, 1),
-	})
+	r := getRequest()
+	r.ctx = req.Context()
+	r.op = opRegister
+	r.tenant = body.Tenant
+	r.class = body.Class
+	r.idlePower = body.IdlePower
+	resp, err := s.dispatch(r)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -203,15 +257,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, req *http.Request) {
 				len(body.ObsIdx), len(body.Perf), len(body.Power)))
 		return
 	}
-	resp, err := s.dispatch(&request{
-		ctx:    req.Context(),
-		op:     opObserve,
-		tenant: body.Tenant,
-		obsIdx: body.ObsIdx,
-		perf:   body.Perf,
-		power:  body.Power,
-		reply:  make(chan response, 1),
-	})
+	r := getRequest()
+	r.ctx = req.Context()
+	r.op = opObserve
+	r.tenant = body.Tenant
+	r.obsIdx = body.ObsIdx
+	r.perf = body.Perf
+	r.power = body.Power
+	resp, err := s.dispatch(r)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -220,13 +273,18 @@ func (s *Server) handleObserve(w http.ResponseWriter, req *http.Request) {
 		s.writeError(w, statusFor(resp.err), resp.err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"windows": resp.windows,
-		"rung":    resp.rung,
-		"dropped": resp.dropped,
-		"shed":    resp.shed,
-	})
+	// Render without encoding/json: the reply is four fixed fields, and this
+	// path runs once per observation window fleet-wide. Byte-identical to
+	// the map encoding it replaces (alphabetical keys, trailing newline).
+	bp := replyBufPool.Get().(*[]byte)
+	b := appendObserveJSON((*bp)[:0], resp.windows, resp.dropped, resp.rung, resp.shed)
+	writeRaw(w, http.StatusOK, b)
+	*bp = b[:0]
+	replyBufPool.Put(bp)
 }
+
+// replyBufPool recycles observe reply buffers across handler goroutines.
+var replyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
 
 func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
@@ -239,7 +297,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: tenant query parameter required"))
 		return
 	}
-	resp, err := s.dispatch(&request{ctx: req.Context(), op: opEstimate, tenant: tenantName, reply: make(chan response, 1)})
+	r := getRequest()
+	r.ctx = req.Context()
+	r.op = opEstimate
+	r.tenant = tenantName
+	resp, err := s.dispatch(r)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -259,13 +321,44 @@ func (s *Server) handleEstimate(w http.ResponseWriter, req *http.Request) {
 
 // planReply is the wire form of a pareto.Plan. encoding/json renders
 // float64 in shortest-round-trip form, so the decoded plan is bit-identical
-// to the shard's — the property the HTTP-vs-controller test pins.
+// to the shard's — the property the HTTP-vs-controller test pins. The hot
+// path renders the same shape through appendPlanJSON without allocating;
+// this struct remains for non-finite fallbacks and must keep its field
+// order in lockstep with that encoder.
 type planReply struct {
 	Allocations []pareto.Allocation `json:"allocations"`
 	IdleTime    float64             `json:"idle_time"`
 	Energy      float64             `json:"energy"`
 	Rate        float64             `json:"rate"`
 	Rung        string              `json:"rung"`
+	Gen         uint64              `json:"gen"`
+}
+
+// planQuery pulls one parameter out of a raw (still escaped) query string
+// without materializing a url.Values map — /v1/plan is the fleet's hottest
+// endpoint and its three floats don't justify a map per request. Returns
+// the unescaped value and whether the key was present.
+func planQuery(rawQuery, key string) (string, bool) {
+	for len(rawQuery) > 0 {
+		pair := rawQuery
+		if i := strings.IndexByte(pair, '&'); i >= 0 {
+			pair, rawQuery = pair[:i], pair[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		if k != key {
+			continue
+		}
+		if strings.ContainsAny(v, "%+") {
+			if u, err := url.QueryUnescape(v); err == nil {
+				return u, true
+			}
+			return "", false
+		}
+		return v, true
+	}
+	return "", false
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, req *http.Request) {
@@ -276,22 +369,49 @@ func (s *Server) handlePlan(w http.ResponseWriter, req *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("service: GET required"))
 		return
 	}
-	q := req.URL.Query()
-	tenantName := q.Get("tenant")
+	rawQuery := req.URL.RawQuery
+	tenantName, _ := planQuery(rawQuery, "tenant")
 	if !validName(tenantName) {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: tenant query parameter required"))
 		return
 	}
-	var work, deadline float64
-	if _, err := fmt.Sscan(q.Get("work"), &work); err != nil || work <= 0 {
-		s.writeError(w, http.StatusBadRequest, errors.New("service: positive work query parameter required"))
-		return
+	var deadline float64
+	if v, ok := planQuery(rawQuery, "deadline"); ok {
+		deadline, _ = strconv.ParseFloat(v, 64)
 	}
-	if _, err := fmt.Sscan(q.Get("deadline"), &deadline); err != nil || deadline <= 0 {
+	if !(deadline > 0) {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: positive deadline query parameter required"))
 		return
 	}
-	resp, err := s.dispatch(&request{ctx: req.Context(), op: opPlan, tenant: tenantName, work: work, deadline: deadline, reply: make(chan response, 1)})
+	workStr, hasWork := planQuery(rawQuery, "work")
+	capStr, hasCap := planQuery(rawQuery, "cap")
+	if hasWork == hasCap {
+		s.writeError(w, http.StatusBadRequest, errors.New("service: exactly one of work (minimize energy) or cap (maximize work under a power cap) is required"))
+		return
+	}
+	var work, powerCap float64
+	if hasCap {
+		powerCap, _ = strconv.ParseFloat(capStr, 64)
+		if !(powerCap > 0) {
+			s.writeError(w, http.StatusBadRequest, errors.New("service: positive cap query parameter required"))
+			return
+		}
+	} else {
+		work, _ = strconv.ParseFloat(workStr, 64)
+		if !(work > 0) {
+			s.writeError(w, http.StatusBadRequest, errors.New("service: positive work query parameter required"))
+			return
+		}
+	}
+	r := getRequest()
+	r.ctx = req.Context()
+	r.op = opPlan
+	r.tenant = tenantName
+	r.deadline = deadline
+	r.work = work
+	r.powerCap = powerCap
+	r.capped = hasCap
+	resp, err := s.dispatch(r)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -300,11 +420,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, req *http.Request) {
 		s.writeError(w, statusFor(resp.err), resp.err)
 		return
 	}
+	if resp.planJSON != nil {
+		writeRaw(w, http.StatusOK, resp.planJSON)
+		return
+	}
 	writeJSON(w, http.StatusOK, planReply{
 		Allocations: resp.plan.Allocations,
 		IdleTime:    resp.plan.IdleTime,
 		Energy:      resp.plan.Energy,
 		Rate:        resp.plan.Rate,
 		Rung:        resp.rung,
+		Gen:         resp.gen,
 	})
 }

@@ -36,6 +36,18 @@ var (
 		metrics.Label{Key: "reason", Value: "client_canceled"})
 	mRestoredTenants = metrics.NewCounter("leo_service_restored_tenants_total",
 		"tenants reconstructed from per-shard snapshots and journals")
+	mEncodeErrors = metrics.NewCounter("leo_service_encode_errors",
+		"HTTP responses whose JSON encoding failed mid-write")
+	mPlanCacheHits = metrics.NewCounter("leo_service_plan_cache_total",
+		"plan requests answered from or missing the per-tenant plan cache",
+		metrics.Label{Key: "result", Value: "hit"})
+	mPlanCacheMisses = metrics.NewCounter("leo_service_plan_cache_total",
+		"plan requests answered from or missing the per-tenant plan cache",
+		metrics.Label{Key: "result", Value: "miss"})
+	mSeedCaptures = metrics.NewCounter("leo_service_seed_captures_total",
+		"class posteriors captured as cold-start seeds")
+	mSeedTransfers = metrics.NewCounter("leo_service_seed_transfers_total",
+		"tenants admitted warm from a captured class posterior")
 
 	// Latency is measured in the HTTP layer (queueing included — that is
 	// what a tenant experiences), depth at batch gather time.

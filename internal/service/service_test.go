@@ -42,11 +42,13 @@ func newFixture(t testing.TB) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	perfPrior, err := core.NewPrior(rest.Perf, core.Options{})
+	// LeanResults matches the production serve configuration (leo-runtime
+	// -serve): the service only reads Result.Estimate.
+	perfPrior, err := core.NewPrior(rest.Perf, core.Options{LeanResults: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	powerPrior, err := core.NewPrior(rest.Power, core.Options{})
+	powerPrior, err := core.NewPrior(rest.Power, core.Options{LeanResults: true})
 	if err != nil {
 		t.Fatal(err)
 	}

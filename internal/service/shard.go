@@ -19,13 +19,14 @@ import (
 
 // Typed request outcomes the HTTP layer maps to status codes.
 var (
-	ErrUnknownTenant = errors.New("service: unknown tenant")
-	ErrUnknownClass  = errors.New("service: unknown application class")
-	ErrClassMismatch = errors.New("service: tenant already registered under a different class")
-	ErrNoEstimates   = errors.New("service: tenant has no estimates yet")
-	ErrTooFewSamples = errors.New("service: too few valid probes in window")
-	ErrMaxSessions   = errors.New("service: session capacity reached")
-	ErrDraining      = errors.New("service: server is draining")
+	ErrUnknownTenant  = errors.New("service: unknown tenant")
+	ErrUnknownClass   = errors.New("service: unknown application class")
+	ErrClassMismatch  = errors.New("service: tenant already registered under a different class")
+	ErrNoEstimates    = errors.New("service: tenant has no estimates yet")
+	ErrTooFewSamples  = errors.New("service: too few valid probes in window")
+	ErrMaxSessions    = errors.New("service: session capacity reached")
+	ErrDraining       = errors.New("service: server is draining")
+	ErrNoFeasiblePlan = errors.New("service: no feasible plan")
 )
 
 type opKind int
@@ -57,6 +58,8 @@ type request struct {
 
 	work     float64 // plan
 	deadline float64 // plan
+	powerCap float64 // plan, capped mode
+	capped   bool    // plan: maximize work under powerCap instead
 
 	reply chan response
 }
@@ -71,7 +74,9 @@ type response struct {
 
 	perfEst, powerEst []float64    // estimate
 	idlePower         float64      // estimate
-	plan              *pareto.Plan // plan
+	plan              *pareto.Plan // plan: fallback when planJSON could not render
+	planJSON          []byte       // plan: complete pre-encoded reply body
+	gen               uint64       // plan: tenant estimates generation
 }
 
 // tenant is one application instance's serving state, owned exclusively by
@@ -86,7 +91,39 @@ type tenant struct {
 
 	perfEst, powerEst []float64 // sanitized copies; nil until the first window
 	windows           int
-	estFails          int // consecutive failures at the current rung
+	fitWindows        int  // windows absorbed by the tenant's own sessions (shed ones excluded)
+	estFails          int  // consecutive failures at the current rung
+	seeded            bool // sessions warm-started from a class seed; cleared when they reopen cold
+
+	// Plan memoization: the Pareto frontier over (perfEst, powerEst) and the
+	// fully encoded reply for every (demand, deadline) already served, both
+	// valid for exactly one estimates generation.
+	estGen    uint64
+	planner   *pareto.Planner
+	planCache map[planKey][]byte
+}
+
+// planKey identifies one memoized plan reply: the exact float bits of the
+// demand pair, plus which planning mode produced it.
+type planKey struct {
+	capped bool
+	d1, d2 uint64 // Float64bits of work (or power cap) and deadline
+}
+
+// planCacheMax bounds a tenant's memoized replies. Real tenants cycle
+// through a handful of quantized demand levels; a tenant that exceeds this
+// is churning unique demands, so the whole cache is dropped at once rather
+// than tracking recency per entry.
+const planCacheMax = 1024
+
+// invalidatePlans advances the tenant's estimates generation, discarding
+// the cached frontier and every memoized plan reply. Called wherever the
+// published estimates, the tier name, or the session provenance behind them
+// change: estimate publishes, degrades, restores, rung changes.
+func (t *tenant) invalidatePlans() {
+	t.estGen++
+	t.planner = nil
+	clear(t.planCache)
 }
 
 // shard is one single-writer worker: a goroutine that owns a disjoint set
@@ -101,10 +138,28 @@ type shard struct {
 	stop  chan struct{} // closed by Server.Close
 	done  chan struct{} // closed when run() has snapshotted and exited
 
-	tenants  map[string]*tenant
+	tenants map[string]*tenant
+	// seeds hold one captured posterior per class — the REOH-style transfer
+	// source that turns a new tenant's first fit from cold (~full EM) into
+	// warm (~one refit). First capture wins; see captureSeed.
+	seeds    map[string]*classSeed
 	store    *persist.Store
 	met      shardMetrics
 	closeErr error
+
+	planScratch pareto.Plan // reused by plan() on cache misses
+}
+
+// classSeed is a donated rung-0 posterior for one application class, held
+// with the prior digests that gate its application to a recipient. When the
+// donor could export them, the seed also carries the shared frozen-refit
+// operator caches, so every transferred tenant's first warm refit skips the
+// O(n³) operator rebuild; seeds reloaded from a snapshot carry none and
+// recipients rebuild on demand — bit-identical either way.
+type classSeed struct {
+	perf, power             *core.SessionState
+	perfDigest, powerDigest uint64
+	perfOps, powerOps       *core.FrozenOps
 }
 
 func newShard(srv *Server, id int) (*shard, error) {
@@ -115,6 +170,7 @@ func newShard(srv *Server, id int) (*shard, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		tenants: make(map[string]*tenant),
+		seeds:   make(map[string]*classSeed),
 		met:     newShardMetrics(id),
 	}
 	if srv.cfg.StateDir != "" {
@@ -213,6 +269,18 @@ func (sh *shard) shutdown() {
 					sh.closeErr = err
 				}
 			}
+			// The shard is done mutating: hand every tenant's sessions back
+			// to their estimators' free lists so a successor server over the
+			// same priors (restart, tests) admits without reallocating.
+			for _, t := range sh.tenants {
+				if t.perfSess != nil {
+					baseline.ReleaseSession(t.perfSess)
+				}
+				if t.powerSess != nil {
+					baseline.ReleaseSession(t.powerSess)
+				}
+				t.perfSess, t.powerSess = nil, nil
+			}
 			return
 		}
 	}
@@ -276,6 +344,20 @@ func (sh *shard) register(r *request) {
 		r.reply <- response{err: err}
 		return
 	}
+	// Cold-start transfer: when an earlier tenant of this class has donated
+	// its first fitted posterior, admission buys a warm session, and the new
+	// tenant's first window costs a refit instead of a full cold fit.
+	if seed := sh.seeds[cl.Name]; seed != nil {
+		applied, err := sh.applySeed(t, seed)
+		if err != nil {
+			sh.srv.unadmit()
+			r.reply <- response{err: err}
+			return
+		}
+		if applied {
+			mSeedTransfers.Inc()
+		}
+	}
 	sh.tenants[r.tenant] = t
 	mRegisters.Inc()
 	mTenants.Add(1)
@@ -283,7 +365,76 @@ func (sh *shard) register(r *request) {
 	r.reply <- response{rung: cl.Tiers[0].Name}
 }
 
-// openSessions (re)creates t's per-metric sessions at its current rung.
+// captureSeed donates t's just-fitted rung-0 posterior as its class's
+// cold-start seed. First capture wins, in journal-sequence order, so a live
+// run and its replay capture the identical seed; sessions that cannot carry
+// state are skipped and the next capturable tenant donates instead.
+func (sh *shard) captureSeed(t *tenant) {
+	pc, okP := t.perfSess.(baseline.StateCarrier)
+	qc, okQ := t.powerSess.(baseline.StateCarrier)
+	if !okP || !okQ {
+		return
+	}
+	seed := &classSeed{
+		perf:        pc.SessionState(),
+		power:       qc.SessionState(),
+		perfDigest:  pc.StateDigest(),
+		powerDigest: qc.StateDigest(),
+	}
+	// Export the donor's frozen-refit operators alongside the posterior:
+	// recipients adopt them instead of each rebuilding the identical bits.
+	// Export failure just means recipients rebuild on demand.
+	if oc, ok := t.perfSess.(baseline.OpsCarrier); ok {
+		if ops, err := oc.FrozenOps(); err == nil {
+			seed.perfOps = ops
+		}
+	}
+	if oc, ok := t.powerSess.(baseline.OpsCarrier); ok {
+		if ops, err := oc.FrozenOps(); err == nil {
+			seed.powerOps = ops
+		}
+	}
+	sh.seeds[t.class.Name] = seed
+	mSeedCaptures.Inc()
+}
+
+// applySeed warm-starts t's freshly opened rung-0 sessions from a class
+// seed. Not applied (false, nil) when the sessions cannot carry state or
+// were built against a different prior — the tenant simply starts cold, as
+// before seeds existed. A non-nil error means a half-applied transfer could
+// not be rolled back to cold sessions, leaving the tenant unusable.
+func (sh *shard) applySeed(t *tenant, seed *classSeed) (bool, error) {
+	pc, okP := t.perfSess.(baseline.StateCarrier)
+	qc, okQ := t.powerSess.(baseline.StateCarrier)
+	if !okP || !okQ || pc.StateDigest() != seed.perfDigest || qc.StateDigest() != seed.powerDigest {
+		return false, nil
+	}
+	if err := pc.RestoreSessionState(seed.perf); err != nil {
+		return false, sh.openSessions(t)
+	}
+	if err := qc.RestoreSessionState(seed.power); err != nil {
+		return false, sh.openSessions(t)
+	}
+	// Adopt the donor's shared frozen-refit operators so the transferred
+	// tenant's first warm refit skips the O(n³) operator rebuild. Adoption is
+	// digest-gated in core; a declined adopt just rebuilds bit-identically.
+	if seed.perfOps != nil {
+		if oc, ok := t.perfSess.(baseline.OpsCarrier); ok {
+			oc.AdoptFrozenOps(seed.perfOps)
+		}
+	}
+	if seed.powerOps != nil {
+		if oc, ok := t.powerSess.(baseline.OpsCarrier); ok {
+			oc.AdoptFrozenOps(seed.powerOps)
+		}
+	}
+	t.seeded = true
+	return true, nil
+}
+
+// openSessions (re)creates t's per-metric sessions at its current rung,
+// releasing any previous pair to their estimators' free lists. On error the
+// tenant's existing sessions are left in place.
 func (sh *shard) openSessions(t *tenant) error {
 	tier := t.class.Tiers[t.rung]
 	perfSess, err := tier.Perf.NewSession(context.Background())
@@ -292,7 +443,14 @@ func (sh *shard) openSessions(t *tenant) error {
 	}
 	powerSess, err := tier.Power.NewSession(context.Background())
 	if err != nil {
+		baseline.ReleaseSession(perfSess)
 		return fmt.Errorf("service: opening %s power session: %w", tier.Name, err)
+	}
+	if t.perfSess != nil {
+		baseline.ReleaseSession(t.perfSess)
+	}
+	if t.powerSess != nil {
+		baseline.ReleaseSession(t.powerSess)
 	}
 	t.perfSess, t.powerSess = perfSess, powerSess
 	return nil
@@ -418,9 +576,12 @@ func (sh *shard) fitShed(r *request, t *tenant, w control.Window, rung int) {
 			var perfEst, powerEst []float64
 			perfEst, powerEst, err = control.FitWindow(context.Background(), perfSess, powerSess, w, sh.srv.cfg.Resilience)
 			mShedWindows.Inc()
+			baseline.ReleaseSession(perfSess)
+			baseline.ReleaseSession(powerSess)
 			sh.finishWindow(r, t, w, perfEst, powerEst, err, rung, true)
 			return
 		}
+		baseline.ReleaseSession(perfSess)
 	}
 	sh.finishWindow(r, t, w, nil, nil, err, rung, true)
 }
@@ -524,7 +685,10 @@ func (sh *shard) finishWindow(r *request, t *tenant, w control.Window, perfEst, 
 			if t.estFails >= cfg.Resilience.MaxEstimationFailures && t.rung+1 < len(t.class.Tiers) {
 				t.rung++
 				t.estFails = 0
+				t.seeded = false // fresh cold sessions at the new rung
 				mDegrades.Inc()
+				// The tier name baked into cached plan replies changed.
+				t.invalidatePlans()
 				if serr := sh.openSessions(t); serr != nil {
 					err = errors.Join(err, serr)
 				}
@@ -533,6 +697,10 @@ func (sh *shard) finishWindow(r *request, t *tenant, w control.Window, perfEst, 
 		r.reply <- response{err: err, dropped: w.Dropped, rung: t.class.Tiers[rung].Name, shed: shed}
 		return
 	}
+	// The seed-transfer marker rides the tenant's first owned window: replay
+	// must re-apply the class seed before fitting that window, and only that
+	// one — every later window fits from the session state it left behind.
+	transferred := !shed && t.seeded && t.fitWindows == 0
 	if sh.store != nil {
 		rec := &persist.WindowRecord{
 			Seq:    sh.store.LastSeq() + 1,
@@ -540,7 +708,7 @@ func (sh *shard) finishWindow(r *request, t *tenant, w control.Window, perfEst, 
 			ObsIdx: w.ObsIdx,
 			Perf:   w.Perf,
 			Power:  w.Power,
-			Tenant: packTenantMeta(t, shed),
+			Tenant: packTenantMeta(t, shed, transferred),
 		}
 		if jerr := sh.store.Append(rec); jerr != nil {
 			r.reply <- response{err: fmt.Errorf("service: journaling window: %w", jerr), dropped: w.Dropped}
@@ -554,6 +722,15 @@ func (sh *shard) finishWindow(r *request, t *tenant, w control.Window, perfEst, 
 	t.powerEst = append(t.powerEst[:0], power...)
 	t.windows++
 	t.estFails = 0
+	if !shed {
+		t.fitWindows++
+		// First-wins donation: the earliest successfully fitted rung-0
+		// posterior of each class becomes its cold-start seed.
+		if rung == 0 && sh.seeds[t.class.Name] == nil {
+			sh.captureSeed(t)
+		}
+	}
+	t.invalidatePlans()
 	mWindows.Inc()
 	r.reply <- response{windows: t.windows, dropped: w.Dropped, rung: t.class.Tiers[rung].Name, shed: shed}
 }
@@ -580,7 +757,13 @@ func (sh *shard) estimate(r *request) {
 // plan mirrors Controller.PlanContext's estimate-backed path float for
 // float: minimize energy over the sanitized estimates; if they call the
 // demand infeasible, fall back to the believed-fastest configuration run
-// flat out.
+// flat out. In capped mode (?cap=) it maximizes completed work under the
+// power cap instead, with no fallback — a flat-out fallback would violate
+// the cap the caller asked for.
+//
+// Replies are memoized per tenant: the Pareto frontier is built once per
+// estimates generation, and each distinct (demand, deadline) is planned and
+// JSON-encoded once, so steady-state planning is one map lookup.
 func (sh *shard) plan(r *request) {
 	t, ok := sh.tenants[r.tenant]
 	if !ok {
@@ -591,20 +774,60 @@ func (sh *shard) plan(r *request) {
 		r.reply <- response{err: fmt.Errorf("%w: %q", ErrNoEstimates, r.tenant)}
 		return
 	}
-	plan, err := pareto.MinimizeEnergy(t.perfEst, t.powerEst, t.idlePower, r.work, r.deadline)
+	key := planKey{capped: r.capped, d1: math.Float64bits(r.work), d2: math.Float64bits(r.deadline)}
+	if r.capped {
+		key.d1 = math.Float64bits(r.powerCap)
+	}
+	if buf, hit := t.planCache[key]; hit {
+		mPlanCacheHits.Inc()
+		r.reply <- response{planJSON: buf}
+		return
+	}
+	mPlanCacheMisses.Inc()
+	plan := &sh.planScratch
+	var err error
+	if t.planner == nil {
+		t.planner, err = pareto.NewPlanner(t.perfEst, t.powerEst, t.idlePower)
+	}
+	if err == nil {
+		if r.capped {
+			_, err = t.planner.MaximizePerformanceInto(r.powerCap, r.deadline, plan)
+		} else {
+			_, err = t.planner.MinimizeEnergyInto(r.work, r.deadline, plan)
+		}
+	}
 	if err != nil {
+		if r.capped {
+			r.reply <- response{err: fmt.Errorf("%w: %v", ErrNoFeasiblePlan, err)}
+			return
+		}
 		best := believedFastest(t.perfEst)
 		if best < 0 {
 			r.reply <- response{err: err}
 			return
 		}
-		plan = &pareto.Plan{
-			Allocations: []pareto.Allocation{{Index: best, Time: r.deadline}},
-			Rate:        r.work / r.deadline,
-			Energy:      t.powerEst[best] * r.deadline,
-		}
+		plan.Allocations = append(plan.Allocations[:0], pareto.Allocation{Index: best, Time: r.deadline})
+		plan.IdleTime = 0
+		plan.Rate = r.work / r.deadline
+		plan.Energy = t.powerEst[best] * r.deadline
 	}
-	r.reply <- response{plan: plan, rung: t.class.Tiers[t.rung].Name}
+	rung := t.class.Tiers[t.rung].Name
+	buf, ok := appendPlanJSON(make([]byte, 0, 96+32*len(plan.Allocations)), plan, rung, t.estGen)
+	if !ok {
+		// Non-finite value in the plan: hand a private copy to the stdlib
+		// path, which refuses to encode it exactly as it always has.
+		cp := *plan
+		cp.Allocations = append([]pareto.Allocation(nil), plan.Allocations...)
+		r.reply <- response{plan: &cp, rung: rung, gen: t.estGen}
+		return
+	}
+	if t.planCache == nil {
+		t.planCache = make(map[planKey][]byte)
+	} else if len(t.planCache) >= planCacheMax {
+		clear(t.planCache)
+	}
+	t.planCache[key] = buf
+	r.reply <- response{planJSON: buf}
 }
 
 // believedFastest is the controller's infeasible-demand fallback with no
@@ -629,24 +852,34 @@ const metaSep = "\x1f"
 
 // packTenantMeta tags a journal record with everything replay needs to
 // reconstruct the tenant it belongs to: name, class, idle power (exact,
-// hex-packed bits), the tenant's own sticky rung, and a shed marker when
-// the window ran on the load-shedding rung instead.
-func packTenantMeta(t *tenant, shed bool) string {
+// hex-packed bits), the tenant's own sticky rung, and an optional flags
+// field — "s" when the window ran on the load-shedding rung, "t" when this
+// is a seeded tenant's first owned window (replay re-applies the class seed
+// before fitting it).
+func packTenantMeta(t *tenant, shed, transferred bool) string {
 	meta := t.name + metaSep + t.class.Name + metaSep +
 		strconv.FormatUint(math.Float64bits(t.idlePower), 16) + metaSep +
 		strconv.Itoa(t.rung)
-	if shed {
-		meta += metaSep + "s"
+	if shed || transferred {
+		flags := ""
+		if shed {
+			flags += "s"
+		}
+		if transferred {
+			flags += "t"
+		}
+		meta += metaSep + flags
 	}
 	return meta
 }
 
 type tenantMeta struct {
-	name      string
-	class     string
-	idlePower float64
-	rung      int
-	shed      bool
+	name        string
+	class       string
+	idlePower   float64
+	rung        int
+	shed        bool
+	transferred bool
 }
 
 func unpackTenantMeta(s string) (tenantMeta, error) {
@@ -664,10 +897,16 @@ func unpackTenantMeta(s string) (tenantMeta, error) {
 	}
 	m := tenantMeta{name: parts[0], class: parts[1], idlePower: math.Float64frombits(bits), rung: rung}
 	if len(parts) == 5 {
-		if parts[4] != "s" {
-			return tenantMeta{}, fmt.Errorf("service: malformed shed marker in %q", s)
+		for _, f := range parts[4] {
+			switch f {
+			case 's':
+				m.shed = true
+			case 't':
+				m.transferred = true
+			default:
+				return tenantMeta{}, fmt.Errorf("service: malformed flags in %q", s)
+			}
 		}
-		m.shed = true
 	}
 	return m, nil
 }
@@ -684,15 +923,32 @@ func (sh *shard) snapshot() error {
 	if sh.store == nil {
 		return nil
 	}
+	snap := &persist.Snapshot{Seq: sh.store.LastSeq()}
+	// Class seeds first: a tenant whose journaled first window carries the
+	// transfer marker but replays on top of this snapshot needs the seed
+	// available before its record is reached. Entry names start with the
+	// separator, which no tenant name can, so restore tells them apart.
+	classes := make([]string, 0, len(sh.seeds))
+	for class := range sh.seeds {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		seed := sh.seeds[class]
+		prefix := metaSep + "seed" + metaSep + class + metaSep
+		snap.Sessions = append(snap.Sessions,
+			persist.SessionEntry{Name: prefix + "perf", Digest: seed.perfDigest, State: seed.perf},
+			persist.SessionEntry{Name: prefix + "power", Digest: seed.powerDigest, State: seed.power},
+		)
+	}
 	names := make([]string, 0, len(sh.tenants))
 	for name := range sh.tenants {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	snap := &persist.Snapshot{Seq: sh.store.LastSeq()}
 	for _, name := range names {
 		t := sh.tenants[name]
-		meta := packTenantMeta(t, false)
+		meta := packTenantMeta(t, false, t.seeded && t.fitWindows == 0)
 		for _, m := range []struct {
 			metric string
 			sess   baseline.Session
@@ -730,8 +986,27 @@ func (sh *shard) recover() error {
 	}
 	if snap != nil {
 		for _, se := range snap.Sessions {
+			// Seed entries lead with the separator — impossible for tenant
+			// names — and restore the class's cold-start donation.
+			if rest, isSeed := strings.CutPrefix(se.Name, metaSep+"seed"+metaSep); isSeed {
+				class, metric, ok := strings.Cut(rest, metaSep)
+				if !ok || (metric != "perf" && metric != "power") || se.State == nil {
+					return fmt.Errorf("service: malformed seed entry %q", se.Name)
+				}
+				seed := sh.seeds[class]
+				if seed == nil {
+					seed = &classSeed{}
+					sh.seeds[class] = seed
+				}
+				if metric == "perf" {
+					seed.perf, seed.perfDigest = se.State, se.Digest
+				} else {
+					seed.power, seed.powerDigest = se.State, se.Digest
+				}
+				continue
+			}
 			// Entry names are the packed tenant metadata plus a metric
-			// suffix: name/class/idle/rung/("perf"|"power").
+			// suffix: name/class/idle/rung[/flags]/("perf"|"power"|"est").
 			i := strings.LastIndex(se.Name, metaSep)
 			if i < 0 {
 				return fmt.Errorf("service: malformed snapshot entry %q", se.Name)
@@ -756,6 +1031,7 @@ func (sh *shard) recover() error {
 					t.perfEst = append([]float64(nil), se.State.Mu...)
 					t.powerEst = append([]float64(nil), se.State.ObsVal...)
 					t.windows = int(se.State.Sigma2)
+					t.invalidatePlans()
 				}
 				continue
 			}
@@ -807,9 +1083,14 @@ func (sh *shard) restoreTenant(meta tenantMeta) (*tenant, error) {
 		if t.rung != meta.rung {
 			t.rung = meta.rung
 			t.estFails = 0
+			t.seeded = false
+			t.invalidatePlans()
 			if err := sh.openSessions(t); err != nil {
 				return nil, err
 			}
+		}
+		if meta.transferred {
+			t.seeded = true
 		}
 		return t, nil
 	}
@@ -824,6 +1105,7 @@ func (sh *shard) restoreTenant(meta tenantMeta) (*tenant, error) {
 		sh.srv.unadmit()
 		return nil, err
 	}
+	t.seeded = meta.transferred
 	sh.tenants[meta.name] = t
 	mTenants.Add(1)
 	mRestoredTenants.Inc()
@@ -863,6 +1145,24 @@ func (sh *shard) applyRecord(rec *persist.WindowRecord) error {
 		}
 		perfEst, powerEst, err = control.FitWindow(context.Background(), perfSess, powerSess, w, sh.srv.cfg.Resilience)
 	} else {
+		if meta.transferred {
+			// The record ran live on seed-transferred sessions; re-apply the
+			// seed (captured earlier in this replay, or restored from the
+			// snapshot) so the refit starts from the same posterior. On a
+			// snapshot-restored, never-fitted tenant the re-apply is
+			// idempotent.
+			seed := sh.seeds[meta.class]
+			if seed == nil {
+				return fmt.Errorf("service: replaying window %d for %q: class %q transfer seed unavailable", rec.Seq, meta.name, meta.class)
+			}
+			applied, aerr := sh.applySeed(t, seed)
+			if aerr != nil {
+				return aerr
+			}
+			if !applied {
+				return fmt.Errorf("service: replaying window %d for %q: class %q seed does not match the current prior", rec.Seq, meta.name, meta.class)
+			}
+		}
 		perfEst, powerEst, err = control.FitWindow(context.Background(), t.perfSess, t.powerSess, w, sh.srv.cfg.Resilience)
 	}
 	if err == nil {
@@ -878,5 +1178,14 @@ func (sh *shard) applyRecord(rec *persist.WindowRecord) error {
 	t.perfEst = append(t.perfEst[:0], perf...)
 	t.powerEst = append(t.powerEst[:0], power...)
 	t.windows++
+	if !meta.shed {
+		t.fitWindows++
+		// Mirror the live capture point record for record, so replay and the
+		// run it reconstructs agree on every class's seed.
+		if rec.Rung == 0 && sh.seeds[t.class.Name] == nil {
+			sh.captureSeed(t)
+		}
+	}
+	t.invalidatePlans()
 	return nil
 }

@@ -44,6 +44,19 @@ type TrafficConfig struct {
 	ProbesPerWindow int
 	// Noise is the multiplicative observation noise (profile.Observe).
 	Noise float64
+	// PlansPerWindow is how many plan requests follow each observe window;
+	// 0 means the classic single plan. Serving fleets read plans far more
+	// often than they report windows, so throughput benchmarks raise this.
+	PlansPerWindow int
+	// PlanLevels quantizes plan demands onto this many discrete levels
+	// instead of a continuous draw — the realistic shape (SLOs come in a few
+	// flavors) and the one that exercises plan memoization. 0 keeps the
+	// continuous draw.
+	PlanLevels int
+	// RegisterOnArrival moves each tenant's registration from t=0 to its
+	// first window's arrival time, so a replay exercises admission cold
+	// starts mid-run instead of front-loading them before measurement.
+	RegisterOnArrival bool
 }
 
 // EventKind discriminates traffic events.
@@ -104,11 +117,17 @@ func GenerateTraffic(cfg TrafficConfig) ([]Event, error) {
 		name := fmt.Sprintf("tenant-%06d", i)
 		cl := cfg.Classes[i%len(cfg.Classes)]
 		rng := rand.New(rand.NewSource(stream.TenantSeed(cfg.Seed, name)))
-		events = append(events, Event{At: 0, Kind: EvRegister, Tenant: name, Class: cl.Name})
-		events = append(events, tenantWindows(cfg, name, cl, rng)...)
+		windows := tenantWindows(cfg, name, cl, rng)
+		regAt := 0.0
+		if cfg.RegisterOnArrival && len(windows) > 0 {
+			regAt = windows[0].At
+		}
+		events = append(events, Event{At: regAt, Kind: EvRegister, Tenant: name, Class: cl.Name})
+		events = append(events, windows...)
 	}
-	// Stable sort: ties (the t=0 registrations) keep tenant order, so the
-	// schedule is deterministic end to end.
+	// Stable sort: ties (t=0 registrations, or an on-arrival registration
+	// against its own first window) keep append order, so the schedule is
+	// deterministic end to end and a register precedes its first window.
 	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
 	return events, nil
 }
@@ -136,11 +155,21 @@ func tenantWindows(cfg TrafficConfig, name string, cl TrafficClass, rng *rand.Ra
 		})
 		// Demand scaled to the believed range so plans exercise both the
 		// two-point pareto path and the infeasible fallback occasionally.
-		work := (0.25 + 0.75*rng.Float64()) * maxOf(cl.PerfTruth)
-		events = append(events, Event{
-			At: t, Kind: EvPlan, Tenant: name, Class: cl.Name,
-			Work: work, Deadline: 1,
-		})
+		plans := cfg.PlansPerWindow
+		if plans <= 0 {
+			plans = 1
+		}
+		for p := 0; p < plans; p++ {
+			frac := rng.Float64()
+			if cfg.PlanLevels > 0 {
+				frac = float64(rng.Intn(cfg.PlanLevels)) / float64(cfg.PlanLevels)
+			}
+			work := (0.25 + 0.75*frac) * maxOf(cl.PerfTruth)
+			events = append(events, Event{
+				At: t, Kind: EvPlan, Tenant: name, Class: cl.Name,
+				Work: work, Deadline: 1,
+			})
+		}
 	}
 	return events
 }

@@ -1,0 +1,177 @@
+package leo_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+
+	"leo"
+)
+
+// TestPlanCacheSmoke boots the real leo-runtime binary in -serve mode and
+// drives one tenant through register → observe → plan → observe → plan. It is
+// the smoke-level contract behind `make plan-cache-smoke`: each refit must
+// advance the plan-cache generation reported on the wire, and every served
+// plan — cached or not — must equal a fresh pareto computation over the
+// estimates the server itself reports.
+func TestPlanCacheSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plan-cache smoke builds and drives the real binary; skipped in -short")
+	}
+	bin := runtimeBin(t)
+
+	cmd := exec.Command(bin, "-serve", "-listen", "127.0.0.1:0", "-shards", "1", "-max-sessions", "16")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "serve: listening on "); ok {
+			addr = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening line from the server (scan error: %v)", sc.Err())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	base := "http://" + addr
+
+	// One tenant, two observe windows drawn from the kmeans ground truth.
+	space := leo.SmallSpace()
+	app, err := leo.Benchmark("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfTruth, powerTruth := app.PerfVector(space), app.PowerVector(space)
+	post(t, base+"/v1/register", map[string]any{"tenant": "smoke", "class": "kmeans"})
+
+	observe := func(idx []int) {
+		perf := make([]float64, len(idx))
+		power := make([]float64, len(idx))
+		for i, k := range idx {
+			perf[i], power[i] = perfTruth[k], powerTruth[k]
+		}
+		post(t, base+"/v1/observe", map[string]any{
+			"tenant": "smoke", "obs_idx": idx, "perf": perf, "power": power,
+		})
+	}
+
+	const work, deadline = 40.0, 2.0
+	planURL := fmt.Sprintf("%s/v1/plan?tenant=smoke&work=%g&deadline=%g", base, work, deadline)
+
+	observe([]int{0, 17, 40, 63, 88, 101, 115, 127})
+	gen1, plan1 := fetchPlan(t, planURL)
+	checkPlanFresh(t, base, work, deadline, plan1, "after first refit")
+
+	observe([]int{3, 21, 45, 70, 90, 105, 119, 126})
+	gen2, plan2 := fetchPlan(t, planURL)
+	checkPlanFresh(t, base, work, deadline, plan2, "after second refit")
+
+	if gen2 <= gen1 {
+		t.Fatalf("plan-cache generation did not advance across a refit: %d then %d", gen1, gen2)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server did not exit cleanly after SIGTERM: %v", err)
+	}
+}
+
+// post issues one JSON POST and requires a 200.
+func post(t *testing.T, url string, body map[string]any) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, buf.String())
+	}
+}
+
+// wirePlan is the /v1/plan reply shape the smoke cares about.
+type wirePlan struct {
+	Allocations []leo.Allocation `json:"allocations"`
+	IdleTime    float64          `json:"idle_time"`
+	Energy      float64          `json:"energy"`
+	Rate        float64          `json:"rate"`
+	Gen         uint64           `json:"gen"`
+}
+
+func fetchPlan(t *testing.T, url string) (uint64, wirePlan) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p wirePlan
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	return p.Gen, p
+}
+
+// checkPlanFresh recomputes the plan from the estimates the server reports on
+// /v1/estimate and requires the served plan to match exactly. JSON renders
+// float64 in shortest-round-trip form, so decoded values are bit-identical to
+// the server's and the comparison needs no tolerance.
+func checkPlanFresh(t *testing.T, base string, work, deadline float64, got wirePlan, when string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/estimate?tenant=smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var est struct {
+		Perf      []float64 `json:"perf"`
+		Power     []float64 `json:"power"`
+		IdlePower float64   `json:"idle_power"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := leo.MinimizeEnergy(est.Perf, est.Power, est.IdlePower, work, deadline)
+	if err != nil {
+		t.Fatalf("%s: fresh plan over served estimates: %v", when, err)
+	}
+	if len(fresh.Allocations) != len(got.Allocations) {
+		t.Fatalf("%s: served plan has %d allocations, fresh %d", when, len(got.Allocations), len(fresh.Allocations))
+	}
+	for i, a := range fresh.Allocations {
+		if got.Allocations[i] != a {
+			t.Fatalf("%s: served allocation %d = %+v, fresh %+v", when, i, got.Allocations[i], a)
+		}
+	}
+	if got.IdleTime != fresh.IdleTime || got.Energy != fresh.Energy || got.Rate != fresh.Rate {
+		t.Fatalf("%s: served plan (idle %v, energy %v, rate %v) != fresh (%v, %v, %v)",
+			when, got.IdleTime, got.Energy, got.Rate, fresh.IdleTime, fresh.Energy, fresh.Rate)
+	}
+}
